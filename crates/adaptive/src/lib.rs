@@ -1,0 +1,28 @@
+//! # dlrm-adaptive
+//!
+//! The paper's **dual-level adaptive error-bound strategy** and the offline
+//! analysis that configures it.
+//!
+//! * **Table-wise** ([`homo`], [`classify`]): each embedding table is scored
+//!   with the *Homogenization Index* — how strongly its vectors collapse into
+//!   repeated patterns once quantized — and assigned a Large, Medium or Small
+//!   error bound accordingly (Algorithm 1 of the paper).
+//! * **Iteration-wise** ([`decay`]): the error bound starts larger and decays
+//!   over the initial training phase (step-wise by default), mirroring how a
+//!   learning-rate schedule front-loads tolerance for noise.
+//! * **Compressor selection** ([`speedup`]): Equation 2 of the paper converts
+//!   a compressor's ratio and throughput plus the network bandwidth into an
+//!   expected all-to-all speedup; the offline analysis uses it to pick the
+//!   best encoder per table ([`analysis`], Algorithm 2).
+
+pub mod analysis;
+pub mod classify;
+pub mod decay;
+pub mod homo;
+pub mod speedup;
+
+pub use analysis::{analyze_tables, CompressionPlan, TablePlan};
+pub use classify::{EbClass, EbConfig, Thresholds};
+pub use decay::{DecaySchedule, EbSchedule, TrainingPhases};
+pub use homo::{homogenization_index, pattern_counts, HomoReport};
+pub use speedup::{estimate_speedup, select_compressor, SpeedupInputs};

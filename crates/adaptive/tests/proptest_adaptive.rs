@@ -1,0 +1,122 @@
+//! Property-based tests of the adaptive strategy: the homogenization index is
+//! a well-behaved statistic, classification is total and consistent, decay
+//! schedules are monotone, and the speedup model is monotone in its inputs.
+
+use dlrm_adaptive::{
+    homogenization_index, pattern_counts, DecaySchedule, EbConfig, EbSchedule, Thresholds,
+    TrainingPhases,
+};
+use dlrm_adaptive::speedup::{estimate_speedup, SpeedupInputs};
+use proptest::prelude::*;
+
+fn finite_value() -> impl Strategy<Value = f32> {
+    -2.0f32..2.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn homo_index_is_in_unit_interval_and_monotone_in_eb(
+        dim in 1usize..12,
+        vectors in 0usize..40,
+        seed_values in prop::collection::vec(finite_value(), 0..480),
+        eb_small in 1e-4f32..1e-2,
+        factor in 1.5f32..20.0,
+    ) {
+        let len = vectors * dim;
+        if seed_values.len() < len {
+            return Ok(());
+        }
+        let batch = &seed_values[..len];
+        let eb_large = eb_small * factor;
+        let eta_small = homogenization_index(batch, dim, eb_small).unwrap();
+        let eta_large = homogenization_index(batch, dim, eb_large).unwrap();
+        prop_assert!((0.0..=1.0).contains(&eta_small));
+        prop_assert!((0.0..=1.0).contains(&eta_large));
+        prop_assert!(eta_large >= eta_small - 1e-12, "{eta_large} < {eta_small}");
+    }
+
+    #[test]
+    fn pattern_counts_are_consistent(
+        dim in 1usize..8,
+        vectors in 0usize..32,
+        values in prop::collection::vec(finite_value(), 0..256),
+    ) {
+        let len = vectors * dim;
+        if values.len() < len {
+            return Ok(());
+        }
+        let report = pattern_counts(&values[..len], dim, 0.01).unwrap();
+        prop_assert_eq!(report.batch_size, vectors);
+        prop_assert!(report.quantized_patterns <= report.original_patterns);
+        prop_assert!(report.original_patterns <= vectors.max(1));
+    }
+
+    #[test]
+    fn classification_is_total_and_respects_thresholds(eta in 0.0f64..=1.0) {
+        let thresholds = Thresholds::default();
+        let class = thresholds.classify(eta);
+        let eb = EbConfig::paper_default().for_class(class);
+        prop_assert!(eb > 0.0);
+        if eta > thresholds.small_above {
+            prop_assert_eq!(eb, EbConfig::paper_default().small);
+        }
+        if eta < thresholds.large_below {
+            prop_assert_eq!(eb, EbConfig::paper_default().large);
+        }
+    }
+
+    #[test]
+    fn decay_schedules_are_monotone_and_bounded(
+        schedule_idx in 0usize..5,
+        start_factor in 1.0f32..4.0,
+        initial in 1usize..200,
+        stable in 0usize..200,
+        steps in 1usize..8,
+    ) {
+        let schedule = DecaySchedule::all()[schedule_idx];
+        let s = EbSchedule {
+            schedule,
+            start_factor,
+            steps,
+            phases: TrainingPhases {
+                initial_iters: initial,
+                stable_iters: stable,
+            },
+        };
+        let mut prev = f32::INFINITY;
+        for iter in 0..(initial + stable) {
+            let m = s.multiplier(iter);
+            prop_assert!(m >= 1.0 - 1e-6);
+            prop_assert!(m <= start_factor + 1e-6);
+            prop_assert!(m <= prev + 1e-5, "{schedule:?} increased at {iter}");
+            prev = m;
+        }
+        prop_assert_eq!(s.multiplier(initial + stable + 10), 1.0);
+    }
+
+    #[test]
+    fn speedup_is_monotone_in_ratio_and_bounded_by_it(
+        ratio in 1.01f64..500.0,
+        tc in 1e8f64..1e12,
+        td in 1e8f64..1e12,
+        bandwidth in 1e8f64..1e11,
+    ) {
+        let s = estimate_speedup(SpeedupInputs {
+            ratio,
+            compress_throughput: tc,
+            decompress_throughput: td,
+            bandwidth,
+        });
+        prop_assert!(s > 0.0);
+        prop_assert!(s <= ratio + 1e-9, "speedup {s} exceeds ratio {ratio}");
+        let s_higher_ratio = estimate_speedup(SpeedupInputs {
+            ratio: ratio * 2.0,
+            compress_throughput: tc,
+            decompress_throughput: td,
+            bandwidth,
+        });
+        prop_assert!(s_higher_ratio >= s - 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmark behind Figure 15: fused multi-chunk compression
+//! and parallel decompression vs the naive per-chunk path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_compress::{buffer, CompressorKind};
+
+fn chunked_payload(total_floats: usize, chunks: usize, dim: usize) -> Vec<Vec<f32>> {
+    let per_chunk = total_floats / chunks;
+    (0..chunks)
+        .map(|c| {
+            (0..per_chunk)
+                .map(|i| {
+                    let vector_id = (i / dim + c * 7) % 37;
+                    ((vector_id * dim + i % dim) as f32 * 0.013).sin() * 0.2
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_buffer_optimization(c: &mut Criterion) {
+    let comp = CompressorKind::OursHybrid.build();
+    let total_floats = 1 << 20; // 4 MiB of f32 payload
+    let dim = 64;
+
+    for &chunks in &[4usize, 16] {
+        let data = chunked_payload(total_floats, chunks, dim);
+        let refs: Vec<&[f32]> = data.iter().map(Vec::as_slice).collect();
+        let bytes = (total_floats * 4) as u64;
+
+        let mut group = c.benchmark_group(format!("buffer_compress_{chunks}chunks"));
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_function("naive", |b| {
+            b.iter(|| buffer::compress_chunks_naive(comp.as_ref(), &refs, dim, 0.01).unwrap())
+        });
+        group.bench_function("fused", |b| {
+            b.iter(|| buffer::compress_chunks_fused(comp.as_ref(), &refs, dim, 0.01).unwrap())
+        });
+        group.finish();
+
+        let fused = buffer::compress_chunks_fused(comp.as_ref(), &refs, dim, 0.01).unwrap();
+        let mut group = c.benchmark_group(format!("buffer_decompress_{chunks}chunks"));
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::from_parameter("serial"), &fused, |b, f| {
+            b.iter(|| buffer::decompress_chunks_serial(comp.as_ref(), f).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("parallel"), &fused, |b, f| {
+            b.iter(|| buffer::decompress_chunks_parallel(comp.as_ref(), f).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_buffer_optimization
+}
+criterion_main!(benches);

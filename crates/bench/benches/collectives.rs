@@ -1,0 +1,51 @@
+//! Micro-benchmark of the simulated cluster's collectives: how much real
+//! (host) time the data movement itself costs, independent of the α–β model's
+//! virtual seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_comm::{NetworkConfig, SimCluster};
+
+fn bench_collectives(c: &mut Criterion) {
+    let chunk_bytes = 64 * 1024;
+
+    let mut group = c.benchmark_group("alltoall");
+    for &world in &[4usize, 8] {
+        group.throughput(Throughput::Bytes((chunk_bytes * world * world) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &world| {
+            b.iter(|| {
+                let cluster = SimCluster::new(world, NetworkConfig::infinite());
+                cluster.run(move |ctx| {
+                    let chunks: Vec<Vec<u8>> =
+                        (0..world).map(|d| vec![(d as u8) ^ 0x5A; chunk_bytes]).collect();
+                    let (recv, _) = ctx.all_to_all_bytes(chunks);
+                    recv.len()
+                })
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("allreduce");
+    let elements = 1 << 16;
+    for &world in &[4usize, 8] {
+        group.throughput(Throughput::Bytes((elements * 4 * world) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &world| {
+            b.iter(|| {
+                let cluster = SimCluster::new(world, NetworkConfig::infinite());
+                cluster.run(move |ctx| {
+                    let mut data = vec![ctx.rank() as f32; elements];
+                    ctx.all_reduce_sum(&mut data);
+                    data[0]
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_collectives
+}
+criterion_main!(benches);

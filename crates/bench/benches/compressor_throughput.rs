@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark behind Figure 11: compression and decompression
+//! throughput of every registered compressor on DLRM-like embedding traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_bench::workloads::{sampled_traffic, Scale};
+use dlrm_compress::CompressorKind;
+use dlrm_data::presets;
+
+fn bench_compressors(c: &mut Criterion) {
+    let dataset = presets::criteo_kaggle_like();
+    let samples = sampled_traffic(&dataset, Scale::Quick, 7);
+    // One representative repeat-heavy table and one spread-out table.
+    let payload: Vec<f32> = samples[8]
+        .iter()
+        .chain(samples[2].iter())
+        .copied()
+        .collect();
+    let dim = dataset.embedding_dim;
+    let bytes = (payload.len() * 4) as u64;
+
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(bytes));
+    for &kind in CompressorKind::all() {
+        let comp = kind.build();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &payload, |b, data| {
+            b.iter(|| comp.compress(data, dim, 0.01).expect("compress"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    for &kind in CompressorKind::all() {
+        let comp = kind.build();
+        let compressed = comp.compress(&payload, dim, 0.01).expect("compress");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &compressed,
+            |b, data| {
+                b.iter(|| comp.decompress(data).expect("decompress"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compressors
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation bench (abl1): fixed-length vector matching vs traditional
+//! variable-length byte matching on embedding traffic — both speed and the
+//! resulting compressed size.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dlrm_bench::workloads::{sampled_traffic, Scale};
+use dlrm_compress::lzss::{self, LzssConfig};
+use dlrm_compress::quant;
+use dlrm_compress::vlz::{self, VlzConfig};
+use dlrm_data::presets;
+
+fn bench_vlz_vs_lzss(c: &mut Criterion) {
+    let dataset = presets::criteo_kaggle_like();
+    let samples = sampled_traffic(&dataset, Scale::Quick, 99);
+    // Repeat-heavy table: the regime the vector matcher is built for.
+    let payload = samples[8].clone();
+    let dim = dataset.embedding_dim;
+    let bytes = (payload.len() * 4) as u64;
+
+    let mut group = c.benchmark_group("vlz_vs_lzss");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("vector_lz_eb0.01", |b| {
+        b.iter(|| vlz::compress(&payload, dim, 0.01, VlzConfig::default()).unwrap())
+    });
+    group.bench_function("byte_lzss_lossless", |b| {
+        b.iter(|| lzss::compress_f32(&payload, LzssConfig::default()))
+    });
+    group.bench_function("byte_lzss_on_quantized", |b| {
+        // Give byte-LZSS the same quantization benefit, isolating the effect
+        // of fixed-length vector matching alone.
+        b.iter(|| {
+            let q = quant::quantize(&payload, 0.01).unwrap();
+            let bytes: Vec<u8> = q.codes.iter().flat_map(|c| c.to_le_bytes()).collect();
+            lzss::compress_bytes(&bytes, LzssConfig::default())
+        })
+    });
+    group.finish();
+
+    // Also report sizes once (criterion measures time, not size).
+    let v = vlz::compress(&payload, dim, 0.01, VlzConfig::default()).unwrap();
+    let l = lzss::compress_f32(&payload, LzssConfig::default());
+    eprintln!(
+        "compressed sizes on a repeat-heavy table: vector-LZ {} B vs byte-LZSS {} B (original {} B)",
+        v.len(),
+        l.len(),
+        bytes
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vlz_vs_lzss
+}
+criterion_main!(benches);

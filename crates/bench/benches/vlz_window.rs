@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark behind Table VI: vector-LZ compression with
+//! different match-window sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_bench::workloads::{sampled_traffic, Scale};
+use dlrm_compress::vlz::{self, VlzConfig};
+use dlrm_data::presets;
+
+fn bench_vlz_windows(c: &mut Criterion) {
+    let dataset = presets::criteo_terabyte_like();
+    let samples = sampled_traffic(&dataset, Scale::Quick, 13);
+    let payload: Vec<f32> = samples
+        .iter()
+        .take(4)
+        .flat_map(|s| s.iter().copied())
+        .collect();
+    let dim = dataset.embedding_dim;
+    let bytes = (payload.len() * 4) as u64;
+
+    let mut group = c.benchmark_group("vlz_window");
+    group.throughput(Throughput::Bytes(bytes));
+    for &window in &[32usize, 64, 128, 255] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &payload, |b, data| {
+            let cfg = VlzConfig::with_window(window);
+            b.iter(|| vlz::compress(data, dim, 0.01, cfg).expect("compress"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vlz_windows
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! `expfig` — regenerate any table or figure of the paper's evaluation.
+//!
+//! ```text
+//! expfig list                 # show every experiment id and title
+//! expfig fig11                # run one experiment at full scale
+//! expfig fig11 --quick        # run at quick (CI) scale
+//! expfig all                  # run everything, writing results/<id>.txt
+//! expfig all --quick
+//! ```
+
+use dlrm_bench::experiments::{registry, run_by_id, ExpOptions};
+use dlrm_bench::workloads::Scale;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    let opts = ExpOptions {
+        scale: if quick { Scale::Quick } else { Scale::Full },
+    };
+
+    if targets.is_empty() || targets[0] == "list" {
+        println!("available experiments:");
+        for e in registry() {
+            println!("  {:<6} {}", e.id, e.title);
+        }
+        println!("\nusage: expfig <id>|all [--quick]");
+        return;
+    }
+
+    if targets[0] == "all" {
+        let out_dir = std::path::Path::new("results");
+        std::fs::create_dir_all(out_dir).expect("create results directory");
+        for e in registry() {
+            eprintln!("=== running {} ({}) ===", e.id, e.title);
+            let report = (e.run)(&opts);
+            println!("{report}");
+            let path = out_dir.join(format!("{}.txt", e.id));
+            let mut f = std::fs::File::create(&path).expect("create result file");
+            f.write_all(report.as_bytes()).expect("write result file");
+            eprintln!("    wrote {}", path.display());
+        }
+        return;
+    }
+
+    let mut failed = false;
+    for id in targets {
+        match run_by_id(id, &opts) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("unknown experiment id '{id}' — run `expfig list`");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

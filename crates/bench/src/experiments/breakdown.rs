@@ -1,0 +1,111 @@
+//! Training-time breakdown experiments: Figure 1 (uncompressed profile) and
+//! Figure 12 (end-to-end effect of compression).
+
+use super::ExpOptions;
+use crate::format::{pct, ratio, TextTable};
+use crate::workloads::{self, Scale};
+use dlrm_trainer::pipeline::phases;
+use dlrm_trainer::{run_training, CompressionSetting, TrainingReport};
+
+fn dataset_for(opts: &ExpOptions, name: &str) -> dlrm_data::DatasetConfig {
+    workloads::preset_at(opts.scale, name)
+}
+
+fn breakdown_table(report: &TrainingReport) -> TextTable {
+    let mut table = TextTable::new(vec!["phase", "seconds", "share"]);
+    let total = report.total_seconds.max(1e-12);
+    for &phase in phases::ALL {
+        let s = report.breakdown.seconds(phase);
+        if s <= 0.0 {
+            continue;
+        }
+        table.row(vec![phase.to_string(), format!("{s:.6}"), pct(s / total)]);
+    }
+    table
+}
+
+/// Figure 1: per-phase breakdown of uncompressed hybrid-parallel training —
+/// the all-to-all phases dominate.
+pub fn fig1(opts: &ExpOptions) -> String {
+    let dataset = dataset_for(opts, "terabyte");
+    let cfg = workloads::breakdown_trainer(&dataset, CompressionSetting::None, opts.scale);
+    let report = run_training(&dataset, &cfg);
+    let table = breakdown_table(&report);
+    format!(
+        "Figure 1 — training-time breakdown without compression\n({}, {} ranks, all-to-all bandwidth {} GB/s, dense compute scaled by {}x to model an A100)\n\n{}\nall-to-all share of total time: {}\n(The paper measures >60% on 32 A100s over Slingshot-10.)\n",
+        dataset.name,
+        report.world,
+        cfg.network.alltoall_bandwidth / 1e9,
+        1.0 / cfg.compute_time_scale,
+        table.render(),
+        pct(report.alltoall_fraction())
+    )
+}
+
+/// Figure 12: breakdown with vs without compression, end-to-end and
+/// all-to-all speedups.
+pub fn fig12(opts: &ExpOptions) -> String {
+    let mut out = String::from("Figure 12 — end-to-end training-time breakdown with lossy compression\n\n");
+    let preset_names: Vec<&str> = match opts.scale {
+        Scale::Quick => vec!["tiny"],
+        Scale::Full => vec!["kaggle", "terabyte"],
+    };
+    for name in preset_names {
+        let dataset = dataset_for(opts, name);
+        let baseline_cfg =
+            workloads::breakdown_trainer(&dataset, CompressionSetting::None, opts.scale);
+        let baseline = run_training(&dataset, &baseline_cfg);
+        let lossy_cfg = workloads::breakdown_trainer(
+            &dataset,
+            workloads::adaptive_setting(&dataset, baseline_cfg.iterations),
+            opts.scale,
+        );
+        let lossy = run_training(&dataset, &lossy_cfg);
+
+        let a2a = |r: &TrainingReport| {
+            r.breakdown.seconds(phases::FWD_A2A) + r.breakdown.seconds(phases::BWD_A2A)
+        };
+        let comm_with_codec = |r: &TrainingReport| {
+            a2a(r)
+                + r.breakdown.seconds(phases::FWD_COMPRESS)
+                + r.breakdown.seconds(phases::FWD_DECOMPRESS)
+                + r.breakdown.seconds(phases::BWD_COMPRESS)
+                + r.breakdown.seconds(phases::BWD_DECOMPRESS)
+        };
+        out.push_str(&format!(
+            "dataset: {} ({} ranks)\n\nbaseline (fp32):\n{}\nwith adaptive lossy compression:\n{}\n",
+            dataset.name,
+            baseline.world,
+            breakdown_table(&baseline).render(),
+            breakdown_table(&lossy).render()
+        ));
+        out.push_str(&format!(
+            "forward-payload compression ratio: {}\nall-to-all speedup (incl. codec time): {}\nend-to-end training speedup: {}\nall-to-all share: {} -> {}\n\n",
+            ratio(lossy.overall_ratio),
+            ratio(comm_with_codec(&baseline).max(1e-12) / comm_with_codec(&lossy).max(1e-12)),
+            ratio(baseline.total_seconds.max(1e-12) / lossy.total_seconds.max(1e-12)),
+            pct(baseline.alltoall_fraction()),
+            pct(lossy.alltoall_fraction()),
+        ));
+    }
+    out.push_str("(Paper, 32 A100s: 6.22x / 8.6x all-to-all speedup and 1.30x / 1.38x end-to-end\nspeedup on Kaggle / Terabyte respectively.)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_quick_reports_alltoall_share() {
+        let report = fig1(&ExpOptions::quick());
+        assert!(report.contains("all-to-all share of total time"));
+    }
+
+    #[test]
+    fn fig12_quick_reports_speedups() {
+        let report = fig12(&ExpOptions::quick());
+        assert!(report.contains("end-to-end training speedup"));
+        assert!(report.contains("all-to-all speedup"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Dataset/table metadata experiments: Figure 6 and Tables I–IV.
+
+use crate::format::{f4, TextTable};
+use crate::workloads::{self, Scale};
+use super::ExpOptions;
+use dlrm_adaptive::{homo, Thresholds};
+use dlrm_compress::CompressorKind;
+use dlrm_data::{presets, DatasetConfig};
+use dlrm_tensor::stats;
+
+/// Figure 6: embedding-table size spread of the two presets.
+pub fn fig6(_opts: &ExpOptions) -> String {
+    let kaggle = presets::criteo_kaggle_like();
+    let terabyte = presets::criteo_terabyte_like();
+    let mut table = TextTable::new(vec![
+        "table",
+        "kaggle rows",
+        "kaggle bytes",
+        "terabyte rows",
+        "terabyte bytes",
+    ]);
+    for t in 0..kaggle.num_tables() {
+        table.row(vec![
+            t.to_string(),
+            kaggle.tables[t].cardinality.to_string(),
+            crate::format::bytes(kaggle.tables[t].bytes(kaggle.embedding_dim) as u64),
+            terabyte.tables[t].cardinality.to_string(),
+            crate::format::bytes(terabyte.tables[t].bytes(terabyte.embedding_dim) as u64),
+        ]);
+    }
+    let spread = |cfg: &DatasetConfig| {
+        let min = cfg.tables.iter().map(|t| t.cardinality).min().unwrap_or(0);
+        let max = cfg.tables.iter().map(|t| t.cardinality).max().unwrap_or(0);
+        format!(
+            "{}: rows span {min}..{max}, total embedding storage {}",
+            cfg.name,
+            crate::format::bytes(cfg.total_embedding_bytes() as u64)
+        )
+    };
+    format!(
+        "Figure 6 — embedding table sizes\n\n{}\n{}\n{}\n",
+        table.render(),
+        spread(&kaggle),
+        spread(&terabyte)
+    )
+}
+
+/// Shared body of Tables III and IV: ranked homogenization index.
+fn ranked_homo(dataset: &DatasetConfig, eb: f32, scale: Scale, title: &str) -> String {
+    let samples = workloads::sampled_traffic(dataset, scale, 11);
+    let batch = samples[0].len() / dataset.embedding_dim;
+    let mut rows: Vec<(usize, homo::HomoReport)> = samples
+        .iter()
+        .enumerate()
+        .map(|(t, s)| {
+            (
+                t,
+                homo::pattern_counts(s, dataset.embedding_dim, eb).expect("finite traffic"),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        a.1.pattern_ratio()
+            .partial_cmp(&b.1.pattern_ratio())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut table = TextTable::new(vec![
+        "tab id",
+        "eb",
+        "# ori patterns",
+        "# quant patterns",
+        "batch",
+        "pattern ratio",
+        "eta (eq.1)",
+    ]);
+    for (t, report) in &rows {
+        table.row(vec![
+            t.to_string(),
+            format!("{eb}"),
+            report.original_patterns.to_string(),
+            report.quantized_patterns.to_string(),
+            batch.to_string(),
+            f4(report.pattern_ratio()),
+            f4(report.index()),
+        ]);
+    }
+    format!(
+        "{title} (batch {batch}, eb {eb})\n\n{}\n'pattern ratio' is the Homo Index column as printed in the paper's tables;\n'eta' is Equation 1. Lower pattern ratio = stronger homogenization.\n",
+        table.render()
+    )
+}
+
+/// Table III: ranked homogenization index on the Kaggle-like preset.
+pub fn tab3(opts: &ExpOptions) -> String {
+    let dataset = workloads::preset_at(opts.scale, "kaggle");
+    ranked_homo(&dataset, 0.01, opts.scale, "Table III — ranked Homo Index, Kaggle-like")
+}
+
+/// Table IV: ranked homogenization index on the Terabyte-like preset.
+pub fn tab4(opts: &ExpOptions) -> String {
+    let dataset = workloads::preset_at(opts.scale, "terabyte");
+    ranked_homo(
+        &dataset,
+        0.005,
+        opts.scale,
+        "Table IV — ranked Homo Index, Terabyte-like",
+    )
+}
+
+/// Table II: L/M/S classification of every table, both presets.
+pub fn tab2(opts: &ExpOptions) -> String {
+    let (eb_config, thresholds) = workloads::paper_eb_config();
+    let mut out = String::from("Table II — classification of EMB tables (L/M/S)\n\n");
+    let presets: Vec<DatasetConfig> = match opts.scale {
+        Scale::Quick => vec![presets::tiny()],
+        Scale::Full => workloads::both_presets(),
+    };
+    for dataset in presets {
+        let samples = workloads::sampled_traffic(&dataset, opts.scale, 11);
+        let letters: Vec<String> = samples
+            .iter()
+            .map(|s| {
+                let eta = homo::homogenization_index(s, dataset.embedding_dim, eb_config.medium)
+                    .expect("finite traffic");
+                thresholds.classify(eta).letter().to_string()
+            })
+            .collect();
+        let mut table = TextTable::new(vec!["preset", "classification (table 0..N)"]);
+        table.row(vec![dataset.name.clone(), letters.join(" ")]);
+        out.push_str(&table.render());
+        let l = letters.iter().filter(|s| *s == "L").count();
+        let m = letters.iter().filter(|s| *s == "M").count();
+        let s = letters.iter().filter(|s| *s == "S").count();
+        out.push_str(&format!("counts: L={l} M={m} S={s}\n\n"));
+    }
+    out.push_str(&format!(
+        "thresholds: eta < {} -> L, eta > {} -> S, else M; EBs L/M/S = {}/{}/{}\n",
+        Thresholds::default().large_below,
+        Thresholds::default().small_above,
+        eb_config.large,
+        eb_config.medium,
+        eb_config.small
+    ));
+    out
+}
+
+/// Table I: qualitative characteristics of representative tables.
+pub fn tab1(opts: &ExpOptions) -> String {
+    let dataset = workloads::preset_at(opts.scale, "kaggle");
+    let samples = workloads::sampled_traffic(&dataset, opts.scale, 11);
+    let representative: Vec<usize> = match opts.scale {
+        Scale::Quick => vec![0, 1, 2],
+        Scale::Full => vec![1, 3, 4],
+    };
+    let mut table = TextTable::new(vec![
+        "EMB table",
+        "false prediction (sz-like CR < ours CR)",
+        "strong homogenization (eta > 0.5)",
+        "gaussian-like values",
+    ]);
+    let sz = CompressorKind::SzLike.build();
+    let ours = CompressorKind::OursHybrid.build();
+    for &t in &representative {
+        let sample = &samples[t];
+        let dim = dataset.embedding_dim;
+        let sz_len = sz.compress(sample, dim, 0.01).expect("compress").len();
+        let ours_len = ours.compress(sample, dim, 0.01).expect("compress").len();
+        let eta = homo::homogenization_index(sample, dim, 0.01).expect("finite traffic");
+        let gaussian = stats::gaussianity(sample) > 0.5;
+        table.row(vec![
+            t.to_string(),
+            yesno(ours_len < sz_len),
+            yesno(eta > 0.5),
+            yesno(gaussian),
+        ]);
+    }
+    format!(
+        "Table I — characteristics of representative EMB tables ({})\n\n{}",
+        dataset.name,
+        table.render()
+    )
+}
+
+fn yesno(b: bool) -> String {
+    if b { "yes".to_string() } else { "no".to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_reports_render() {
+        let opts = ExpOptions::quick();
+        for report in [fig6(&opts), tab1(&opts), tab2(&opts), tab3(&opts), tab4(&opts)] {
+            assert!(report.len() > 100, "report too short:\n{report}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # dlrm-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation section, plus the ablations listed in `DESIGN.md`.
+//!
+//! Each experiment is registered in [`experiments::registry`] under the id
+//! used throughout `DESIGN.md`/`EXPERIMENTS.md` (`fig1`, `tab5`, …) and can
+//! be run with the `expfig` binary:
+//!
+//! ```text
+//! cargo run -p dlrm-bench --release --bin expfig -- list
+//! cargo run -p dlrm-bench --release --bin expfig -- fig11
+//! cargo run -p dlrm-bench --release --bin expfig -- all --quick
+//! ```
+//!
+//! Criterion micro-benchmarks (compressor throughput, vector-LZ window sweep,
+//! buffer optimization, collectives) live in `benches/`.
+
+pub mod experiments;
+pub mod format;
+pub mod workloads;
+
+pub use experiments::{registry, ExpOptions, Experiment};

@@ -1,0 +1,160 @@
+//! α–β network cost model.
+//!
+//! The paper's communication speedups are a function of bytes on the wire and
+//! link bandwidth, not of any GPU-specific behaviour, so a latency+bandwidth
+//! model is sufficient to reproduce them. Every collective charges
+//! `latency + bytes / bandwidth` virtual seconds, where `bytes` is the
+//! bottleneck rank's traffic for that collective.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Effective per-rank all-to-all bandwidth in bytes per second.
+    /// The paper's speedup analysis (Figure 11) uses 4 GB/s.
+    pub alltoall_bandwidth: f64,
+    /// Effective per-rank all-reduce bandwidth in bytes per second.
+    pub allreduce_bandwidth: f64,
+    /// Per-collective latency (α term) in seconds.
+    pub latency: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            alltoall_bandwidth: 4e9,
+            allreduce_bandwidth: 8e9,
+            latency: 20e-6,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A network so fast communication time is negligible — used by tests
+    /// that only care about data movement correctness.
+    pub fn infinite() -> Self {
+        Self {
+            alltoall_bandwidth: 1e18,
+            allreduce_bandwidth: 1e18,
+            latency: 0.0,
+        }
+    }
+
+    /// Cost model bound to this configuration.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel { config: *self }
+    }
+}
+
+/// Computes virtual communication time from byte counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    config: NetworkConfig,
+}
+
+impl CostModel {
+    /// Create a cost model for a network configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration behind this model.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Time for one rank's share of an all-to-all in which it sends
+    /// `sent_bytes` and receives `recv_bytes` in total (across all peers).
+    /// The bottleneck direction dominates.
+    pub fn alltoall_time(&self, sent_bytes: usize, recv_bytes: usize) -> f64 {
+        self.config.latency
+            + sent_bytes.max(recv_bytes) as f64 / self.config.alltoall_bandwidth
+    }
+
+    /// Time for the metadata phase of a variable-size all-to-all:
+    /// `peers` fixed-size records of `record_bytes` each, in each direction.
+    pub fn metadata_time(&self, peers: usize, record_bytes: usize) -> f64 {
+        self.config.latency + (peers * record_bytes) as f64 / self.config.alltoall_bandwidth
+    }
+
+    /// Time for an all-reduce over `bytes` of payload per rank: the
+    /// bandwidth term of a ring (`2·(P−1)/P · bytes / bandwidth`) plus a
+    /// tree-depth latency term (`2·⌈log₂P⌉·α`), matching what modern NCCL
+    /// achieves for medium-size reductions.
+    pub fn allreduce_time(&self, bytes: usize, world: usize) -> f64 {
+        if world <= 1 {
+            return 0.0;
+        }
+        let p = world as f64;
+        let depth = (world as f64).log2().ceil();
+        2.0 * depth * self.config.latency
+            + 2.0 * (p - 1.0) / p * bytes as f64 / self.config.allreduce_bandwidth
+    }
+
+    /// Time to move `bytes` point-to-point.
+    pub fn p2p_time(&self, bytes: usize) -> f64 {
+        self.config.latency + bytes as f64 / self.config.alltoall_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alltoall_time_scales_with_bottleneck_direction() {
+        let m = NetworkConfig {
+            alltoall_bandwidth: 1e9,
+            allreduce_bandwidth: 1e9,
+            latency: 1e-5,
+        }
+        .cost_model();
+        let t_small = m.alltoall_time(1_000_000, 500_000);
+        let t_large = m.alltoall_time(1_000_000, 4_000_000);
+        assert!(t_large > t_small);
+        assert!((t_small - (1e-5 + 1e-3)).abs() < 1e-9);
+        assert!((t_large - (1e-5 + 4e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compression_reduces_modelled_time_proportionally() {
+        // A 10x smaller payload should take ~10x less time once latency is
+        // negligible — the arithmetic behind the paper's speedup claims.
+        let m = NetworkConfig::default().cost_model();
+        let raw = m.alltoall_time(100 << 20, 100 << 20);
+        let compressed = m.alltoall_time(10 << 20, 10 << 20);
+        let speedup = raw / compressed;
+        assert!((9.0..=10.5).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn allreduce_time_follows_ring_formula() {
+        let cfg = NetworkConfig {
+            alltoall_bandwidth: 1e9,
+            allreduce_bandwidth: 2e9,
+            latency: 0.0,
+        };
+        let m = cfg.cost_model();
+        let t = m.allreduce_time(1_000_000, 4);
+        assert!((t - 2.0 * 0.75 * 1_000_000.0 / 2e9).abs() < 1e-12);
+        // With non-zero latency the alpha term scales with the tree depth.
+        let with_latency = NetworkConfig { latency: 1e-5, ..cfg }.cost_model();
+        assert!((with_latency.allreduce_time(0, 8) - 2.0 * 3.0 * 1e-5).abs() < 1e-12);
+        assert_eq!(m.allreduce_time(123, 1), 0.0);
+    }
+
+    #[test]
+    fn metadata_phase_is_cheap_relative_to_payload() {
+        let m = NetworkConfig::default().cost_model();
+        let meta = m.metadata_time(31, 16);
+        let payload = m.alltoall_time(8 << 20, 8 << 20);
+        assert!(meta * 10.0 < payload);
+    }
+
+    #[test]
+    fn infinite_network_costs_almost_nothing() {
+        let m = NetworkConfig::infinite().cost_model();
+        assert!(m.alltoall_time(1 << 30, 1 << 30) < 1e-6);
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-rank accounting of where (virtual and real) time goes.
+//!
+//! The trainer records every pipeline stage — embedding lookup, compression,
+//! metadata exchange, payload exchange, decompression, MLP compute, … — into
+//! a [`TimingLedger`]. Virtual seconds come from the α–β cost model (network
+//! phases), real seconds from `Instant` measurements (compute and
+//! compression phases). Ledgers from all ranks are merged to produce the
+//! breakdowns of Figures 1 and 12.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulates seconds and bytes per named phase.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingLedger {
+    seconds: BTreeMap<String, f64>,
+    bytes: BTreeMap<String, u64>,
+}
+
+impl TimingLedger {
+    /// Create an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `seconds` to `phase`.
+    pub fn add_time(&mut self, phase: &str, seconds: f64) {
+        *self.seconds.entry(phase.to_string()).or_insert(0.0) += seconds;
+    }
+
+    /// Add `bytes` moved during `phase`.
+    pub fn add_bytes(&mut self, phase: &str, bytes: u64) {
+        *self.bytes.entry(phase.to_string()).or_insert(0) += bytes;
+    }
+
+    /// Seconds accumulated for `phase` (0 if never recorded).
+    pub fn seconds(&self, phase: &str) -> f64 {
+        self.seconds.get(phase).copied().unwrap_or(0.0)
+    }
+
+    /// Bytes accumulated for `phase` (0 if never recorded).
+    pub fn bytes(&self, phase: &str) -> u64 {
+        self.bytes.get(phase).copied().unwrap_or(0)
+    }
+
+    /// Total seconds across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.values().sum()
+    }
+
+    /// All phases with their seconds, sorted by phase name.
+    pub fn phases(&self) -> Vec<(String, f64)> {
+        self.seconds
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Fraction of the total spent in `phase` (0 if the ledger is empty).
+    pub fn fraction(&self, phase: &str) -> f64 {
+        let total = self.total_seconds();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.seconds(phase) / total
+        }
+    }
+
+    /// Merge another ledger into this one by *summing* phase times (used to
+    /// average across iterations on a single rank).
+    pub fn merge_sum(&mut self, other: &TimingLedger) {
+        for (k, v) in &other.seconds {
+            *self.seconds.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, v) in &other.bytes {
+            *self.bytes.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Merge ledgers from all ranks by taking the *maximum* per phase — the
+    /// slowest rank determines the iteration time of a bulk-synchronous step.
+    pub fn merge_max(ledgers: &[TimingLedger]) -> TimingLedger {
+        let mut out = TimingLedger::new();
+        for ledger in ledgers {
+            for (k, v) in &ledger.seconds {
+                let entry = out.seconds.entry(k.clone()).or_insert(0.0);
+                *entry = entry.max(*v);
+            }
+            for (k, v) in &ledger.bytes {
+                let entry = out.bytes.entry(k.clone()).or_insert(0);
+                *entry = (*entry).max(*v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_reports() {
+        let mut l = TimingLedger::new();
+        l.add_time("a2a", 0.5);
+        l.add_time("a2a", 0.25);
+        l.add_time("mlp", 0.25);
+        l.add_bytes("a2a", 1000);
+        assert!((l.seconds("a2a") - 0.75).abs() < 1e-12);
+        assert!((l.total_seconds() - 1.0).abs() < 1e-12);
+        assert!((l.fraction("a2a") - 0.75).abs() < 1e-12);
+        assert_eq!(l.bytes("a2a"), 1000);
+        assert_eq!(l.seconds("missing"), 0.0);
+    }
+
+    #[test]
+    fn merge_sum_adds_phases() {
+        let mut a = TimingLedger::new();
+        a.add_time("x", 1.0);
+        let mut b = TimingLedger::new();
+        b.add_time("x", 2.0);
+        b.add_time("y", 3.0);
+        a.merge_sum(&b);
+        assert_eq!(a.seconds("x"), 3.0);
+        assert_eq!(a.seconds("y"), 3.0);
+    }
+
+    #[test]
+    fn merge_max_takes_slowest_rank() {
+        let mut a = TimingLedger::new();
+        a.add_time("a2a", 1.0);
+        a.add_time("mlp", 5.0);
+        let mut b = TimingLedger::new();
+        b.add_time("a2a", 2.0);
+        b.add_time("mlp", 1.0);
+        let merged = TimingLedger::merge_max(&[a, b]);
+        assert_eq!(merged.seconds("a2a"), 2.0);
+        assert_eq!(merged.seconds("mlp"), 5.0);
+    }
+
+    #[test]
+    fn empty_ledger_fraction_is_zero() {
+        assert_eq!(TimingLedger::new().fraction("x"), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dlrm-comm
+//!
+//! Simulated multi-rank cluster substituting for the paper's 32-GPU NCCL
+//! setup.
+//!
+//! Each simulated rank runs on its own OS thread and exchanges real byte
+//! buffers with its peers through per-pair channels ([`cluster`]); the
+//! collectives a hybrid-parallel DLRM needs — all-to-all (fixed and variable
+//! size), all-gather, all-reduce, barrier — are built on top of those
+//! channels ([`collectives`] via [`cluster::RankCtx`]). Because the data
+//! movement is real, compressed payloads genuinely have to be decompressed on
+//! the receiving rank, and a bug in the exchange shows up as a wrong training
+//! result rather than a wrong number in a spreadsheet.
+//!
+//! What is *simulated* is time: an **α–β cost model** ([`cost`]) charges every
+//! transfer `latency + bytes / bandwidth` seconds of virtual wall-clock, with
+//! the all-to-all bandwidth configurable (4 GB/s in the paper's speedup
+//! analysis). Each rank accumulates virtual seconds in a [`ledger::TimingLedger`],
+//! which the trainer aggregates into the per-phase breakdowns of Figures 1
+//! and 12.
+
+pub mod cluster;
+pub mod cost;
+pub mod ledger;
+
+pub use cluster::{RankCtx, SimCluster};
+pub use cost::{CostModel, NetworkConfig};
+pub use ledger::TimingLedger;

@@ -1,0 +1,194 @@
+//! Bit-level writer and reader used by the Huffman and Deflate-like encoders.
+//!
+//! Bits are packed LSB-first into bytes; the writer pads the final byte with
+//! zero bits. Both ends are intentionally minimal — no buffering layers, no
+//! trait objects — so the encoders stay easy to reason about and fast.
+
+use crate::error::CompressError;
+use crate::Result;
+
+/// Accumulates bits LSB-first into a byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0–7). 0 means the last byte is full
+    /// (or no byte has been started).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `count` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    /// Panics if `count > 32`.
+    pub fn write_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "cannot write more than 32 bits at once");
+        let mut remaining = count;
+        let mut v = value as u64;
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let free = 8 - self.bit_pos;
+            let take = free.min(remaining);
+            let mask = ((1u64 << take) - 1) as u8;
+            let chunk = (v as u8) & mask;
+            let last = self.bytes.last_mut().expect("byte pushed above");
+            *last |= chunk << self.bit_pos;
+            self.bit_pos = (self.bit_pos + take) % 8;
+            v >>= take;
+            remaining -= take;
+        }
+    }
+
+    /// Append a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u32::from(bit), 1);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finish writing and return the packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    byte_pos: usize,
+    bit_pos: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            byte_pos: 0,
+            bit_pos: 0,
+        }
+    }
+
+    /// Read the next `count` bits (≤ 32), LSB first.
+    pub fn read_bits(&mut self, count: u8) -> Result<u32> {
+        assert!(count <= 32, "cannot read more than 32 bits at once");
+        let mut out: u64 = 0;
+        let mut filled: u8 = 0;
+        while filled < count {
+            if self.byte_pos >= self.bytes.len() {
+                return Err(CompressError::Corrupt("bit stream ended early"));
+            }
+            let avail = 8 - self.bit_pos;
+            let take = avail.min(count - filled);
+            let cur = self.bytes[self.byte_pos] >> self.bit_pos;
+            let mask = ((1u16 << take) - 1) as u8;
+            out |= ((cur & mask) as u64) << filled;
+            filled += take;
+            self.bit_pos += take;
+            if self.bit_pos == 8 {
+                self.bit_pos = 0;
+                self.byte_pos += 1;
+            }
+        }
+        Ok(out as u32)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_consumed(&self) -> usize {
+        self.byte_pos * 8 + self.bit_pos as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_varied_widths() {
+        let mut w = BitWriter::new();
+        let values: Vec<(u32, u8)> = vec![
+            (1, 1),
+            (0, 1),
+            (5, 3),
+            (255, 8),
+            (1023, 10),
+            (0xDEAD_BEEF & 0x7FFF_FFFF, 31),
+            (0xFFFF_FFFF, 32),
+            (3, 2),
+        ];
+        for &(v, c) in &values {
+            w.write_bits(v, c);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, c) in &values {
+            assert_eq!(r.read_bits(c).unwrap(), v, "width {c}");
+        }
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.bit_len(), 11);
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn reading_past_end_errors() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // The padded byte still allows reading up to 8 bits...
+        assert!(r.read_bits(8).is_ok());
+        // ... but the 9th bit is past the end.
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn zero_width_write_and_read() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        assert_eq!(w.bit_len(), 0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Multi-chunk buffer optimization (Section III-E / Figure 15 of the paper).
+//!
+//! In an all-to-all, each rank must compress one chunk per destination rank.
+//! The naive implementation compresses the chunks one at a time, each into
+//! its own allocation, and then copies them into the contiguous send buffer —
+//! paying one extra copy per chunk and, on a GPU, one kernel launch per
+//! chunk. The paper's buffer optimization compresses all chunks in a single
+//! fused kernel that writes directly into the send buffer at offsets obtained
+//! with an atomic counter, and decompresses chunks in parallel.
+//!
+//! The CPU analogue implemented here:
+//!
+//! * [`compress_chunks_fused`] — compress all chunks **in parallel** (rayon)
+//!   and reserve each chunk's span in the shared send buffer with an atomic
+//!   fetch-add, writing each compressed chunk exactly once.
+//! * [`compress_chunks_naive`] — sequential per-chunk compression followed by
+//!   a gathering copy, the baseline of Figure 15.
+//! * [`decompress_chunks_parallel`] / [`decompress_chunks_serial`] — the two
+//!   decompression paths.
+//!
+//! Both paths produce the same logical result (tests assert byte-identical
+//! decompressed output), so the only difference benchmarks see is time.
+
+use crate::registry::Compressor;
+use crate::Result;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A contiguous send buffer holding every destination's compressed chunk plus
+/// the offset table that the variable-size all-to-all sends as metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedBuffer {
+    /// Concatenated compressed chunks.
+    pub bytes: Vec<u8>,
+    /// Per-chunk `(offset, len)` into `bytes`, in destination order.
+    pub spans: Vec<(usize, usize)>,
+}
+
+impl FusedBuffer {
+    /// Borrow the compressed bytes of chunk `i`.
+    pub fn chunk(&self, i: usize) -> &[u8] {
+        let (off, len) = self.spans[i];
+        &self.bytes[off..off + len]
+    }
+
+    /// Number of chunks in the buffer.
+    pub fn num_chunks(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total compressed payload size.
+    pub fn payload_bytes(&self) -> usize {
+        self.spans.iter().map(|&(_, len)| len).sum()
+    }
+}
+
+/// Fused path: compress every chunk in parallel and write each one directly
+/// into its reserved span of the shared output buffer.
+pub fn compress_chunks_fused(
+    compressor: &dyn Compressor,
+    chunks: &[&[f32]],
+    dim: usize,
+    eb: f32,
+) -> Result<FusedBuffer> {
+    // Compress in parallel. Each worker produces its chunk's bytes; the
+    // shared cursor (the paper's Atomic Add) assigns the output offset as
+    // soon as the size is known, so writes into the send buffer never
+    // overlap and need no further coordination.
+    let compressed: Vec<Result<Vec<u8>>> = chunks
+        .par_iter()
+        .map(|chunk| compressor.compress(chunk, dim, eb))
+        .collect();
+    let mut payloads = Vec::with_capacity(chunks.len());
+    for c in compressed {
+        payloads.push(c?);
+    }
+
+    let total: usize = payloads.iter().map(Vec::len).sum();
+    let mut bytes = vec![0u8; total];
+    let cursor = AtomicUsize::new(0);
+    let mut spans = vec![(0usize, 0usize); payloads.len()];
+
+    // Reserve spans with the atomic cursor, then scatter the writes in
+    // parallel over disjoint slices of the send buffer.
+    for (i, payload) in payloads.iter().enumerate() {
+        let off = cursor.fetch_add(payload.len(), Ordering::Relaxed);
+        spans[i] = (off, payload.len());
+    }
+    {
+        // Split the buffer into the reserved spans (they are contiguous and
+        // in order because the cursor was advanced in index order).
+        let mut rest: &mut [u8] = &mut bytes;
+        let mut slices: Vec<&mut [u8]> = Vec::with_capacity(payloads.len());
+        for &(_, len) in &spans {
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push(head);
+            rest = tail;
+        }
+        slices
+            .into_par_iter()
+            .zip(payloads.par_iter())
+            .for_each(|(dst, src)| dst.copy_from_slice(src));
+    }
+    Ok(FusedBuffer { bytes, spans })
+}
+
+/// Naive path: compress chunks one at a time, then gather them into the send
+/// buffer with a second sequential copy.
+pub fn compress_chunks_naive(
+    compressor: &dyn Compressor,
+    chunks: &[&[f32]],
+    dim: usize,
+    eb: f32,
+) -> Result<FusedBuffer> {
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        payloads.push(compressor.compress(chunk, dim, eb)?);
+    }
+    let mut bytes = Vec::with_capacity(payloads.iter().map(Vec::len).sum());
+    let mut spans = Vec::with_capacity(payloads.len());
+    for payload in &payloads {
+        spans.push((bytes.len(), payload.len()));
+        bytes.extend_from_slice(payload);
+    }
+    Ok(FusedBuffer { bytes, spans })
+}
+
+/// Decompress every chunk of a fused buffer in parallel.
+pub fn decompress_chunks_parallel(
+    compressor: &dyn Compressor,
+    buffer: &FusedBuffer,
+) -> Result<Vec<Vec<f32>>> {
+    let results: Vec<Result<Vec<f32>>> = (0..buffer.num_chunks())
+        .into_par_iter()
+        .map(|i| compressor.decompress(buffer.chunk(i)))
+        .collect();
+    results.into_iter().collect()
+}
+
+/// Decompress every chunk serially (the baseline of Figure 15's bottom half).
+pub fn decompress_chunks_serial(
+    compressor: &dyn Compressor,
+    buffer: &FusedBuffer,
+) -> Result<Vec<Vec<f32>>> {
+    (0..buffer.num_chunks())
+        .map(|i| compressor.decompress(buffer.chunk(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{build_compressor, CompressorKind};
+
+    fn chunked_data(num_chunks: usize, vectors_per_chunk: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..num_chunks)
+            .map(|c| {
+                (0..vectors_per_chunk * dim)
+                    .map(|i| (((c * 31 + i) % 97) as f32 - 48.0) * 0.004)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_and_naive_produce_identical_chunks() {
+        let comp = build_compressor(CompressorKind::OursHybrid);
+        let data = chunked_data(8, 32, 16);
+        let refs: Vec<&[f32]> = data.iter().map(Vec::as_slice).collect();
+        let fused = compress_chunks_fused(comp.as_ref(), &refs, 16, 0.01).unwrap();
+        let naive = compress_chunks_naive(comp.as_ref(), &refs, 16, 0.01).unwrap();
+        assert_eq!(fused.num_chunks(), naive.num_chunks());
+        for i in 0..fused.num_chunks() {
+            assert_eq!(fused.chunk(i), naive.chunk(i), "chunk {i}");
+        }
+        assert_eq!(fused.payload_bytes(), naive.payload_bytes());
+    }
+
+    #[test]
+    fn parallel_and_serial_decompression_agree() {
+        let comp = build_compressor(CompressorKind::OursHybrid);
+        let data = chunked_data(6, 40, 8);
+        let refs: Vec<&[f32]> = data.iter().map(Vec::as_slice).collect();
+        let fused = compress_chunks_fused(comp.as_ref(), &refs, 8, 0.02).unwrap();
+        let par = decompress_chunks_parallel(comp.as_ref(), &fused).unwrap();
+        let ser = decompress_chunks_serial(comp.as_ref(), &fused).unwrap();
+        assert_eq!(par, ser);
+        for (orig, dec) in data.iter().zip(par.iter()) {
+            assert_eq!(orig.len(), dec.len());
+            for (a, b) in orig.iter().zip(dec.iter()) {
+                assert!((a - b).abs() <= 0.0201);
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_disjoint_and_cover_buffer() {
+        let comp = build_compressor(CompressorKind::FzLike);
+        let data = chunked_data(16, 16, 8);
+        let refs: Vec<&[f32]> = data.iter().map(Vec::as_slice).collect();
+        let fused = compress_chunks_fused(comp.as_ref(), &refs, 8, 0.01).unwrap();
+        let mut covered = 0usize;
+        let mut prev_end = 0usize;
+        for &(off, len) in &fused.spans {
+            assert_eq!(off, prev_end, "spans must be contiguous and ordered");
+            prev_end = off + len;
+            covered += len;
+        }
+        assert_eq!(covered, fused.bytes.len());
+    }
+
+    #[test]
+    fn single_chunk_and_empty_chunk_edge_cases() {
+        let comp = build_compressor(CompressorKind::OursHybrid);
+        let one = vec![vec![0.25f32; 64]];
+        let refs: Vec<&[f32]> = one.iter().map(Vec::as_slice).collect();
+        let fused = compress_chunks_fused(comp.as_ref(), &refs, 8, 0.01).unwrap();
+        assert_eq!(fused.num_chunks(), 1);
+
+        let empty: Vec<&[f32]> = vec![&[], &[]];
+        let fused = compress_chunks_fused(comp.as_ref(), &empty, 8, 0.01).unwrap();
+        assert_eq!(fused.num_chunks(), 2);
+        let out = decompress_chunks_parallel(comp.as_ref(), &fused).unwrap();
+        assert!(out.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by every compressor in the crate.
+
+use std::fmt;
+
+/// Things that can go wrong while compressing or decompressing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressError {
+    /// The requested error bound is not usable (zero, negative, NaN, …).
+    InvalidErrorBound(f32),
+    /// The input contains NaN or infinite values, which error-bounded
+    /// quantization cannot represent.
+    NonFiniteInput,
+    /// The input length is not a multiple of the declared vector dimension.
+    DimensionMismatch {
+        /// Total number of f32 values supplied.
+        len: usize,
+        /// Declared embedding dimension.
+        dim: usize,
+    },
+    /// A value's quantization code does not fit the code width used by the
+    /// stream format (the value is too many error bounds away from zero).
+    CodeOverflow(f32),
+    /// The compressed stream is truncated or malformed.
+    Corrupt(&'static str),
+    /// A header field holds an unsupported value (unknown encoder id,
+    /// unsupported version…).
+    UnsupportedFormat(&'static str),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::InvalidErrorBound(eb) => {
+                write!(f, "invalid error bound: {eb}")
+            }
+            CompressError::NonFiniteInput => {
+                write!(f, "input contains NaN or infinite values")
+            }
+            CompressError::DimensionMismatch { len, dim } => {
+                write!(f, "input length {len} is not a multiple of vector dimension {dim}")
+            }
+            CompressError::CodeOverflow(v) => {
+                write!(f, "value {v} overflows the quantization code range")
+            }
+            CompressError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
+            CompressError::UnsupportedFormat(what) => write!(f, "unsupported format: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            CompressError::InvalidErrorBound(0.0).to_string(),
+            CompressError::NonFiniteInput.to_string(),
+            CompressError::DimensionMismatch { len: 10, dim: 3 }.to_string(),
+            CompressError::CodeOverflow(1e30).to_string(),
+            CompressError::Corrupt("short header").to_string(),
+            CompressError::UnsupportedFormat("encoder id 99").to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CompressError::Corrupt("x"),
+            CompressError::Corrupt("x")
+        );
+        assert_ne!(
+            CompressError::NonFiniteInput,
+            CompressError::Corrupt("x")
+        );
+    }
+}

@@ -1,0 +1,465 @@
+//! Optimised entropy (canonical Huffman) encoder over quantization codes.
+//!
+//! This is the second half of the paper's hybrid compressor: for embedding
+//! tables whose quantized values concentrate into a low-entropy distribution
+//! (the "Gaussian" tables of observation ❸), a Huffman code over the
+//! quantization symbols approaches the entropy bound and beats LZ-style
+//! matching.
+//!
+//! Implementation notes:
+//!
+//! * Symbols are the ZigZag-mapped quantization codes (small magnitudes are
+//!   small symbols). The `HOT_SYMBOLS` most significant symbols get Huffman
+//!   codes; anything rarer is sent through a single ESCAPE code followed by a
+//!   raw 32-bit literal. This bounds the code-table size regardless of the
+//!   data while keeping the common case optimal.
+//! * The code is *canonical*: only the bit length of each hot symbol is
+//!   stored in the header, and both sides rebuild the same codebook.
+//! * Decoding uses a flat lookup table indexed by `MAX_CODE_LEN` bits.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CompressError;
+use crate::varint;
+use crate::Result;
+use std::collections::BinaryHeap;
+
+/// Maximum number of symbols that get dedicated Huffman codes.
+pub const HOT_SYMBOLS: usize = 1024;
+
+/// Upper bound on code length; long tails are flattened by the
+/// length-limiting pass.
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Internal: the escape symbol index inside the codebook.
+const ESCAPE: usize = HOT_SYMBOLS;
+
+/// A canonical Huffman codebook over `HOT_SYMBOLS + 1` symbols (the last one
+/// is the escape symbol).
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    /// Bit length per symbol (0 = symbol absent).
+    lengths: Vec<u8>,
+    /// Canonical code per symbol, valid where `lengths > 0`.
+    codes: Vec<u32>,
+}
+
+impl Codebook {
+    /// Build a length-limited canonical codebook from symbol frequencies.
+    /// `freqs.len()` must be `HOT_SYMBOLS + 1`.
+    pub fn from_frequencies(freqs: &[u64]) -> Codebook {
+        assert_eq!(freqs.len(), HOT_SYMBOLS + 1);
+        let mut lengths = huffman_code_lengths(freqs);
+        limit_lengths(&mut lengths, freqs, MAX_CODE_LEN);
+        let codes = canonical_codes(&lengths);
+        Codebook { lengths, codes }
+    }
+
+    /// Rebuild a codebook from the per-symbol lengths stored in a header.
+    pub fn from_lengths(lengths: Vec<u8>) -> Result<Codebook> {
+        if lengths.len() != HOT_SYMBOLS + 1 {
+            return Err(CompressError::Corrupt("codebook length table has wrong size"));
+        }
+        if lengths.iter().any(|&l| l > MAX_CODE_LEN) {
+            return Err(CompressError::Corrupt("codebook length exceeds limit"));
+        }
+        // Kraft inequality check: a malformed length table would otherwise
+        // produce ambiguous decodes.
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
+            .sum();
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return Err(CompressError::Corrupt("codebook violates Kraft inequality"));
+        }
+        let codes = canonical_codes(&lengths);
+        Ok(Codebook { lengths, codes })
+    }
+
+    /// Bit length of `symbol`'s code (0 if the symbol has no code).
+    pub fn length(&self, symbol: usize) -> u8 {
+        self.lengths[symbol]
+    }
+
+    fn emit(&self, w: &mut BitWriter, symbol: usize) {
+        debug_assert!(self.lengths[symbol] > 0, "emitting absent symbol {symbol}");
+        // Canonical codes are MSB-first prefix codes; the bit writer emits
+        // LSB-first, so write the bit-reversed code to keep the stream a
+        // progressive prefix code (the decoder's flat table is built the
+        // same way).
+        let len = self.lengths[symbol];
+        w.write_bits(reverse_bits(self.codes[symbol], len), len);
+    }
+}
+
+/// Compress a slice of unsigned symbols (ZigZag-mapped quantization codes).
+///
+/// Output layout: `[n: varint] [lengths: HOT_SYMBOLS+1 packed 4-bit pairs]
+/// [payload bits]`.
+pub fn encode(symbols: &[u32]) -> Vec<u8> {
+    let mut freqs = vec![0u64; HOT_SYMBOLS + 1];
+    for &s in symbols {
+        if (s as usize) < HOT_SYMBOLS {
+            freqs[s as usize] += 1;
+        } else {
+            freqs[ESCAPE] += 1;
+        }
+    }
+    // Ensure the escape symbol always has a code if it might be needed; and
+    // avoid a degenerate single-symbol alphabet (give the escape a token count).
+    if freqs.iter().filter(|&&f| f > 0).count() <= 1 {
+        freqs[ESCAPE] += 1;
+    }
+    let book = Codebook::from_frequencies(&freqs);
+
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, symbols.len() as u64);
+    // Pack lengths as 4-bit nibbles (MAX_CODE_LEN = 15 fits).
+    let mut nibble_buf = 0u8;
+    let mut have_nibble = false;
+    for &l in &book.lengths {
+        if have_nibble {
+            out.push(nibble_buf | (l << 4));
+            have_nibble = false;
+        } else {
+            nibble_buf = l;
+            have_nibble = true;
+        }
+    }
+    if have_nibble {
+        out.push(nibble_buf);
+    }
+
+    let mut w = BitWriter::new();
+    for &s in symbols {
+        if (s as usize) < HOT_SYMBOLS && book.length(s as usize) > 0 {
+            book.emit(&mut w, s as usize);
+        } else {
+            book.emit(&mut w, ESCAPE);
+            w.write_bits(s, 32);
+        }
+    }
+    let payload = w.into_bytes();
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompress a stream produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
+    let mut pos = 0usize;
+    let n = varint::read_u64(bytes, &mut pos)? as usize;
+    let table_bytes = (HOT_SYMBOLS + 1).div_ceil(2);
+    let table = bytes
+        .get(pos..pos + table_bytes)
+        .ok_or(CompressError::Corrupt("truncated codebook"))?;
+    pos += table_bytes;
+    let mut lengths = Vec::with_capacity(HOT_SYMBOLS + 1);
+    for &b in table {
+        lengths.push(b & 0x0F);
+        if lengths.len() < HOT_SYMBOLS + 1 {
+            lengths.push(b >> 4);
+        }
+    }
+    lengths.truncate(HOT_SYMBOLS + 1);
+    let book = Codebook::from_lengths(lengths)?;
+    let decoder = Decoder::new(&book);
+
+    let mut r = BitReader::new(&bytes[pos..]);
+    let mut out = Vec::with_capacity(n.min(1 << 22));
+    for _ in 0..n {
+        let symbol = decoder.read_symbol(&mut r)?;
+        if symbol == ESCAPE {
+            out.push(r.read_bits(32)?);
+        } else {
+            out.push(symbol as u32);
+        }
+    }
+    Ok(out)
+}
+
+/// Flat-table Huffman decoder.
+struct Decoder {
+    /// For every possible `MAX_CODE_LEN`-bit window: (symbol, code length).
+    table: Vec<(u16, u8)>,
+}
+
+impl Decoder {
+    fn new(book: &Codebook) -> Decoder {
+        let size = 1usize << MAX_CODE_LEN;
+        let mut table = vec![(u16::MAX, 0u8); size];
+        for (sym, (&len, &code)) in book.lengths.iter().zip(book.codes.iter()).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            // The canonical code is MSB-first; our bit I/O is LSB-first, so
+            // store the bit-reversed code and fill every table slot whose low
+            // `len` bits match it.
+            let rev = reverse_bits(code, len);
+            let step = 1usize << len;
+            let mut idx = rev as usize;
+            while idx < size {
+                table[idx] = (sym as u16, len);
+                idx += step;
+            }
+        }
+        Decoder { table }
+    }
+
+    fn read_symbol(&self, r: &mut BitReader<'_>) -> Result<usize> {
+        // Peek by cloning the (cheap) reader state: read up to MAX_CODE_LEN
+        // bits, look up, then consume only the code length.
+        let mut probe = r.clone();
+        let mut window = 0u32;
+        let mut got = 0u8;
+        while got < MAX_CODE_LEN {
+            match probe.read_bits(1) {
+                Ok(bit) => {
+                    window |= bit << got;
+                    got += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        if got == 0 {
+            return Err(CompressError::Corrupt("huffman stream ended early"));
+        }
+        let (sym, len) = self.table[window as usize];
+        if sym == u16::MAX || len == 0 || len > got {
+            return Err(CompressError::Corrupt("invalid huffman code"));
+        }
+        // Consume exactly `len` bits from the real reader.
+        r.read_bits(len)?;
+        Ok(sym as usize)
+    }
+}
+
+fn reverse_bits(code: u32, len: u8) -> u32 {
+    let mut out = 0u32;
+    for i in 0..len {
+        if code & (1 << (len - 1 - i)) != 0 {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Classic two-queue Huffman construction returning per-symbol code lengths.
+fn huffman_code_lengths(freqs: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        index: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap by weight (BinaryHeap is a max-heap).
+            other
+                .weight
+                .cmp(&self.weight)
+                .then_with(|| other.index.cmp(&self.index))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = freqs.len();
+    let present: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; n];
+    match present.len() {
+        0 => return lengths,
+        1 => {
+            lengths[present[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // parent[i] for internal tree nodes; leaves occupy [0, n).
+    let mut parent = vec![usize::MAX; n + present.len()];
+    let mut heap = BinaryHeap::new();
+    for &i in &present {
+        heap.push(Node {
+            weight: freqs[i],
+            index: i,
+        });
+    }
+    let mut next_internal = n;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        parent[a.index] = next_internal;
+        parent[b.index] = next_internal;
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            index: next_internal,
+        });
+        next_internal += 1;
+    }
+    for &i in &present {
+        let mut depth = 0u8;
+        let mut node = i;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth = depth.saturating_add(1);
+        }
+        lengths[i] = depth.max(1);
+    }
+    lengths
+}
+
+/// Naive length limiting: if any code exceeds `max_len`, repeatedly flatten
+/// the tree by recomputing lengths from dampened frequencies. This converges
+/// quickly for the skewed distributions quantized embeddings produce.
+fn limit_lengths(lengths: &mut Vec<u8>, freqs: &[u64], max_len: u8) {
+    let mut damp = freqs.to_vec();
+    let mut iterations = 0;
+    while lengths.iter().any(|&l| l > max_len) && iterations < 32 {
+        for f in damp.iter_mut() {
+            if *f > 0 {
+                // Compress the dynamic range of the frequencies.
+                *f = (*f / 2).max(1);
+            }
+        }
+        *lengths = huffman_code_lengths(&damp);
+        iterations += 1;
+    }
+    // Final fallback: fixed-length code.
+    if lengths.iter().any(|&l| l > max_len) {
+        let present = freqs.iter().filter(|&&f| f > 0).count().max(2);
+        let fixed = (usize::BITS - (present - 1).leading_zeros()) as u8;
+        for (l, &f) in lengths.iter_mut().zip(freqs.iter()) {
+            *l = if f > 0 { fixed.clamp(1, max_len) } else { 0 };
+        }
+    }
+}
+
+/// Assign canonical (MSB-first) codes from lengths.
+fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let mut symbols: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    symbols.sort_by_key(|&i| (lengths[i], i));
+    let mut codes = vec![0u32; lengths.len()];
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for &sym in &symbols {
+        let len = lengths[sym];
+        code <<= len - prev_len;
+        codes[sym] = code;
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) {
+        let enc = encode(symbols);
+        let dec = decode(&enc).expect("decode");
+        assert_eq!(dec, symbols);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(&[5]);
+        roundtrip(&[0; 100]);
+    }
+
+    #[test]
+    fn roundtrip_small_alphabet() {
+        let symbols: Vec<u32> = (0..5000).map(|i| (i * 7 % 5) as u32).collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn roundtrip_with_escapes() {
+        // Symbols beyond HOT_SYMBOLS must survive through the escape path.
+        let symbols: Vec<u32> = (0..2000)
+            .map(|i| if i % 17 == 0 { 1_000_000 + i } else { i % 30 })
+            .collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn roundtrip_all_escapes() {
+        let symbols: Vec<u32> = (0..500).map(|i| HOT_SYMBOLS as u32 + i).collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn skewed_data_compresses_well() {
+        // 95% zeros → strong compression expected vs the 4-bytes-per-symbol raw size.
+        let symbols: Vec<u32> = (0..10_000).map(|i| if i % 20 == 0 { i % 7 + 1 } else { 0 }).collect();
+        let enc = encode(&symbols);
+        let raw = symbols.len() * 4;
+        assert!(
+            enc.len() * 4 < raw,
+            "expected >4x compression, got {} -> {}",
+            raw,
+            enc.len()
+        );
+    }
+
+    #[test]
+    fn uniform_data_does_not_explode() {
+        let symbols: Vec<u32> = (0..4096).map(|i| i % HOT_SYMBOLS as u32).collect();
+        let enc = encode(&symbols);
+        // At worst slightly above the entropy (10 bits/symbol) plus table.
+        assert!(enc.len() < symbols.len() * 2 + 1024);
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected_not_panicking() {
+        let symbols: Vec<u32> = (0..100).map(|i| i % 3).collect();
+        let mut enc = encode(&symbols);
+        enc.truncate(enc.len() / 2);
+        // Either an error or (if truncation hit only padding) a wrong-but-safe
+        // result; must not panic.
+        let _ = decode(&enc);
+        let garbage = vec![0xFFu8; 8];
+        let _ = decode(&garbage);
+    }
+
+    #[test]
+    fn codebook_kraft_violation_detected() {
+        let mut lengths = vec![0u8; HOT_SYMBOLS + 1];
+        for l in lengths.iter_mut().take(100) {
+            *l = 1; // 100 symbols of length 1 is impossible
+        }
+        assert!(Codebook::from_lengths(lengths).is_err());
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut freqs = vec![0u64; HOT_SYMBOLS + 1];
+        for (i, f) in freqs.iter_mut().enumerate().take(20) {
+            *f = (20 - i) as u64 * 10;
+        }
+        let book = Codebook::from_frequencies(&freqs);
+        for a in 0..20 {
+            for b in 0..20 {
+                if a == b || book.lengths[a] == 0 || book.lengths[b] == 0 {
+                    continue;
+                }
+                if book.lengths[a] <= book.lengths[b] {
+                    let shift = book.lengths[b] - book.lengths[a];
+                    assert_ne!(
+                        book.codes[a],
+                        book.codes[b] >> shift,
+                        "code {a} is a prefix of {b}"
+                    );
+                }
+            }
+        }
+    }
+}

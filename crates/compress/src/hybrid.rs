@@ -1,0 +1,265 @@
+//! The paper's hybrid error-bounded compressor.
+//!
+//! One quantization pass feeds one of two lossless back-ends:
+//!
+//! * [`vlz`](crate::vlz) — vector-based LZ, best for tables whose batches are
+//!   dominated by repeated (or homogenized) vectors;
+//! * the optimised entropy encoder ([`huffman`](crate::huffman)) — best for
+//!   tables whose quantized values concentrate into a low-entropy
+//!   distribution.
+//!
+//! The back-end can be forced per table (that is what the offline analysis of
+//! the adaptive crate does, mirroring the paper's compressor-selection step)
+//! or chosen automatically by compressing with both and keeping the smaller
+//! stream. A one-byte tag records the choice so decompression is
+//! self-describing.
+
+use crate::error::CompressError;
+use crate::quant;
+use crate::varint;
+use crate::vlz::{self, VlzConfig};
+use crate::{huffman, Result};
+
+/// Which lossless back-end the hybrid compressor should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// Compress with both back-ends and keep the smaller output. This is the
+    /// "no offline analysis available" fallback.
+    #[default]
+    Auto,
+    /// Always use the vector-based LZ back-end ("Ours-Vector" in Table V).
+    Vlz,
+    /// Always use the entropy back-end ("Ours-Huffman" in Table V).
+    Huffman,
+}
+
+/// Hybrid compressor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HybridConfig {
+    /// Vector-LZ window (in vectors).
+    pub vlz: VlzConfig,
+    /// Back-end selection policy.
+    pub selection: Selection,
+}
+
+/// Stream tags identifying the back-end that produced the payload.
+const TAG_VLZ: u8 = 1;
+const TAG_HUFFMAN: u8 = 2;
+
+/// Compress a batch of embedding vectors with the hybrid compressor.
+pub fn compress(data: &[f32], dim: usize, eb: f32, config: HybridConfig) -> Result<Vec<u8>> {
+    match config.selection {
+        Selection::Vlz => {
+            let payload = vlz::compress(data, dim, eb, config.vlz)?;
+            Ok(tagged(TAG_VLZ, payload))
+        }
+        Selection::Huffman => {
+            let payload = entropy_compress(data, dim, eb)?;
+            Ok(tagged(TAG_HUFFMAN, payload))
+        }
+        Selection::Auto => {
+            let lz = vlz::compress(data, dim, eb, config.vlz)?;
+            let hf = entropy_compress(data, dim, eb)?;
+            if lz.len() <= hf.len() {
+                Ok(tagged(TAG_VLZ, lz))
+            } else {
+                Ok(tagged(TAG_HUFFMAN, hf))
+            }
+        }
+    }
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+    let (&tag, payload) = bytes
+        .split_first()
+        .ok_or(CompressError::Corrupt("empty hybrid stream"))?;
+    match tag {
+        TAG_VLZ => vlz::decompress(payload),
+        TAG_HUFFMAN => entropy_decompress(payload),
+        _ => Err(CompressError::UnsupportedFormat("unknown hybrid back-end tag")),
+    }
+}
+
+/// Which back-end a compressed hybrid stream used (for reporting).
+pub fn backend_of(bytes: &[u8]) -> Result<Selection> {
+    match bytes.first() {
+        Some(&TAG_VLZ) => Ok(Selection::Vlz),
+        Some(&TAG_HUFFMAN) => Ok(Selection::Huffman),
+        Some(_) => Err(CompressError::UnsupportedFormat("unknown hybrid back-end tag")),
+        None => Err(CompressError::Corrupt("empty hybrid stream")),
+    }
+}
+
+fn tagged(tag: u8, mut payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 1);
+    out.push(tag);
+    out.append(&mut payload);
+    out
+}
+
+/// The standalone entropy-backed lossy compressor ("Ours-Huffman"):
+/// quantize, ZigZag-map the codes and Huffman-encode them.
+///
+/// Layout: `[n varint] [dim varint] [eb f32] [huffman stream]`.
+pub fn entropy_compress(data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
+    if dim == 0 || data.len() % dim != 0 {
+        return Err(CompressError::DimensionMismatch {
+            len: data.len(),
+            dim,
+        });
+    }
+    let q = quant::quantize(data, eb)?;
+    let symbols = quant::codes_to_symbols(&q.codes);
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, data.len() as u64);
+    varint::write_u64(&mut out, dim as u64);
+    varint::write_f32_le(&mut out, eb);
+    out.extend_from_slice(&huffman::encode(&symbols));
+    Ok(out)
+}
+
+/// Decompress a stream produced by [`entropy_compress`].
+pub fn entropy_decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+    let mut pos = 0usize;
+    let n = varint::read_u64(bytes, &mut pos)? as usize;
+    let _dim = varint::read_u64(bytes, &mut pos)? as usize;
+    let eb = varint::read_f32_le(bytes, &mut pos)?;
+    quant::validate_error_bound(eb).map_err(|_| CompressError::Corrupt("bad error bound in header"))?;
+    let symbols = huffman::decode(&bytes[pos..])?;
+    if symbols.len() != n {
+        return Err(CompressError::Corrupt("entropy stream decoded wrong length"));
+    }
+    let codes = quant::symbols_to_codes(&symbols);
+    quant::dequantize(&codes, eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repeated_batch(dim: usize, n: usize, distinct: usize) -> Vec<f32> {
+        let mut data = Vec::with_capacity(dim * n);
+        for i in 0..n {
+            let id = i % distinct;
+            data.extend((0..dim).map(|j| ((id * dim + j) as f32).sin() * 0.2));
+        }
+        data
+    }
+
+    fn spread_batch(dim: usize, n: usize) -> Vec<f32> {
+        (0..dim * n)
+            .map(|i| (((i * 2_654_435_761usize) % 10_007) as f32 / 10_007.0 - 0.5) * 0.4)
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_selections() {
+        let data = repeated_batch(32, 100, 9);
+        for sel in [Selection::Auto, Selection::Vlz, Selection::Huffman] {
+            let cfg = HybridConfig {
+                selection: sel,
+                ..Default::default()
+            };
+            let enc = compress(&data, 32, 0.01, cfg).unwrap();
+            let dec = decompress(&enc).unwrap();
+            assert_eq!(dec.len(), data.len());
+            for (a, b) in data.iter().zip(dec.iter()) {
+                assert!((a - b).abs() <= 0.0101, "selection {sel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_vlz_for_repeated_vectors() {
+        let data = repeated_batch(64, 256, 4);
+        let enc = compress(&data, 64, 0.01, HybridConfig::default()).unwrap();
+        assert_eq!(backend_of(&enc).unwrap(), Selection::Vlz);
+    }
+
+    #[test]
+    fn auto_picks_huffman_for_concentrated_scalar_values() {
+        // Every vector distinct (a unique leading value prevents LZ matches)
+        // but the remaining values concentrate near zero → entropy coding wins.
+        let dim = 64usize;
+        let data: Vec<f32> = (0..dim * 200)
+            .map(|i| {
+                if i % dim == 0 {
+                    (i / dim) as f32 * 0.05
+                } else {
+                    0.0005 * ((i % 3) as f32)
+                }
+            })
+            .collect();
+        let enc = compress(&data, 64, 0.01, HybridConfig::default()).unwrap();
+        assert_eq!(backend_of(&enc).unwrap(), Selection::Huffman);
+    }
+
+    #[test]
+    fn auto_is_at_least_as_good_as_either_backend() {
+        for data in [repeated_batch(32, 128, 6), spread_batch(32, 128)] {
+            let auto = compress(&data, 32, 0.02, HybridConfig::default()).unwrap().len();
+            let vlz_only = compress(
+                &data,
+                32,
+                0.02,
+                HybridConfig {
+                    selection: Selection::Vlz,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .len();
+            let huff_only = compress(
+                &data,
+                32,
+                0.02,
+                HybridConfig {
+                    selection: Selection::Huffman,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .len();
+            assert!(auto <= vlz_only.min(huff_only));
+        }
+    }
+
+    #[test]
+    fn entropy_roundtrip_respects_error_bound() {
+        let data = spread_batch(16, 300);
+        let enc = entropy_compress(&data, 16, 0.005).unwrap();
+        let dec = entropy_decompress(&enc).unwrap();
+        for (a, b) in data.iter().zip(dec.iter()) {
+            assert!((a - b).abs() <= 0.00501);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            decompress(&[9, 1, 2, 3]),
+            Err(CompressError::UnsupportedFormat(_))
+        ));
+        assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn achieves_meaningful_compression_on_dlrm_like_traffic() {
+        // A Zipf-ish mixture: 70% of vectors drawn from 8 hot patterns, the
+        // rest unique. The hybrid should land well above 4x.
+        let dim = 32;
+        let mut data = Vec::new();
+        for i in 0..500usize {
+            if i % 10 < 7 {
+                let id = i % 8;
+                data.extend((0..dim).map(|j| ((id * dim + j) as f32).cos() * 0.1));
+            } else {
+                data.extend((0..dim).map(|j| (((i * dim + j) * 2_654_435_761) % 997) as f32 * 2e-4));
+            }
+        }
+        let enc = compress(&data, dim, 0.01, HybridConfig::default()).unwrap();
+        let ratio = (data.len() * 4) as f64 / enc.len() as f64;
+        assert!(ratio > 4.0, "hybrid ratio too low: {ratio:.2}");
+    }
+}

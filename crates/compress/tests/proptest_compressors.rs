@@ -1,0 +1,163 @@
+//! Property-based tests of the compression stack: for arbitrary finite
+//! inputs, every error-bounded compressor must round-trip within the bound,
+//! every lossless compressor must round-trip bit-exactly, and the supporting
+//! encodings (varint, bit I/O, quantizer, Huffman) must be inverses.
+
+use dlrm_compress::registry::{all_compressors, build_compressor, CompressorKind};
+use dlrm_compress::{buffer, huffman, lzss, quant, varint};
+use proptest::prelude::*;
+
+/// Finite f32 values in a training-plausible range.
+fn finite_value() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        3 => (-4.0f32..4.0),
+        1 => (-0.01f32..0.01),
+        1 => Just(0.0f32),
+    ]
+}
+
+/// A batch of vectors: (flat data, dim).
+fn vector_batch() -> impl Strategy<Value = (Vec<f32>, usize)> {
+    (1usize..16, 0usize..40).prop_flat_map(|(dim, n)| {
+        (
+            prop::collection::vec(finite_value(), n * dim..=n * dim),
+            Just(dim),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quantizer_always_respects_error_bound(
+        data in prop::collection::vec(finite_value(), 0..512),
+        eb in 1e-4f32..0.5,
+    ) {
+        let recon = quant::quantize_dequantize(&data, eb).unwrap();
+        for (a, b) in data.iter().zip(recon.iter()) {
+            prop_assert!((a - b).abs() <= eb * 1.0001, "|{a} - {b}| > {eb}");
+        }
+    }
+
+    #[test]
+    fn quantizer_symbols_roundtrip(data in prop::collection::vec(finite_value(), 0..256)) {
+        let q = quant::quantize(&data, 0.01).unwrap();
+        let symbols = quant::codes_to_symbols(&q.codes);
+        prop_assert_eq!(quant::symbols_to_codes(&symbols), q.codes);
+    }
+
+    #[test]
+    fn varint_roundtrips(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            varint::write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn signed_varint_roundtrips(values in prop::collection::vec(any::<i64>(), 0..64)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            varint::write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(varint::read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn huffman_roundtrips_arbitrary_symbols(
+        symbols in prop::collection::vec(0u32..2048, 0..1500),
+    ) {
+        let encoded = huffman::encode(&symbols);
+        prop_assert_eq!(huffman::decode(&encoded).unwrap(), symbols);
+    }
+
+    #[test]
+    fn lzss_roundtrips_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let encoded = lzss::compress_bytes(&bytes, lzss::LzssConfig::default());
+        prop_assert_eq!(lzss::decompress_bytes(&encoded).unwrap(), bytes);
+    }
+
+    #[test]
+    fn error_bounded_compressors_roundtrip_within_bound(
+        (data, dim) in vector_batch(),
+        eb in 1e-3f32..0.2,
+    ) {
+        for comp in all_compressors() {
+            if !comp.is_error_bounded() {
+                continue;
+            }
+            let bytes = comp.compress(&data, dim, eb).unwrap();
+            let back = comp.decompress(&bytes).unwrap();
+            prop_assert_eq!(back.len(), data.len(), "{}", comp.name());
+            for (a, b) in data.iter().zip(back.iter()) {
+                prop_assert!(
+                    (a - b).abs() <= eb * 1.01,
+                    "{}: |{} - {}| > {}",
+                    comp.name(), a, b, eb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_compressors_roundtrip_bit_exactly((data, dim) in vector_batch()) {
+        for comp in all_compressors() {
+            if !comp.is_lossless() {
+                continue;
+            }
+            let bytes = comp.compress(&data, dim, 0.0).unwrap();
+            let back = comp.decompress(&bytes).unwrap();
+            prop_assert_eq!(back.len(), data.len(), "{}", comp.name());
+            for (a, b) in data.iter().zip(back.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", comp.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_buffer_equals_per_chunk_path(
+        chunks in prop::collection::vec(
+            prop::collection::vec(finite_value(), 0..8).prop_map(|v| {
+                // make length a multiple of the dim used below (4)
+                let mut v = v;
+                v.truncate(v.len() / 4 * 4);
+                v
+            }),
+            1..6,
+        ),
+    ) {
+        let comp = build_compressor(CompressorKind::OursHybrid);
+        let refs: Vec<&[f32]> = chunks.iter().map(Vec::as_slice).collect();
+        let fused = buffer::compress_chunks_fused(comp.as_ref(), &refs, 4, 0.01).unwrap();
+        let naive = buffer::compress_chunks_naive(comp.as_ref(), &refs, 4, 0.01).unwrap();
+        prop_assert_eq!(fused.num_chunks(), naive.num_chunks());
+        for i in 0..fused.num_chunks() {
+            prop_assert_eq!(fused.chunk(i), naive.chunk(i));
+        }
+        let par = buffer::decompress_chunks_parallel(comp.as_ref(), &fused).unwrap();
+        let ser = buffer::decompress_chunks_serial(comp.as_ref(), &naive).unwrap();
+        prop_assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn corrupt_streams_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Feeding arbitrary garbage into any decompressor must produce an
+        // error or a (possibly wrong) value — never a panic.
+        for comp in all_compressors() {
+            let _ = comp.decompress(&bytes);
+        }
+        let _ = huffman::decode(&bytes);
+        let _ = lzss::decompress_bytes(&bytes);
+    }
+}

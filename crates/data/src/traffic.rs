@@ -1,0 +1,267 @@
+//! Embedding-lookup traffic generator.
+//!
+//! The compressor evaluation in the paper (Figure 11, Table V, Table VI,
+//! Figure 13/14) operates directly on batches of *embedding lookup results*
+//! — the `batch_size x embedding_dim` tensors each GPU sends into the
+//! all-to-all. This module produces exactly that traffic without running a
+//! model: each table gets a fixed set of embedding vectors (drawn from its
+//! configured value distribution) and each batch is assembled by sampling
+//! category indices from the table's Zipf query distribution and gathering
+//! the corresponding vectors.
+//!
+//! Because the vectors are pinned per (table, category), repeated queries
+//! produce byte-identical repeated vectors — the property the vector-based
+//! LZ encoder exploits — while the per-table value distribution controls how
+//! well the entropy encoder does.
+
+use crate::config::{ClusterSpec, DatasetConfig, TableProfile, ValueDistribution};
+use crate::zipf::Zipf;
+use dlrm_tensor::{Matrix, SeededRng};
+
+/// Generates batches of embedding-lookup traffic for one dataset preset.
+#[derive(Debug, Clone)]
+pub struct EmbeddingTrafficGenerator {
+    config: DatasetConfig,
+    tables: Vec<TableTraffic>,
+    rng: SeededRng,
+}
+
+/// Per-table state: the (synthetic) embedding rows and the query sampler.
+#[derive(Debug, Clone)]
+struct TableTraffic {
+    /// Row-major `cardinality x dim` embedding values. For very large tables
+    /// only the first `MATERIALIZED_ROWS` rows are materialised; colder rows
+    /// are synthesised on demand from a per-row seed (they are queried so
+    /// rarely that caching them would waste memory).
+    hot_rows: Matrix,
+    /// Cluster centroids, when the table's profile requests clustering.
+    centroids: Option<Matrix>,
+    profile: TableProfile,
+    zipf: Zipf,
+    dim: usize,
+    value_seed: u64,
+}
+
+/// Number of embedding rows materialised eagerly per table.
+const MATERIALIZED_ROWS: usize = 8_192;
+
+impl EmbeddingTrafficGenerator {
+    /// Build a traffic generator for a dataset preset.
+    pub fn new(config: DatasetConfig, seed: u64) -> Self {
+        config.validate().expect("invalid dataset config");
+        let root = SeededRng::new(seed);
+        let dim = config.embedding_dim;
+        let tables = config
+            .tables
+            .iter()
+            .map(|profile| {
+                let mut table_rng = root.fork(1000 + profile.id as u64);
+                // Centroids first (if clustered) so they are shared by hot
+                // and cold rows alike.
+                let centroids = profile.clusters.map(|spec: ClusterSpec| {
+                    let mut c = Matrix::zeros(spec.centroids, dim);
+                    for r in 0..spec.centroids {
+                        fill_row(c.row_mut(r), &profile.values, &mut table_rng);
+                    }
+                    c
+                });
+                let rows = profile.cardinality.min(MATERIALIZED_ROWS);
+                let mut hot = Matrix::zeros(rows, dim);
+                let value_seed = root.fork(5000 + profile.id as u64).seed();
+                for r in 0..rows {
+                    synthesize_row(
+                        hot.row_mut(r),
+                        r,
+                        profile,
+                        centroids.as_ref(),
+                        value_seed,
+                    );
+                }
+                TableTraffic {
+                    hot_rows: hot,
+                    centroids,
+                    zipf: Zipf::new(profile.cardinality, profile.zipf_exponent),
+                    profile: profile.clone(),
+                    dim,
+                    value_seed,
+                }
+            })
+            .collect();
+        Self {
+            rng: root.fork(1),
+            config,
+            tables,
+        }
+    }
+
+    /// The dataset configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// Generate one batch of lookups for table `table_id`:
+    /// a `batch_size x embedding_dim` matrix of embedding vectors.
+    pub fn lookup_batch(&mut self, table_id: usize, batch_size: usize) -> Matrix {
+        let dim = self.config.embedding_dim;
+        let table = &self.tables[table_id];
+        let mut out = Matrix::zeros(batch_size, dim);
+        for i in 0..batch_size {
+            let cat = table.zipf.sample(&mut self.rng);
+            let row = table.row_values(cat);
+            out.row_mut(i).copy_from_slice(&row);
+        }
+        out
+    }
+
+    /// Generate one batch per table (the full forward all-to-all payload of
+    /// one iteration): a vector of `batch_size x dim` matrices, indexed by
+    /// table id.
+    pub fn all_tables_batch(&mut self, batch_size: usize) -> Vec<Matrix> {
+        (0..self.config.num_tables())
+            .map(|t| self.lookup_batch(t, batch_size))
+            .collect()
+    }
+
+    /// Number of distinct vectors in a lookup batch (exact byte equality).
+    /// Used by the homogenization analysis and by tests.
+    pub fn distinct_vectors(batch: &Matrix) -> usize {
+        use std::collections::HashSet;
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        for r in 0..batch.rows() {
+            let key: Vec<u32> = batch.row(r).iter().map(|v| v.to_bits()).collect();
+            seen.insert(key);
+        }
+        seen.len()
+    }
+}
+
+impl TableTraffic {
+    /// Values of embedding row `cat`, either from the materialised hot rows
+    /// or synthesised deterministically for cold rows.
+    fn row_values(&self, cat: usize) -> Vec<f32> {
+        if cat < self.hot_rows.rows() {
+            self.hot_rows.row(cat).to_vec()
+        } else {
+            let mut row = vec![0.0f32; self.dim];
+            synthesize_row(
+                &mut row,
+                cat,
+                &self.profile,
+                self.centroids.as_ref(),
+                self.value_seed,
+            );
+            row
+        }
+    }
+}
+
+/// Produce the embedding vector of category `cat` deterministically: either a
+/// fresh draw from the table's value distribution, or (for clustered tables)
+/// the category's centroid plus a small jitter.
+fn synthesize_row(
+    row: &mut [f32],
+    cat: usize,
+    profile: &TableProfile,
+    centroids: Option<&Matrix>,
+    value_seed: u64,
+) {
+    let mut rng = SeededRng::new(value_seed ^ (cat as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    match (profile.clusters, centroids) {
+        (Some(spec), Some(centroids)) => {
+            let base = centroids.row(cat % spec.centroids);
+            for (v, &c) in row.iter_mut().zip(base.iter()) {
+                *v = c + rng.normal(0.0, spec.jitter);
+            }
+        }
+        _ => fill_row(row, &profile.values, &mut rng),
+    }
+}
+
+fn fill_row(row: &mut [f32], dist: &ValueDistribution, rng: &mut SeededRng) {
+    match *dist {
+        ValueDistribution::Gaussian { std } => {
+            for v in row.iter_mut() {
+                *v = rng.normal(0.0, std).clamp(-4.0 * std, 4.0 * std);
+            }
+        }
+        ValueDistribution::Uniform { range } => {
+            for v in row.iter_mut() {
+                *v = rng.uniform(-range, range);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn lookup_batch_shape() {
+        let cfg = presets::tiny();
+        let mut g = EmbeddingTrafficGenerator::new(cfg.clone(), 1);
+        let b = g.lookup_batch(0, 40);
+        assert_eq!(b.rows(), 40);
+        assert_eq!(b.cols(), cfg.embedding_dim);
+    }
+
+    #[test]
+    fn skewed_table_repeats_vectors() {
+        let cfg = presets::criteo_kaggle_like();
+        let mut g = EmbeddingTrafficGenerator::new(cfg, 3);
+        // Table 8 (cardinality 3, exponent 1.6) must collapse to very few
+        // distinct vectors in a 128-sample batch.
+        let b = g.lookup_batch(8, 128);
+        let distinct = EmbeddingTrafficGenerator::distinct_vectors(&b);
+        assert!(distinct <= 3, "expected <=3 distinct vectors, got {distinct}");
+        // A large mild-skew table keeps most vectors distinct.
+        let mut g2 = EmbeddingTrafficGenerator::new(presets::criteo_kaggle_like(), 3);
+        let b2 = g2.lookup_batch(2, 128);
+        let distinct2 = EmbeddingTrafficGenerator::distinct_vectors(&b2);
+        assert!(distinct2 > 100, "expected >100 distinct vectors, got {distinct2}");
+    }
+
+    #[test]
+    fn repeated_queries_are_byte_identical() {
+        let cfg = presets::tiny();
+        let mut g = EmbeddingTrafficGenerator::new(cfg, 9);
+        let b = g.lookup_batch(0, 200); // table 0: cardinality 7
+        let distinct = EmbeddingTrafficGenerator::distinct_vectors(&b);
+        assert!(distinct <= 7);
+    }
+
+    #[test]
+    fn cold_rows_are_deterministic() {
+        let cfg = presets::criteo_kaggle_like();
+        let g = EmbeddingTrafficGenerator::new(cfg, 5);
+        let table = &g.tables[2]; // cardinality >> MATERIALIZED_ROWS
+        let a = table.row_values(150_000);
+        let b = table.row_values(150_000);
+        assert_eq!(a, b);
+        let c = table.row_values(150_001);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_tables_batch_covers_every_table() {
+        let cfg = presets::tiny();
+        let mut g = EmbeddingTrafficGenerator::new(cfg.clone(), 2);
+        let batches = g.all_tables_batch(16);
+        assert_eq!(batches.len(), cfg.num_tables());
+        for b in &batches {
+            assert_eq!(b.rows(), 16);
+            assert_eq!(b.cols(), cfg.embedding_dim);
+        }
+    }
+
+    #[test]
+    fn gaussian_tables_have_smaller_spread_than_uniform() {
+        let cfg = presets::tiny();
+        let mut g = EmbeddingTrafficGenerator::new(cfg.clone(), 4);
+        // table 1 gaussian (std=0.5/sqrt(500)), table 2 uniform (range=1/sqrt(5000)).
+        let b1 = g.lookup_batch(1, 512);
+        let s1 = dlrm_tensor::stats::Summary::of(b1.as_slice());
+        assert!(s1.std() > 0.0);
+    }
+}

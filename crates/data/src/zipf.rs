@@ -1,0 +1,144 @@
+//! Zipf (power-law) sampling over category indices.
+//!
+//! The paper's compression gains hinge on the "unbalanced queries"
+//! phenomenon: a handful of categories account for most lookups, so a batch
+//! of embedding lookups contains many repeated vectors. A Zipf distribution
+//! with exponent `s` over `n` categories is the standard model for this.
+
+use dlrm_tensor::SeededRng;
+
+/// A Zipf distribution over `{0, 1, …, n-1}` with exponent `s`.
+///
+/// Sampling uses an explicit cumulative distribution table and binary
+/// search: O(n) memory at construction, O(log n) per sample. Category `k`
+/// has unnormalised weight `1 / (k+1)^s`, so index 0 is the hottest
+/// category. `s = 0` degenerates to the uniform distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    n: usize,
+    s: f64,
+}
+
+impl Zipf {
+    /// Build the distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one category");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        // Guard against floating point drift: the last entry must be exactly 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf, n, s }
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.n
+    }
+
+    /// The exponent this distribution was built with.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Draw one category index.
+    pub fn sample(&self, rng: &mut SeededRng) -> usize {
+        let u = rng.unit();
+        // partition_point returns the first index whose cdf value is >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.n - 1)
+    }
+
+    /// Draw `count` category indices.
+    pub fn sample_many(&self, count: usize, rng: &mut SeededRng) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Probability mass of category `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k < self.n);
+        let prev = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - prev
+    }
+
+    /// Expected fraction of a batch covered by the `top` hottest categories.
+    pub fn head_mass(&self, top: usize) -> f64 {
+        if top == 0 {
+            0.0
+        } else {
+            self.cdf[top.min(self.n) - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.2);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_head() {
+        let flat = Zipf::new(1000, 0.5);
+        let steep = Zipf::new(1000, 1.5);
+        assert!(steep.head_mass(10) > flat.head_mass(10));
+    }
+
+    #[test]
+    fn samples_respect_range_and_skew() {
+        let z = Zipf::new(50, 1.3);
+        let mut rng = SeededRng::new(17);
+        let samples = z.sample_many(20_000, &mut rng);
+        assert!(samples.iter().all(|&s| s < 50));
+        let zero_freq = samples.iter().filter(|&&s| s == 0).count() as f64 / 20_000.0;
+        assert!(
+            (zero_freq - z.pmf(0)).abs() < 0.02,
+            "empirical {zero_freq} vs pmf {}",
+            z.pmf(0)
+        );
+        // Hot category must dominate a cold one.
+        let cold_freq = samples.iter().filter(|&&s| s == 49).count();
+        assert!(samples.iter().filter(|&&s| s == 0).count() > cold_freq * 5);
+    }
+
+    #[test]
+    fn single_category_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SeededRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_categories_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

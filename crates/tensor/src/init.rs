@@ -1,0 +1,83 @@
+//! Weight initializers.
+
+use crate::matrix::Matrix;
+use crate::rng::SeededRng;
+
+/// Supported weight initialisation schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initializer {
+    /// Uniform in ±sqrt(6 / (fan_in + fan_out)) — the DLRM reference code's
+    /// default for MLP weights.
+    XavierUniform,
+    /// Normal with std sqrt(2 / fan_in) — suited to ReLU stacks.
+    HeNormal,
+    /// Uniform in ±1/sqrt(cardinality) — the DLRM reference initialisation
+    /// for embedding tables (keeps lookup values in a small range, which is
+    /// also what the paper's error bounds of 0.01–0.05 implicitly assume).
+    EmbeddingUniform,
+}
+
+/// Initialise a `rows x cols` weight matrix with the given scheme.
+pub fn init_matrix(rows: usize, cols: usize, scheme: Initializer, rng: &mut SeededRng) -> Matrix {
+    match scheme {
+        Initializer::XavierUniform => xavier_uniform(rows, cols, rng),
+        Initializer::HeNormal => he_normal(rows, cols, rng),
+        Initializer::EmbeddingUniform => embedding_uniform(rows, cols, rng),
+    }
+}
+
+/// Xavier/Glorot uniform initialisation for a `fan_in x fan_out` matrix.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform(-limit, limit))
+}
+
+/// He normal initialisation for a `fan_in x fan_out` matrix.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.normal(0.0, std))
+}
+
+/// DLRM-style embedding-table initialisation: uniform in ±1/sqrt(rows).
+pub fn embedding_uniform(rows: usize, cols: usize, rng: &mut SeededRng) -> Matrix {
+    let limit = 1.0 / (rows.max(1) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-limit, limit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_stays_within_limit() {
+        let mut rng = SeededRng::new(1);
+        let m = xavier_uniform(64, 32, &mut rng);
+        let limit = (6.0f32 / 96.0).sqrt();
+        assert!(m.as_slice().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn he_normal_has_expected_spread() {
+        let mut rng = SeededRng::new(2);
+        let m = he_normal(128, 128, &mut rng);
+        let std_expected = (2.0f32 / 128.0).sqrt();
+        let var = m.as_slice().iter().map(|x| x * x).sum::<f32>() / m.len() as f32;
+        assert!((var.sqrt() - std_expected).abs() < std_expected * 0.2);
+    }
+
+    #[test]
+    fn embedding_uniform_bounds_follow_cardinality() {
+        let mut rng = SeededRng::new(3);
+        let m = embedding_uniform(10_000, 16, &mut rng);
+        assert!(m.as_slice().iter().all(|x| x.abs() <= 0.01 + 1e-6));
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let mut a = SeededRng::new(9);
+        let mut b = SeededRng::new(9);
+        let ma = init_matrix(8, 8, Initializer::XavierUniform, &mut a);
+        let mb = init_matrix(8, 8, Initializer::XavierUniform, &mut b);
+        assert_eq!(ma, mb);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dlrm-trainer
+//!
+//! Hybrid-parallel DLRM training over the simulated cluster, with the paper's
+//! compressed all-to-all spliced into the pipeline.
+//!
+//! Every simulated rank holds a full replica of the MLPs (data parallelism)
+//! and a partition of the embedding tables (model parallelism). Each
+//! iteration runs the same five communication-heavy stages as the paper's
+//! Figure 3 pipeline:
+//!
+//! 1. owners look up their tables for every rank's batch shard and
+//!    **compress** the per-destination chunks;
+//! 2. a **metadata all-to-all** announces compressed sizes and compressor ids;
+//! 3. the **payload all-to-all** moves the compressed lookups;
+//! 4. receivers **decompress** and run the data-parallel forward/backward;
+//! 5. embedding gradients are compressed and sent back to the owning ranks
+//!    (the symmetric backward all-to-all), and MLP gradients are all-reduced.
+//!
+//! Communication time is charged by the α–β cost model; compute and
+//! compression time is measured; both are recorded per phase in a
+//! [`dlrm_comm::TimingLedger`], which is what the Figure 1 / Figure 12
+//! breakdowns are built from.
+
+pub mod config;
+pub mod partition;
+pub mod pipeline;
+pub mod plan;
+pub mod run;
+
+pub use config::{CompressionSetting, TrainerConfig};
+pub use partition::TablePartition;
+pub use run::{run_training, TableCompressionStats, TrainingReport};

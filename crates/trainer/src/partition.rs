@@ -1,0 +1,125 @@
+//! Model-parallel partitioning of embedding tables across ranks.
+//!
+//! The reference DLRM assigns whole tables to devices; a greedy
+//! largest-first bin packing keeps the per-rank parameter counts balanced,
+//! which is what matters for both memory and lookup-bandwidth balance.
+
+use serde::{Deserialize, Serialize};
+
+/// Assignment of embedding tables to ranks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TablePartition {
+    /// `owned[r]` lists the table ids owned by rank `r`, in ascending order.
+    pub owned: Vec<Vec<usize>>,
+    /// `owner[t]` is the rank owning table `t`.
+    pub owner: Vec<usize>,
+}
+
+impl TablePartition {
+    /// Greedy largest-first partition of tables (weighted by cardinality)
+    /// over `world` ranks.
+    pub fn greedy(cardinalities: &[usize], world: usize) -> Self {
+        assert!(world > 0, "need at least one rank");
+        let mut order: Vec<usize> = (0..cardinalities.len()).collect();
+        order.sort_by_key(|&t| std::cmp::Reverse(cardinalities[t]));
+
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); world];
+        let mut load = vec![0usize; world];
+        let mut owner = vec![0usize; cardinalities.len()];
+        for &t in &order {
+            // Least-loaded rank; ties go to the lowest rank id for determinism.
+            let r = (0..world).min_by_key(|&r| (load[r], r)).expect("world > 0");
+            owned[r].push(t);
+            owner[t] = r;
+            load[r] += cardinalities[t].max(1);
+        }
+        for tables in owned.iter_mut() {
+            tables.sort_unstable();
+        }
+        Self { owned, owner }
+    }
+
+    /// Number of ranks in the partition.
+    pub fn world(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Tables owned by `rank`.
+    pub fn tables_of(&self, rank: usize) -> &[usize] {
+        &self.owned[rank]
+    }
+
+    /// The rank owning `table`.
+    pub fn owner_of(&self, table: usize) -> usize {
+        self.owner[table]
+    }
+
+    /// Parameter-count imbalance: max rank load / mean rank load (1.0 is
+    /// perfectly balanced). Ranks with zero load are counted.
+    pub fn imbalance(&self, cardinalities: &[usize]) -> f64 {
+        let loads: Vec<usize> = self
+            .owned
+            .iter()
+            .map(|ts| ts.iter().map(|&t| cardinalities[t]).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap_or(&0) as f64;
+        let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table_has_exactly_one_owner() {
+        let cards = vec![100, 5, 2000, 300, 7, 900, 50, 4];
+        let p = TablePartition::greedy(&cards, 3);
+        assert_eq!(p.world(), 3);
+        let mut seen = vec![false; cards.len()];
+        for r in 0..3 {
+            for &t in p.tables_of(r) {
+                assert!(!seen[t], "table {t} owned twice");
+                seen[t] = true;
+                assert_eq!(p.owner_of(t), r);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partition_is_reasonably_balanced() {
+        let cards: Vec<usize> = (1..=26).map(|i| i * i * 100).collect();
+        let p = TablePartition::greedy(&cards, 4);
+        assert!(p.imbalance(&cards) < 1.3, "imbalance {}", p.imbalance(&cards));
+    }
+
+    #[test]
+    fn more_ranks_than_tables_leaves_some_ranks_empty() {
+        let cards = vec![10, 20];
+        let p = TablePartition::greedy(&cards, 5);
+        let non_empty = p.owned.iter().filter(|t| !t.is_empty()).count();
+        assert_eq!(non_empty, 2);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let cards = vec![3, 1, 4, 1, 5];
+        let p = TablePartition::greedy(&cards, 1);
+        assert_eq!(p.tables_of(0), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cards = vec![10, 10, 10, 10];
+        assert_eq!(
+            TablePartition::greedy(&cards, 2),
+            TablePartition::greedy(&cards, 2)
+        );
+    }
+}

@@ -1,0 +1,507 @@
+//! The per-rank hybrid-parallel training pipeline.
+//!
+//! Every rank executes [`run_rank`] inside the simulated cluster. The code is
+//! SPMD: all ranks generate the same global batch (a simulation convenience —
+//! in the real system the indices arrive via the input pipeline), shard it by
+//! rank, and then perform exactly the stages of the paper's Figure 3
+//! pipeline, with compression spliced around both all-to-alls.
+
+use crate::config::{CompressionSetting, TrainerConfig};
+use crate::partition::TablePartition;
+use dlrm_adaptive::EbSchedule;
+use dlrm_comm::cluster::RankCtx;
+use dlrm_comm::TimingLedger;
+use dlrm_compress::lowprec::{self, Precision};
+use dlrm_compress::Compressor;
+use dlrm_data::{DatasetConfig, SyntheticCriteo};
+use dlrm_model::{Dlrm, DlrmConfig, EvalMetrics};
+use dlrm_tensor::Matrix;
+use std::time::Instant;
+
+/// Ledger phase names, shared with the bench harness so breakdowns stay
+/// consistent across figures.
+pub mod phases {
+    /// Embedding-table lookups on the owning rank.
+    pub const LOOKUP: &str = "embedding lookup";
+    /// Compression of forward all-to-all payloads.
+    pub const FWD_COMPRESS: &str = "fwd compression";
+    /// Forward all-to-all (metadata + payload), virtual network time.
+    pub const FWD_A2A: &str = "fwd all-to-all";
+    /// Decompression of forward all-to-all payloads.
+    pub const FWD_DECOMPRESS: &str = "fwd decompression";
+    /// Bottom MLP + interaction + top MLP forward.
+    pub const MLP_FWD: &str = "mlp forward";
+    /// Dense backward pass.
+    pub const MLP_BWD: &str = "mlp backward";
+    /// Compression of backward all-to-all payloads.
+    pub const BWD_COMPRESS: &str = "bwd compression";
+    /// Backward all-to-all (metadata + payload), virtual network time.
+    pub const BWD_A2A: &str = "bwd all-to-all";
+    /// Decompression of backward all-to-all payloads.
+    pub const BWD_DECOMPRESS: &str = "bwd decompression";
+    /// Applying embedding gradients on the owning rank.
+    pub const EMB_UPDATE: &str = "embedding update";
+    /// All-reduce of the MLP gradients, virtual network time.
+    pub const ALLREDUCE: &str = "mlp all-reduce";
+    /// MLP parameter update.
+    pub const OPTIMIZER: &str = "optimizer";
+
+    /// All phases, in pipeline order.
+    pub const ALL: &[&str] = &[
+        LOOKUP,
+        FWD_COMPRESS,
+        FWD_A2A,
+        FWD_DECOMPRESS,
+        MLP_FWD,
+        MLP_BWD,
+        BWD_COMPRESS,
+        BWD_A2A,
+        BWD_DECOMPRESS,
+        EMB_UPDATE,
+        ALLREDUCE,
+        OPTIMIZER,
+    ];
+}
+
+/// The compression setting resolved to something the inner loop can use
+/// without matching on the config every time.
+pub enum ResolvedCompression {
+    /// Raw FP32 payloads.
+    Raw,
+    /// FP16/FP8 casting.
+    LowPrec(Precision),
+    /// Error-bounded lossy compression: per-table `(compressor, base error
+    /// bound)` plus the shared iteration-wise schedule.
+    Lossy {
+        /// Compressor and base error bound per table.
+        per_table: Vec<(Box<dyn Compressor>, f32)>,
+        /// Iteration-wise decay schedule.
+        schedule: EbSchedule,
+    },
+}
+
+impl ResolvedCompression {
+    /// Resolve a [`CompressionSetting`] for a model with `num_tables` tables.
+    pub fn from_setting(setting: &CompressionSetting, num_tables: usize) -> Self {
+        match setting {
+            CompressionSetting::None => ResolvedCompression::Raw,
+            CompressionSetting::Fp16 => ResolvedCompression::LowPrec(Precision::Fp16),
+            CompressionSetting::Fp8 => ResolvedCompression::LowPrec(Precision::Fp8E4M3),
+            CompressionSetting::FixedLossy {
+                error_bound,
+                compressor,
+                schedule,
+            } => ResolvedCompression::Lossy {
+                per_table: (0..num_tables)
+                    .map(|_| (compressor.build(), *error_bound))
+                    .collect(),
+                schedule: *schedule,
+            },
+            CompressionSetting::Adaptive(plan) => {
+                assert_eq!(
+                    plan.tables.len(),
+                    num_tables,
+                    "compression plan does not match the model's table count"
+                );
+                ResolvedCompression::Lossy {
+                    per_table: plan
+                        .tables
+                        .iter()
+                        .map(|t| (t.compressor.build(), t.base_error_bound))
+                        .collect(),
+                    schedule: plan.schedule,
+                }
+            }
+        }
+    }
+
+    /// Compress one table's payload (a `rows x dim` matrix, row-major).
+    fn compress(&self, table: usize, iter: usize, data: &[f32], dim: usize) -> Vec<u8> {
+        match self {
+            ResolvedCompression::Raw => data.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            ResolvedCompression::LowPrec(p) => lowprec::compress(data, *p),
+            ResolvedCompression::Lossy {
+                per_table,
+                schedule,
+            } => {
+                let (comp, base_eb) = &per_table[table];
+                let eb = schedule.error_bound_at(*base_eb, iter);
+                comp.compress(data, dim, eb)
+                    .expect("lossy compression of finite training data cannot fail")
+            }
+        }
+    }
+
+    /// Decompress one table's payload.
+    fn decompress(&self, table: usize, bytes: &[u8]) -> Vec<f32> {
+        match self {
+            ResolvedCompression::Raw => bytes
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+                .collect(),
+            ResolvedCompression::LowPrec(_) => {
+                lowprec::decompress(bytes).expect("low-precision payload is well-formed")
+            }
+            ResolvedCompression::Lossy { per_table, .. } => per_table[table]
+                .0
+                .decompress(bytes)
+                .expect("lossy payload is well-formed"),
+        }
+    }
+
+    /// True for the uncompressed (raw FP32) mode. The byte conversion the
+    /// simulator does in that mode stands in for NCCL sending the original
+    /// buffer directly, so its measured cost is not charged to the pipeline.
+    fn is_raw(&self) -> bool {
+        matches!(self, ResolvedCompression::Raw)
+    }
+
+    /// Numeric tag describing the compressor of `table` (carried in the
+    /// variable all-to-all metadata, as the paper's pipeline does).
+    fn tag(&self, table: usize) -> u32 {
+        match self {
+            ResolvedCompression::Raw => 0,
+            ResolvedCompression::LowPrec(Precision::Fp16) => 1,
+            ResolvedCompression::LowPrec(Precision::Fp8E4M3) => 2,
+            ResolvedCompression::Lossy { per_table, .. } => {
+                10 + per_table[table].0.kind() as u32
+            }
+        }
+    }
+}
+
+/// Everything a rank needs to run; shared read-only across rank threads.
+pub struct RankSetup {
+    /// Dataset preset being trained on.
+    pub dataset: DatasetConfig,
+    /// Trainer configuration.
+    pub trainer: TrainerConfig,
+    /// Table-to-rank assignment.
+    pub partition: TablePartition,
+}
+
+/// Per-rank result of a training run.
+pub struct RankOutcome {
+    /// This rank's id.
+    pub rank: usize,
+    /// Metrics of this rank's batch shard, one entry per iteration
+    /// (pre-update, i.e. evaluated with the parameters the iteration started
+    /// with).
+    pub per_iteration: Vec<EvalMetrics>,
+    /// Accumulated time per pipeline phase (virtual network seconds plus
+    /// measured compute seconds).
+    pub ledger: TimingLedger,
+    /// Per-table `(original bytes, compressed bytes)` of the forward
+    /// all-to-all payloads this rank produced as a table owner.
+    pub fwd_traffic: Vec<(u64, u64)>,
+}
+
+/// Serialize a list of `(table, payload)` blocks into one all-to-all chunk.
+fn encode_blocks(blocks: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(blocks.iter().map(|(_, b)| b.len() + 8).sum::<usize>() + 4);
+    out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for (table, payload) in blocks {
+        out.extend_from_slice(&table.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Inverse of [`encode_blocks`].
+fn decode_blocks(bytes: &[u8]) -> Vec<(u32, Vec<u8>)> {
+    let mut pos = 0usize;
+    let count = u32::from_le_bytes(bytes[0..4].try_into().expect("block count")) as usize;
+    pos += 4;
+    let mut blocks = Vec::with_capacity(count);
+    for _ in 0..count {
+        let table = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("table id"));
+        pos += 4;
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("payload len")) as usize;
+        pos += 4;
+        blocks.push((table, bytes[pos..pos + len].to_vec()));
+        pos += len;
+    }
+    blocks
+}
+
+/// Charge a compression/decompression phase: measured seconds by default, or
+/// `bytes / throughput` when a device-throughput override is configured.
+fn charge_codec(
+    ledger: &mut TimingLedger,
+    phase: &str,
+    measured: f64,
+    bytes: u64,
+    throughput: Option<f64>,
+) {
+    let seconds = match throughput {
+        Some(t) if t > 0.0 => bytes as f64 / t,
+        _ => measured,
+    };
+    ledger.add_time(phase, seconds);
+    ledger.add_bytes(phase, bytes);
+}
+
+/// Run the full training loop on one rank. Must be called from within a
+/// [`SimCluster`](dlrm_comm::SimCluster) whose world matches
+/// `setup.trainer.world`.
+pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
+    let rank = ctx.rank();
+    let world = ctx.world();
+    assert_eq!(world, setup.trainer.world, "cluster/config world mismatch");
+    let trainer = &setup.trainer;
+    let dataset = &setup.dataset;
+    let partition = &setup.partition;
+    let num_tables = dataset.num_tables();
+    let dim = dataset.embedding_dim;
+    let cost = ctx.cost_model();
+
+    let resolved = ResolvedCompression::from_setting(&trainer.compression, num_tables);
+    let owned = partition.tables_of(rank).to_vec();
+
+    let model_config = DlrmConfig::from_dataset(dataset);
+    let mut model = Dlrm::new_partial(model_config, trainer.seed, Some(&owned));
+    // Every rank draws the same stream so the global batch is identical
+    // everywhere; each rank then works on its own shard of it.
+    let mut generator = SyntheticCriteo::new(dataset.clone(), trainer.seed.wrapping_add(1));
+
+    let mut ledger = TimingLedger::new();
+    let mut per_iteration = Vec::with_capacity(trainer.iterations);
+    let mut fwd_traffic = vec![(0u64, 0u64); num_tables];
+    let codec_throughput_c = trainer.device_throughput.map(|(c, _)| c);
+    let codec_throughput_d = trainer.device_throughput.map(|(_, d)| d);
+    let compute_scale = trainer.compute_time_scale;
+
+    for iter in 0..trainer.iterations {
+        let global_batch = generator.next_batch(trainer.global_batch);
+        let shards = global_batch.shard(world);
+        let my_shard = &shards[rank];
+
+        // ── Stage 1: owners look up their tables for every destination shard.
+        let t0 = Instant::now();
+        // lookups[t_local][dst] = rows for shard `dst` of owned table.
+        let mut lookups: Vec<Vec<Matrix>> = Vec::with_capacity(owned.len());
+        for &t in &owned {
+            let per_dst: Vec<Matrix> = (0..world)
+                .map(|dst| model.lookup(t, &shards[dst].sparse[t]))
+                .collect();
+            lookups.push(per_dst);
+        }
+        ledger.add_time(phases::LOOKUP, t0.elapsed().as_secs_f64() * compute_scale);
+
+        // ── Stage 2: compress per-destination chunks.
+        let t0 = Instant::now();
+        let mut fwd_chunks: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); world];
+        let mut fwd_compressed_bytes = 0u64;
+        let mut fwd_original_bytes = 0u64;
+        for (local_idx, &t) in owned.iter().enumerate() {
+            for (dst, matrix) in lookups[local_idx].iter().enumerate() {
+                let payload = resolved.compress(t, iter, matrix.as_slice(), dim);
+                fwd_original_bytes += (matrix.len() * 4) as u64;
+                fwd_compressed_bytes += payload.len() as u64;
+                fwd_traffic[t].0 += (matrix.len() * 4) as u64;
+                fwd_traffic[t].1 += payload.len() as u64;
+                fwd_chunks[dst].push((t as u32, payload));
+            }
+        }
+        charge_codec(
+            &mut ledger,
+            phases::FWD_COMPRESS,
+            if resolved.is_raw() { 0.0 } else { t0.elapsed().as_secs_f64() },
+            fwd_original_bytes,
+            codec_throughput_c,
+        );
+
+        // ── Stage 3: metadata + payload all-to-all.
+        let chunks: Vec<Vec<u8>> = fwd_chunks.iter().map(|b| encode_blocks(b)).collect();
+        let tags: Vec<u32> = (0..world)
+            .map(|_| owned.first().map_or(0, |&t| resolved.tag(t)))
+            .collect();
+        let (received, _meta, stats) = ctx.all_to_all_var(chunks, &tags);
+        let fwd_a2a_time = cost.metadata_time(world.saturating_sub(1), 16)
+            + cost.alltoall_time(stats.sent, stats.received);
+        ledger.add_time(phases::FWD_A2A, fwd_a2a_time);
+        ledger.add_bytes(phases::FWD_A2A, (stats.sent + stats.received) as u64);
+        let _ = fwd_compressed_bytes;
+
+        // ── Stage 4: decompress the lookups for my shard.
+        let t0 = Instant::now();
+        let mut my_lookups: Vec<Option<Matrix>> = vec![None; num_tables];
+        let mut decompressed_bytes = 0u64;
+        for chunk in &received {
+            for (table, payload) in decode_blocks(chunk) {
+                let values = resolved.decompress(table as usize, payload.as_slice());
+                decompressed_bytes += (values.len() * 4) as u64;
+                let rows = my_shard.batch_size();
+                assert_eq!(values.len(), rows * dim, "table {table}: bad payload size");
+                my_lookups[table as usize] = Some(Matrix::from_vec(rows, dim, values));
+            }
+        }
+        let my_lookups: Vec<Matrix> = my_lookups
+            .into_iter()
+            .enumerate()
+            .map(|(t, m)| m.unwrap_or_else(|| panic!("no lookup received for table {t}")))
+            .collect();
+        charge_codec(
+            &mut ledger,
+            phases::FWD_DECOMPRESS,
+            if resolved.is_raw() { 0.0 } else { t0.elapsed().as_secs_f64() },
+            decompressed_bytes,
+            codec_throughput_d,
+        );
+
+        // ── Stage 5: data-parallel forward, metrics, backward.
+        let t0 = Instant::now();
+        let cache = model.forward_dense(&my_shard.dense, &my_lookups);
+        ledger.add_time(phases::MLP_FWD, t0.elapsed().as_secs_f64() * compute_scale);
+        per_iteration.push(EvalMetrics::from_logits(&cache.logits, &my_shard.labels));
+
+        let t0 = Instant::now();
+        let grads = model.backward_dense(&cache, &my_shard.labels);
+        ledger.add_time(phases::MLP_BWD, t0.elapsed().as_secs_f64() * compute_scale);
+
+        // ── Stage 6: compress embedding gradients and send them home.
+        let t0 = Instant::now();
+        let mut bwd_chunks: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); world];
+        let mut bwd_bytes = 0u64;
+        for (t, grad) in grads.embedding_grads.iter().enumerate() {
+            let owner = partition.owner_of(t);
+            let payload = resolved.compress(t, iter, grad.as_slice(), dim);
+            bwd_bytes += (grad.len() * 4) as u64;
+            bwd_chunks[owner].push((t as u32, payload));
+        }
+        charge_codec(
+            &mut ledger,
+            phases::BWD_COMPRESS,
+            if resolved.is_raw() { 0.0 } else { t0.elapsed().as_secs_f64() },
+            bwd_bytes,
+            codec_throughput_c,
+        );
+
+        let chunks: Vec<Vec<u8>> = bwd_chunks.iter().map(|b| encode_blocks(b)).collect();
+        let (received, _meta, stats) = ctx.all_to_all_var(chunks, &tags);
+        let bwd_a2a_time = cost.metadata_time(world.saturating_sub(1), 16)
+            + cost.alltoall_time(stats.sent, stats.received);
+        ledger.add_time(phases::BWD_A2A, bwd_a2a_time);
+        ledger.add_bytes(phases::BWD_A2A, (stats.sent + stats.received) as u64);
+
+        // ── Stage 7: decompress gradients and update owned tables.
+        let t0 = Instant::now();
+        let mut grad_blocks: Vec<Vec<(usize, Matrix)>> = vec![Vec::new(); num_tables];
+        let mut bwd_decompressed = 0u64;
+        for (src, chunk) in received.iter().enumerate() {
+            for (table, payload) in decode_blocks(chunk) {
+                let values = resolved.decompress(table as usize, payload.as_slice());
+                bwd_decompressed += (values.len() * 4) as u64;
+                let rows = shards[src].batch_size();
+                assert_eq!(values.len(), rows * dim, "grad for table {table}: bad size");
+                grad_blocks[table as usize].push((src, Matrix::from_vec(rows, dim, values)));
+            }
+        }
+        charge_codec(
+            &mut ledger,
+            phases::BWD_DECOMPRESS,
+            if resolved.is_raw() { 0.0 } else { t0.elapsed().as_secs_f64() },
+            bwd_decompressed,
+            codec_throughput_d,
+        );
+
+        let t0 = Instant::now();
+        for &t in &owned {
+            // Apply in source-rank order for determinism.
+            let mut blocks = std::mem::take(&mut grad_blocks[t]);
+            blocks.sort_by_key(|(src, _)| *src);
+            for (src, grad) in blocks {
+                model.apply_embedding_grad(t, &shards[src].sparse[t], &grad, trainer.learning_rate);
+            }
+        }
+        ledger.add_time(phases::EMB_UPDATE, t0.elapsed().as_secs_f64() * compute_scale);
+
+        // ── Stage 8: all-reduce MLP gradients and update the replicas.
+        let mut flat = model.flatten_mlp_grads(&grads);
+        let ar_stats = ctx.all_reduce_sum(&mut flat);
+        let ar_time = cost.allreduce_time(flat.len() * 4, world);
+        ledger.add_time(phases::ALLREDUCE, ar_time);
+        ledger.add_bytes(
+            phases::ALLREDUCE,
+            (ar_stats.sent + ar_stats.received) as u64,
+        );
+        let t0 = Instant::now();
+        let scale = 1.0 / world as f32;
+        for g in flat.iter_mut() {
+            *g *= scale;
+        }
+        model.apply_flat_mlp_grads(&flat, trainer.learning_rate);
+        ledger.add_time(phases::OPTIMIZER, t0.elapsed().as_secs_f64() * compute_scale);
+    }
+
+    RankOutcome {
+        rank,
+        per_iteration,
+        ledger,
+        fwd_traffic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_compress::CompressorKind;
+
+    #[test]
+    fn block_encoding_roundtrips() {
+        let blocks = vec![
+            (0u32, vec![1u8, 2, 3]),
+            (7u32, vec![]),
+            (25u32, (0..255u8).collect()),
+        ];
+        let encoded = encode_blocks(&blocks);
+        assert_eq!(decode_blocks(&encoded), blocks);
+        assert_eq!(decode_blocks(&encode_blocks(&[])), vec![]);
+    }
+
+    #[test]
+    fn resolved_compression_roundtrips_each_mode() {
+        let data: Vec<f32> = (0..64).map(|i| (i as f32 * 0.1).sin() * 0.3).collect();
+        let raw = ResolvedCompression::Raw;
+        let out = raw.decompress(0, &raw.compress(0, 0, &data, 8));
+        assert_eq!(out, data);
+
+        let fp16 = ResolvedCompression::LowPrec(Precision::Fp16);
+        let out = fp16.decompress(0, &fp16.compress(0, 0, &data, 8));
+        for (a, b) in data.iter().zip(out.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+
+        let lossy = ResolvedCompression::from_setting(
+            &CompressionSetting::fixed(0.01, CompressorKind::OursHybrid),
+            3,
+        );
+        let out = lossy.decompress(2, &lossy.compress(2, 5, &data, 8));
+        for (a, b) in data.iter().zip(out.iter()) {
+            assert!((a - b).abs() <= 0.0101);
+        }
+    }
+
+    #[test]
+    fn charge_codec_uses_override_when_present() {
+        let mut ledger = TimingLedger::new();
+        charge_codec(&mut ledger, "x", 0.5, 1_000_000, None);
+        assert!((ledger.seconds("x") - 0.5).abs() < 1e-12);
+        let mut ledger = TimingLedger::new();
+        charge_codec(&mut ledger, "x", 0.5, 1_000_000, Some(1e9));
+        assert!((ledger.seconds("x") - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tags_distinguish_modes() {
+        let raw = ResolvedCompression::Raw;
+        let fp16 = ResolvedCompression::LowPrec(Precision::Fp16);
+        let lossy = ResolvedCompression::from_setting(
+            &CompressionSetting::fixed(0.01, CompressorKind::OursVector),
+            1,
+        );
+        assert_ne!(raw.tag(0), fp16.tag(0));
+        assert_ne!(fp16.tag(0), lossy.tag(0));
+    }
+}

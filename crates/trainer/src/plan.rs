@@ -1,0 +1,83 @@
+//! Offline analysis entry point for the trainer: sample each table's lookup
+//! traffic for a dataset preset and build the adaptive [`CompressionPlan`].
+
+use dlrm_adaptive::{analyze_tables, CompressionPlan, EbConfig, EbSchedule, Thresholds};
+use dlrm_data::{DatasetConfig, EmbeddingTrafficGenerator};
+
+/// Sample `sample_batch` lookups per table from the dataset's traffic and run
+/// the offline analysis (homogenization scoring, L/M/S classification and
+/// compressor selection) at the given all-to-all bandwidth.
+pub fn build_plan(
+    dataset: &DatasetConfig,
+    sample_batch: usize,
+    eb_config: EbConfig,
+    thresholds: Thresholds,
+    schedule: EbSchedule,
+    bandwidth: f64,
+    seed: u64,
+) -> dlrm_compress::Result<CompressionPlan> {
+    let mut traffic = EmbeddingTrafficGenerator::new(dataset.clone(), seed);
+    let samples: Vec<Vec<f32>> = (0..dataset.num_tables())
+        .map(|t| traffic.lookup_batch(t, sample_batch).into_vec())
+        .collect();
+    analyze_tables(
+        &samples,
+        dataset.embedding_dim,
+        eb_config,
+        thresholds,
+        schedule,
+        bandwidth,
+    )
+}
+
+/// Build the paper-default plan for a dataset: EBs 0.05/0.03/0.01, default
+/// thresholds, step-wise decay from 2x over the given initial phase.
+pub fn paper_default_plan(
+    dataset: &DatasetConfig,
+    initial_iters: usize,
+    stable_iters: usize,
+    bandwidth: f64,
+    seed: u64,
+) -> dlrm_compress::Result<CompressionPlan> {
+    let schedule = EbSchedule::paper_default(dlrm_adaptive::TrainingPhases {
+        initial_iters,
+        stable_iters,
+    });
+    build_plan(
+        dataset,
+        dataset.default_batch_size.min(512),
+        EbConfig::paper_default(),
+        Thresholds::default(),
+        schedule,
+        bandwidth,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm_data::presets;
+
+    #[test]
+    fn plan_covers_all_tables_of_the_preset() {
+        let dataset = presets::tiny();
+        let plan = paper_default_plan(&dataset, 5, 10, 4e9, 1).unwrap();
+        assert_eq!(plan.tables.len(), dataset.num_tables());
+        for t in &plan.tables {
+            assert!(t.base_error_bound > 0.0);
+        }
+    }
+
+    #[test]
+    fn kaggle_preset_populates_multiple_classes() {
+        let dataset = presets::criteo_kaggle_like();
+        let plan = paper_default_plan(&dataset, 10, 20, 4e9, 1).unwrap();
+        let (l, m, s) = plan.class_counts();
+        assert_eq!(l + m + s, 26);
+        // The preset is designed so that at least two classes are non-empty
+        // (the paper's Table II has all three populated).
+        let populated = [l, m, s].iter().filter(|&&c| c > 0).count();
+        assert!(populated >= 2, "classes L={l} M={m} S={s}");
+    }
+}

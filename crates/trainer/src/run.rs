@@ -1,0 +1,273 @@
+//! Driver that runs the per-rank pipeline on the simulated cluster and merges
+//! the per-rank outcomes into one [`TrainingReport`].
+
+use crate::config::TrainerConfig;
+use crate::partition::TablePartition;
+use crate::pipeline::{self, RankOutcome, RankSetup};
+use dlrm_comm::{SimCluster, TimingLedger};
+use dlrm_data::DatasetConfig;
+use dlrm_model::EvalMetrics;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Per-table forward all-to-all compression statistics, summed over the whole
+/// run and over all owning ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableCompressionStats {
+    /// Table id.
+    pub table_id: usize,
+    /// Uncompressed payload bytes.
+    pub original_bytes: u64,
+    /// Compressed payload bytes.
+    pub compressed_bytes: u64,
+}
+
+impl TableCompressionStats {
+    /// Compression ratio for this table (1.0 when nothing was sent).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.original_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// Merged result of one distributed training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Compression setting label.
+    pub label: String,
+    /// Number of ranks.
+    pub world: usize,
+    /// Number of iterations run.
+    pub iterations: usize,
+    /// Batch metrics per iteration, combined across ranks (pre-update, so
+    /// entry 0 reflects the randomly initialised model).
+    pub accuracy_curve: Vec<EvalMetrics>,
+    /// Mean of the last quarter of the accuracy curve — the "converged"
+    /// metrics the paper's accuracy tables quote.
+    pub final_metrics: EvalMetrics,
+    /// Per-phase time, max-merged across ranks (the slowest rank bounds each
+    /// bulk-synchronous phase) and summed over iterations.
+    pub breakdown: TimingLedger,
+    /// Per-table forward-payload compression statistics.
+    pub per_table: Vec<TableCompressionStats>,
+    /// Overall forward-payload compression ratio.
+    pub overall_ratio: f64,
+    /// Total modelled time of the run (sum of the breakdown's phases).
+    pub total_seconds: f64,
+}
+
+impl TrainingReport {
+    /// Fraction of total time spent in the two all-to-all phases — the number
+    /// behind Figure 1's ">60% of training time" observation.
+    pub fn alltoall_fraction(&self) -> f64 {
+        let a2a = self.breakdown.seconds(pipeline::phases::FWD_A2A)
+            + self.breakdown.seconds(pipeline::phases::BWD_A2A);
+        if self.total_seconds <= 0.0 {
+            0.0
+        } else {
+            a2a / self.total_seconds
+        }
+    }
+
+    /// Accuracy of the final quarter of training (convenience accessor).
+    pub fn final_accuracy(&self) -> f64 {
+        self.final_metrics.accuracy
+    }
+}
+
+/// Run hybrid-parallel training of `dataset` under `config` on the simulated
+/// cluster and merge the per-rank outcomes.
+pub fn run_training(dataset: &DatasetConfig, config: &TrainerConfig) -> TrainingReport {
+    config.validate().expect("invalid trainer config");
+    dataset.validate().expect("invalid dataset config");
+
+    let partition = TablePartition::greedy(
+        &dataset
+            .tables
+            .iter()
+            .map(|t| t.cardinality)
+            .collect::<Vec<_>>(),
+        config.world,
+    );
+    let setup = Arc::new(RankSetup {
+        dataset: dataset.clone(),
+        trainer: config.clone(),
+        partition,
+    });
+
+    let cluster = SimCluster::new(config.world, config.network);
+    let setup_for_ranks = Arc::clone(&setup);
+    let outcomes: Vec<RankOutcome> =
+        cluster.run(move |ctx| pipeline::run_rank(&ctx, &setup_for_ranks));
+
+    merge_outcomes(&setup, outcomes)
+}
+
+fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> TrainingReport {
+    outcomes.sort_by_key(|o| o.rank);
+    let iterations = setup.trainer.iterations;
+    let num_tables = setup.dataset.num_tables();
+
+    // Combine per-iteration shard metrics across ranks.
+    let mut accuracy_curve = Vec::with_capacity(iterations);
+    for iter in 0..iterations {
+        let parts: Vec<EvalMetrics> = outcomes
+            .iter()
+            .filter_map(|o| o.per_iteration.get(iter).copied())
+            .collect();
+        accuracy_curve.push(EvalMetrics::combine(&parts));
+    }
+    let tail = (iterations / 4).max(1).min(iterations);
+    let final_metrics = EvalMetrics::combine(&accuracy_curve[iterations - tail..]);
+
+    // Slowest rank bounds every bulk-synchronous phase.
+    let ledgers: Vec<TimingLedger> = outcomes.iter().map(|o| o.ledger.clone()).collect();
+    let breakdown = TimingLedger::merge_max(&ledgers);
+    let total_seconds = breakdown.total_seconds();
+
+    // Per-table traffic, summed across owning ranks.
+    let mut per_table: Vec<TableCompressionStats> = (0..num_tables)
+        .map(|table_id| TableCompressionStats {
+            table_id,
+            original_bytes: 0,
+            compressed_bytes: 0,
+        })
+        .collect();
+    for o in &outcomes {
+        for (t, &(orig, comp)) in o.fwd_traffic.iter().enumerate() {
+            per_table[t].original_bytes += orig;
+            per_table[t].compressed_bytes += comp;
+        }
+    }
+    let total_orig: u64 = per_table.iter().map(|t| t.original_bytes).sum();
+    let total_comp: u64 = per_table.iter().map(|t| t.compressed_bytes).sum();
+    let overall_ratio = if total_comp == 0 {
+        1.0
+    } else {
+        total_orig as f64 / total_comp as f64
+    };
+
+    TrainingReport {
+        label: setup.trainer.compression.label(),
+        world: setup.trainer.world,
+        iterations,
+        accuracy_curve,
+        final_metrics,
+        breakdown,
+        per_table,
+        overall_ratio,
+        total_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompressionSetting;
+    use dlrm_compress::CompressorKind;
+    use dlrm_data::presets;
+
+    fn tiny_config(compression: CompressionSetting, iterations: usize) -> TrainerConfig {
+        let mut cfg = TrainerConfig::small_test(compression);
+        cfg.iterations = iterations;
+        cfg
+    }
+
+    #[test]
+    fn baseline_training_runs_and_learns() {
+        let dataset = presets::tiny();
+        let cfg = tiny_config(CompressionSetting::None, 30);
+        let report = run_training(&dataset, &cfg);
+        assert_eq!(report.accuracy_curve.len(), 30);
+        assert_eq!(report.per_table.len(), dataset.num_tables());
+        // Loss at the end should be below the initial loss.
+        let first = report.accuracy_curve[0].loss;
+        let last = report.final_metrics.loss;
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        // No compression → ratio 1.
+        assert!((report.overall_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lossy_training_matches_baseline_accuracy_closely() {
+        let dataset = presets::tiny();
+        let iterations = 40;
+        let baseline = run_training(&dataset, &tiny_config(CompressionSetting::None, iterations));
+        let lossy = run_training(
+            &dataset,
+            &tiny_config(
+                CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+                iterations,
+            ),
+        );
+        assert!(lossy.overall_ratio > 1.5, "ratio {}", lossy.overall_ratio);
+        let gap = (baseline.final_metrics.accuracy - lossy.final_metrics.accuracy).abs();
+        assert!(gap < 0.08, "accuracy gap {gap} too large");
+        // Lossy training must still actually learn.
+        assert!(lossy.final_metrics.loss < lossy.accuracy_curve[0].loss);
+    }
+
+    #[test]
+    fn compressed_run_spends_less_time_in_alltoall() {
+        let dataset = presets::tiny();
+        let baseline = run_training(&dataset, &tiny_config(CompressionSetting::None, 6));
+        let lossy = run_training(
+            &dataset,
+            &tiny_config(
+                CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+                6,
+            ),
+        );
+        let a2a = |r: &TrainingReport| {
+            r.breakdown.seconds(pipeline::phases::FWD_A2A)
+                + r.breakdown.seconds(pipeline::phases::BWD_A2A)
+        };
+        assert!(
+            a2a(&lossy) < a2a(&baseline),
+            "lossy {} vs baseline {}",
+            a2a(&lossy),
+            a2a(&baseline)
+        );
+    }
+
+    #[test]
+    fn world_one_degenerates_to_single_process() {
+        let dataset = presets::tiny();
+        let mut cfg = tiny_config(CompressionSetting::None, 5);
+        cfg.world = 1;
+        cfg.global_batch = 16;
+        let report = run_training(&dataset, &cfg);
+        assert_eq!(report.world, 1);
+        assert_eq!(report.accuracy_curve.len(), 5);
+    }
+
+    #[test]
+    fn fp16_and_fp8_pipelines_run() {
+        let dataset = presets::tiny();
+        for setting in [CompressionSetting::Fp16, CompressionSetting::Fp8] {
+            let report = run_training(&dataset, &tiny_config(setting.clone(), 5));
+            let expected = match setting {
+                CompressionSetting::Fp16 => 2.0,
+                _ => 4.0,
+            };
+            assert!(
+                (report.overall_ratio - expected).abs() < 0.1,
+                "{}: ratio {}",
+                report.label,
+                report.overall_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn report_fractions_are_sane() {
+        let dataset = presets::tiny();
+        let report = run_training(&dataset, &tiny_config(CompressionSetting::None, 4));
+        let f = report.alltoall_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        assert!(report.total_seconds > 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The dual-level adaptive error-bound strategy in action: offline analysis
+//! (homogenization index → L/M/S classes → per-table compressor), then the
+//! iteration-wise decay schedule.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example adaptive_error_bound
+//! ```
+
+use dlrm_lossy_comm::adaptive::{DecaySchedule, EbSchedule, TrainingPhases};
+use dlrm_lossy_comm::data::presets;
+use dlrm_lossy_comm::trainer::plan;
+
+fn main() {
+    let dataset = presets::criteo_kaggle_like();
+    let iterations = 200usize;
+    let bandwidth = 4e9; // 4 GB/s all-to-all, as in the paper's analysis
+
+    println!("offline analysis of '{}' ({} tables)\n", dataset.name, dataset.num_tables());
+    let compression_plan =
+        plan::paper_default_plan(&dataset, iterations / 2, iterations / 2, bandwidth, 7)
+            .expect("offline analysis");
+
+    println!("{:<6} {:>10} {:>8} {:>6} {:>9} {:>14} {:>10}",
+        "table", "patterns", "quant", "class", "base EB", "compressor", "est. speedup");
+    for t in &compression_plan.tables {
+        println!(
+            "{:<6} {:>10} {:>8} {:>6} {:>9.3} {:>14} {:>9.2}x",
+            t.table_id,
+            t.homo.original_patterns,
+            t.homo.quantized_patterns,
+            t.class.letter(),
+            t.base_error_bound,
+            t.compressor.label(),
+            t.estimated_speedup
+        );
+    }
+    let (l, m, s) = compression_plan.class_counts();
+    println!("\nclass counts: Large={l} Medium={m} Small={s}");
+
+    // Iteration-wise dimension: show how the effective error bound of a
+    // Medium table evolves under the step-wise decay vs an abrupt drop.
+    let phases = TrainingPhases {
+        initial_iters: iterations / 2,
+        stable_iters: iterations / 2,
+    };
+    let stepwise = EbSchedule::paper_default(phases);
+    let drop = EbSchedule {
+        schedule: DecaySchedule::Drop,
+        ..stepwise
+    };
+    println!("\neffective error bound of a Medium-class table (base 0.03) over training:");
+    println!("{:<10} {:>12} {:>12}", "iteration", "stepwise", "drop");
+    for iter in (0..iterations).step_by(iterations / 10) {
+        println!(
+            "{:<10} {:>12.4} {:>12.4}",
+            iter,
+            stepwise.error_bound_at(0.03, iter),
+            drop.error_bound_at(0.03, iter)
+        );
+    }
+    println!(
+        "\nmean EB multiplier over the initial phase: stepwise {:.3} vs drop {:.3}",
+        mean_multiplier(&stepwise, phases.initial_iters),
+        mean_multiplier(&drop, phases.initial_iters)
+    );
+    println!("(larger mean multiplier = more compression during early training)");
+}
+
+fn mean_multiplier(schedule: &EbSchedule, initial: usize) -> f64 {
+    (0..initial).map(|i| schedule.multiplier(i) as f64).sum::<f64>() / initial.max(1) as f64
+}

@@ -1,0 +1,63 @@
+//! Quickstart: compress one batch of embedding-lookup traffic with the
+//! paper's hybrid error-bounded compressor, verify the error bound, and
+//! compare against the baseline compressors.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dlrm_lossy_comm::compress::{measure_roundtrip, verify_error_bound, CompressorKind};
+use dlrm_lossy_comm::data::{presets, EmbeddingTrafficGenerator};
+
+fn main() {
+    let dataset = presets::criteo_kaggle_like();
+    let dim = dataset.embedding_dim;
+    let error_bound = 0.01f32;
+
+    // Sample a lookup batch from a repeat-heavy table (id 8: tiny cardinality,
+    // strongly skewed queries) and from a large mild-skew table (id 2).
+    let mut traffic = EmbeddingTrafficGenerator::new(dataset.clone(), 42);
+    let hot_batch = traffic.lookup_batch(8, 128);
+    let cold_batch = traffic.lookup_batch(2, 128);
+
+    println!("dataset: {} (embedding dim {dim}, error bound {error_bound})\n", dataset.name);
+    for (name, batch) in [("repeat-heavy table 8", &hot_batch), ("spread-out table 2", &cold_batch)] {
+        println!("== {name} ==");
+        for kind in [
+            CompressorKind::OursHybrid,
+            CompressorKind::OursVector,
+            CompressorKind::OursHuffman,
+            CompressorKind::SzLike,
+            CompressorKind::FzLike,
+            CompressorKind::Lz4Like,
+            CompressorKind::Fp16,
+        ] {
+            let compressor = kind.build();
+            let report = measure_roundtrip(compressor.as_ref(), batch.as_slice(), dim, error_bound)
+                .expect("round trip");
+            println!(
+                "  {:<13} ratio {:>7.2}x   compress {:>7.2} MB/s   decompress {:>7.2} MB/s   max|err| {:.4}",
+                kind.label(),
+                report.ratio,
+                report.compress_throughput / 1e6,
+                report.decompress_throughput / 1e6,
+                report.max_abs_error
+            );
+        }
+        // Demonstrate the error-bound guarantee explicitly.
+        let compressor = CompressorKind::OursHybrid.build();
+        let compressed = compressor
+            .compress(batch.as_slice(), dim, error_bound)
+            .expect("compress");
+        let reconstructed = compressor.decompress(&compressed).expect("decompress");
+        assert!(
+            verify_error_bound(batch.as_slice(), &reconstructed, error_bound).is_none(),
+            "error bound violated"
+        );
+        println!(
+            "  error bound {error_bound} verified on all {} values\n",
+            batch.len()
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! # dlrm-lossy-comm
+//!
+//! Facade crate for the reproduction of *"Accelerating Communication in Deep
+//! Learning Recommendation Model Training with Dual-Level Adaptive Lossy
+//! Compression"* (SC 2024).
+//!
+//! The workspace is organised as one crate per subsystem; this crate
+//! re-exports them under a single name so examples and downstream users can
+//! depend on one crate:
+//!
+//! * [`tensor`] — dense f32 math substrate;
+//! * [`data`] — synthetic Criteo-like datasets and embedding-lookup traffic;
+//! * [`model`] — the DLRM itself (embedding tables, MLPs, interaction);
+//! * [`compress`] — the error-bounded hybrid compressor and every baseline;
+//! * [`adaptive`] — homogenization index, table classification, error-bound
+//!   decay, compressor selection;
+//! * [`comm`] — the simulated multi-rank cluster and α–β network model;
+//! * [`trainer`] — the hybrid-parallel training pipeline with compressed
+//!   all-to-all.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dlrm_lossy_comm::compress::{CompressorKind, measure_roundtrip};
+//! use dlrm_lossy_comm::data::{presets, EmbeddingTrafficGenerator};
+//!
+//! // Sample one batch of embedding-lookup traffic from the Kaggle-like preset.
+//! let dataset = presets::criteo_kaggle_like();
+//! let mut traffic = EmbeddingTrafficGenerator::new(dataset.clone(), 42);
+//! let batch = traffic.lookup_batch(8, 128);
+//!
+//! // Compress it with the paper's hybrid compressor at error bound 0.01.
+//! let compressor = CompressorKind::OursHybrid.build();
+//! let report = measure_roundtrip(
+//!     compressor.as_ref(),
+//!     batch.as_slice(),
+//!     dataset.embedding_dim,
+//!     0.01,
+//! )
+//! .unwrap();
+//! assert!(report.ratio > 1.0);
+//! assert!(report.max_abs_error <= 0.01 * 1.01);
+//! ```
+
+pub use dlrm_adaptive as adaptive;
+pub use dlrm_comm as comm;
+pub use dlrm_compress as compress;
+pub use dlrm_data as data;
+pub use dlrm_model as model;
+pub use dlrm_tensor as tensor;
+pub use dlrm_trainer as trainer;
+
+/// Workspace version, shared by every crate.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        let dataset = crate::data::presets::tiny();
+        assert_eq!(dataset.num_tables(), 4);
+        let kinds = crate::compress::CompressorKind::all();
+        assert!(kinds.len() >= 9);
+        assert!(!crate::VERSION.is_empty());
+    }
+}

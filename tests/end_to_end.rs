@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through compression, the simulated cluster and distributed training.
+
+use dlrm_lossy_comm::adaptive::{EbConfig, Thresholds};
+use dlrm_lossy_comm::compress::{verify_error_bound, CompressorKind};
+use dlrm_lossy_comm::data::{presets, EmbeddingTrafficGenerator, SyntheticCriteo};
+use dlrm_lossy_comm::model::{Dlrm, DlrmConfig};
+use dlrm_lossy_comm::trainer::pipeline::phases;
+use dlrm_lossy_comm::trainer::{plan, run_training, CompressionSetting, TrainerConfig};
+
+fn tiny_trainer(compression: CompressionSetting, iterations: usize) -> TrainerConfig {
+    let mut cfg = TrainerConfig::small_test(compression);
+    cfg.iterations = iterations;
+    cfg
+}
+
+#[test]
+fn every_compressor_respects_its_contract_on_real_traffic() {
+    let dataset = presets::tiny();
+    let mut traffic = EmbeddingTrafficGenerator::new(dataset.clone(), 3);
+    let dim = dataset.embedding_dim;
+    let eb = 0.02f32;
+    for table in 0..dataset.num_tables() {
+        let batch = traffic.lookup_batch(table, 96);
+        for &kind in CompressorKind::all() {
+            let comp = kind.build();
+            let bytes = comp.compress(batch.as_slice(), dim, eb).expect("compress");
+            let back = comp.decompress(&bytes).expect("decompress");
+            assert_eq!(back.len(), batch.len(), "{}", kind.label());
+            if comp.is_lossless() {
+                assert_eq!(back, batch.as_slice().to_vec(), "{}", kind.label());
+            } else if comp.is_error_bounded() {
+                assert!(
+                    verify_error_bound(batch.as_slice(), &back, eb).is_none(),
+                    "{} violated the error bound on table {table}",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn offline_analysis_plan_drives_distributed_training() {
+    let dataset = presets::tiny();
+    let iterations = 16;
+    let compression_plan = plan::build_plan(
+        &dataset,
+        64,
+        EbConfig::paper_default(),
+        Thresholds::default(),
+        dlrm_lossy_comm::adaptive::EbSchedule::paper_default(
+            dlrm_lossy_comm::adaptive::TrainingPhases {
+                initial_iters: iterations / 2,
+                stable_iters: iterations / 2,
+            },
+        ),
+        4e9,
+        1,
+    )
+    .expect("offline analysis");
+    assert_eq!(compression_plan.tables.len(), dataset.num_tables());
+
+    let report = run_training(
+        &dataset,
+        &tiny_trainer(CompressionSetting::Adaptive(compression_plan), iterations),
+    );
+    assert_eq!(report.accuracy_curve.len(), iterations);
+    assert!(report.overall_ratio > 1.5, "ratio {}", report.overall_ratio);
+    assert!(report.final_metrics.loss.is_finite());
+}
+
+#[test]
+fn compressed_training_tracks_uncompressed_accuracy() {
+    let dataset = presets::tiny();
+    let iterations = 40;
+    let baseline = run_training(&dataset, &tiny_trainer(CompressionSetting::None, iterations));
+    let lossy = run_training(
+        &dataset,
+        &tiny_trainer(
+            CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+            iterations,
+        ),
+    );
+    // Both must learn.
+    assert!(baseline.final_metrics.loss < baseline.accuracy_curve[0].loss);
+    assert!(lossy.final_metrics.loss < lossy.accuracy_curve[0].loss);
+    // And end up close to each other (the paper's headline accuracy claim,
+    // at laptop scale with a generous tolerance).
+    let gap = (baseline.final_metrics.accuracy - lossy.final_metrics.accuracy).abs();
+    assert!(gap < 0.08, "accuracy gap {gap}");
+}
+
+#[test]
+fn compression_shrinks_network_time_but_not_correctness() {
+    let dataset = presets::tiny();
+    let baseline = run_training(&dataset, &tiny_trainer(CompressionSetting::None, 6));
+    let lossy = run_training(
+        &dataset,
+        &tiny_trainer(
+            CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+            6,
+        ),
+    );
+    let a2a = |r: &dlrm_lossy_comm::trainer::TrainingReport| {
+        r.breakdown.seconds(phases::FWD_A2A) + r.breakdown.seconds(phases::BWD_A2A)
+    };
+    assert!(a2a(&lossy) < a2a(&baseline));
+    assert!(lossy.breakdown.seconds(phases::FWD_COMPRESS) > 0.0);
+    assert!(baseline.breakdown.seconds(phases::FWD_COMPRESS) >= 0.0);
+}
+
+#[test]
+fn distributed_and_single_process_models_agree_without_compression() {
+    // With an identical seed, no compression and world = 1, the distributed
+    // pipeline is just a reshuffling of the single-process training step, so
+    // both must produce finite, decreasing losses from the same start.
+    let dataset = presets::tiny();
+    let mut single = Dlrm::new(DlrmConfig::from_dataset(&dataset), 20_240_614);
+    let mut gen = SyntheticCriteo::new(dataset.clone(), 20_240_615);
+    let mut single_losses = Vec::new();
+    for _ in 0..8 {
+        let batch = gen.next_batch(64);
+        let m = single.train_step(&batch, 0.05);
+        single_losses.push(m.loss);
+    }
+
+    let mut cfg = tiny_trainer(CompressionSetting::None, 8);
+    cfg.world = 1;
+    cfg.global_batch = 64;
+    let report = run_training(&dataset, &cfg);
+    let dist_losses: Vec<f64> = report.accuracy_curve.iter().map(|m| m.loss).collect();
+
+    // Same data stream, same initial parameters and same updates → the loss
+    // trajectories must match closely (they are not bit-identical because the
+    // distributed pipeline averages MLP gradients through the flat all-reduce
+    // path).
+    for (a, b) in single_losses.iter().zip(dist_losses.iter()) {
+        assert!((a - b).abs() < 1e-3, "single {a} vs distributed {b}");
+    }
+}
+
+#[test]
+fn world_sizes_scale_without_changing_learnability() {
+    let dataset = presets::tiny();
+    for world in [2usize, 4, 8] {
+        let mut cfg = tiny_trainer(CompressionSetting::fixed(0.02, CompressorKind::OursHybrid), 10);
+        cfg.world = world;
+        cfg.global_batch = 64;
+        let report = run_training(&dataset, &cfg);
+        assert_eq!(report.world, world);
+        assert!(report.final_metrics.loss.is_finite());
+        assert!(report.overall_ratio > 1.0);
+    }
+}
