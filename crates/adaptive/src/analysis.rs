@@ -106,12 +106,11 @@ pub fn analyze_tables(
             let comp = kind.build();
             let report = measure_roundtrip(comp.as_ref(), sample, dim, base_eb)?;
             let speedup = estimate_speedup(SpeedupInputs::from_report(&report, bandwidth));
-            if best.map_or(true, |(_, s)| speedup > s) {
+            if best.is_none_or(|(_, s)| speedup > s) {
                 best = Some((kind, speedup));
             }
         }
-        let (compressor, estimated_speedup) =
-            best.unwrap_or((CompressorKind::OursHuffman, 1.0));
+        let (compressor, estimated_speedup) = best.unwrap_or((CompressorKind::OursHuffman, 1.0));
         tables.push(TablePlan {
             table_id,
             homo,
@@ -261,14 +260,6 @@ mod tests {
             small: 0.05,
         };
         let samples = vec![spread_sample(4, 16)];
-        assert!(analyze_tables(
-            &samples,
-            4,
-            bad,
-            Thresholds::default(),
-            schedule(),
-            4e9
-        )
-        .is_err());
+        assert!(analyze_tables(&samples, 4, bad, Thresholds::default(), schedule(), 4e9).is_err());
     }
 }

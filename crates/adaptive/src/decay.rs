@@ -229,8 +229,9 @@ mod tests {
         assert!((s.multiplier(30) - 1.75).abs() < 1e-6);
         assert!((s.multiplier(60) - 1.5).abs() < 1e-6);
         assert!((s.multiplier(90) - 1.25).abs() < 1e-6);
-        let distinct: std::collections::BTreeSet<u32> =
-            (0..100).map(|i| (s.multiplier(i) * 1000.0) as u32).collect();
+        let distinct: std::collections::BTreeSet<u32> = (0..100)
+            .map(|i| (s.multiplier(i) * 1000.0) as u32)
+            .collect();
         assert_eq!(distinct.len(), 4);
     }
 
@@ -247,7 +248,9 @@ mod tests {
                 steps: 4,
                 phases: base,
             };
-            (0..base.initial_iters).map(|i| s.multiplier(i) as f64).sum::<f64>()
+            (0..base.initial_iters)
+                .map(|i| s.multiplier(i) as f64)
+                .sum::<f64>()
                 / base.initial_iters as f64
         };
         let drop = mean(DecaySchedule::Drop);

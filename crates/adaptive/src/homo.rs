@@ -59,7 +59,7 @@ impl HomoReport {
 /// Count distinct vectors before and after quantization for a row-major batch
 /// of `dim`-length vectors under error bound `eb`.
 pub fn pattern_counts(batch: &[f32], dim: usize, eb: f32) -> dlrm_compress::Result<HomoReport> {
-    if dim == 0 || batch.len() % dim != 0 {
+    if dim == 0 || !batch.len().is_multiple_of(dim) {
         return Err(dlrm_compress::CompressError::DimensionMismatch {
             len: batch.len(),
             dim,
@@ -98,7 +98,10 @@ mod tests {
     use super::*;
 
     fn batch_of(vectors: &[Vec<f32>]) -> (Vec<f32>, usize) {
-        (vectors.iter().flatten().copied().collect(), vectors[0].len())
+        (
+            vectors.iter().flatten().copied().collect(),
+            vectors[0].len(),
+        )
     }
 
     #[test]

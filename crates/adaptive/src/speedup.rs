@@ -56,7 +56,8 @@ pub fn estimate_speedup(inputs: SpeedupInputs) -> f64 {
     );
     assert!(inputs.bandwidth > 0.0, "bandwidth must be positive");
     1.0 / (1.0 / inputs.ratio
-        + inputs.bandwidth * (1.0 / inputs.compress_throughput + 1.0 / inputs.decompress_throughput))
+        + inputs.bandwidth
+            * (1.0 / inputs.compress_throughput + 1.0 / inputs.decompress_throughput))
 }
 
 /// Pick the compressor with the best estimated speedup from measured reports
@@ -111,10 +112,16 @@ mod tests {
         // (its measured pipeline overlaps some stages; the plain Equation-2
         // estimate lands a bit lower but in the same regime).
         let s = estimate_speedup(inputs(19.9, 40.5e9, 205.4e9, 4e9));
-        assert!((4.5..10.0).contains(&s), "speedup {s} out of expected range");
+        assert!(
+            (4.5..10.0).contains(&s),
+            "speedup {s} out of expected range"
+        );
         // Kaggle: CR ~11.2 → ~6.22x reported.
         let s2 = estimate_speedup(inputs(11.2, 40.5e9, 205.4e9, 4e9));
-        assert!((3.5..8.0).contains(&s2), "speedup {s2} out of expected range");
+        assert!(
+            (3.5..8.0).contains(&s2),
+            "speedup {s2} out of expected range"
+        );
         assert!(s > s2);
     }
 

@@ -2,11 +2,11 @@
 //! a well-behaved statistic, classification is total and consistent, decay
 //! schedules are monotone, and the speedup model is monotone in its inputs.
 
+use dlrm_adaptive::speedup::{estimate_speedup, SpeedupInputs};
 use dlrm_adaptive::{
     homogenization_index, pattern_counts, DecaySchedule, EbConfig, EbSchedule, Thresholds,
     TrainingPhases,
 };
-use dlrm_adaptive::speedup::{estimate_speedup, SpeedupInputs};
 use proptest::prelude::*;
 
 fn finite_value() -> impl Strategy<Value = f32> {

@@ -15,8 +15,9 @@ fn bench_collectives(c: &mut Criterion) {
             b.iter(|| {
                 let cluster = SimCluster::new(world, NetworkConfig::infinite());
                 cluster.run(move |ctx| {
-                    let chunks: Vec<Vec<u8>> =
-                        (0..world).map(|d| vec![(d as u8) ^ 0x5A; chunk_bytes]).collect();
+                    let chunks: Vec<Vec<u8>> = (0..world)
+                        .map(|d| vec![(d as u8) ^ 0x5A; chunk_bytes])
+                        .collect();
                     let (recv, _) = ctx.all_to_all_bytes(chunks);
                     recv.len()
                 })

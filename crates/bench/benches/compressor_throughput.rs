@@ -22,9 +22,13 @@ fn bench_compressors(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes));
     for &kind in CompressorKind::all() {
         let comp = kind.build();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &payload, |b, data| {
-            b.iter(|| comp.compress(data, dim, 0.01).expect("compress"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &payload,
+            |b, data| {
+                b.iter(|| comp.compress(data, dim, 0.01).expect("compress"));
+            },
+        );
     }
     group.finish();
 

@@ -1,0 +1,155 @@
+//! Steady-state benchmark of the zero-allocation compression engine:
+//! `compress_into` + reused scratch vs the legacy allocating `compress`, the
+//! chunked send-buffer path, and the pooled vs owned all-to-all — plus the
+//! trainer's ledger counters proving the steady state allocates nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_bench::workloads::{sampled_traffic, Scale};
+use dlrm_comm::pool::PooledBuf;
+use dlrm_comm::{NetworkConfig, SimCluster};
+use dlrm_compress::buffer::{compress_chunks_into, compress_chunks_naive, FusedBuffer};
+use dlrm_compress::{CompressScratch, CompressorKind};
+use dlrm_data::presets;
+use dlrm_trainer::{run_training, CompressionSetting, TrainerConfig};
+
+fn bench_compress_paths(c: &mut Criterion) {
+    let dataset = presets::criteo_kaggle_like();
+    let samples = sampled_traffic(&dataset, Scale::Quick, 7);
+    let payload: Vec<f32> = samples[8]
+        .iter()
+        .chain(samples[2].iter())
+        .copied()
+        .collect();
+    let dim = dataset.embedding_dim;
+    let bytes = (payload.len() * 4) as u64;
+
+    let mut group = c.benchmark_group("compress-steady-state");
+    group.throughput(Throughput::Bytes(bytes));
+    for &kind in &[CompressorKind::OursHybrid, CompressorKind::FzLike] {
+        let comp = kind.build();
+        group.bench_with_input(
+            BenchmarkId::new("alloc-per-call", kind.label()),
+            &payload,
+            |b, data| {
+                b.iter(|| comp.compress(data, dim, 0.01).expect("compress"));
+            },
+        );
+        let mut scratch = CompressScratch::new();
+        let mut out = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new("compress-into", kind.label()),
+            &payload,
+            |b, data| {
+                b.iter(|| {
+                    out.clear();
+                    comp.compress_into(data, dim, 0.01, &mut scratch, &mut out)
+                        .expect("compress_into");
+                    out.len()
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Multi-chunk send-buffer assembly: per-chunk allocations + gather copy
+    // vs compressing straight into one reusable contiguous buffer.
+    let chunks: Vec<&[f32]> = payload.chunks(payload.len() / 8).collect();
+    let comp = CompressorKind::OursHybrid.build();
+    let mut group = c.benchmark_group("chunked-send-buffer");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("naive-gather", |b| {
+        b.iter(|| compress_chunks_naive(comp.as_ref(), &chunks, dim, 0.01).expect("naive"));
+    });
+    let mut scratch = CompressScratch::new();
+    let mut fused = FusedBuffer {
+        bytes: Vec::new(),
+        spans: Vec::new(),
+    };
+    group.bench_function("compress-chunks-into", |b| {
+        b.iter(|| {
+            compress_chunks_into(comp.as_ref(), &chunks, dim, 0.01, &mut scratch, &mut fused)
+                .expect("into");
+            fused.payload_bytes()
+        });
+    });
+    group.finish();
+}
+
+fn bench_pooled_alltoall(c: &mut Criterion) {
+    let chunk_bytes = 64 * 1024;
+    let world = 4;
+    let rounds = 16;
+
+    let mut group = c.benchmark_group("alltoall-steady-state");
+    group.throughput(Throughput::Bytes(
+        (chunk_bytes * world * world * rounds) as u64,
+    ));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("owned-vecs"),
+        &world,
+        |b, &world| {
+            b.iter(|| {
+                SimCluster::new(world, NetworkConfig::infinite()).run(move |ctx| {
+                    let mut total = 0usize;
+                    for round in 0..rounds {
+                        let chunks: Vec<Vec<u8>> = (0..world)
+                            .map(|d| vec![(d ^ round) as u8; chunk_bytes])
+                            .collect();
+                        let (recv, _) = ctx.all_to_all_bytes(chunks);
+                        total += recv.len();
+                    }
+                    total
+                })
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("pooled"),
+        &world,
+        |b, &world| {
+            b.iter(|| {
+                SimCluster::new(world, NetworkConfig::infinite()).run(move |ctx| {
+                    let mut send: Vec<PooledBuf> = Vec::new();
+                    let mut recv: Vec<PooledBuf> = Vec::new();
+                    let mut total = 0usize;
+                    for round in 0..rounds {
+                        for d in 0..world {
+                            let mut buf = ctx.take_buf(chunk_bytes);
+                            buf.resize(chunk_bytes, (d ^ round) as u8);
+                            send.push(buf);
+                        }
+                        ctx.all_to_all_pooled(&mut send, &mut recv);
+                        total += recv.len();
+                        recv.clear();
+                    }
+                    total
+                })
+            })
+        },
+    );
+    group.finish();
+}
+
+/// Not a timing benchmark: run a short compressed training and print the
+/// ledger's allocated/reused byte counters — the direct evidence that the
+/// steady-state compress → send path stops allocating after warm-up.
+fn report_ledger_counters(_c: &mut Criterion) {
+    let dataset = presets::tiny();
+    let mut cfg =
+        TrainerConfig::small_test(CompressionSetting::fixed(0.02, CompressorKind::OursHybrid));
+    cfg.iterations = 12;
+    let report = run_training(&dataset, &cfg);
+    println!(
+        "ledger: steady-state allocated {} B (after {} warm-up iters), reused {} B over the run",
+        report.steady_state_allocated_bytes,
+        dlrm_trainer::pipeline::WARMUP_ITERATIONS,
+        report.buffer_reused_bytes,
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compress_paths, bench_pooled_alltoall, report_ledger_counters
+}
+criterion_main!(benches);

@@ -16,7 +16,11 @@ fn dataset_for(opts: &ExpOptions) -> dlrm_data::DatasetConfig {
 
 fn curve_summary(report: &TrainingReport) -> (f64, f64, f64) {
     let n = report.accuracy_curve.len();
-    let first = report.accuracy_curve.first().map(|m| m.accuracy).unwrap_or(0.0);
+    let first = report
+        .accuracy_curve
+        .first()
+        .map(|m| m.accuracy)
+        .unwrap_or(0.0);
     let mid = report.accuracy_curve[n / 2].accuracy;
     (first, mid, report.final_metrics.accuracy)
 }

@@ -45,7 +45,8 @@ pub fn fig1(opts: &ExpOptions) -> String {
 /// Figure 12: breakdown with vs without compression, end-to-end and
 /// all-to-all speedups.
 pub fn fig12(opts: &ExpOptions) -> String {
-    let mut out = String::from("Figure 12 — end-to-end training-time breakdown with lossy compression\n\n");
+    let mut out =
+        String::from("Figure 12 — end-to-end training-time breakdown with lossy compression\n\n");
     let preset_names: Vec<&str> = match opts.scale {
         Scale::Quick => vec!["tiny"],
         Scale::Full => vec!["kaggle", "terabyte"],

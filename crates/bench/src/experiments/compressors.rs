@@ -91,7 +91,9 @@ pub fn fig11(opts: &ExpOptions) -> String {
 
 /// Table V: per-table compression ratio of every compressor.
 pub fn tab5(opts: &ExpOptions) -> String {
-    let mut out = String::from("Table V — per-table compression ratio (rows: tables, columns: compressors)\n\n");
+    let mut out = String::from(
+        "Table V — per-table compression ratio (rows: tables, columns: compressors)\n\n",
+    );
     let kinds = [
         CompressorKind::SzLike,
         CompressorKind::FzLike,
@@ -128,7 +130,11 @@ pub fn tab5(opts: &ExpOptions) -> String {
             row.extend(ratios.iter().map(|r| f2(*r)));
             table.row(row);
         }
-        out.push_str(&format!("dataset: {} (eb 0.01)\n{}", dataset.name, table.render()));
+        out.push_str(&format!(
+            "dataset: {} (eb 0.01)\n{}",
+            dataset.name,
+            table.render()
+        ));
         let winners: Vec<String> = kinds
             .iter()
             .zip(best_count.iter())
@@ -142,7 +148,9 @@ pub fn tab5(opts: &ExpOptions) -> String {
 /// Table VI: vector-LZ compression-ratio improvement vs window size.
 pub fn tab6(opts: &ExpOptions) -> String {
     let windows = [32usize, 64, 128, 255];
-    let mut out = String::from("Table VI — vector-LZ compression ratio vs window size (normalised to window 32)\n\n");
+    let mut out = String::from(
+        "Table VI — vector-LZ compression ratio vs window size (normalised to window 32)\n\n",
+    );
     for dataset in presets_for(opts.scale) {
         let samples = workloads::sampled_traffic(&dataset, opts.scale, 33);
         let dim = dataset.embedding_dim;
@@ -193,7 +201,10 @@ pub fn fig13(opts: &ExpOptions) -> String {
         "Figure 13 — data features of two representative EMB tables ({})\n\n",
         dataset.name
     );
-    for (label, t) in [("repeat-heavy", lz_friendly), ("spread-out", entropy_friendly)] {
+    for (label, t) in [
+        ("repeat-heavy", lz_friendly),
+        ("spread-out", entropy_friendly),
+    ] {
         let sample = &samples[t];
         let stats = vlz::match_stats(sample, dim, 0.01, VlzConfig::default()).expect("stats");
         let hist = Histogram::auto(sample, 32);
@@ -206,7 +217,9 @@ pub fn fig13(opts: &ExpOptions) -> String {
             hist.sparkline()
         ));
         let vlz_cr = {
-            let bytes = vlz::compress(sample, dim, 0.01, VlzConfig::default()).expect("vlz").len();
+            let bytes = vlz::compress(sample, dim, 0.01, VlzConfig::default())
+                .expect("vlz")
+                .len();
             (sample.len() * 4) as f64 / bytes as f64
         };
         let huff_cr = {
@@ -265,7 +278,9 @@ pub fn fig14(opts: &ExpOptions) -> String {
 
 /// Ablation: Lorenzo prediction hurts on homogenized (repeat-heavy) tables.
 pub fn abl2(opts: &ExpOptions) -> String {
-    let mut out = String::from("Ablation 2 — prediction (sz-like) vs no-prediction hybrid on homogenized tables\n\n");
+    let mut out = String::from(
+        "Ablation 2 — prediction (sz-like) vs no-prediction hybrid on homogenized tables\n\n",
+    );
     for dataset in presets_for(opts.scale) {
         let samples = workloads::sampled_traffic(&dataset, opts.scale, 21);
         let dim = dataset.embedding_dim;
@@ -290,7 +305,10 @@ pub fn abl2(opts: &ExpOptions) -> String {
             ]);
         }
         if table.is_empty() {
-            out.push_str(&format!("dataset: {} — no tables with eta > 0.5 in this sample\n\n", dataset.name));
+            out.push_str(&format!(
+                "dataset: {} — no tables with eta > 0.5 in this sample\n\n",
+                dataset.name
+            ));
         } else {
             out.push_str(&format!("dataset: {}\n{}\n", dataset.name, table.render()));
         }
@@ -306,9 +324,16 @@ pub fn abl3(opts: &ExpOptions) -> String {
     for dataset in presets_for(opts.scale) {
         let samples = workloads::sampled_traffic(&dataset, opts.scale, 21);
         let dim = dataset.embedding_dim;
-        let strategies: Vec<(&str, Box<dyn Fn(&Vec<f32>) -> CompressorKind>)> = vec![
-            ("always vector-LZ", Box::new(|_: &Vec<f32>| CompressorKind::OursVector)),
-            ("always Huffman", Box::new(|_: &Vec<f32>| CompressorKind::OursHuffman)),
+        type SelectionStrategy = Box<dyn Fn(&Vec<f32>) -> CompressorKind>;
+        let strategies: Vec<(&str, SelectionStrategy)> = vec![
+            (
+                "always vector-LZ",
+                Box::new(|_: &Vec<f32>| CompressorKind::OursVector),
+            ),
+            (
+                "always Huffman",
+                Box::new(|_: &Vec<f32>| CompressorKind::OursHuffman),
+            ),
             (
                 "selected per table",
                 Box::new(move |sample: &Vec<f32>| {
@@ -317,7 +342,11 @@ pub fn abl3(opts: &ExpOptions) -> String {
                             .iter()
                             .map(|&k| {
                                 let comp = k.build();
-                                (k, measure_roundtrip(comp.as_ref(), sample, dim, 0.01).expect("rt"))
+                                (
+                                    k,
+                                    measure_roundtrip(comp.as_ref(), sample, dim, 0.01)
+                                        .expect("rt"),
+                                )
                             })
                             .collect();
                     speedup::select_compressor(&reports, PAPER_BANDWIDTH)

@@ -1,8 +1,8 @@
 //! Dataset/table metadata experiments: Figure 6 and Tables I–IV.
 
+use super::ExpOptions;
 use crate::format::{f4, TextTable};
 use crate::workloads::{self, Scale};
-use super::ExpOptions;
 use dlrm_adaptive::{homo, Thresholds};
 use dlrm_compress::CompressorKind;
 use dlrm_data::{presets, DatasetConfig};
@@ -93,7 +93,12 @@ fn ranked_homo(dataset: &DatasetConfig, eb: f32, scale: Scale, title: &str) -> S
 /// Table III: ranked homogenization index on the Kaggle-like preset.
 pub fn tab3(opts: &ExpOptions) -> String {
     let dataset = workloads::preset_at(opts.scale, "kaggle");
-    ranked_homo(&dataset, 0.01, opts.scale, "Table III — ranked Homo Index, Kaggle-like")
+    ranked_homo(
+        &dataset,
+        0.01,
+        opts.scale,
+        "Table III — ranked Homo Index, Kaggle-like",
+    )
 }
 
 /// Table IV: ranked homogenization index on the Terabyte-like preset.
@@ -182,7 +187,11 @@ pub fn tab1(opts: &ExpOptions) -> String {
 }
 
 fn yesno(b: bool) -> String {
-    if b { "yes".to_string() } else { "no".to_string() }
+    if b {
+        "yes".to_string()
+    } else {
+        "no".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -192,7 +201,13 @@ mod tests {
     #[test]
     fn quick_reports_render() {
         let opts = ExpOptions::quick();
-        for report in [fig6(&opts), tab1(&opts), tab2(&opts), tab3(&opts), tab4(&opts)] {
+        for report in [
+            fig6(&opts),
+            tab1(&opts),
+            tab2(&opts),
+            tab3(&opts),
+            tab4(&opts),
+        ] {
             assert!(report.len() > 100, "report too short:\n{report}");
         }
     }

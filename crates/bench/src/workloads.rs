@@ -27,7 +27,10 @@ pub enum Scale {
 
 /// Both dataset presets, in the order the paper reports them.
 pub fn both_presets() -> Vec<DatasetConfig> {
-    vec![presets::criteo_kaggle_like(), presets::criteo_terabyte_like()]
+    vec![
+        presets::criteo_kaggle_like(),
+        presets::criteo_terabyte_like(),
+    ]
 }
 
 /// The dataset preset used by an experiment at a given scale. Quick runs use
@@ -181,9 +184,11 @@ mod tests {
     #[test]
     fn trainer_configs_validate() {
         let dataset = presets::tiny();
-        assert!(accuracy_trainer(&dataset, CompressionSetting::None, Scale::Quick)
-            .validate()
-            .is_ok());
+        assert!(
+            accuracy_trainer(&dataset, CompressionSetting::None, Scale::Quick)
+                .validate()
+                .is_ok()
+        );
         assert!(
             breakdown_trainer(&dataset, fixed_lossy_setting(), Scale::Quick)
                 .validate()

@@ -9,9 +9,18 @@
 //! Collectives move real buffers; they also *return* the number of bytes the
 //! calling rank sent and received so the caller can charge virtual time via
 //! [`CostModel`](crate::cost::CostModel).
+//!
+//! Every message travels as a [`PooledBuf`] leased from the sending rank's
+//! [`BufferPool`]: when the receiver drops (or returns) its lease, the
+//! buffer's storage recycles to the sender's pool for the next iteration, so
+//! the steady-state exchange allocates nothing. The `*_pooled` collectives
+//! expose this directly through caller-owned send/recv containers; the
+//! classic `Vec<u8>`-based entry points remain as thin wrappers.
 
 use crate::cost::{CostModel, NetworkConfig};
+use crate::pool::{BufferPool, PooledBuf};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
 use std::sync::{Arc, Barrier};
 use std::thread;
 
@@ -50,10 +59,10 @@ impl SimCluster {
     {
         let world = self.world;
         // channels[src][dst]: matrix of FIFO links.
-        let mut senders: Vec<Vec<Option<Sender<Vec<u8>>>>> = (0..world)
+        let mut senders: Vec<Vec<Option<Sender<PooledBuf>>>> = (0..world)
             .map(|_| (0..world).map(|_| None).collect())
             .collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Vec<u8>>>>> = (0..world)
+        let mut receivers: Vec<Vec<Option<Receiver<PooledBuf>>>> = (0..world)
             .map(|_| (0..world).map(|_| None).collect())
             .collect();
         for (src, sender_row) in senders.iter_mut().enumerate() {
@@ -68,11 +77,16 @@ impl SimCluster {
         let f = Arc::new(f);
         let mut handles = Vec::with_capacity(world);
         for rank in 0..world {
-            let my_senders: Vec<Sender<Vec<u8>>> = senders[rank]
+            // One pool per rank. A lease remembers its origin pool, so a
+            // buffer sent to a peer returns to the *sender's* pool when the
+            // receiver drops it — the sender reuses it next iteration, and
+            // per-rank pool statistics stay attributable to that rank.
+            let pool = BufferPool::new();
+            let my_senders: Vec<Sender<PooledBuf>> = senders[rank]
                 .iter_mut()
                 .map(|s| s.take().expect("sender present"))
                 .collect();
-            let my_receivers: Vec<Receiver<Vec<u8>>> = receivers[rank]
+            let my_receivers: Vec<Receiver<PooledBuf>> = receivers[rank]
                 .iter_mut()
                 .map(|r| r.take().expect("receiver present"))
                 .collect();
@@ -89,7 +103,9 @@ impl SimCluster {
                             senders: my_senders,
                             receivers: my_receivers,
                             barrier,
+                            pool,
                             cost: CostModel::new(network),
+                            scratch: RefCell::new(CollectiveScratch::default()),
                         };
                         f(ctx)
                     })
@@ -112,17 +128,28 @@ pub struct ExchangeBytes {
     pub received: usize,
 }
 
+/// Reusable containers for the collectives' internal message handles, so a
+/// steady-state caller allocates nothing per call. Interior state of
+/// [`RankCtx`] (each rank thread owns its ctx exclusively).
+#[derive(Debug, Default)]
+struct CollectiveScratch {
+    bufs_a: Vec<PooledBuf>,
+    bufs_b: Vec<PooledBuf>,
+}
+
 /// Per-rank handle to the simulated cluster.
 pub struct RankCtx {
     rank: usize,
     world: usize,
     /// senders[dst] — channel to each destination (index `rank` is a self-loop
     /// that is never used; local chunks are moved without a channel).
-    senders: Vec<Sender<Vec<u8>>>,
+    senders: Vec<Sender<PooledBuf>>,
     /// receivers[src] — channel from each source.
-    receivers: Vec<Receiver<Vec<u8>>>,
+    receivers: Vec<Receiver<PooledBuf>>,
     barrier: Arc<Barrier>,
+    pool: BufferPool,
     cost: CostModel,
+    scratch: RefCell<CollectiveScratch>,
 }
 
 impl RankCtx {
@@ -141,9 +168,63 @@ impl RankCtx {
         self.cost
     }
 
+    /// This rank's buffer pool backing every collective it initiates.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Lease a cleared send buffer with at least `capacity` bytes from this
+    /// rank's pool.
+    pub fn take_buf(&self, capacity: usize) -> PooledBuf {
+        self.pool.take(capacity)
+    }
+
     /// Synchronise all ranks.
     pub fn barrier(&self) {
         self.barrier.wait();
+    }
+
+    /// Zero-allocation all-to-all: drains the `send` container (entry `d`
+    /// goes to rank `d`) and refills `recv` so its entry `s` is the chunk
+    /// received from rank `s`. The local chunk is moved, not copied. Both
+    /// containers keep their capacity, and every chunk is a pool lease, so a
+    /// steady-state caller allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if `send.len() != world`.
+    pub fn all_to_all_pooled(
+        &self,
+        send: &mut Vec<PooledBuf>,
+        recv: &mut Vec<PooledBuf>,
+    ) -> ExchangeBytes {
+        assert_eq!(
+            send.len(),
+            self.world,
+            "all_to_all needs exactly one chunk per rank"
+        );
+        let mut stats = ExchangeBytes::default();
+        // Keep the local chunk aside, send the rest.
+        let mut local: Option<PooledBuf> = None;
+        for (dst, chunk) in send.drain(..).enumerate() {
+            if dst == self.rank {
+                local = Some(chunk);
+            } else {
+                stats.sent += chunk.len();
+                self.senders[dst].send(chunk).expect("peer rank hung up");
+            }
+        }
+        recv.clear();
+        recv.reserve(self.world);
+        for src in 0..self.world {
+            if src == self.rank {
+                recv.push(local.take().expect("local chunk present"));
+            } else {
+                let chunk = self.receivers[src].recv().expect("peer rank hung up");
+                stats.received += chunk.len();
+                recv.push(chunk);
+            }
+        }
+        stats
     }
 
     /// All-to-all over byte chunks: `chunks[d]` goes to rank `d`; the return
@@ -152,34 +233,11 @@ impl RankCtx {
     ///
     /// # Panics
     /// Panics if `chunks.len() != world`.
-    pub fn all_to_all_bytes(&self, mut chunks: Vec<Vec<u8>>) -> (Vec<Vec<u8>>, ExchangeBytes) {
-        assert_eq!(
-            chunks.len(),
-            self.world,
-            "all_to_all needs exactly one chunk per rank"
-        );
-        let mut stats = ExchangeBytes::default();
-        // Keep the local chunk aside, send the rest.
-        let mut local = Vec::new();
-        for (dst, chunk) in chunks.drain(..).enumerate() {
-            if dst == self.rank {
-                local = chunk;
-            } else {
-                stats.sent += chunk.len();
-                self.senders[dst].send(chunk).expect("peer rank hung up");
-            }
-        }
-        let mut received = Vec::with_capacity(self.world);
-        for src in 0..self.world {
-            if src == self.rank {
-                received.push(std::mem::take(&mut local));
-            } else {
-                let chunk = self.receivers[src].recv().expect("peer rank hung up");
-                stats.received += chunk.len();
-                received.push(chunk);
-            }
-        }
-        (received, stats)
+    pub fn all_to_all_bytes(&self, chunks: Vec<Vec<u8>>) -> (Vec<Vec<u8>>, ExchangeBytes) {
+        let mut send: Vec<PooledBuf> = chunks.into_iter().map(|c| self.pool.adopt(c)).collect();
+        let mut recv = Vec::with_capacity(self.world);
+        let stats = self.all_to_all_pooled(&mut send, &mut recv);
+        (recv.into_iter().map(PooledBuf::into_vec).collect(), stats)
     }
 
     /// All-to-all over `f32` chunks (encodes to little-endian bytes on the
@@ -202,12 +260,72 @@ impl RankCtx {
         (decoded, stats)
     }
 
-    /// Variable-size all-to-all as the paper's pipeline performs it: a
-    /// metadata phase announcing each chunk's size (and compressor id), then
-    /// the payload phase. Functionally the sizes are implicit in the channel
-    /// messages; the explicit metadata exchange exists so its cost can be
-    /// charged and so receivers could pre-allocate, as a real NCCL
-    /// implementation must.
+    /// Zero-allocation variable-size all-to-all as the paper's pipeline
+    /// performs it: a metadata phase announcing each chunk's size (and
+    /// compressor id), then the payload phase. Functionally the sizes are
+    /// implicit in the channel messages; the explicit metadata exchange
+    /// exists so its cost can be charged and so receivers could pre-allocate,
+    /// as a real NCCL implementation must.
+    ///
+    /// Drains `send`, refills `recv` (chunk from rank `s` at entry `s`) and
+    /// refills `records` with the metadata record `(payload_len, tag)` from
+    /// each source. Metadata messages ride pool leases, so the steady state
+    /// allocates nothing.
+    pub fn all_to_all_var_pooled(
+        &self,
+        send: &mut Vec<PooledBuf>,
+        recv: &mut Vec<PooledBuf>,
+        tags: &[u32],
+        records: &mut Vec<(usize, u32)>,
+    ) -> ExchangeBytes {
+        assert_eq!(send.len(), self.world);
+        assert_eq!(tags.len(), self.world);
+        // Metadata phase (reusable containers come from the ctx scratch).
+        let mut scratch = self.scratch.borrow_mut();
+        let mut meta_send = std::mem::take(&mut scratch.bufs_a);
+        let mut meta_recv = std::mem::take(&mut scratch.bufs_b);
+        drop(scratch);
+        meta_send.clear();
+        for (chunk, &tag) in send.iter().zip(tags.iter()) {
+            let mut m = self.pool.take(METADATA_RECORD_BYTES);
+            m.extend_from_slice(&(chunk.len() as u64).to_le_bytes());
+            m.extend_from_slice(&tag.to_le_bytes());
+            m.resize(METADATA_RECORD_BYTES, 0);
+            meta_send.push(m);
+        }
+        let meta_stats = self.all_to_all_pooled(&mut meta_send, &mut meta_recv);
+        records.clear();
+        records.reserve(self.world);
+        records.extend(meta_recv.iter().map(|m| {
+            let len = u64::from_le_bytes(m[0..8].try_into().expect("8 bytes")) as usize;
+            let tag = u32::from_le_bytes(m[8..12].try_into().expect("4 bytes"));
+            (len, tag)
+        }));
+        meta_recv.clear(); // release metadata leases back to the pool
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.bufs_a = meta_send;
+        scratch.bufs_b = meta_recv;
+        drop(scratch);
+
+        // Payload phase.
+        let payload_stats = self.all_to_all_pooled(send, recv);
+        // Cross-check the announced sizes — a mismatch means ranks diverged.
+        for (src, payload) in recv.iter().enumerate() {
+            assert_eq!(
+                records[src].0,
+                payload.len(),
+                "rank {}: metadata from {src} disagrees with payload size",
+                self.rank
+            );
+        }
+        ExchangeBytes {
+            sent: meta_stats.sent + payload_stats.sent,
+            received: meta_stats.received + payload_stats.received,
+        }
+    }
+
+    /// Variable-size all-to-all over owned byte chunks (thin wrapper over
+    /// [`RankCtx::all_to_all_var_pooled`]).
     ///
     /// Returns `(received chunks, metadata records received, byte stats)`;
     /// the metadata record for source `s` is `(payload_len, tag)` where `tag`
@@ -217,70 +335,74 @@ impl RankCtx {
         chunks: Vec<Vec<u8>>,
         tags: &[u32],
     ) -> (Vec<Vec<u8>>, Vec<(usize, u32)>, ExchangeBytes) {
-        assert_eq!(chunks.len(), self.world);
-        assert_eq!(tags.len(), self.world);
-        // Metadata phase.
-        let meta_chunks: Vec<Vec<u8>> = chunks
-            .iter()
-            .zip(tags.iter())
-            .map(|(c, &tag)| {
-                let mut m = Vec::with_capacity(METADATA_RECORD_BYTES);
-                m.extend_from_slice(&(c.len() as u64).to_le_bytes());
-                m.extend_from_slice(&tag.to_le_bytes());
-                m.resize(METADATA_RECORD_BYTES, 0);
-                m
-            })
-            .collect();
-        let (meta_received, meta_stats) = self.all_to_all_bytes(meta_chunks);
-        let metadata: Vec<(usize, u32)> = meta_received
-            .iter()
-            .map(|m| {
-                let len = u64::from_le_bytes(m[0..8].try_into().expect("8 bytes")) as usize;
-                let tag = u32::from_le_bytes(m[8..12].try_into().expect("4 bytes"));
-                (len, tag)
-            })
-            .collect();
-        // Payload phase.
-        let (payloads, payload_stats) = self.all_to_all_bytes(chunks);
-        // Cross-check the announced sizes — a mismatch means ranks diverged.
-        for (src, payload) in payloads.iter().enumerate() {
-            assert_eq!(
-                metadata[src].0,
-                payload.len(),
-                "rank {}: metadata from {src} disagrees with payload size",
-                self.rank
-            );
-        }
-        let stats = ExchangeBytes {
-            sent: meta_stats.sent + payload_stats.sent,
-            received: meta_stats.received + payload_stats.received,
-        };
-        (payloads, metadata, stats)
+        let mut send: Vec<PooledBuf> = chunks.into_iter().map(|c| self.pool.adopt(c)).collect();
+        let mut recv = Vec::with_capacity(self.world);
+        let mut records = Vec::with_capacity(self.world);
+        let stats = self.all_to_all_var_pooled(&mut send, &mut recv, tags, &mut records);
+        (
+            recv.into_iter().map(PooledBuf::into_vec).collect(),
+            records,
+            stats,
+        )
     }
 
     /// All-gather: every rank contributes one byte chunk and receives all
     /// chunks in rank order.
     pub fn all_gather_bytes(&self, chunk: Vec<u8>) -> (Vec<Vec<u8>>, ExchangeBytes) {
-        let chunks: Vec<Vec<u8>> = (0..self.world).map(|_| chunk.clone()).collect();
-        self.all_to_all_bytes(chunks)
+        let mut send: Vec<PooledBuf> = Vec::with_capacity(self.world);
+        for _ in 0..self.world {
+            let mut b = self.pool.take(chunk.len());
+            b.extend_from_slice(&chunk);
+            send.push(b);
+        }
+        let mut recv = Vec::with_capacity(self.world);
+        let stats = self.all_to_all_pooled(&mut send, &mut recv);
+        (recv.into_iter().map(PooledBuf::into_vec).collect(), stats)
     }
 
     /// Sum-all-reduce over an `f32` vector. Every rank ends with the
     /// element-wise sum across ranks; summation is performed in rank order so
     /// the result is bit-identical on every rank.
+    ///
+    /// All transfers ride pool leases, so the steady state allocates nothing.
     pub fn all_reduce_sum(&self, data: &mut [f32]) -> ExchangeBytes {
         if self.world == 1 {
             return ExchangeBytes::default();
         }
-        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-        let (gathered, stats) = self.all_gather_bytes(bytes);
+        let byte_len = data.len() * 4;
+        let mut stats = ExchangeBytes::default();
+        // Stash this rank's contribution, then send a copy to every peer.
+        let mut mine = self.pool.take(byte_len);
+        for v in data.iter() {
+            mine.extend_from_slice(&v.to_le_bytes());
+        }
+        for dst in 0..self.world {
+            if dst == self.rank {
+                continue;
+            }
+            let mut b = self.pool.take(byte_len);
+            b.extend_from_slice(&mine);
+            stats.sent += b.len();
+            self.senders[dst].send(b).expect("peer rank hung up");
+        }
+        // Accumulate contributions in rank order so the result is
+        // bit-identical on every rank.
         for x in data.iter_mut() {
             *x = 0.0;
         }
-        for contribution in gathered {
-            assert_eq!(contribution.len(), data.len() * 4, "all_reduce size mismatch");
-            for (i, b) in contribution.chunks_exact(4).enumerate() {
+        let add = |data: &mut [f32], bytes: &[u8]| {
+            assert_eq!(bytes.len(), byte_len, "all_reduce size mismatch");
+            for (i, b) in bytes.chunks_exact(4).enumerate() {
                 data[i] += f32::from_le_bytes(b.try_into().expect("4-byte chunk"));
+            }
+        };
+        for src in 0..self.world {
+            if src == self.rank {
+                add(data, &mine);
+            } else {
+                let chunk = self.receivers[src].recv().expect("peer rank hung up");
+                stats.received += chunk.len();
+                add(data, &chunk);
             }
         }
         stats
@@ -295,15 +417,17 @@ impl RankCtx {
         if self.rank == root {
             for dst in 0..self.world {
                 if dst != root {
-                    stats.sent += buffer.len();
-                    self.senders[dst].send(buffer.clone()).expect("peer rank hung up");
+                    let mut b = self.pool.take(buffer.len());
+                    b.extend_from_slice(&buffer);
+                    stats.sent += b.len();
+                    self.senders[dst].send(b).expect("peer rank hung up");
                 }
             }
             (buffer, stats)
         } else {
             let received = self.receivers[root].recv().expect("root rank hung up");
             stats.received += received.len();
-            (received, stats)
+            (received.into_vec(), stats)
         }
     }
 }
@@ -343,7 +467,9 @@ mod tests {
             let chunks: Vec<Vec<u8>> = (0..world)
                 .map(|dst| vec![0xAB; ctx.rank() * 10 + dst + 1])
                 .collect();
-            let tags: Vec<u32> = (0..world).map(|dst| (ctx.rank() * 100 + dst) as u32).collect();
+            let tags: Vec<u32> = (0..world)
+                .map(|dst| (ctx.rank() * 100 + dst) as u32)
+                .collect();
             let (payloads, metadata, _) = ctx.all_to_all_var(chunks, &tags);
             for (src, payload) in payloads.iter().enumerate() {
                 assert_eq!(payload.len(), src * 10 + ctx.rank() + 1);
@@ -458,6 +584,80 @@ mod tests {
     fn wrong_chunk_count_panics() {
         cluster(2).run(|ctx| {
             let _ = ctx.all_to_all_bytes(vec![vec![1u8]]); // only one chunk for world=2
+        });
+    }
+
+    #[test]
+    fn pooled_all_to_all_stops_allocating_after_warmup() {
+        let world = 4;
+        let results = cluster(world).run(move |ctx| {
+            let mut send: Vec<crate::pool::PooledBuf> = Vec::new();
+            let mut recv: Vec<crate::pool::PooledBuf> = Vec::new();
+            let mut records = Vec::new();
+            let tags = vec![7u32; world];
+            let fill = |ctx: &RankCtx, send: &mut Vec<crate::pool::PooledBuf>, round: u8| {
+                for dst in 0..world {
+                    let mut b = ctx.take_buf(512);
+                    b.extend(std::iter::repeat_n(round ^ dst as u8, 256 + dst * 16));
+                    send.push(b);
+                }
+            };
+            // Warm-up rounds grow pool and containers to working size; then
+            // park enough spare leases that no interleaving of rank threads
+            // can catch the pool empty mid-round.
+            for round in 0..3u8 {
+                fill(&ctx, &mut send, round);
+                ctx.all_to_all_var_pooled(&mut send, &mut recv, &tags, &mut records);
+                recv.clear();
+            }
+            let spares: Vec<crate::pool::PooledBuf> =
+                (0..4 * world).map(|_| ctx.take_buf(1024)).collect();
+            drop(spares);
+            ctx.barrier();
+            let warm = ctx.pool().stats();
+            for round in 3..23u8 {
+                fill(&ctx, &mut send, round);
+                ctx.all_to_all_var_pooled(&mut send, &mut recv, &tags, &mut records);
+                for (src, chunk) in recv.iter().enumerate() {
+                    assert_eq!(chunk[0], round ^ ctx.rank() as u8);
+                    assert_eq!(chunk.len(), 256 + ctx.rank() * 16);
+                    assert_eq!(records[src].0, chunk.len());
+                }
+                recv.clear();
+            }
+            ctx.barrier();
+            let end = ctx.pool().stats();
+            end.since(&warm)
+        });
+        // The pool is shared: after the barrier-fenced warm-up, the combined
+        // steady-state rounds must be allocation-free on every rank.
+        for delta in results {
+            assert_eq!(delta.allocations, 0, "steady state allocated: {delta:?}");
+            assert!(delta.reuses > 0);
+        }
+    }
+
+    #[test]
+    fn all_reduce_recycles_buffers() {
+        let world = 3;
+        cluster(world).run(move |ctx| {
+            let mut data = vec![ctx.rank() as f32; 1024];
+            for _ in 0..2 {
+                ctx.all_reduce_sum(&mut data);
+            }
+            // Park spare leases so no thread interleaving can catch the pool
+            // empty mid-round.
+            let spares: Vec<crate::pool::PooledBuf> =
+                (0..4 * world).map(|_| ctx.take_buf(4096)).collect();
+            drop(spares);
+            ctx.barrier();
+            let warm = ctx.pool().stats();
+            for _ in 0..10 {
+                ctx.all_reduce_sum(&mut data);
+            }
+            ctx.barrier();
+            let delta = ctx.pool().stats().since(&warm);
+            assert_eq!(delta.allocations, 0, "steady state allocated: {delta:?}");
         });
     }
 }

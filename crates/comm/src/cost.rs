@@ -68,8 +68,7 @@ impl CostModel {
     /// `sent_bytes` and receives `recv_bytes` in total (across all peers).
     /// The bottleneck direction dominates.
     pub fn alltoall_time(&self, sent_bytes: usize, recv_bytes: usize) -> f64 {
-        self.config.latency
-            + sent_bytes.max(recv_bytes) as f64 / self.config.alltoall_bandwidth
+        self.config.latency + sent_bytes.max(recv_bytes) as f64 / self.config.alltoall_bandwidth
     }
 
     /// Time for the metadata phase of a variable-size all-to-all:
@@ -139,7 +138,11 @@ mod tests {
         let t = m.allreduce_time(1_000_000, 4);
         assert!((t - 2.0 * 0.75 * 1_000_000.0 / 2e9).abs() < 1e-12);
         // With non-zero latency the alpha term scales with the tree depth.
-        let with_latency = NetworkConfig { latency: 1e-5, ..cfg }.cost_model();
+        let with_latency = NetworkConfig {
+            latency: 1e-5,
+            ..cfg
+        }
+        .cost_model();
         assert!((with_latency.allreduce_time(0, 8) - 2.0 * 3.0 * 1e-5).abs() < 1e-12);
         assert_eq!(m.allreduce_time(123, 1), 0.0);
     }

@@ -10,11 +10,19 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Accumulates seconds and bytes per named phase.
+/// Accumulates seconds, bytes moved, and buffer-allocation accounting per
+/// named phase.
+///
+/// The `allocated` / `reused` counters record how many bytes of buffer
+/// capacity a phase obtained from fresh heap allocations vs recycled pool
+/// leases and scratch buffers — the evidence behind the zero-allocation
+/// steady-state claim of the compress → send pipeline.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimingLedger {
     seconds: BTreeMap<String, f64>,
     bytes: BTreeMap<String, u64>,
+    allocated: BTreeMap<String, u64>,
+    reused: BTreeMap<String, u64>,
 }
 
 impl TimingLedger {
@@ -43,6 +51,41 @@ impl TimingLedger {
         self.bytes.get(phase).copied().unwrap_or(0)
     }
 
+    /// Record `bytes` of freshly allocated buffer capacity in `phase`.
+    pub fn add_allocated_bytes(&mut self, phase: &str, bytes: u64) {
+        if bytes > 0 {
+            *self.allocated.entry(phase.to_string()).or_insert(0) += bytes;
+        }
+    }
+
+    /// Record `bytes` of buffer capacity served from recycled pool leases or
+    /// scratch buffers in `phase`.
+    pub fn add_reused_bytes(&mut self, phase: &str, bytes: u64) {
+        if bytes > 0 {
+            *self.reused.entry(phase.to_string()).or_insert(0) += bytes;
+        }
+    }
+
+    /// Freshly allocated buffer bytes recorded for `phase`.
+    pub fn allocated_bytes(&self, phase: &str) -> u64 {
+        self.allocated.get(phase).copied().unwrap_or(0)
+    }
+
+    /// Recycled buffer bytes recorded for `phase`.
+    pub fn reused_bytes(&self, phase: &str) -> u64 {
+        self.reused.get(phase).copied().unwrap_or(0)
+    }
+
+    /// Total freshly allocated buffer bytes across all phases.
+    pub fn total_allocated_bytes(&self) -> u64 {
+        self.allocated.values().sum()
+    }
+
+    /// Total recycled buffer bytes across all phases.
+    pub fn total_reused_bytes(&self) -> u64 {
+        self.reused.values().sum()
+    }
+
     /// Total seconds across all phases.
     pub fn total_seconds(&self) -> f64 {
         self.seconds.values().sum()
@@ -50,10 +93,7 @@ impl TimingLedger {
 
     /// All phases with their seconds, sorted by phase name.
     pub fn phases(&self) -> Vec<(String, f64)> {
-        self.seconds
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect()
+        self.seconds.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// Fraction of the total spent in `phase` (0 if the ledger is empty).
@@ -75,6 +115,12 @@ impl TimingLedger {
         for (k, v) in &other.bytes {
             *self.bytes.entry(k.clone()).or_insert(0) += v;
         }
+        for (k, v) in &other.allocated {
+            *self.allocated.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.reused {
+            *self.reused.entry(k.clone()).or_insert(0) += v;
+        }
     }
 
     /// Merge ledgers from all ranks by taking the *maximum* per phase — the
@@ -88,6 +134,14 @@ impl TimingLedger {
             }
             for (k, v) in &ledger.bytes {
                 let entry = out.bytes.entry(k.clone()).or_insert(0);
+                *entry = (*entry).max(*v);
+            }
+            for (k, v) in &ledger.allocated {
+                let entry = out.allocated.entry(k.clone()).or_insert(0);
+                *entry = (*entry).max(*v);
+            }
+            for (k, v) in &ledger.reused {
+                let entry = out.reused.entry(k.clone()).or_insert(0);
                 *entry = (*entry).max(*v);
             }
         }

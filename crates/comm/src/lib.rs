@@ -19,10 +19,22 @@
 //! which the trainer aggregates into the per-phase breakdowns of Figures 1
 //! and 12.
 
+//!
+//! ## Pooled buffers
+//!
+//! Every message a collective moves rides a [`pool::PooledBuf`] leased from
+//! the sending rank's [`pool::BufferPool`] (one per rank); dropping a
+//! received lease recycles its storage back to the sender's pool for its
+//! next iteration, so the steady-state exchange allocates nothing. The
+//! `*_pooled` collectives on [`cluster::RankCtx`] expose this with
+//! caller-owned containers; the `Vec<u8>` entry points remain as wrappers.
+
 pub mod cluster;
 pub mod cost;
 pub mod ledger;
+pub mod pool;
 
 pub use cluster::{RankCtx, SimCluster};
 pub use cost::{CostModel, NetworkConfig};
 pub use ledger::TimingLedger;
+pub use pool::{BufferPool, PoolStats, PooledBuf};

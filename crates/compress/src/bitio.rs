@@ -27,23 +27,13 @@ impl BitWriter {
     /// # Panics
     /// Panics if `count > 32`.
     pub fn write_bits(&mut self, value: u32, count: u8) {
-        assert!(count <= 32, "cannot write more than 32 bits at once");
-        let mut remaining = count;
-        let mut v = value as u64;
-        while remaining > 0 {
-            if self.bit_pos == 0 {
-                self.bytes.push(0);
-            }
-            let free = 8 - self.bit_pos;
-            let take = free.min(remaining);
-            let mask = ((1u64 << take) - 1) as u8;
-            let chunk = (v as u8) & mask;
-            let last = self.bytes.last_mut().expect("byte pushed above");
-            *last |= chunk << self.bit_pos;
-            self.bit_pos = (self.bit_pos + take) % 8;
-            v >>= take;
-            remaining -= take;
-        }
+        // Single definition of the packing loop lives in BitSink.
+        let mut sink = BitSink {
+            bytes: &mut self.bytes,
+            bit_pos: self.bit_pos,
+        };
+        sink.write_bits(value, count);
+        self.bit_pos = sink.bit_pos;
     }
 
     /// Append a single bit.
@@ -63,6 +53,49 @@ impl BitWriter {
     /// Finish writing and return the packed bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.bytes
+    }
+}
+
+/// Like [`BitWriter`], but packs bits into a *caller-owned* byte vector
+/// (appending after its current contents) so the hot path can reuse one
+/// output buffer across calls instead of allocating per stream.
+///
+/// Produces exactly the same byte layout as [`BitWriter`].
+#[derive(Debug)]
+pub struct BitSink<'a> {
+    bytes: &'a mut Vec<u8>,
+    /// Bits already used in the last byte this sink wrote (0–7).
+    bit_pos: u8,
+}
+
+impl<'a> BitSink<'a> {
+    /// Start appending bits to `bytes`.
+    pub fn new(bytes: &'a mut Vec<u8>) -> Self {
+        Self { bytes, bit_pos: 0 }
+    }
+
+    /// Append the low `count` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    /// Panics if `count > 32`.
+    pub fn write_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "cannot write more than 32 bits at once");
+        let mut remaining = count;
+        let mut v = value as u64;
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let free = 8 - self.bit_pos;
+            let take = free.min(remaining);
+            let mask = ((1u64 << take) - 1) as u8;
+            let chunk = (v as u8) & mask;
+            let last = self.bytes.last_mut().expect("byte pushed above");
+            *last |= chunk << self.bit_pos;
+            self.bit_pos = (self.bit_pos + take) % 8;
+            v >>= take;
+            remaining -= take;
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 //! decompressed output), so the only difference benchmarks see is time.
 
 use crate::registry::Compressor;
+use crate::scratch::CompressScratch;
 use crate::Result;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -103,6 +104,55 @@ pub fn compress_chunks_fused(
             .for_each(|(dst, src)| dst.copy_from_slice(src));
     }
     Ok(FusedBuffer { bytes, spans })
+}
+
+/// Zero-allocation path: compress every chunk *directly* into the shared
+/// send buffer through [`Compressor::compress_into`], reusing the caller's
+/// scratch and the `FusedBuffer`'s own storage across calls.
+///
+/// Produces exactly the same chunks as [`compress_chunks_fused`] /
+/// [`compress_chunks_naive`], but performs no per-chunk allocation and no
+/// gather copy at all — each chunk's bytes are written once, in place. This
+/// is the path the trainer's steady-state pipeline uses.
+pub fn compress_chunks_into(
+    compressor: &dyn Compressor,
+    chunks: &[&[f32]],
+    dim: usize,
+    eb: f32,
+    scratch: &mut CompressScratch,
+    out: &mut FusedBuffer,
+) -> Result<()> {
+    out.bytes.clear();
+    out.spans.clear();
+    out.spans.reserve(chunks.len());
+    for chunk in chunks {
+        let start = out.bytes.len();
+        compressor.compress_into(chunk, dim, eb, scratch, &mut out.bytes)?;
+        out.spans.push((start, out.bytes.len() - start));
+    }
+    Ok(())
+}
+
+/// Decompress every chunk of a fused buffer into one caller-owned flat
+/// buffer, returning per-chunk `(offset, len)` spans into it (all in f32
+/// elements). The zero-allocation receive-side counterpart of
+/// [`compress_chunks_into`].
+pub fn decompress_chunks_into(
+    compressor: &dyn Compressor,
+    buffer: &FusedBuffer,
+    scratch: &mut CompressScratch,
+    values: &mut Vec<f32>,
+    spans: &mut Vec<(usize, usize)>,
+) -> Result<()> {
+    values.clear();
+    spans.clear();
+    spans.reserve(buffer.num_chunks());
+    for i in 0..buffer.num_chunks() {
+        let start = values.len();
+        compressor.decompress_into(buffer.chunk(i), scratch, values)?;
+        spans.push((start, values.len() - start));
+    }
+    Ok(())
 }
 
 /// Naive path: compress chunks one at a time, then gather them into the send
@@ -213,7 +263,7 @@ mod tests {
     #[test]
     fn single_chunk_and_empty_chunk_edge_cases() {
         let comp = build_compressor(CompressorKind::OursHybrid);
-        let one = vec![vec![0.25f32; 64]];
+        let one = [vec![0.25f32; 64]];
         let refs: Vec<&[f32]> = one.iter().map(Vec::as_slice).collect();
         let fused = compress_chunks_fused(comp.as_ref(), &refs, 8, 0.01).unwrap();
         assert_eq!(fused.num_chunks(), 1);

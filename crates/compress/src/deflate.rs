@@ -9,6 +9,7 @@
 
 use crate::huffman;
 use crate::lzss::{self, LzssConfig};
+use crate::scratch::CompressScratch;
 use crate::varint;
 use crate::Result;
 
@@ -16,46 +17,98 @@ use crate::Result;
 ///
 /// Layout: `[lzss_len varint][huffman(lzss stream)]`.
 pub fn compress_bytes(input: &[u8], config: LzssConfig) -> Vec<u8> {
-    let lz = lzss::compress_bytes(input, config);
-    let symbols: Vec<u32> = lz.iter().map(|&b| b as u32).collect();
+    let mut scratch = CompressScratch::new();
     let mut out = Vec::new();
-    varint::write_u64(&mut out, lz.len() as u64);
-    out.extend_from_slice(&huffman::encode(&symbols));
+    compress_bytes_into(input, config, &mut scratch, &mut out);
     out
+}
+
+/// Allocation-free [`compress_bytes`]: *appends* the stream to `out`.
+pub fn compress_bytes_into(
+    input: &[u8],
+    config: LzssConfig,
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) {
+    let mut lz = std::mem::take(&mut scratch.stage2);
+    lz.clear();
+    lzss::compress_bytes_into(input, config, scratch, &mut lz);
+    scratch.symbols.clear();
+    scratch.symbols.extend(lz.iter().map(|&b| b as u32));
+    // Worst case ≈ 15-bit codes for every LZSS byte plus the length table.
+    out.reserve(lz.len() * 2 + 600);
+    varint::write_u64(out, lz.len() as u64);
+    huffman::encode_into(&scratch.symbols, &mut scratch.freqs, out);
+    scratch.stage2 = lz;
 }
 
 /// Decompress a stream produced by [`compress_bytes`].
 pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<u8>> {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    decompress_bytes_into(bytes, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`decompress_bytes`]: clears and refills `out`.
+pub fn decompress_bytes_into(
+    bytes: &[u8],
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     let mut pos = 0usize;
     let lz_len = varint::read_u64(bytes, &mut pos)? as usize;
-    let symbols = huffman::decode(&bytes[pos..])?;
-    if symbols.len() != lz_len {
+    huffman::decode_into(&bytes[pos..], &mut scratch.huff_table, &mut scratch.symbols)?;
+    if scratch.symbols.len() != lz_len {
         return Err(crate::error::CompressError::Corrupt(
             "inner LZSS stream has unexpected length",
         ));
     }
-    let lz: Vec<u8> = symbols.iter().map(|&s| s as u8).collect();
-    lzss::decompress_bytes(&lz)
+    let mut lz = std::mem::take(&mut scratch.stage2);
+    lz.clear();
+    lz.extend(scratch.symbols.iter().map(|&s| s as u8));
+    let result = lzss::decompress_bytes_into(&lz, out);
+    scratch.stage2 = lz;
+    result
 }
 
 /// Compress a slice of f32 values losslessly (bit-exact).
 pub fn compress_f32(data: &[f32], config: LzssConfig) -> Vec<u8> {
-    let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-    compress_bytes(&bytes, config)
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    compress_f32_into(data, config, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free [`compress_f32`]: *appends* the stream to `out`.
+pub fn compress_f32_into(
+    data: &[f32],
+    config: LzssConfig,
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) {
+    crate::scratch::with_f32_staged(data, scratch, |bytes, scratch| {
+        compress_bytes_into(bytes, config, scratch, out)
+    });
 }
 
 /// Inverse of [`compress_f32`].
 pub fn decompress_f32(bytes: &[u8]) -> Result<Vec<f32>> {
-    let raw = decompress_bytes(bytes)?;
-    if raw.len() % 4 != 0 {
-        return Err(crate::error::CompressError::Corrupt(
-            "payload not a whole number of f32",
-        ));
-    }
-    Ok(raw
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
-        .collect())
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    decompress_f32_into(bytes, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`decompress_f32`]: *appends* the values to `out`.
+pub fn decompress_f32_into(
+    bytes: &[u8],
+    scratch: &mut CompressScratch,
+    out: &mut Vec<f32>,
+) -> Result<()> {
+    crate::scratch::decompress_f32_staged(scratch, out, |scratch, raw| {
+        decompress_bytes_into(bytes, scratch, raw)
+    })
 }
 
 #[cfg(test)]
@@ -67,7 +120,9 @@ mod tests {
         for data in [
             b"".to_vec(),
             b"deflate-like baseline".to_vec(),
-            (0..4096u32).flat_map(|i| i.to_le_bytes()).collect::<Vec<u8>>(),
+            (0..4096u32)
+                .flat_map(|i| i.to_le_bytes())
+                .collect::<Vec<u8>>(),
             vec![7u8; 10_000],
         ] {
             let enc = compress_bytes(&data, LzssConfig::default());

@@ -37,7 +37,10 @@ impl fmt::Display for CompressError {
                 write!(f, "input contains NaN or infinite values")
             }
             CompressError::DimensionMismatch { len, dim } => {
-                write!(f, "input length {len} is not a multiple of vector dimension {dim}")
+                write!(
+                    f,
+                    "input length {len} is not a multiple of vector dimension {dim}"
+                )
             }
             CompressError::CodeOverflow(v) => {
                 write!(f, "value {v} overflows the quantization code range")
@@ -71,13 +74,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            CompressError::Corrupt("x"),
-            CompressError::Corrupt("x")
-        );
-        assert_ne!(
-            CompressError::NonFiniteInput,
-            CompressError::Corrupt("x")
-        );
+        assert_eq!(CompressError::Corrupt("x"), CompressError::Corrupt("x"));
+        assert_ne!(CompressError::NonFiniteInput, CompressError::Corrupt("x"));
     }
 }

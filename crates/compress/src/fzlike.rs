@@ -14,54 +14,94 @@
 
 use crate::error::CompressError;
 use crate::quant;
+use crate::scratch::CompressScratch;
 use crate::varint;
 use crate::Result;
 
 /// Compress a batch of embedding vectors with the bitshuffle pipeline.
 pub fn compress(data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
-    if dim == 0 || data.len() % dim != 0 {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    compress_into(data, dim, eb, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`compress`]: *appends* the stream to `out`.
+pub fn compress_into(
+    data: &[f32],
+    dim: usize,
+    eb: f32,
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
         return Err(CompressError::DimensionMismatch {
             len: data.len(),
             dim,
         });
     }
-    let q = quant::quantize(data, eb)?;
-    let symbols = quant::codes_to_symbols(&q.codes);
-    let planes = bitshuffle(&symbols);
+    quant::quantize_into(data, eb, &mut scratch.codes)?;
+    quant::codes_to_symbols_into(&scratch.codes, &mut scratch.symbols);
+    bitshuffle_into(&scratch.symbols, &mut scratch.stage);
 
-    let mut out = Vec::new();
-    varint::write_u64(&mut out, data.len() as u64);
-    varint::write_u64(&mut out, dim as u64);
-    varint::write_f32_le(&mut out, eb);
-    zero_run_encode(&planes, &mut out);
-    Ok(out)
+    // Worst case ≈ the full plane buffer as literals plus run headers.
+    out.reserve(scratch.stage.len() + scratch.stage.len() / 2 + 64);
+    varint::write_u64(out, data.len() as u64);
+    varint::write_u64(out, dim as u64);
+    varint::write_f32_le(out, eb);
+    zero_run_encode(&scratch.stage, out);
+    Ok(())
 }
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    decompress_into(bytes, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`decompress`]: *appends* the values to `out`.
+pub fn decompress_into(
+    bytes: &[u8],
+    scratch: &mut CompressScratch,
+    out: &mut Vec<f32>,
+) -> Result<()> {
     let mut pos = 0usize;
     let n = varint::read_u64(bytes, &mut pos)? as usize;
     let _dim = varint::read_u64(bytes, &mut pos)? as usize;
     let eb = varint::read_f32_le(bytes, &mut pos)?;
-    quant::validate_error_bound(eb).map_err(|_| CompressError::Corrupt("bad error bound in header"))?;
+    quant::validate_error_bound(eb)
+        .map_err(|_| CompressError::Corrupt("bad error bound in header"))?;
     // A corrupt header cannot be allowed to drive the plane-buffer size: the
     // zero-run payload that follows can never legitimately describe more
     // values than it has bytes of stream to back them.
     if n / 8 > bytes.len().saturating_mul(64) {
-        return Err(CompressError::Corrupt("declared length far exceeds stream size"));
+        return Err(CompressError::Corrupt(
+            "declared length far exceeds stream size",
+        ));
     }
     let plane_bytes = 32 * n.div_ceil(8);
-    let planes = zero_run_decode(&bytes[pos..], plane_bytes)?;
-    let symbols = bitunshuffle(&planes, n);
-    let codes = quant::symbols_to_codes(&symbols);
-    quant::dequantize(&codes, eb)
+    zero_run_decode_into(&bytes[pos..], plane_bytes, &mut scratch.stage)?;
+    bitunshuffle_into(&scratch.stage, n, &mut scratch.symbols);
+    quant::symbols_to_codes_into(&scratch.symbols, &mut scratch.codes);
+    quant::dequantize_into(&scratch.codes, eb, out)
 }
 
 /// Transpose `symbols` into 32 bit planes. Plane `b` holds bit `b` of every
 /// symbol, packed 8 symbols per byte (LSB-first within the byte).
+#[cfg(test)]
 fn bitshuffle(symbols: &[u32]) -> Vec<u8> {
+    let mut planes = Vec::new();
+    bitshuffle_into(symbols, &mut planes);
+    planes
+}
+
+/// Allocation-free [`bitshuffle`]: clears and refills `planes`.
+fn bitshuffle_into(symbols: &[u32], planes: &mut Vec<u8>) {
     let stride = symbols.len().div_ceil(8);
-    let mut planes = vec![0u8; 32 * stride];
+    planes.clear();
+    planes.resize(32 * stride, 0);
     for (i, &s) in symbols.iter().enumerate() {
         let byte = i / 8;
         let bit = i % 8;
@@ -72,13 +112,21 @@ fn bitshuffle(symbols: &[u32]) -> Vec<u8> {
             v &= v - 1;
         }
     }
-    planes
 }
 
 /// Inverse of [`bitshuffle`].
+#[cfg(test)]
 fn bitunshuffle(planes: &[u8], n: usize) -> Vec<u32> {
+    let mut symbols = Vec::new();
+    bitunshuffle_into(planes, n, &mut symbols);
+    symbols
+}
+
+/// Allocation-free [`bitunshuffle`]: clears and refills `symbols`.
+fn bitunshuffle_into(planes: &[u8], n: usize, symbols: &mut Vec<u32>) {
     let stride = n.div_ceil(8);
-    let mut symbols = vec![0u32; n];
+    symbols.clear();
+    symbols.resize(n, 0);
     for b in 0..32usize {
         let plane = &planes[b * stride..(b + 1) * stride];
         for (byte_idx, &byte) in plane.iter().enumerate() {
@@ -96,7 +144,6 @@ fn bitunshuffle(planes: &[u8], n: usize) -> Vec<u32> {
             }
         }
     }
-    symbols
 }
 
 /// Zero-run encoder: the buffer is emitted as alternating runs. Each run is
@@ -133,8 +180,17 @@ fn zero_run_encode(buf: &[u8], out: &mut Vec<u8>) {
 }
 
 /// Inverse of [`zero_run_encode`]; `expected_len` is the plane-buffer size.
+#[cfg(test)]
 fn zero_run_decode(bytes: &[u8], expected_len: usize) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(expected_len.min(1 << 24));
+    let mut out = Vec::new();
+    zero_run_decode_into(bytes, expected_len, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`zero_run_decode`]: clears and refills `out`.
+fn zero_run_decode_into(bytes: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
+    out.reserve(expected_len.min(1 << 24));
     let mut pos = 0usize;
     while out.len() < expected_len {
         let token = varint::read_u64(bytes, &mut pos)? as usize;
@@ -155,7 +211,7 @@ fn zero_run_decode(bytes: &[u8], expected_len: usize) -> Result<Vec<u8>> {
     if out.len() != expected_len {
         return Err(CompressError::Corrupt("plane buffer length mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -178,7 +234,9 @@ mod tests {
 
     #[test]
     fn bitshuffle_roundtrips_exactly() {
-        let symbols: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2_654_435_761) >> 10).collect();
+        let symbols: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) >> 10)
+            .collect();
         let planes = bitshuffle(&symbols);
         assert_eq!(bitunshuffle(&planes, symbols.len()), symbols);
         // Non-multiple-of-8 length.
@@ -199,18 +257,13 @@ mod tests {
 
     #[test]
     fn zero_run_encoder_roundtrips_edge_cases() {
-        for buf in [
-            vec![],
-            vec![0u8; 100],
-            vec![1u8; 100],
-            {
-                let mut v = vec![0u8; 10];
-                v.extend([1, 2, 3]);
-                v.extend(vec![0u8; 50]);
-                v.extend([9]);
-                v
-            },
-        ] {
+        for buf in [vec![], vec![0u8; 100], vec![1u8; 100], {
+            let mut v = vec![0u8; 10];
+            v.extend([1, 2, 3]);
+            v.extend(vec![0u8; 50]);
+            v.extend([9]);
+            v
+        }] {
             let mut enc = Vec::new();
             zero_run_encode(&buf, &mut enc);
             let dec = zero_run_decode(&enc, buf.len()).unwrap();

@@ -17,7 +17,7 @@
 //!   stored in the header, and both sides rebuild the same codebook.
 //! * Decoding uses a flat lookup table indexed by `MAX_CODE_LEN` bits.
 
-use crate::bitio::{BitReader, BitWriter};
+use crate::bitio::{BitReader, BitSink};
 use crate::error::CompressError;
 use crate::varint;
 use crate::Result;
@@ -57,7 +57,9 @@ impl Codebook {
     /// Rebuild a codebook from the per-symbol lengths stored in a header.
     pub fn from_lengths(lengths: Vec<u8>) -> Result<Codebook> {
         if lengths.len() != HOT_SYMBOLS + 1 {
-            return Err(CompressError::Corrupt("codebook length table has wrong size"));
+            return Err(CompressError::Corrupt(
+                "codebook length table has wrong size",
+            ));
         }
         if lengths.iter().any(|&l| l > MAX_CODE_LEN) {
             return Err(CompressError::Corrupt("codebook length exceeds limit"));
@@ -81,7 +83,7 @@ impl Codebook {
         self.lengths[symbol]
     }
 
-    fn emit(&self, w: &mut BitWriter, symbol: usize) {
+    fn emit(&self, w: &mut BitSink<'_>, symbol: usize) {
         debug_assert!(self.lengths[symbol] > 0, "emitting absent symbol {symbol}");
         // Canonical codes are MSB-first prefix codes; the bit writer emits
         // LSB-first, so write the bit-reversed code to keep the stream a
@@ -97,7 +99,18 @@ impl Codebook {
 /// Output layout: `[n: varint] [lengths: HOT_SYMBOLS+1 packed 4-bit pairs]
 /// [payload bits]`.
 pub fn encode(symbols: &[u32]) -> Vec<u8> {
-    let mut freqs = vec![0u64; HOT_SYMBOLS + 1];
+    let mut freqs = Vec::new();
+    let mut out = Vec::new();
+    encode_into(symbols, &mut freqs, &mut out);
+    out
+}
+
+/// Allocation-lean [`encode`]: *appends* the stream to `out`, reusing the
+/// caller's `freqs` buffer for the frequency count. (The codebook
+/// construction itself still uses bounded `O(HOT_SYMBOLS)` temporaries.)
+pub fn encode_into(symbols: &[u32], freqs: &mut Vec<u64>, out: &mut Vec<u8>) {
+    freqs.clear();
+    freqs.resize(HOT_SYMBOLS + 1, 0);
     for &s in symbols {
         if (s as usize) < HOT_SYMBOLS {
             freqs[s as usize] += 1;
@@ -110,10 +123,9 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
     if freqs.iter().filter(|&&f| f > 0).count() <= 1 {
         freqs[ESCAPE] += 1;
     }
-    let book = Codebook::from_frequencies(&freqs);
+    let book = Codebook::from_frequencies(freqs);
 
-    let mut out = Vec::new();
-    varint::write_u64(&mut out, symbols.len() as u64);
+    varint::write_u64(out, symbols.len() as u64);
     // Pack lengths as 4-bit nibbles (MAX_CODE_LEN = 15 fits).
     let mut nibble_buf = 0u8;
     let mut have_nibble = false;
@@ -130,7 +142,7 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
         out.push(nibble_buf);
     }
 
-    let mut w = BitWriter::new();
+    let mut w = BitSink::new(out);
     for &s in symbols {
         if (s as usize) < HOT_SYMBOLS && book.length(s as usize) > 0 {
             book.emit(&mut w, s as usize);
@@ -139,22 +151,31 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
             w.write_bits(s, 32);
         }
     }
-    let payload = w.into_bytes();
-    out.extend_from_slice(&payload);
-    out
 }
 
 /// Decompress a stream produced by [`encode`].
 pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
+    let mut table = Vec::new();
+    let mut out = Vec::new();
+    decode_into(bytes, &mut table, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-lean [`decode`]: clears and refills `out`, reusing the
+/// caller's flat decode `table` (192 KiB once warmed — the dominant
+/// per-call allocation of the legacy path). The codebook rebuild still uses
+/// bounded `O(HOT_SYMBOLS)` temporaries per call.
+pub fn decode_into(bytes: &[u8], table: &mut Vec<(u16, u8)>, out: &mut Vec<u32>) -> Result<()> {
+    out.clear();
     let mut pos = 0usize;
     let n = varint::read_u64(bytes, &mut pos)? as usize;
     let table_bytes = (HOT_SYMBOLS + 1).div_ceil(2);
-    let table = bytes
+    let packed = bytes
         .get(pos..pos + table_bytes)
         .ok_or(CompressError::Corrupt("truncated codebook"))?;
     pos += table_bytes;
     let mut lengths = Vec::with_capacity(HOT_SYMBOLS + 1);
-    for &b in table {
+    for &b in packed {
         lengths.push(b & 0x0F);
         if lengths.len() < HOT_SYMBOLS + 1 {
             lengths.push(b >> 4);
@@ -162,10 +183,10 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
     }
     lengths.truncate(HOT_SYMBOLS + 1);
     let book = Codebook::from_lengths(lengths)?;
-    let decoder = Decoder::new(&book);
+    let decoder = Decoder::new_in(&book, table);
 
     let mut r = BitReader::new(&bytes[pos..]);
-    let mut out = Vec::with_capacity(n.min(1 << 22));
+    out.reserve(n.min(1 << 22));
     for _ in 0..n {
         let symbol = decoder.read_symbol(&mut r)?;
         if symbol == ESCAPE {
@@ -174,19 +195,20 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<u32>> {
             out.push(symbol as u32);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
-/// Flat-table Huffman decoder.
-struct Decoder {
+/// Flat-table Huffman decoder over a borrowed table buffer.
+struct Decoder<'t> {
     /// For every possible `MAX_CODE_LEN`-bit window: (symbol, code length).
-    table: Vec<(u16, u8)>,
+    table: &'t [(u16, u8)],
 }
 
-impl Decoder {
-    fn new(book: &Codebook) -> Decoder {
+impl<'t> Decoder<'t> {
+    fn new_in(book: &Codebook, table: &'t mut Vec<(u16, u8)>) -> Decoder<'t> {
         let size = 1usize << MAX_CODE_LEN;
-        let mut table = vec![(u16::MAX, 0u8); size];
+        table.clear();
+        table.resize(size, (u16::MAX, 0u8));
         for (sym, (&len, &code)) in book.lengths.iter().zip(book.codes.iter()).enumerate() {
             if len == 0 {
                 continue;
@@ -398,7 +420,9 @@ mod tests {
     #[test]
     fn skewed_data_compresses_well() {
         // 95% zeros → strong compression expected vs the 4-bytes-per-symbol raw size.
-        let symbols: Vec<u32> = (0..10_000).map(|i| if i % 20 == 0 { i % 7 + 1 } else { 0 }).collect();
+        let symbols: Vec<u32> = (0..10_000)
+            .map(|i| if i % 20 == 0 { i % 7 + 1 } else { 0 })
+            .collect();
         let enc = encode(&symbols);
         let raw = symbols.len() * 4;
         assert!(

@@ -16,6 +16,7 @@
 
 use crate::error::CompressError;
 use crate::quant;
+use crate::scratch::CompressScratch;
 use crate::varint;
 use crate::vlz::{self, VlzConfig};
 use crate::{huffman, Result};
@@ -48,22 +49,61 @@ const TAG_HUFFMAN: u8 = 2;
 
 /// Compress a batch of embedding vectors with the hybrid compressor.
 pub fn compress(data: &[f32], dim: usize, eb: f32, config: HybridConfig) -> Result<Vec<u8>> {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    compress_into(data, dim, eb, config, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`compress`]: *appends* the tagged stream to `out`.
+///
+/// The `Auto` selection compresses with both back-ends into the scratch's
+/// staging buffers and copies the winner — still allocation-free once the
+/// staging buffers have warmed up.
+pub fn compress_into(
+    data: &[f32],
+    dim: usize,
+    eb: f32,
+    config: HybridConfig,
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
     match config.selection {
         Selection::Vlz => {
-            let payload = vlz::compress(data, dim, eb, config.vlz)?;
-            Ok(tagged(TAG_VLZ, payload))
+            out.push(TAG_VLZ);
+            vlz::compress_into(data, dim, eb, config.vlz, scratch, out)
         }
         Selection::Huffman => {
-            let payload = entropy_compress(data, dim, eb)?;
-            Ok(tagged(TAG_HUFFMAN, payload))
+            out.push(TAG_HUFFMAN);
+            entropy_compress_into(data, dim, eb, scratch, out)
         }
         Selection::Auto => {
-            let lz = vlz::compress(data, dim, eb, config.vlz)?;
-            let hf = entropy_compress(data, dim, eb)?;
-            if lz.len() <= hf.len() {
-                Ok(tagged(TAG_VLZ, lz))
-            } else {
-                Ok(tagged(TAG_HUFFMAN, hf))
+            // Stage both candidates in the scratch's byte buffers (taken out
+            // of the scratch so the codecs can borrow it mutably).
+            let mut lz = std::mem::take(&mut scratch.stage);
+            let mut hf = std::mem::take(&mut scratch.stage2);
+            lz.clear();
+            hf.clear();
+            let result = vlz::compress_into(data, dim, eb, config.vlz, scratch, &mut lz)
+                .and_then(|()| entropy_compress_into(data, dim, eb, scratch, &mut hf));
+            match result {
+                Ok(()) => {
+                    if lz.len() <= hf.len() {
+                        out.push(TAG_VLZ);
+                        out.extend_from_slice(&lz);
+                    } else {
+                        out.push(TAG_HUFFMAN);
+                        out.extend_from_slice(&hf);
+                    }
+                    scratch.stage = lz;
+                    scratch.stage2 = hf;
+                    Ok(())
+                }
+                Err(e) => {
+                    scratch.stage = lz;
+                    scratch.stage2 = hf;
+                    Err(e)
+                }
             }
         }
     }
@@ -71,13 +111,27 @@ pub fn compress(data: &[f32], dim: usize, eb: f32, config: HybridConfig) -> Resu
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    decompress_into(bytes, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`decompress`]: *appends* the values to `out`.
+pub fn decompress_into(
+    bytes: &[u8],
+    scratch: &mut CompressScratch,
+    out: &mut Vec<f32>,
+) -> Result<()> {
     let (&tag, payload) = bytes
         .split_first()
         .ok_or(CompressError::Corrupt("empty hybrid stream"))?;
     match tag {
-        TAG_VLZ => vlz::decompress(payload),
-        TAG_HUFFMAN => entropy_decompress(payload),
-        _ => Err(CompressError::UnsupportedFormat("unknown hybrid back-end tag")),
+        TAG_VLZ => vlz::decompress_into(payload, scratch, out),
+        TAG_HUFFMAN => entropy_decompress_into(payload, scratch, out),
+        _ => Err(CompressError::UnsupportedFormat(
+            "unknown hybrid back-end tag",
+        )),
     }
 }
 
@@ -86,16 +140,11 @@ pub fn backend_of(bytes: &[u8]) -> Result<Selection> {
     match bytes.first() {
         Some(&TAG_VLZ) => Ok(Selection::Vlz),
         Some(&TAG_HUFFMAN) => Ok(Selection::Huffman),
-        Some(_) => Err(CompressError::UnsupportedFormat("unknown hybrid back-end tag")),
+        Some(_) => Err(CompressError::UnsupportedFormat(
+            "unknown hybrid back-end tag",
+        )),
         None => Err(CompressError::Corrupt("empty hybrid stream")),
     }
-}
-
-fn tagged(tag: u8, mut payload: Vec<u8>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + 1);
-    out.push(tag);
-    out.append(&mut payload);
-    out
 }
 
 /// The standalone entropy-backed lossy compressor ("Ours-Huffman"):
@@ -103,35 +152,67 @@ fn tagged(tag: u8, mut payload: Vec<u8>) -> Vec<u8> {
 ///
 /// Layout: `[n varint] [dim varint] [eb f32] [huffman stream]`.
 pub fn entropy_compress(data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
-    if dim == 0 || data.len() % dim != 0 {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    entropy_compress_into(data, dim, eb, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`entropy_compress`]: *appends* the stream to `out`.
+pub fn entropy_compress_into(
+    data: &[f32],
+    dim: usize,
+    eb: f32,
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
         return Err(CompressError::DimensionMismatch {
             len: data.len(),
             dim,
         });
     }
-    let q = quant::quantize(data, eb)?;
-    let symbols = quant::codes_to_symbols(&q.codes);
-    let mut out = Vec::new();
-    varint::write_u64(&mut out, data.len() as u64);
-    varint::write_u64(&mut out, dim as u64);
-    varint::write_f32_le(&mut out, eb);
-    out.extend_from_slice(&huffman::encode(&symbols));
-    Ok(out)
+    quant::quantize_into(data, eb, &mut scratch.codes)?;
+    quant::codes_to_symbols_into(&scratch.codes, &mut scratch.symbols);
+    // Worst case: every symbol escapes (15-bit code + 32-bit literal) plus
+    // the 513-byte length table — reserved up front so the output buffer
+    // never grows after its first use (zero-allocation steady state).
+    out.reserve(data.len() * 6 + 600);
+    varint::write_u64(out, data.len() as u64);
+    varint::write_u64(out, dim as u64);
+    varint::write_f32_le(out, eb);
+    huffman::encode_into(&scratch.symbols, &mut scratch.freqs, out);
+    Ok(())
 }
 
 /// Decompress a stream produced by [`entropy_compress`].
 pub fn entropy_decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    entropy_decompress_into(bytes, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`entropy_decompress`]: *appends* the values to `out`.
+pub fn entropy_decompress_into(
+    bytes: &[u8],
+    scratch: &mut CompressScratch,
+    out: &mut Vec<f32>,
+) -> Result<()> {
     let mut pos = 0usize;
     let n = varint::read_u64(bytes, &mut pos)? as usize;
     let _dim = varint::read_u64(bytes, &mut pos)? as usize;
     let eb = varint::read_f32_le(bytes, &mut pos)?;
-    quant::validate_error_bound(eb).map_err(|_| CompressError::Corrupt("bad error bound in header"))?;
-    let symbols = huffman::decode(&bytes[pos..])?;
-    if symbols.len() != n {
-        return Err(CompressError::Corrupt("entropy stream decoded wrong length"));
+    quant::validate_error_bound(eb)
+        .map_err(|_| CompressError::Corrupt("bad error bound in header"))?;
+    huffman::decode_into(&bytes[pos..], &mut scratch.huff_table, &mut scratch.symbols)?;
+    if scratch.symbols.len() != n {
+        return Err(CompressError::Corrupt(
+            "entropy stream decoded wrong length",
+        ));
     }
-    let codes = quant::symbols_to_codes(&symbols);
-    quant::dequantize(&codes, eb)
+    quant::symbols_to_codes_into(&scratch.symbols, &mut scratch.codes);
+    quant::dequantize_into(&scratch.codes, eb, out)
 }
 
 #[cfg(test)]
@@ -198,7 +279,9 @@ mod tests {
     #[test]
     fn auto_is_at_least_as_good_as_either_backend() {
         for data in [repeated_batch(32, 128, 6), spread_batch(32, 128)] {
-            let auto = compress(&data, 32, 0.02, HybridConfig::default()).unwrap().len();
+            let auto = compress(&data, 32, 0.02, HybridConfig::default())
+                .unwrap()
+                .len();
             let vlz_only = compress(
                 &data,
                 32,
@@ -255,7 +338,9 @@ mod tests {
                 let id = i % 8;
                 data.extend((0..dim).map(|j| ((id * dim + j) as f32).cos() * 0.1));
             } else {
-                data.extend((0..dim).map(|j| (((i * dim + j) * 2_654_435_761) % 997) as f32 * 2e-4));
+                data.extend(
+                    (0..dim).map(|j| (((i * dim + j) * 2_654_435_761) % 997) as f32 * 2e-4),
+                );
             }
         }
         let enc = compress(&data, dim, 0.01, HybridConfig::default()).unwrap();

@@ -28,6 +28,24 @@
 //! Every compressor implements the [`Compressor`] trait and produces a
 //! self-describing byte stream: `decompress` needs only the bytes.
 
+//! ## Allocation-free hot path
+//!
+//! Every compressor additionally implements
+//! [`Compressor::compress_into`] / [`Compressor::decompress_into`], which
+//! write into caller-owned buffers and draw every intermediate (quantization
+//! codes, entropy symbols, Huffman tables, staging bytes) from a reusable
+//! [`scratch::CompressScratch`]. The classic allocating `compress` /
+//! `decompress` methods are thin wrappers over these, so both paths produce
+//! byte-identical streams. A steady-state caller — the trainer compressing
+//! one chunk per destination rank every iteration — performs zero heap
+//! allocations once the scratch has warmed up. The one documented exception:
+//! the Huffman encoder *and* decoder still build their codebook with bounded
+//! `O(HOT_SYMBOLS)` (~a few KiB) temporaries per call — the ledger counters
+//! measure pool/scratch reuse and do not see these.
+//! [`buffer::compress_chunks_into`] extends this to the multi-chunk
+//! all-to-all send buffer: every destination's chunk is compressed directly
+//! into one contiguous reusable buffer.
+
 pub mod bitio;
 pub mod buffer;
 pub mod deflate;
@@ -39,6 +57,7 @@ pub mod lowprec;
 pub mod lzss;
 pub mod quant;
 pub mod registry;
+pub mod scratch;
 pub mod stats;
 pub mod szlike;
 pub mod varint;
@@ -46,6 +65,7 @@ pub mod vlz;
 
 pub use error::CompressError;
 pub use registry::{Compressor, CompressorKind};
+pub use scratch::CompressScratch;
 pub use stats::{measure_roundtrip, verify_error_bound, CompressionReport};
 
 /// Convenience result alias used throughout the crate.

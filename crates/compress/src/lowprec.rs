@@ -152,26 +152,40 @@ pub enum Precision {
 /// Compress by casting down. Layout: `[n varint][format u8][payload]`.
 pub fn compress(data: &[f32], precision: Precision) -> Vec<u8> {
     let mut out = Vec::with_capacity(2 + data.len() * 2);
-    varint::write_u64(&mut out, data.len() as u64);
+    compress_into(data, precision, &mut out);
+    out
+}
+
+/// Allocation-free [`compress`]: *appends* the stream to `out`.
+pub fn compress_into(data: &[f32], precision: Precision, out: &mut Vec<u8>) {
+    varint::write_u64(out, data.len() as u64);
     match precision {
         Precision::Fp16 => {
             out.push(0);
+            out.reserve(data.len() * 2);
             for &v in data {
                 out.extend_from_slice(&f32_to_f16_bits(v).to_le_bytes());
             }
         }
         Precision::Fp8E4M3 => {
             out.push(1);
+            out.reserve(data.len());
             for &v in data {
                 out.push(f32_to_fp8_e4m3(v));
             }
         }
     }
-    out
 }
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+    let mut out = Vec::new();
+    decompress_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`decompress`]: *appends* the values to `out`.
+pub fn decompress_into(bytes: &[u8], out: &mut Vec<f32>) -> Result<()> {
     let mut pos = 0usize;
     let n = varint::read_u64(bytes, &mut pos)? as usize;
     let &fmt = bytes
@@ -183,16 +197,21 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
             let payload = bytes
                 .get(pos..pos + 2 * n)
                 .ok_or(CompressError::Corrupt("truncated fp16 payload"))?;
-            Ok(payload
-                .chunks_exact(2)
-                .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
-                .collect())
+            out.reserve(n);
+            out.extend(
+                payload
+                    .chunks_exact(2)
+                    .map(|c| f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]]))),
+            );
+            Ok(())
         }
         1 => {
             let payload = bytes
                 .get(pos..pos + n)
                 .ok_or(CompressError::Corrupt("truncated fp8 payload"))?;
-            Ok(payload.iter().map(|&b| fp8_e4m3_to_f32(b)).collect())
+            out.reserve(n);
+            out.extend(payload.iter().map(|&b| fp8_e4m3_to_f32(b)));
+            Ok(())
         }
         _ => Err(CompressError::UnsupportedFormat("unknown precision tag")),
     }
@@ -222,8 +241,14 @@ mod tests {
 
     #[test]
     fn f16_specials() {
-        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)), f32::INFINITY);
-        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)),
+            f32::INFINITY
+        );
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
         assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
         // Overflow saturates to inf, tiny values flush toward zero.
         assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e20)), f32::INFINITY);

@@ -14,6 +14,7 @@
 //! `[match_len varint >= MIN_MATCH][distance varint]`.
 
 use crate::error::CompressError;
+use crate::scratch::{CompressScratch, LZSS_CHAIN};
 use crate::varint;
 use crate::Result;
 
@@ -26,7 +27,7 @@ pub const MIN_MATCH: usize = 4;
 pub const DEFAULT_WINDOW: usize = 4096;
 
 /// Number of candidate positions remembered per 4-byte hash bucket.
-const CHAIN: usize = 8;
+const CHAIN: usize = LZSS_CHAIN;
 
 /// LZSS configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,54 +49,80 @@ impl Default for LzssConfig {
 
 /// Compress a byte slice.
 pub fn compress_bytes(input: &[u8], config: LzssConfig) -> Vec<u8> {
+    let mut scratch = CompressScratch::new();
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    varint::write_u64(&mut out, input.len() as u64);
+    compress_bytes_into(input, config, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free [`compress_bytes`]: *appends* the stream to `out`,
+/// reusing the scratch's hash-chain table and literal-run buffer.
+pub fn compress_bytes_into(
+    input: &[u8],
+    config: LzssConfig,
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) {
+    // Worst case ≈ all literals plus run headers; reserving it up front
+    // keeps the output buffer from growing after its first use.
+    out.reserve(input.len() + input.len() / 4 + 64);
+    varint::write_u64(out, input.len() as u64);
     if input.is_empty() {
-        return out;
+        return;
     }
 
     // Hash table over 4-byte prefixes → up to CHAIN recent positions.
     let buckets = (input.len().next_power_of_two()).clamp(1 << 8, 1 << 16);
-    let mut table: Vec<[usize; CHAIN]> = vec![[usize::MAX; CHAIN]; buckets];
+    let table = &mut scratch.lzss_table;
+    table.clear();
+    table.resize(buckets, [usize::MAX; CHAIN]);
 
-    let mut literals: Vec<u8> = Vec::new();
+    let literals = &mut scratch.literals;
+    literals.clear();
     let mut pos = 0usize;
     while pos < input.len() {
         let (best_len, best_dist) = if pos + MIN_MATCH <= input.len() {
-            find_match(input, pos, &table, buckets, config)
+            find_match(input, pos, table, buckets, config)
         } else {
             (0, 0)
         };
         if best_len >= MIN_MATCH {
-            flush_literals(&mut out, &mut literals);
-            varint::write_u64(&mut out, best_len as u64);
-            varint::write_u64(&mut out, best_dist as u64);
+            flush_literals(out, literals);
+            varint::write_u64(out, best_len as u64);
+            varint::write_u64(out, best_dist as u64);
             // Index every position covered by the match so later data can
             // refer back into it.
             let end = (pos + best_len).min(input.len());
             let mut p = pos;
             while p < end && p + MIN_MATCH <= input.len() {
-                insert(&mut table, buckets, input, p);
+                insert(table, buckets, input, p);
                 p += 1;
             }
             pos = end;
         } else {
             if pos + MIN_MATCH <= input.len() {
-                insert(&mut table, buckets, input, pos);
+                insert(table, buckets, input, pos);
             }
             literals.push(input[pos]);
             pos += 1;
         }
     }
-    flush_literals(&mut out, &mut literals);
-    out
+    flush_literals(out, literals);
 }
 
 /// Decompress a stream produced by [`compress_bytes`].
 pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_bytes_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`decompress_bytes`]: clears and refills `out`.
+pub fn decompress_bytes_into(bytes: &[u8], out: &mut Vec<u8>) -> Result<()> {
     let mut pos = 0usize;
     let n = varint::read_u64(bytes, &mut pos)? as usize;
-    let mut out: Vec<u8> = Vec::with_capacity(n.min(1 << 24));
+    out.clear();
+    out.reserve(n.min(1 << 24));
     while out.len() < n {
         let token = varint::read_u64(bytes, &mut pos)? as usize;
         if token == 0 {
@@ -112,7 +139,9 @@ pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<u8>> {
                 return Err(CompressError::Corrupt("match distance out of range"));
             }
             if len > n - out.len() {
-                return Err(CompressError::Corrupt("match length overruns declared size"));
+                return Err(CompressError::Corrupt(
+                    "match length overruns declared size",
+                ));
             }
             let start = out.len() - dist;
             // Overlapping copies are legal (dist < len) — copy byte-wise.
@@ -125,7 +154,7 @@ pub fn decompress_bytes(bytes: &[u8]) -> Result<Vec<u8>> {
     if out.len() != n {
         return Err(CompressError::Corrupt("decoded length mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 fn flush_literals(out: &mut Vec<u8>, literals: &mut Vec<u8>) {
@@ -139,12 +168,7 @@ fn flush_literals(out: &mut Vec<u8>, literals: &mut Vec<u8>) {
 }
 
 fn hash4(input: &[u8], pos: usize, buckets: usize) -> usize {
-    let v = u32::from_le_bytes([
-        input[pos],
-        input[pos + 1],
-        input[pos + 2],
-        input[pos + 3],
-    ]);
+    let v = u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], input[pos + 3]]);
     (v.wrapping_mul(2_654_435_761) as usize) & (buckets - 1)
 }
 
@@ -188,20 +212,41 @@ fn find_match(
 
 /// Convenience: compress a slice of f32 values losslessly (bit-exact).
 pub fn compress_f32(data: &[f32], config: LzssConfig) -> Vec<u8> {
-    let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
-    compress_bytes(&bytes, config)
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    compress_f32_into(data, config, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free [`compress_f32`]: *appends* the stream to `out`.
+pub fn compress_f32_into(
+    data: &[f32],
+    config: LzssConfig,
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) {
+    crate::scratch::with_f32_staged(data, scratch, |bytes, scratch| {
+        compress_bytes_into(bytes, config, scratch, out)
+    });
 }
 
 /// Inverse of [`compress_f32`].
 pub fn decompress_f32(bytes: &[u8]) -> Result<Vec<f32>> {
-    let raw = decompress_bytes(bytes)?;
-    if raw.len() % 4 != 0 {
-        return Err(CompressError::Corrupt("payload not a whole number of f32"));
-    }
-    Ok(raw
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
-        .collect())
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    decompress_f32_into(bytes, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`decompress_f32`]: *appends* the values to `out`.
+pub fn decompress_f32_into(
+    bytes: &[u8],
+    scratch: &mut CompressScratch,
+    out: &mut Vec<f32>,
+) -> Result<()> {
+    crate::scratch::decompress_f32_staged(scratch, out, |_scratch, raw| {
+        decompress_bytes_into(bytes, raw)
+    })
 }
 
 #[cfg(test)]
@@ -253,10 +298,22 @@ mod tests {
         // A pattern repeated beyond the window must not be matched.
         let pattern: Vec<u8> = (0..64u8).collect();
         let mut data = pattern.clone();
-        data.extend(std::iter::repeat(0xAB).take(8192)); // push pattern out of a 4 KiB window
+        data.extend(std::iter::repeat_n(0xAB, 8192)); // push pattern out of a 4 KiB window
         data.extend_from_slice(&pattern);
-        let small = compress_bytes(&data, LzssConfig { window: 4096, ..Default::default() });
-        let large = compress_bytes(&data, LzssConfig { window: 1 << 20, ..Default::default() });
+        let small = compress_bytes(
+            &data,
+            LzssConfig {
+                window: 4096,
+                ..Default::default()
+            },
+        );
+        let large = compress_bytes(
+            &data,
+            LzssConfig {
+                window: 1 << 20,
+                ..Default::default()
+            },
+        );
         assert!(large.len() <= small.len());
         assert_eq!(decompress_bytes(&small).unwrap(), data);
         assert_eq!(decompress_bytes(&large).unwrap(), data);
@@ -278,7 +335,8 @@ mod tests {
     #[test]
     fn corrupt_streams_error_not_panic() {
         let enc = compress_bytes(b"hello world hello world", LzssConfig::default());
-        assert!(decompress_bytes(&enc[..enc.len() - 2]).is_err() || true);
+        // Truncation may or may not hit payload bytes; must not panic.
+        let _ = decompress_bytes(&enc[..enc.len() - 2]);
         let mut bad = enc.clone();
         if bad.len() > 3 {
             bad[2] = 0xFF;

@@ -38,9 +38,21 @@ pub fn validate_error_bound(eb: f32) -> Result<()> {
 /// Fails if `eb` is invalid, any input is non-finite, or a value is so large
 /// relative to `eb` that its code would overflow the 31-bit code range.
 pub fn quantize(data: &[f32], eb: f32) -> Result<Quantized> {
-    validate_error_bound(eb)?;
-    let step = 2.0f64 * eb as f64;
     let mut codes = Vec::with_capacity(data.len());
+    quantize_into(data, eb, &mut codes)?;
+    Ok(Quantized {
+        codes,
+        error_bound: eb,
+    })
+}
+
+/// Allocation-free [`quantize`]: clears `codes` and fills it with one signed
+/// bin index per input value, reusing its capacity.
+pub fn quantize_into(data: &[f32], eb: f32, codes: &mut Vec<i32>) -> Result<()> {
+    validate_error_bound(eb)?;
+    codes.clear();
+    codes.reserve(data.len());
+    let step = 2.0f64 * eb as f64;
     for &x in data {
         if !x.is_finite() {
             return Err(CompressError::NonFiniteInput);
@@ -51,17 +63,24 @@ pub fn quantize(data: &[f32], eb: f32) -> Result<Quantized> {
         }
         codes.push(code as i32);
     }
-    Ok(Quantized {
-        codes,
-        error_bound: eb,
-    })
+    Ok(())
 }
 
 /// Reconstruct values from quantization codes.
 pub fn dequantize(codes: &[i32], eb: f32) -> Result<Vec<f32>> {
+    let mut out = Vec::with_capacity(codes.len());
+    dequantize_into(codes, eb, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`dequantize`]: *appends* the reconstructed values to
+/// `out` (callers compose several tables into one buffer).
+pub fn dequantize_into(codes: &[i32], eb: f32, out: &mut Vec<f32>) -> Result<()> {
     validate_error_bound(eb)?;
     let step = 2.0f64 * eb as f64;
-    Ok(codes.iter().map(|&c| (c as f64 * step) as f32).collect())
+    out.reserve(codes.len());
+    out.extend(codes.iter().map(|&c| (c as f64 * step) as f32));
+    Ok(())
 }
 
 /// Quantize and immediately reconstruct — the "what the receiver will see"
@@ -75,24 +94,36 @@ pub fn quantize_dequantize(data: &[f32], eb: f32) -> Result<Vec<f32>> {
 /// Map signed codes to the unsigned symbols used by the entropy encoders
 /// (ZigZag: 0, -1, 1, -2, … → 0, 1, 2, 3, …).
 pub fn codes_to_symbols(codes: &[i32]) -> Vec<u32> {
-    codes
-        .iter()
-        .map(|&c| {
-            let v = c as i64;
-            ((v << 1) ^ (v >> 63)) as u32
-        })
-        .collect()
+    let mut out = Vec::with_capacity(codes.len());
+    codes_to_symbols_into(codes, &mut out);
+    out
+}
+
+/// Allocation-free [`codes_to_symbols`]: clears and refills `out`.
+pub fn codes_to_symbols_into(codes: &[i32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(codes.len());
+    out.extend(codes.iter().map(|&c| {
+        let v = c as i64;
+        ((v << 1) ^ (v >> 63)) as u32
+    }));
 }
 
 /// Inverse of [`codes_to_symbols`].
 pub fn symbols_to_codes(symbols: &[u32]) -> Vec<i32> {
-    symbols
-        .iter()
-        .map(|&s| {
-            let v = s as u64;
-            (((v >> 1) as i64) ^ -((v & 1) as i64)) as i32
-        })
-        .collect()
+    let mut out = Vec::with_capacity(symbols.len());
+    symbols_to_codes_into(symbols, &mut out);
+    out
+}
+
+/// Allocation-free [`symbols_to_codes`]: clears and refills `out`.
+pub fn symbols_to_codes_into(symbols: &[u32], out: &mut Vec<i32>) {
+    out.clear();
+    out.reserve(symbols.len());
+    out.extend(symbols.iter().map(|&s| {
+        let v = s as u64;
+        (((v >> 1) as i64) ^ -((v & 1) as i64)) as i32
+    }));
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use crate::hybrid::{self, HybridConfig, Selection};
 use crate::lowprec::{self, Precision};
 use crate::lzss::LzssConfig;
+use crate::scratch::CompressScratch;
 use crate::vlz::VlzConfig;
 use crate::Result;
 use crate::{deflate, fzlike, lzss, szlike};
@@ -106,10 +107,44 @@ pub trait Compressor: Send + Sync {
 
     /// Compress `data`, a row-major batch of vectors of length `dim`, under
     /// absolute error bound `eb` (ignored by non-error-bounded compressors).
-    fn compress(&self, data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>>;
+    fn compress(&self, data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
+        let mut scratch = CompressScratch::new();
+        let mut out = Vec::new();
+        self.compress_into(data, dim, eb, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Compressor::compress`]: *appends* the stream to the
+    /// caller-owned `out`, drawing every intermediate buffer from `scratch`.
+    ///
+    /// The output bytes are identical to what [`Compressor::compress`]
+    /// returns (the allocating method is a thin wrapper over this one), so a
+    /// stream produced by either can be decompressed by either.
+    fn compress_into(
+        &self,
+        data: &[f32],
+        dim: usize,
+        eb: f32,
+        scratch: &mut CompressScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()>;
 
     /// Decompress a stream produced by this compressor's `compress`.
-    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>>;
+    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>> {
+        let mut scratch = CompressScratch::new();
+        let mut out = Vec::new();
+        self.decompress_into(bytes, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Compressor::decompress`]: *appends* the values to
+    /// the caller-owned `out`, reusing `scratch` for intermediates.
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<()>;
 }
 
 /// Build a compressor by kind with default parameters.
@@ -186,11 +221,23 @@ impl Compressor for HybridCompressor {
     fn is_error_bounded(&self) -> bool {
         true
     }
-    fn compress(&self, data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
-        hybrid::compress(data, dim, eb, self.config)
+    fn compress_into(
+        &self,
+        data: &[f32],
+        dim: usize,
+        eb: f32,
+        scratch: &mut CompressScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        hybrid::compress_into(data, dim, eb, self.config, scratch, out)
     }
-    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>> {
-        hybrid::decompress(bytes)
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        hybrid::decompress_into(bytes, scratch, out)
     }
 }
 
@@ -204,11 +251,23 @@ impl Compressor for SzLikeCompressor {
     fn is_error_bounded(&self) -> bool {
         true
     }
-    fn compress(&self, data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
-        szlike::compress(data, dim, eb)
+    fn compress_into(
+        &self,
+        data: &[f32],
+        dim: usize,
+        eb: f32,
+        scratch: &mut CompressScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        szlike::compress_into(data, dim, eb, scratch, out)
     }
-    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>> {
-        szlike::decompress(bytes)
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        szlike::decompress_into(bytes, scratch, out)
     }
 }
 
@@ -222,11 +281,23 @@ impl Compressor for FzLikeCompressor {
     fn is_error_bounded(&self) -> bool {
         true
     }
-    fn compress(&self, data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
-        fzlike::compress(data, dim, eb)
+    fn compress_into(
+        &self,
+        data: &[f32],
+        dim: usize,
+        eb: f32,
+        scratch: &mut CompressScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        fzlike::compress_into(data, dim, eb, scratch, out)
     }
-    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>> {
-        fzlike::decompress(bytes)
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        fzlike::decompress_into(bytes, scratch, out)
     }
 }
 
@@ -247,11 +318,24 @@ impl Compressor for LzssCompressor {
     fn is_lossless(&self) -> bool {
         true
     }
-    fn compress(&self, data: &[f32], _dim: usize, _eb: f32) -> Result<Vec<u8>> {
-        Ok(lzss::compress_f32(data, self.config))
+    fn compress_into(
+        &self,
+        data: &[f32],
+        _dim: usize,
+        _eb: f32,
+        scratch: &mut CompressScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        lzss::compress_f32_into(data, self.config, scratch, out);
+        Ok(())
     }
-    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>> {
-        lzss::decompress_f32(bytes)
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        lzss::decompress_f32_into(bytes, scratch, out)
     }
 }
 
@@ -272,11 +356,24 @@ impl Compressor for DeflateCompressor {
     fn is_lossless(&self) -> bool {
         true
     }
-    fn compress(&self, data: &[f32], _dim: usize, _eb: f32) -> Result<Vec<u8>> {
-        Ok(deflate::compress_f32(data, self.config))
+    fn compress_into(
+        &self,
+        data: &[f32],
+        _dim: usize,
+        _eb: f32,
+        scratch: &mut CompressScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        deflate::compress_f32_into(data, self.config, scratch, out);
+        Ok(())
     }
-    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>> {
-        deflate::decompress_f32(bytes)
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        deflate::decompress_f32_into(bytes, scratch, out)
     }
 }
 
@@ -296,11 +393,24 @@ impl Compressor for LowPrecCompressor {
     fn is_error_bounded(&self) -> bool {
         false
     }
-    fn compress(&self, data: &[f32], _dim: usize, _eb: f32) -> Result<Vec<u8>> {
-        Ok(lowprec::compress(data, self.precision))
+    fn compress_into(
+        &self,
+        data: &[f32],
+        _dim: usize,
+        _eb: f32,
+        _scratch: &mut CompressScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        lowprec::compress_into(data, self.precision, out);
+        Ok(())
     }
-    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>> {
-        lowprec::decompress(bytes)
+    fn decompress_into(
+        &self,
+        bytes: &[u8],
+        _scratch: &mut CompressScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        lowprec::decompress_into(bytes, out)
     }
 }
 
@@ -323,8 +433,12 @@ mod tests {
         let (data, dim) = batch();
         let eb = 0.01f32;
         for comp in all_compressors() {
-            let enc = comp.compress(&data, dim, eb).expect(comp.name());
-            let dec = comp.decompress(&enc).expect(comp.name());
+            let enc = comp
+                .compress(&data, dim, eb)
+                .unwrap_or_else(|_| panic!("{}", comp.name()));
+            let dec = comp
+                .decompress(&enc)
+                .unwrap_or_else(|_| panic!("{}", comp.name()));
             assert_eq!(dec.len(), data.len(), "{}", comp.name());
             if comp.is_lossless() {
                 for (a, b) in data.iter().zip(dec.iter()) {
@@ -332,7 +446,13 @@ mod tests {
                 }
             } else if comp.is_error_bounded() {
                 for (a, b) in data.iter().zip(dec.iter()) {
-                    assert!((a - b).abs() <= eb * 1.01, "{}: {} vs {}", comp.name(), a, b);
+                    assert!(
+                        (a - b).abs() <= eb * 1.01,
+                        "{}: {} vs {}",
+                        comp.name(),
+                        a,
+                        b
+                    );
                 }
             } else {
                 // Low precision: relative error within format tolerance.

@@ -100,7 +100,9 @@ mod tests {
 
     #[test]
     fn report_fields_are_consistent() {
-        let data: Vec<f32> = (0..16 * 64).map(|i| (i as f32 * 0.01).sin() * 0.1).collect();
+        let data: Vec<f32> = (0..16 * 64)
+            .map(|i| (i as f32 * 0.01).sin() * 0.1)
+            .collect();
         let comp = build_compressor(CompressorKind::OursHybrid);
         let r = measure_roundtrip(comp.as_ref(), &data, 16, 0.01).unwrap();
         assert_eq!(r.original_bytes, data.len() * 4);

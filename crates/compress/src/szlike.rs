@@ -17,13 +17,28 @@
 
 use crate::error::CompressError;
 use crate::quant;
+use crate::scratch::CompressScratch;
 use crate::varint;
 use crate::{huffman, Result};
 
 /// Compress a batch of embedding vectors (`n x dim`, row-major) with the
 /// Lorenzo + quantization + Huffman pipeline under absolute error bound `eb`.
 pub fn compress(data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
-    if dim == 0 || data.len() % dim != 0 {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    compress_into(data, dim, eb, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`compress`]: *appends* the stream to `out`.
+pub fn compress_into(
+    data: &[f32],
+    dim: usize,
+    eb: f32,
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
         return Err(CompressError::DimensionMismatch {
             len: data.len(),
             dim,
@@ -38,12 +53,16 @@ pub fn compress(data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
 
     // Reconstruction buffer mirrors what the decompressor will see, so the
     // predictor on both sides stays in lock-step.
-    let mut recon = vec![0.0f64; data.len()];
-    let mut codes: Vec<i32> = Vec::with_capacity(data.len());
+    let recon = &mut scratch.f64s;
+    recon.clear();
+    recon.resize(data.len(), 0.0);
+    let codes = &mut scratch.codes;
+    codes.clear();
+    codes.reserve(data.len());
     for r in 0..rows {
         for c in 0..dim {
             let idx = r * dim + c;
-            let pred = lorenzo_pred(&recon, dim, r, c);
+            let pred = lorenzo_pred(recon, dim, r, c);
             let residual = data[idx] as f64 - pred;
             let code = (residual / step).round();
             if code.abs() > quant::MAX_CODE_MAGNITUDE as f64 {
@@ -55,41 +74,60 @@ pub fn compress(data: &[f32], dim: usize, eb: f32) -> Result<Vec<u8>> {
         }
     }
 
-    let symbols = quant::codes_to_symbols(&codes);
-    let mut out = Vec::new();
-    varint::write_u64(&mut out, data.len() as u64);
-    varint::write_u64(&mut out, dim as u64);
-    varint::write_f32_le(&mut out, eb);
-    out.extend_from_slice(&huffman::encode(&symbols));
-    Ok(out)
+    quant::codes_to_symbols_into(codes, &mut scratch.symbols);
+    // Worst case: every residual escapes (15 + 32 bits) plus the table.
+    out.reserve(data.len() * 6 + 600);
+    varint::write_u64(out, data.len() as u64);
+    varint::write_u64(out, dim as u64);
+    varint::write_f32_le(out, eb);
+    huffman::encode_into(&scratch.symbols, &mut scratch.freqs, out);
+    Ok(())
 }
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    decompress_into(bytes, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`decompress`]: *appends* the values to `out`.
+pub fn decompress_into(
+    bytes: &[u8],
+    scratch: &mut CompressScratch,
+    out: &mut Vec<f32>,
+) -> Result<()> {
     let mut pos = 0usize;
     let n = varint::read_u64(bytes, &mut pos)? as usize;
     let dim = varint::read_u64(bytes, &mut pos)? as usize;
     let eb = varint::read_f32_le(bytes, &mut pos)?;
-    quant::validate_error_bound(eb).map_err(|_| CompressError::Corrupt("bad error bound in header"))?;
-    if n > 0 && (dim == 0 || n % dim != 0) {
+    quant::validate_error_bound(eb)
+        .map_err(|_| CompressError::Corrupt("bad error bound in header"))?;
+    if n > 0 && (dim == 0 || !n.is_multiple_of(dim)) {
         return Err(CompressError::Corrupt("bad dimension in header"));
     }
-    let symbols = huffman::decode(&bytes[pos..])?;
-    if symbols.len() != n {
+    huffman::decode_into(&bytes[pos..], &mut scratch.huff_table, &mut scratch.symbols)?;
+    if scratch.symbols.len() != n {
         return Err(CompressError::Corrupt("wrong number of residual codes"));
     }
-    let codes = quant::symbols_to_codes(&symbols);
+    quant::symbols_to_codes_into(&scratch.symbols, &mut scratch.codes);
+    let codes = &scratch.codes;
     let step = 2.0f64 * eb as f64;
-    let rows = if dim == 0 { 0 } else { n / dim };
-    let mut recon = vec![0.0f64; n];
+    let rows = n.checked_div(dim).unwrap_or(0);
+    let recon = &mut scratch.f64s;
+    recon.clear();
+    recon.resize(n, 0.0);
     for r in 0..rows {
         for c in 0..dim {
             let idx = r * dim + c;
-            let pred = lorenzo_pred(&recon, dim, r, c);
+            let pred = lorenzo_pred(recon, dim, r, c);
             recon[idx] = pred + codes[idx] as f64 * step;
         }
     }
-    Ok(recon.into_iter().map(|v| v as f32).collect())
+    out.reserve(n);
+    out.extend(recon.iter().map(|&v| v as f32));
+    Ok(())
 }
 
 /// 2-D Lorenzo predictor over already-reconstructed values.
@@ -148,7 +186,11 @@ mod tests {
         // beat the Lorenzo pipeline clearly (the paper's core argument).
         let dim = 32;
         let patterns: Vec<Vec<f32>> = (0..6)
-            .map(|p| (0..dim).map(|j| ((p * dim + j) as f32).sin() * 0.2).collect())
+            .map(|p| {
+                (0..dim)
+                    .map(|j| ((p * dim + j) as f32).sin() * 0.2)
+                    .collect()
+            })
             .collect();
         let mut data = Vec::new();
         for i in 0..400usize {

@@ -74,7 +74,9 @@ pub fn read_u32_le(bytes: &[u8], pos: &mut usize) -> Result<u32> {
         .get(*pos..*pos + 4)
         .ok_or(CompressError::Corrupt("truncated u32 field"))?;
     *pos += 4;
-    Ok(u32::from_le_bytes(slice.try_into().expect("length checked")))
+    Ok(u32::from_le_bytes(
+        slice.try_into().expect("length checked"),
+    ))
 }
 
 /// Append a little-endian f32 (used for storing the error bound in headers).
@@ -88,7 +90,9 @@ pub fn read_f32_le(bytes: &[u8], pos: &mut usize) -> Result<f32> {
         .get(*pos..*pos + 4)
         .ok_or(CompressError::Corrupt("truncated f32 field"))?;
     *pos += 4;
-    Ok(f32::from_le_bytes(slice.try_into().expect("length checked")))
+    Ok(f32::from_le_bytes(
+        slice.try_into().expect("length checked"),
+    ))
 }
 
 #[cfg(test)]
@@ -97,7 +101,17 @@ mod tests {
 
     #[test]
     fn u64_roundtrip_boundaries() {
-        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         let mut buf = Vec::new();
         for &v in &values {
             write_u64(&mut buf, v);

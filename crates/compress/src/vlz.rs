@@ -25,6 +25,7 @@
 
 use crate::error::CompressError;
 use crate::quant;
+use crate::scratch::CompressScratch;
 use crate::varint;
 use crate::Result;
 use std::collections::HashMap;
@@ -61,70 +62,139 @@ impl VlzConfig {
 ///
 /// `data.len()` must be a multiple of `dim`.
 pub fn compress(data: &[f32], dim: usize, eb: f32, config: VlzConfig) -> Result<Vec<u8>> {
-    if dim == 0 || data.len() % dim != 0 {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    compress_into(data, dim, eb, config, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`compress`]: *appends* the stream to `out`, drawing
+/// every intermediate (quantization codes, match table) from `scratch`.
+pub fn compress_into(
+    data: &[f32],
+    dim: usize,
+    eb: f32,
+    config: VlzConfig,
+    scratch: &mut CompressScratch,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
         return Err(CompressError::DimensionMismatch {
             len: data.len(),
             dim,
         });
     }
-    let q = quant::quantize(data, eb)?;
+    quant::quantize_into(data, eb, &mut scratch.codes)?;
     let n_vectors = data.len() / dim;
 
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    varint::write_u64(&mut out, n_vectors as u64);
-    varint::write_u64(&mut out, dim as u64);
-    varint::write_u64(&mut out, config.window as u64);
-    varint::write_f32_le(&mut out, eb);
+    // Worst case: every vector is a literal of 5-byte varint codes plus a
+    // token byte. Reserving it up front means the output buffer reaches its
+    // high-water capacity on the first call and never grows again — the
+    // property the zero-allocation steady state relies on.
+    out.reserve(data.len() * 5 + n_vectors + 32);
+    varint::write_u64(out, n_vectors as u64);
+    varint::write_u64(out, dim as u64);
+    varint::write_u64(out, config.window as u64);
+    varint::write_f32_le(out, eb);
 
-    // Map from vector content (quantization codes) to the most recent index
-    // at which that content appeared. The "extended window" is enforced by
-    // checking the distance at match time; stale entries are simply
-    // overwritten as new vectors arrive.
-    let mut recent: HashMap<&[i32], usize> = HashMap::with_capacity(n_vectors.min(1 << 16));
+    // Map from vector *content hash* to the most recent index at which that
+    // content appeared; a hit is verified against the actual codes so a
+    // 64-bit collision degrades to a literal instead of a wrong match. The
+    // "extended window" is enforced by checking the distance at match time;
+    // stale entries are simply overwritten as new vectors arrive.
+    let recent = &mut scratch.vlz_map;
+    recent.clear();
+    // Worst case: every vector distinct. Reserving it up front pins the
+    // map's capacity on the first call with this batch shape, so a later
+    // batch with more distinct vectors cannot grow it mid-steady-state.
+    recent.reserve(n_vectors);
 
     for v in 0..n_vectors {
-        let codes = &q.codes[v * dim..(v + 1) * dim];
-        match recent.get(codes) {
-            Some(&prev) if v - prev <= config.window => {
-                // Match: emit the backward distance (>= 1).
-                varint::write_u64(&mut out, (v - prev) as u64);
+        let codes = &scratch.codes[v * dim..(v + 1) * dim];
+        let key = hash_codes(codes);
+        let matched = match recent.get(&key) {
+            Some(&prev)
+                if v - prev <= config.window
+                    && scratch.codes[prev * dim..(prev + 1) * dim] == *codes =>
+            {
+                Some(prev)
             }
-            _ => {
+            _ => None,
+        };
+        match matched {
+            Some(prev) => {
+                // Match: emit the backward distance (>= 1).
+                varint::write_u64(out, (v - prev) as u64);
+            }
+            None => {
                 // Literal: token 0 followed by the zigzag-coded values.
-                varint::write_u64(&mut out, 0);
+                varint::write_u64(out, 0);
                 for &c in codes {
-                    varint::write_i64(&mut out, c as i64);
+                    varint::write_i64(out, c as i64);
                 }
             }
         }
-        recent.insert(codes, v);
+        recent.insert(key, v);
     }
-    Ok(out)
+    Ok(())
+}
+
+/// FNV-1a over a vector's quantization codes.
+fn hash_codes(codes: &[i32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for &c in codes {
+        h ^= c as u32 as u64;
+        h = h.wrapping_mul(0x100_0000_01b3); // FNV prime (2^40 + 0x1b3)
+    }
+    h
 }
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+    let mut scratch = CompressScratch::new();
+    let mut out = Vec::new();
+    decompress_into(bytes, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`decompress`]: *appends* the reconstructed values to
+/// `out`, reusing `scratch` for the code buffer.
+pub fn decompress_into(
+    bytes: &[u8],
+    scratch: &mut CompressScratch,
+    out: &mut Vec<f32>,
+) -> Result<()> {
     let mut pos = 0usize;
     let n_vectors = varint::read_u64(bytes, &mut pos)? as usize;
     let dim = varint::read_u64(bytes, &mut pos)? as usize;
     let _window = varint::read_u64(bytes, &mut pos)? as usize;
     let eb = varint::read_f32_le(bytes, &mut pos)?;
     if n_vectors > 0 && dim == 0 {
-        return Err(CompressError::Corrupt("zero dimension with non-zero vectors"));
+        return Err(CompressError::Corrupt(
+            "zero dimension with non-zero vectors",
+        ));
     }
-    quant::validate_error_bound(eb).map_err(|_| CompressError::Corrupt("bad error bound in header"))?;
+    quant::validate_error_bound(eb)
+        .map_err(|_| CompressError::Corrupt("bad error bound in header"))?;
 
-    let mut codes: Vec<i32> = Vec::with_capacity((n_vectors.saturating_mul(dim)).min(1 << 22));
+    let codes = &mut scratch.codes;
+    codes.clear();
+    codes.reserve((n_vectors.saturating_mul(dim)).min(1 << 22));
     for v in 0..n_vectors {
         let token = varint::read_u64(bytes, &mut pos)? as usize;
         if token == 0 {
             for _ in 0..dim {
                 let c = varint::read_i64(bytes, &mut pos)?;
-                codes.push(i32::try_from(c).map_err(|_| CompressError::Corrupt("literal code overflow"))?);
+                codes.push(
+                    i32::try_from(c)
+                        .map_err(|_| CompressError::Corrupt("literal code overflow"))?,
+                );
             }
         } else {
             if token > v {
-                return Err(CompressError::Corrupt("match distance reaches before start"));
+                return Err(CompressError::Corrupt(
+                    "match distance reaches before start",
+                ));
             }
             let src = (v - token) * dim;
             // Copy within the same Vec: split via an index loop to satisfy the
@@ -135,7 +205,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
             }
         }
     }
-    quant::dequantize(&codes, eb)
+    quant::dequantize_into(codes, eb, out)
 }
 
 /// Statistics about how well the vector matcher did on a batch — used by the
@@ -154,7 +224,7 @@ pub struct MatchStats {
 
 /// Analyse a batch without producing output bytes.
 pub fn match_stats(data: &[f32], dim: usize, eb: f32, config: VlzConfig) -> Result<MatchStats> {
-    if dim == 0 || data.len() % dim != 0 {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
         return Err(CompressError::DimensionMismatch {
             len: data.len(),
             dim,
@@ -194,7 +264,9 @@ mod tests {
 
     #[test]
     fn roundtrip_respects_error_bound() {
-        let data: Vec<f32> = (0..32 * 50).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.003).collect();
+        let data: Vec<f32> = (0..32 * 50)
+            .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.003)
+            .collect();
         let eb = 0.01;
         let enc = compress(&data, 32, eb, VlzConfig::default()).unwrap();
         let dec = decompress(&enc).unwrap();
@@ -259,7 +331,11 @@ mod tests {
         }
         let sizes: Vec<usize> = [32, 64, 128, 255]
             .iter()
-            .map(|&w| compress(&data, dim, 0.01, VlzConfig::with_window(w)).unwrap().len())
+            .map(|&w| {
+                compress(&data, dim, 0.01, VlzConfig::with_window(w))
+                    .unwrap()
+                    .len()
+            })
             .collect();
         for pair in sizes.windows(2) {
             // +2 bytes of slack: the header stores the window itself, and a

@@ -1,0 +1,192 @@
+//! The `compress_into` / `decompress_into` contract: for every registered
+//! codec, the scratch-reusing path must produce byte-identical streams and
+//! value-identical reconstructions to the legacy allocating path — including
+//! when one scratch and one output buffer are reused across many calls with
+//! different data (no stale bytes may ever leak between calls).
+
+use dlrm_compress::buffer::{
+    compress_chunks_into, compress_chunks_naive, decompress_chunks_into, FusedBuffer,
+};
+use dlrm_compress::registry::all_compressors;
+use dlrm_compress::CompressScratch;
+use proptest::prelude::*;
+
+fn batch(seed: usize, n: usize, dim: usize) -> Vec<f32> {
+    (0..n * dim)
+        .map(|i| {
+            let x = (i * 31 + seed * 101) % 977;
+            if (i / dim + seed).is_multiple_of(3) {
+                ((i % dim) as f32) * 0.01 // repeated vector content
+            } else {
+                (x as f32 - 488.0) * 0.0008
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn compress_into_is_byte_identical_to_legacy_for_every_codec() {
+    let dim = 16;
+    let eb = 0.01f32;
+    for comp in all_compressors() {
+        let mut scratch = CompressScratch::new();
+        let mut out = Vec::new();
+        // Several batches through ONE scratch/out pair: reuse must not change
+        // a single byte relative to the fresh allocating path.
+        for seed in 0..5 {
+            let data = batch(seed, 40 + seed * 17, dim);
+            let legacy = comp
+                .compress(&data, dim, eb)
+                .unwrap_or_else(|_| panic!("{}", comp.name()));
+            out.clear();
+            comp.compress_into(&data, dim, eb, &mut scratch, &mut out)
+                .unwrap_or_else(|_| panic!("{}", comp.name()));
+            assert_eq!(
+                out,
+                legacy,
+                "{}: compress_into diverged from compress on batch {seed}",
+                comp.name()
+            );
+
+            let legacy_values = comp
+                .decompress(&legacy)
+                .unwrap_or_else(|_| panic!("{}", comp.name()));
+            let mut values = Vec::new();
+            comp.decompress_into(&out, &mut scratch, &mut values)
+                .unwrap_or_else(|_| panic!("{}", comp.name()));
+            assert_eq!(
+                values.len(),
+                legacy_values.len(),
+                "{}: decompress_into length mismatch",
+                comp.name()
+            );
+            for (a, b) in values.iter().zip(legacy_values.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", comp.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn compress_into_appends_after_existing_bytes() {
+    // The `_into` contract is *append*: prefix bytes must survive and the
+    // stream must start exactly at the old length.
+    let dim = 8;
+    let data = batch(3, 32, dim);
+    for comp in all_compressors() {
+        let mut scratch = CompressScratch::new();
+        let legacy = comp
+            .compress(&data, dim, 0.02)
+            .unwrap_or_else(|_| panic!("{}", comp.name()));
+        let mut out = vec![0xAA, 0xBB, 0xCC];
+        comp.compress_into(&data, dim, 0.02, &mut scratch, &mut out)
+            .unwrap_or_else(|_| panic!("{}", comp.name()));
+        assert_eq!(&out[..3], &[0xAA, 0xBB, 0xCC], "{}", comp.name());
+        assert_eq!(&out[3..], legacy.as_slice(), "{}", comp.name());
+    }
+}
+
+#[test]
+fn chunked_compress_into_matches_naive_path() {
+    let dim = 8;
+    for comp in all_compressors() {
+        let chunks: Vec<Vec<f32>> = (0..6).map(|c| batch(c, 10 + c * 3, dim)).collect();
+        let refs: Vec<&[f32]> = chunks.iter().map(Vec::as_slice).collect();
+        let naive = compress_chunks_naive(comp.as_ref(), &refs, dim, 0.01)
+            .unwrap_or_else(|_| panic!("{}", comp.name()));
+
+        let mut scratch = CompressScratch::new();
+        let mut fused = FusedBuffer {
+            bytes: Vec::new(),
+            spans: Vec::new(),
+        };
+        // Run twice through the same buffers — the second pass must be
+        // unaffected by the first.
+        for _ in 0..2 {
+            compress_chunks_into(comp.as_ref(), &refs, dim, 0.01, &mut scratch, &mut fused)
+                .unwrap_or_else(|_| panic!("{}", comp.name()));
+        }
+        assert_eq!(fused.num_chunks(), naive.num_chunks(), "{}", comp.name());
+        for i in 0..naive.num_chunks() {
+            assert_eq!(fused.chunk(i), naive.chunk(i), "{}: chunk {i}", comp.name());
+        }
+
+        let mut values = Vec::new();
+        let mut spans = Vec::new();
+        decompress_chunks_into(comp.as_ref(), &fused, &mut scratch, &mut values, &mut spans)
+            .unwrap_or_else(|_| panic!("{}", comp.name()));
+        assert_eq!(spans.len(), chunks.len());
+        for (i, &(off, len)) in spans.iter().enumerate() {
+            assert_eq!(len, chunks[i].len(), "{}: span {i}", comp.name());
+            let expected = comp
+                .decompress(naive.chunk(i))
+                .unwrap_or_else(|_| panic!("{}", comp.name()));
+            for (a, b) in values[off..off + len].iter().zip(expected.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", comp.name());
+            }
+        }
+    }
+}
+
+/// Finite values in a training-plausible range.
+fn finite_value() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        3 => -2.0f32..2.0,
+        1 => -0.004f32..0.004,
+        1 => Just(0.0f32),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Reusing one scratch + one output buffer across consecutive calls with
+    /// *different* batches must never leak stale bytes: each call's output
+    /// equals a fresh compression of that batch alone, and the error bound
+    /// still holds on the reconstruction.
+    #[test]
+    fn scratch_reuse_never_leaks_stale_bytes(
+        (data_a, data_b, dim) in (1usize..12, 1usize..30, 1usize..30).prop_flat_map(|(dim, na, nb)| {
+            (
+                prop::collection::vec(finite_value(), na * dim..=na * dim),
+                prop::collection::vec(finite_value(), nb * dim..=nb * dim),
+                Just(dim),
+            )
+        }),
+        eb in 2e-3f32..0.1,
+    ) {
+        for comp in all_compressors() {
+            let mut scratch = CompressScratch::new();
+            let mut out = Vec::new();
+
+            // Warm the scratch with batch A (typically larger/different).
+            comp.compress_into(&data_a, dim, eb, &mut scratch, &mut out).unwrap();
+            let first = out.clone();
+
+            // Compress batch B through the SAME warm scratch.
+            out.clear();
+            comp.compress_into(&data_b, dim, eb, &mut scratch, &mut out).unwrap();
+            let fresh = comp.compress(&data_b, dim, eb).unwrap();
+            prop_assert_eq!(&out, &fresh, "{}: stale bytes leaked into stream", comp.name());
+
+            // And batch A again — B must not have poisoned the scratch.
+            out.clear();
+            comp.compress_into(&data_a, dim, eb, &mut scratch, &mut out).unwrap();
+            prop_assert_eq!(&out, &first, "{}: second pass diverged", comp.name());
+
+            // Reconstruction through a reused value buffer honours the bound.
+            let mut values = vec![9.9f32; 7]; // poison the prefix
+            let before = values.len();
+            comp.decompress_into(&out, &mut scratch, &mut values).unwrap();
+            prop_assert_eq!(values.len() - before, data_a.len(), "{}", comp.name());
+            if comp.is_error_bounded() {
+                for (a, b) in data_a.iter().zip(values[before..].iter()) {
+                    prop_assert!(
+                        (a - b).abs() <= eb * 1.01,
+                        "{}: |{} - {}| > {}", comp.name(), a, b, eb
+                    );
+                }
+            }
+        }
+    }
+}

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 /// Finite f32 values in a training-plausible range.
 fn finite_value() -> impl Strategy<Value = f32> {
     prop_oneof![
-        3 => (-4.0f32..4.0),
-        1 => (-0.01f32..0.01),
+        3 => -4.0f32..4.0,
+        1 => -0.01f32..0.01,
         1 => Just(0.0f32),
     ]
 }

@@ -68,7 +68,12 @@ pub struct TableProfile {
 
 impl TableProfile {
     /// Convenience constructor (no clustering).
-    pub fn new(id: usize, cardinality: usize, zipf_exponent: f64, values: ValueDistribution) -> Self {
+    pub fn new(
+        id: usize,
+        cardinality: usize,
+        zipf_exponent: f64,
+        values: ValueDistribution,
+    ) -> Self {
         Self {
             id,
             cardinality,

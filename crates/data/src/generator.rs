@@ -112,7 +112,11 @@ impl SyntheticCriteo {
             // Label noise keeps the task from being perfectly separable.
             let noise = self.rng.normal(0.0, 0.5);
             let p = sigmoid(logit + noise);
-            labels.push(if self.rng.bernoulli(p as f64) { 1.0 } else { 0.0 });
+            labels.push(if self.rng.bernoulli(p as f64) {
+                1.0
+            } else {
+                0.0
+            });
         }
         self.samples_drawn += batch_size as u64;
         let batch = MiniBatch {
@@ -229,7 +233,10 @@ mod tests {
             let rate = pos as f64 / n as f64;
             max_gap = max_gap.max((rate - global).abs());
         }
-        assert!(max_gap > 0.02, "no conditional signal found (gap {max_gap})");
+        assert!(
+            max_gap > 0.02,
+            "no conditional signal found (gap {max_gap})"
+        );
     }
 
     #[test]
@@ -243,6 +250,9 @@ mod tests {
         // Table 8 has cardinality 3 and exponent 1.6: expect heavy repetition.
         let col = &b.sparse[8];
         let zero_count = col.iter().filter(|&&c| c == 0).count();
-        assert!(zero_count > 40, "hot category only appeared {zero_count} times");
+        assert!(
+            zero_count > 40,
+            "hot category only appeared {zero_count} times"
+        );
     }
 }

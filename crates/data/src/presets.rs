@@ -59,32 +59,32 @@ pub fn criteo_kaggle_like() -> DatasetConfig {
 /// query skew.
 pub fn criteo_terabyte_like() -> DatasetConfig {
     let spec: [(usize, f64, bool, u8); 26] = [
-        (196_000, 0.90, true, 2),   // 0
-        (188_000, 0.60, false, 0),  // 1
-        (200_000, 0.58, false, 0),  // 2
-        (42_000, 0.95, true, 1),    // 3
-        (2_100, 1.10, true, 1),     // 4
-        (12, 1.55, true, 0),        // 5
-        (7_900, 1.00, false, 1),    // 6
-        (1_300, 1.08, true, 1),     // 7
-        (8, 1.60, true, 0),         // 8
-        (175_000, 0.62, false, 2),  // 9
-        (160_000, 0.64, false, 0),  // 10
-        (9_400, 0.98, true, 1),     // 11
-        (6, 1.62, true, 0),         // 12
-        (52_000, 0.92, true, 2),    // 13
-        (31_000, 0.94, false, 1),   // 14
-        (11, 1.58, true, 0),        // 15
-        (9, 1.56, true, 0),         // 16
-        (5, 1.64, true, 0),         // 17
-        (14, 1.52, true, 0),        // 18
-        (182_000, 0.61, false, 2),  // 19
-        (147_000, 0.66, false, 1),  // 20
-        (169_000, 0.63, false, 2),  // 21
-        (136_000, 0.67, false, 1),  // 22
-        (24_000, 0.96, true, 1),    // 23
-        (7, 1.61, true, 0),         // 24
-        (16, 1.50, true, 0),        // 25
+        (196_000, 0.90, true, 2),  // 0
+        (188_000, 0.60, false, 0), // 1
+        (200_000, 0.58, false, 0), // 2
+        (42_000, 0.95, true, 1),   // 3
+        (2_100, 1.10, true, 1),    // 4
+        (12, 1.55, true, 0),       // 5
+        (7_900, 1.00, false, 1),   // 6
+        (1_300, 1.08, true, 1),    // 7
+        (8, 1.60, true, 0),        // 8
+        (175_000, 0.62, false, 2), // 9
+        (160_000, 0.64, false, 0), // 10
+        (9_400, 0.98, true, 1),    // 11
+        (6, 1.62, true, 0),        // 12
+        (52_000, 0.92, true, 2),   // 13
+        (31_000, 0.94, false, 1),  // 14
+        (11, 1.58, true, 0),       // 15
+        (9, 1.56, true, 0),        // 16
+        (5, 1.64, true, 0),        // 17
+        (14, 1.52, true, 0),       // 18
+        (182_000, 0.61, false, 2), // 19
+        (147_000, 0.66, false, 1), // 20
+        (169_000, 0.63, false, 2), // 21
+        (136_000, 0.67, false, 1), // 22
+        (24_000, 0.96, true, 1),   // 23
+        (7, 1.61, true, 0),        // 24
+        (16, 1.50, true, 0),       // 25
     ];
     build("criteo-terabyte-like", 13, 64, 2048, 20_240_602, &spec)
 }

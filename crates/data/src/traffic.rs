@@ -69,13 +69,7 @@ impl EmbeddingTrafficGenerator {
                 let mut hot = Matrix::zeros(rows, dim);
                 let value_seed = root.fork(5000 + profile.id as u64).seed();
                 for r in 0..rows {
-                    synthesize_row(
-                        hot.row_mut(r),
-                        r,
-                        profile,
-                        centroids.as_ref(),
-                        value_seed,
-                    );
+                    synthesize_row(hot.row_mut(r), r, profile, centroids.as_ref(), value_seed);
                 }
                 TableTraffic {
                     hot_rows: hot,
@@ -214,12 +208,18 @@ mod tests {
         // distinct vectors in a 128-sample batch.
         let b = g.lookup_batch(8, 128);
         let distinct = EmbeddingTrafficGenerator::distinct_vectors(&b);
-        assert!(distinct <= 3, "expected <=3 distinct vectors, got {distinct}");
+        assert!(
+            distinct <= 3,
+            "expected <=3 distinct vectors, got {distinct}"
+        );
         // A large mild-skew table keeps most vectors distinct.
         let mut g2 = EmbeddingTrafficGenerator::new(presets::criteo_kaggle_like(), 3);
         let b2 = g2.lookup_batch(2, 128);
         let distinct2 = EmbeddingTrafficGenerator::distinct_vectors(&b2);
-        assert!(distinct2 > 100, "expected >100 distinct vectors, got {distinct2}");
+        assert!(
+            distinct2 > 100,
+            "expected >100 distinct vectors, got {distinct2}"
+        );
     }
 
     #[test]

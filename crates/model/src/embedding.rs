@@ -42,9 +42,23 @@ impl EmbeddingTable {
     /// # Panics
     /// Panics if any index is out of range.
     pub fn lookup(&self, indices: &[u32]) -> Matrix {
+        let mut out = Vec::new();
+        self.lookup_into(indices, &mut out);
+        Matrix::from_vec(indices.len(), self.dim(), out)
+    }
+
+    /// Allocation-free [`EmbeddingTable::lookup`]: clears `out` and fills it
+    /// with the row-major `batch x dim` lookup values, reusing its capacity.
+    /// (The trainer recycles the storage of the previous iteration's lookup
+    /// matrices through this path.)
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn lookup_into(&self, indices: &[u32], out: &mut Vec<f32>) {
         let dim = self.dim();
-        let mut out = Matrix::zeros(indices.len(), dim);
-        for (i, &idx) in indices.iter().enumerate() {
+        out.clear();
+        out.reserve(indices.len() * dim);
+        for &idx in indices {
             let idx = idx as usize;
             assert!(
                 idx < self.cardinality(),
@@ -52,9 +66,8 @@ impl EmbeddingTable {
                 self.id,
                 self.cardinality()
             );
-            out.row_mut(i).copy_from_slice(self.weights.row(idx));
+            out.extend_from_slice(self.weights.row(idx));
         }
-        out
     }
 
     /// Apply the gradient of a lookup with plain SGD: for every sample `i`,
@@ -104,7 +117,11 @@ mod tests {
         let mut rng = SeededRng::new(2);
         let t = EmbeddingTable::new(0, 400, 8, &mut rng);
         let limit = 1.0 / (400f32).sqrt();
-        assert!(t.weights().as_slice().iter().all(|w| w.abs() <= limit + 1e-6));
+        assert!(t
+            .weights()
+            .as_slice()
+            .iter()
+            .all(|w| w.abs() <= limit + 1e-6));
     }
 
     #[test]

@@ -40,11 +40,7 @@ impl EvalMetrics {
             };
         }
         let w = |f: fn(&EvalMetrics) -> f64| {
-            parts
-                .iter()
-                .map(|p| f(p) * p.samples as f64)
-                .sum::<f64>()
-                / total as f64
+            parts.iter().map(|p| f(p) * p.samples as f64).sum::<f64>() / total as f64
         };
         EvalMetrics {
             loss: w(|p| p.loss),

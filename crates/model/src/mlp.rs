@@ -139,11 +139,17 @@ impl Mlp {
     /// by layer) — the payload of the data-parallel all-reduce.
     pub fn flatten_grads(grads: &MlpGrads) -> Vec<f32> {
         let mut out = Vec::new();
+        Self::flatten_grads_into(grads, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Mlp::flatten_grads`]: *appends* to `out`, reusing
+    /// its capacity.
+    pub fn flatten_grads_into(grads: &MlpGrads, out: &mut Vec<f32>) {
         for (w, b) in grads.weights.iter().zip(grads.biases.iter()) {
             out.extend_from_slice(w.as_slice());
             out.extend_from_slice(b);
         }
-        out
     }
 
     /// Rebuild structured gradients from a flat vector produced by
@@ -245,7 +251,12 @@ mod tests {
         let mut mlp = tiny_mlp();
         let x = Matrix::from_fn(4, 4, |r, c| (r as f32 - c as f32) * 0.2);
         let loss = |m: &Mlp| -> f32 {
-            m.forward(&x).0.as_slice().iter().map(|v| v * v).sum::<f32>()
+            m.forward(&x)
+                .0
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
         };
         let initial = loss(&mlp);
         for _ in 0..50 {

@@ -88,11 +88,7 @@ pub fn binary_accuracy(logits: &[f32], labels: &[f32]) -> f64 {
 /// Returns 0.5 when one of the classes is absent (undefined AUC).
 pub fn auc(logits: &[f32], labels: &[f32]) -> f64 {
     assert_eq!(logits.len(), labels.len());
-    let mut indexed: Vec<(f32, f32)> = logits
-        .iter()
-        .copied()
-        .zip(labels.iter().copied())
-        .collect();
+    let mut indexed: Vec<(f32, f32)> = logits.iter().copied().zip(labels.iter().copied()).collect();
     indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let n_pos = indexed.iter().filter(|(_, y)| *y >= 0.5).count();
     let n_neg = indexed.len() - n_pos;

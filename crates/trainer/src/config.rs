@@ -56,7 +56,11 @@ impl CompressionSetting {
             CompressionSetting::None => "fp32-baseline".to_string(),
             CompressionSetting::Fp16 => "fp16".to_string(),
             CompressionSetting::Fp8 => "fp8".to_string(),
-            CompressionSetting::FixedLossy { error_bound, compressor, .. } => {
+            CompressionSetting::FixedLossy {
+                error_bound,
+                compressor,
+                ..
+            } => {
                 format!("lossy-{}-eb{}", compressor.label(), error_bound)
             }
             CompressionSetting::Adaptive(_) => "lossy-adaptive".to_string(),
@@ -102,13 +106,17 @@ pub struct TrainerConfig {
 }
 
 impl TrainerConfig {
-    /// A small default suitable for tests: 4 ranks, batch 64.
+    /// A small default suitable for tests: 4 ranks, batch 128.
+    ///
+    /// The learning rate is deliberately on the aggressive side (0.2): test
+    /// runs are short, and the assertions about "training learns" need the
+    /// loss to move measurably within ~100 iterations.
     pub fn small_test(compression: CompressionSetting) -> Self {
         Self {
             world: 4,
-            global_batch: 64,
+            global_batch: 128,
             iterations: 8,
-            learning_rate: 0.05,
+            learning_rate: 0.2,
             compression,
             network: NetworkConfig::default(),
             seed: 20_240_614,

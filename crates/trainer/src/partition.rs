@@ -96,7 +96,11 @@ mod tests {
     fn partition_is_reasonably_balanced() {
         let cards: Vec<usize> = (1..=26).map(|i| i * i * 100).collect();
         let p = TablePartition::greedy(&cards, 4);
-        assert!(p.imbalance(&cards) < 1.3, "imbalance {}", p.imbalance(&cards));
+        assert!(
+            p.imbalance(&cards) < 1.3,
+            "imbalance {}",
+            p.imbalance(&cards)
+        );
     }
 
     #[test]

@@ -10,13 +10,19 @@ use crate::config::{CompressionSetting, TrainerConfig};
 use crate::partition::TablePartition;
 use dlrm_adaptive::EbSchedule;
 use dlrm_comm::cluster::RankCtx;
+use dlrm_comm::pool::{PoolStats, PooledBuf};
 use dlrm_comm::TimingLedger;
 use dlrm_compress::lowprec::{self, Precision};
-use dlrm_compress::Compressor;
+use dlrm_compress::{CompressScratch, Compressor};
 use dlrm_data::{DatasetConfig, SyntheticCriteo};
 use dlrm_model::{Dlrm, DlrmConfig, EvalMetrics};
 use dlrm_tensor::Matrix;
 use std::time::Instant;
+
+/// Iterations before the steady-state allocation counter starts: the first
+/// couple of iterations grow the pool, the compress scratch and the float
+/// recycler to their working sizes.
+pub const WARMUP_ITERATIONS: usize = 2;
 
 /// Ledger phase names, shared with the bench harness so breakdowns stay
 /// consistent across figures.
@@ -116,35 +122,79 @@ impl ResolvedCompression {
     }
 
     /// Compress one table's payload (a `rows x dim` matrix, row-major).
+    #[cfg(test)]
     fn compress(&self, table: usize, iter: usize, data: &[f32], dim: usize) -> Vec<u8> {
+        let mut scratch = CompressScratch::new();
+        let mut out = Vec::new();
+        self.compress_into(table, iter, data, dim, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free compression of one table's payload: *appends* the
+    /// stream to `out`, drawing intermediates from `scratch`. Byte-identical
+    /// to the legacy allocating path.
+    fn compress_into(
+        &self,
+        table: usize,
+        iter: usize,
+        data: &[f32],
+        dim: usize,
+        scratch: &mut CompressScratch,
+        out: &mut Vec<u8>,
+    ) {
         match self {
-            ResolvedCompression::Raw => data.iter().flat_map(|v| v.to_le_bytes()).collect(),
-            ResolvedCompression::LowPrec(p) => lowprec::compress(data, *p),
+            ResolvedCompression::Raw => {
+                out.reserve(data.len() * 4);
+                for v in data {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            ResolvedCompression::LowPrec(p) => lowprec::compress_into(data, *p, out),
             ResolvedCompression::Lossy {
                 per_table,
                 schedule,
             } => {
                 let (comp, base_eb) = &per_table[table];
                 let eb = schedule.error_bound_at(*base_eb, iter);
-                comp.compress(data, dim, eb)
-                    .expect("lossy compression of finite training data cannot fail")
+                comp.compress_into(data, dim, eb, scratch, out)
+                    .expect("lossy compression of finite training data cannot fail");
             }
         }
     }
 
     /// Decompress one table's payload.
+    #[cfg(test)]
     fn decompress(&self, table: usize, bytes: &[u8]) -> Vec<f32> {
+        let mut scratch = CompressScratch::new();
+        let mut out = Vec::new();
+        self.decompress_into(table, bytes, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free decompression of one table's payload: *appends* the
+    /// values to `out`.
+    fn decompress_into(
+        &self,
+        table: usize,
+        bytes: &[u8],
+        scratch: &mut CompressScratch,
+        out: &mut Vec<f32>,
+    ) {
         match self {
-            ResolvedCompression::Raw => bytes
-                .chunks_exact(4)
-                .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk")))
-                .collect(),
+            ResolvedCompression::Raw => {
+                out.reserve(bytes.len() / 4);
+                out.extend(
+                    bytes
+                        .chunks_exact(4)
+                        .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
+                );
+            }
             ResolvedCompression::LowPrec(_) => {
-                lowprec::decompress(bytes).expect("low-precision payload is well-formed")
+                lowprec::decompress_into(bytes, out).expect("low-precision payload is well-formed")
             }
             ResolvedCompression::Lossy { per_table, .. } => per_table[table]
                 .0
-                .decompress(bytes)
+                .decompress_into(bytes, scratch, out)
                 .expect("lossy payload is well-formed"),
         }
     }
@@ -163,9 +213,7 @@ impl ResolvedCompression {
             ResolvedCompression::Raw => 0,
             ResolvedCompression::LowPrec(Precision::Fp16) => 1,
             ResolvedCompression::LowPrec(Precision::Fp8E4M3) => 2,
-            ResolvedCompression::Lossy { per_table, .. } => {
-                10 + per_table[table].0.kind() as u32
-            }
+            ResolvedCompression::Lossy { per_table, .. } => 10 + per_table[table].0.kind() as u32,
         }
     }
 }
@@ -189,15 +237,108 @@ pub struct RankOutcome {
     /// with).
     pub per_iteration: Vec<EvalMetrics>,
     /// Accumulated time per pipeline phase (virtual network seconds plus
-    /// measured compute seconds).
+    /// measured compute seconds), including per-phase buffer
+    /// allocated/reused byte counters.
     pub ledger: TimingLedger,
     /// Per-table `(original bytes, compressed bytes)` of the forward
     /// all-to-all payloads this rank produced as a table owner.
     pub fwd_traffic: Vec<(u64, u64)>,
+    /// Final counters of this rank's buffer pool.
+    pub pool_stats: PoolStats,
+    /// Bytes of fresh buffer capacity the compress/send path allocated
+    /// *after* [`WARMUP_ITERATIONS`] — zero when the pool, the compress
+    /// scratch and the float recycler are fully reused in the steady state.
+    pub steady_state_allocated_bytes: u64,
+}
+
+/// Per-rank reusable state threaded through every pipeline stage so the
+/// steady-state loop allocates nothing: compression scratch, the pooled
+/// send/recv containers of both all-to-alls, and a recycler for the float
+/// storage of lookup/gradient matrices.
+pub struct PipelineScratch {
+    /// Codec scratch shared by every compress/decompress call on this rank.
+    pub compress: CompressScratch,
+    /// Send-side lease container (drained by the collectives).
+    pub send: Vec<PooledBuf>,
+    /// Receive-side lease container.
+    pub recv: Vec<PooledBuf>,
+    /// Metadata records of the variable all-to-all.
+    pub meta: Vec<(usize, u32)>,
+    /// Flattened MLP gradient buffer for the all-reduce.
+    pub flat_grads: Vec<f32>,
+    /// Recycled float storage for lookup/gradient matrices.
+    float_pool: Vec<Vec<f32>>,
+    /// Bytes of float storage freshly allocated by `take_floats`.
+    float_allocated: u64,
+    /// Bytes of float storage served from the recycler.
+    float_reused: u64,
+    /// Requested forward send-buffer capacity per destination, learned from
+    /// earlier iterations so pool leases rarely have to grow.
+    chunk_capacity_hint: Vec<usize>,
+    /// Same, for the backward (gradient) send buffers per owner rank.
+    bwd_chunk_capacity_hint: Vec<usize>,
+}
+
+impl PipelineScratch {
+    /// Create an empty scratch for a rank of a `world`-sized cluster.
+    pub fn new(world: usize) -> Self {
+        Self {
+            compress: CompressScratch::new(),
+            send: Vec::with_capacity(world),
+            recv: Vec::with_capacity(world),
+            meta: Vec::with_capacity(world),
+            flat_grads: Vec::new(),
+            float_pool: Vec::new(),
+            float_allocated: 0,
+            float_reused: 0,
+            chunk_capacity_hint: vec![64; world],
+            bwd_chunk_capacity_hint: vec![64; world],
+        }
+    }
+
+    /// Take a cleared float buffer with at least `len_hint` capacity from
+    /// the recycler (allocating only when empty, with the event counted).
+    pub fn take_floats(&mut self, len_hint: usize) -> Vec<f32> {
+        match self.float_pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                if v.capacity() >= len_hint {
+                    self.float_reused += (len_hint * 4) as u64;
+                } else {
+                    // Growing a cleared Vec allocates a whole new block of
+                    // the full requested size (and frees the old one) —
+                    // count the full size, not the delta.
+                    self.float_allocated += (len_hint * 4) as u64;
+                    v.reserve(len_hint);
+                }
+                v
+            }
+            None => {
+                self.float_allocated += (len_hint * 4) as u64;
+                Vec::with_capacity(len_hint)
+            }
+        }
+    }
+
+    /// Return a float buffer's storage to the recycler.
+    pub fn put_floats(&mut self, v: Vec<f32>) {
+        if v.capacity() > 0 {
+            self.float_pool.push(v);
+        }
+    }
+
+    /// Cumulative `(allocated, reused)` float-recycler bytes.
+    fn float_counters(&self) -> (u64, u64) {
+        (self.float_allocated, self.float_reused)
+    }
 }
 
 /// Serialize a list of `(table, payload)` blocks into one all-to-all chunk.
-fn encode_blocks(blocks: &[(u32, Vec<u8>)]) -> Vec<u8> {
+///
+/// Wire format: `[count u32][table u32][len u32][payload]…` — exactly what
+/// the zero-allocation pipeline writes incrementally into its send leases
+/// (see `run_rank`), kept as a standalone function for tests and tooling.
+pub fn encode_blocks(blocks: &[(u32, Vec<u8>)]) -> Vec<u8> {
     let mut out = Vec::with_capacity(blocks.iter().map(|(_, b)| b.len() + 8).sum::<usize>() + 4);
     out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
     for (table, payload) in blocks {
@@ -208,21 +349,28 @@ fn encode_blocks(blocks: &[(u32, Vec<u8>)]) -> Vec<u8> {
     out
 }
 
-/// Inverse of [`encode_blocks`].
-fn decode_blocks(bytes: &[u8]) -> Vec<(u32, Vec<u8>)> {
-    let mut pos = 0usize;
+/// Inverse of [`encode_blocks`] (allocating; the pipeline itself walks the
+/// chunk in place with [`block_slices`]).
+pub fn decode_blocks(bytes: &[u8]) -> Vec<(u32, Vec<u8>)> {
+    block_slices(bytes)
+        .map(|(table, payload)| (table, payload.to_vec()))
+        .collect()
+}
+
+/// Zero-copy walk over an [`encode_blocks`]-format chunk: yields
+/// `(table, payload)` with payloads borrowed from `bytes`.
+pub fn block_slices(bytes: &[u8]) -> impl Iterator<Item = (u32, &[u8])> {
     let count = u32::from_le_bytes(bytes[0..4].try_into().expect("block count")) as usize;
-    pos += 4;
-    let mut blocks = Vec::with_capacity(count);
-    for _ in 0..count {
+    let mut pos = 4usize;
+    (0..count).map(move |_| {
         let table = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("table id"));
         pos += 4;
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("payload len")) as usize;
         pos += 4;
-        blocks.push((table, bytes[pos..pos + len].to_vec()));
+        let payload = &bytes[pos..pos + len];
         pos += len;
-    }
-    blocks
+        (table, payload)
+    })
 }
 
 /// Charge a compression/decompression phase: measured seconds by default, or
@@ -242,6 +390,93 @@ fn charge_codec(
     ledger.add_bytes(phase, bytes);
 }
 
+/// Append one `[table u32][len u32][payload]` block to a send lease,
+/// compressing the payload in place and back-patching the length — the
+/// single definition of the chunk wire format shared by the forward and
+/// backward compress stages (see [`encode_blocks`] for the standalone
+/// encoder). Returns the compressed payload length.
+#[allow(clippy::too_many_arguments)]
+fn write_block(
+    resolved: &ResolvedCompression,
+    table: usize,
+    iter: usize,
+    data: &[f32],
+    dim: usize,
+    scratch: &mut CompressScratch,
+    buf: &mut Vec<u8>,
+) -> usize {
+    buf.extend_from_slice(&(table as u32).to_le_bytes());
+    let len_pos = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    let start = buf.len();
+    resolved.compress_into(table, iter, data, dim, scratch, buf);
+    let payload_len = buf.len() - start;
+    buf[len_pos..len_pos + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    payload_len
+}
+
+/// Measure how much each filled send lease grew beyond its capacity at take
+/// time (allocations the pool counters cannot see) and raise the per-slot
+/// capacity hints to the observed sizes. Returns the grown bytes.
+fn settle_send_leases(send: &[PooledBuf], take_caps: &[usize], hints: &mut [usize]) -> u64 {
+    let mut growth = 0u64;
+    for ((buf, &cap_at_take), hint) in send.iter().zip(take_caps).zip(hints.iter_mut()) {
+        growth += buf.capacity().saturating_sub(cap_at_take) as u64;
+        *hint = (*hint).max(buf.len());
+    }
+    growth
+}
+
+/// Running marks for the per-phase allocation accounting.
+struct AllocMarks {
+    pool: PoolStats,
+    compress_capacity: u64,
+    float: (u64, u64),
+}
+
+/// Fold the allocation activity since the last mark into `phase`'s ledger
+/// counters (pool misses, compress-scratch growth, float-recycler misses,
+/// plus `extra_allocated` measured directly by the caller, e.g. send-lease
+/// growth). Returns the freshly allocated bytes so the caller can maintain
+/// the steady-state counter.
+fn note_alloc(
+    ledger: &mut TimingLedger,
+    phase: &str,
+    ctx: &RankCtx,
+    scratch: &PipelineScratch,
+    marks: &mut AllocMarks,
+    extra_allocated: u64,
+) -> u64 {
+    let now = ctx.pool().stats();
+    let pool_delta = now.since(&marks.pool);
+    marks.pool = now;
+    let capacity_now = scratch.compress.capacity_bytes();
+    let scratch_growth = capacity_now.saturating_sub(marks.compress_capacity);
+    marks.compress_capacity = capacity_now;
+    let (fa, fr) = scratch.float_counters();
+    let float_allocated = fa - marks.float.0;
+    let float_reused = fr - marks.float.1;
+    marks.float = (fa, fr);
+    let allocated = pool_delta.allocated_bytes + scratch_growth + float_allocated + extra_allocated;
+    // The flag is read once per process; this diagnostic sits inside the
+    // very instrumentation that demonstrates the allocation-free loop.
+    static ALLOC_DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    let debug = *ALLOC_DEBUG.get_or_init(|| std::env::var("DLRM_ALLOC_DEBUG").is_ok());
+    if debug && allocated > 0 {
+        eprintln!(
+            "[alloc] rank {} phase {phase}: pool {} scratch {} float {} extra {}",
+            ctx.rank(),
+            pool_delta.allocated_bytes,
+            scratch_growth,
+            float_allocated,
+            extra_allocated
+        );
+    }
+    ledger.add_allocated_bytes(phase, allocated);
+    ledger.add_reused_bytes(phase, pool_delta.reused_bytes + float_reused);
+    allocated
+}
+
 /// Run the full training loop on one rank. Must be called from within a
 /// [`SimCluster`](dlrm_comm::SimCluster) whose world matches
 /// `setup.trainer.world`.
@@ -258,6 +493,10 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
 
     let resolved = ResolvedCompression::from_setting(&trainer.compression, num_tables);
     let owned = partition.tables_of(rank).to_vec();
+    // Block counts of the backward chunks: how many tables each rank owns.
+    let tables_of_owner: Vec<u32> = (0..world)
+        .map(|o| partition.tables_of(o).len() as u32)
+        .collect();
 
     let model_config = DlrmConfig::from_dataset(dataset);
     let mut model = Dlrm::new_partial(model_config, trainer.seed, Some(&owned));
@@ -271,84 +510,170 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
     let codec_throughput_c = trainer.device_throughput.map(|(c, _)| c);
     let codec_throughput_d = trainer.device_throughput.map(|(_, d)| d);
     let compute_scale = trainer.compute_time_scale;
+    // The tag is constant across iterations (compressor choice is static).
+    let tags: Vec<u32> = (0..world)
+        .map(|_| owned.first().map_or(0, |&t| resolved.tag(t)))
+        .collect();
+
+    // Reusable per-rank state: everything the steady-state loop touches.
+    let mut scratch = PipelineScratch::new(world);
+    let mut lookup_matrices: Vec<Matrix> = Vec::new(); // [local_idx * world + dst]
+    let mut lookup_slots: Vec<Option<Matrix>> = Vec::new();
+    let mut my_lookups: Vec<Matrix> = Vec::new();
+    let mut grad_entries: Vec<(u32, u32, Matrix)> = Vec::new();
+    let mut take_caps: Vec<usize> = Vec::with_capacity(world);
+
+    let mut steady_allocated = 0u64;
+    let mut marks = AllocMarks {
+        pool: ctx.pool().stats(),
+        compress_capacity: scratch.compress.capacity_bytes(),
+        float: scratch.float_counters(),
+    };
 
     for iter in 0..trainer.iterations {
+        let counting = iter >= WARMUP_ITERATIONS;
         let global_batch = generator.next_batch(trainer.global_batch);
         let shards = global_batch.shard(world);
         let my_shard = &shards[rank];
 
-        // ── Stage 1: owners look up their tables for every destination shard.
+        // ── Stage 1: owners look up their tables for every destination
+        // shard, into float storage recycled from the previous iteration.
         let t0 = Instant::now();
-        // lookups[t_local][dst] = rows for shard `dst` of owned table.
-        let mut lookups: Vec<Vec<Matrix>> = Vec::with_capacity(owned.len());
         for &t in &owned {
-            let per_dst: Vec<Matrix> = (0..world)
-                .map(|dst| model.lookup(t, &shards[dst].sparse[t]))
-                .collect();
-            lookups.push(per_dst);
-        }
-        ledger.add_time(phases::LOOKUP, t0.elapsed().as_secs_f64() * compute_scale);
-
-        // ── Stage 2: compress per-destination chunks.
-        let t0 = Instant::now();
-        let mut fwd_chunks: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); world];
-        let mut fwd_compressed_bytes = 0u64;
-        let mut fwd_original_bytes = 0u64;
-        for (local_idx, &t) in owned.iter().enumerate() {
-            for (dst, matrix) in lookups[local_idx].iter().enumerate() {
-                let payload = resolved.compress(t, iter, matrix.as_slice(), dim);
-                fwd_original_bytes += (matrix.len() * 4) as u64;
-                fwd_compressed_bytes += payload.len() as u64;
-                fwd_traffic[t].0 += (matrix.len() * 4) as u64;
-                fwd_traffic[t].1 += payload.len() as u64;
-                fwd_chunks[dst].push((t as u32, payload));
+            for shard in &shards {
+                let storage = scratch.take_floats(shard.batch_size() * dim);
+                lookup_matrices.push(model.lookup_with_storage(t, &shard.sparse[t], storage));
             }
         }
+        ledger.add_time(phases::LOOKUP, t0.elapsed().as_secs_f64() * compute_scale);
+        // Attribute lookup-storage recycler activity to LOOKUP, not to the
+        // compress phase that happens to run the next accounting mark.
+        let a = note_alloc(&mut ledger, phases::LOOKUP, ctx, &scratch, &mut marks, 0);
+        steady_allocated += if counting { a } else { 0 };
+
+        // ── Stage 2: compress per-destination chunks *directly into* pooled
+        // send leases (block format: [count][table][len][payload]…).
+        let t0 = Instant::now();
+        scratch.send.clear();
+        take_caps.clear();
+        for (shard, hint) in shards.iter().zip(scratch.chunk_capacity_hint.iter()) {
+            // Lease capacity covers the worst case of every codec (≤ 3× the
+            // raw bytes plus per-block headers), so a compressed chunk can
+            // never grow the buffer mid-fill — sizes that fluctuate with the
+            // data would otherwise defeat the zero-allocation steady state.
+            let worst = 4 + owned.len() * (shard.batch_size() * dim * 12 + 708);
+            let mut buf = ctx.take_buf((*hint).max(worst));
+            take_caps.push(buf.capacity());
+            buf.extend_from_slice(&(owned.len() as u32).to_le_bytes());
+            scratch.send.push(buf);
+        }
+        let mut fwd_original_bytes = 0u64;
+        for (local_idx, &t) in owned.iter().enumerate() {
+            for dst in 0..world {
+                let matrix = &lookup_matrices[local_idx * world + dst];
+                let payload_len = write_block(
+                    &resolved,
+                    t,
+                    iter,
+                    matrix.as_slice(),
+                    dim,
+                    &mut scratch.compress,
+                    &mut scratch.send[dst],
+                );
+                fwd_original_bytes += (matrix.len() * 4) as u64;
+                fwd_traffic[t].0 += (matrix.len() * 4) as u64;
+                fwd_traffic[t].1 += payload_len as u64;
+            }
+        }
+        let lease_growth =
+            settle_send_leases(&scratch.send, &take_caps, &mut scratch.chunk_capacity_hint);
         charge_codec(
             &mut ledger,
             phases::FWD_COMPRESS,
-            if resolved.is_raw() { 0.0 } else { t0.elapsed().as_secs_f64() },
+            if resolved.is_raw() {
+                0.0
+            } else {
+                t0.elapsed().as_secs_f64()
+            },
             fwd_original_bytes,
             codec_throughput_c,
         );
+        let a = note_alloc(
+            &mut ledger,
+            phases::FWD_COMPRESS,
+            ctx,
+            &scratch,
+            &mut marks,
+            lease_growth,
+        );
+        steady_allocated += if counting { a } else { 0 };
 
-        // ── Stage 3: metadata + payload all-to-all.
-        let chunks: Vec<Vec<u8>> = fwd_chunks.iter().map(|b| encode_blocks(b)).collect();
-        let tags: Vec<u32> = (0..world)
-            .map(|_| owned.first().map_or(0, |&t| resolved.tag(t)))
-            .collect();
-        let (received, _meta, stats) = ctx.all_to_all_var(chunks, &tags);
+        // ── Stage 3: metadata + payload all-to-all over pooled buffers.
+        let stats = ctx.all_to_all_var_pooled(
+            &mut scratch.send,
+            &mut scratch.recv,
+            &tags,
+            &mut scratch.meta,
+        );
         let fwd_a2a_time = cost.metadata_time(world.saturating_sub(1), 16)
             + cost.alltoall_time(stats.sent, stats.received);
         ledger.add_time(phases::FWD_A2A, fwd_a2a_time);
         ledger.add_bytes(phases::FWD_A2A, (stats.sent + stats.received) as u64);
-        let _ = fwd_compressed_bytes;
+        let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
+        steady_allocated += if counting { a } else { 0 };
 
-        // ── Stage 4: decompress the lookups for my shard.
+        // ── Stage 4: decompress the lookups for my shard (recv leases are
+        // walked in place; float storage comes from the recycler).
         let t0 = Instant::now();
-        let mut my_lookups: Vec<Option<Matrix>> = vec![None; num_tables];
+        lookup_slots.clear();
+        lookup_slots.resize_with(num_tables, || None);
         let mut decompressed_bytes = 0u64;
-        for chunk in &received {
-            for (table, payload) in decode_blocks(chunk) {
-                let values = resolved.decompress(table as usize, payload.as_slice());
-                decompressed_bytes += (values.len() * 4) as u64;
+        let recv = std::mem::take(&mut scratch.recv);
+        for chunk in &recv {
+            for (table, payload) in block_slices(chunk) {
                 let rows = my_shard.batch_size();
+                let mut values = scratch.take_floats(rows * dim);
+                resolved.decompress_into(
+                    table as usize,
+                    payload,
+                    &mut scratch.compress,
+                    &mut values,
+                );
+                decompressed_bytes += (values.len() * 4) as u64;
                 assert_eq!(values.len(), rows * dim, "table {table}: bad payload size");
-                my_lookups[table as usize] = Some(Matrix::from_vec(rows, dim, values));
+                lookup_slots[table as usize] = Some(Matrix::from_vec(rows, dim, values));
             }
         }
-        let my_lookups: Vec<Matrix> = my_lookups
-            .into_iter()
-            .enumerate()
-            .map(|(t, m)| m.unwrap_or_else(|| panic!("no lookup received for table {t}")))
-            .collect();
+        let mut recv = recv;
+        recv.clear(); // release the payload leases back to their pools
+        scratch.recv = recv;
+        my_lookups.clear();
+        my_lookups.extend(
+            lookup_slots
+                .drain(..)
+                .enumerate()
+                .map(|(t, m)| m.unwrap_or_else(|| panic!("no lookup received for table {t}"))),
+        );
         charge_codec(
             &mut ledger,
             phases::FWD_DECOMPRESS,
-            if resolved.is_raw() { 0.0 } else { t0.elapsed().as_secs_f64() },
+            if resolved.is_raw() {
+                0.0
+            } else {
+                t0.elapsed().as_secs_f64()
+            },
             decompressed_bytes,
             codec_throughput_d,
         );
+        let a = note_alloc(
+            &mut ledger,
+            phases::FWD_DECOMPRESS,
+            ctx,
+            &scratch,
+            &mut marks,
+            0,
+        );
+        steady_allocated += if counting { a } else { 0 };
 
         // ── Stage 5: data-parallel forward, metrics, backward.
         let t0 = Instant::now();
@@ -360,79 +685,192 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         let grads = model.backward_dense(&cache, &my_shard.labels);
         ledger.add_time(phases::MLP_BWD, t0.elapsed().as_secs_f64() * compute_scale);
 
-        // ── Stage 6: compress embedding gradients and send them home.
+        // ── Stage 6: compress embedding gradients and send them home, again
+        // straight into pooled send leases.
         let t0 = Instant::now();
-        let mut bwd_chunks: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); world];
+        scratch.send.clear();
+        take_caps.clear();
+        for (owner, &table_count) in tables_of_owner.iter().enumerate() {
+            let worst = 4 + table_count as usize * (my_shard.batch_size() * dim * 12 + 708);
+            let mut buf = ctx.take_buf(scratch.bwd_chunk_capacity_hint[owner].max(worst));
+            take_caps.push(buf.capacity());
+            buf.extend_from_slice(&table_count.to_le_bytes());
+            scratch.send.push(buf);
+        }
         let mut bwd_bytes = 0u64;
         for (t, grad) in grads.embedding_grads.iter().enumerate() {
             let owner = partition.owner_of(t);
-            let payload = resolved.compress(t, iter, grad.as_slice(), dim);
+            write_block(
+                &resolved,
+                t,
+                iter,
+                grad.as_slice(),
+                dim,
+                &mut scratch.compress,
+                &mut scratch.send[owner],
+            );
             bwd_bytes += (grad.len() * 4) as u64;
-            bwd_chunks[owner].push((t as u32, payload));
         }
+        let lease_growth = settle_send_leases(
+            &scratch.send,
+            &take_caps,
+            &mut scratch.bwd_chunk_capacity_hint,
+        );
         charge_codec(
             &mut ledger,
             phases::BWD_COMPRESS,
-            if resolved.is_raw() { 0.0 } else { t0.elapsed().as_secs_f64() },
+            if resolved.is_raw() {
+                0.0
+            } else {
+                t0.elapsed().as_secs_f64()
+            },
             bwd_bytes,
             codec_throughput_c,
         );
+        let a = note_alloc(
+            &mut ledger,
+            phases::BWD_COMPRESS,
+            ctx,
+            &scratch,
+            &mut marks,
+            lease_growth,
+        );
+        steady_allocated += if counting { a } else { 0 };
 
-        let chunks: Vec<Vec<u8>> = bwd_chunks.iter().map(|b| encode_blocks(b)).collect();
-        let (received, _meta, stats) = ctx.all_to_all_var(chunks, &tags);
+        let stats = ctx.all_to_all_var_pooled(
+            &mut scratch.send,
+            &mut scratch.recv,
+            &tags,
+            &mut scratch.meta,
+        );
         let bwd_a2a_time = cost.metadata_time(world.saturating_sub(1), 16)
             + cost.alltoall_time(stats.sent, stats.received);
         ledger.add_time(phases::BWD_A2A, bwd_a2a_time);
         ledger.add_bytes(phases::BWD_A2A, (stats.sent + stats.received) as u64);
+        let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
+        steady_allocated += if counting { a } else { 0 };
 
         // ── Stage 7: decompress gradients and update owned tables.
         let t0 = Instant::now();
-        let mut grad_blocks: Vec<Vec<(usize, Matrix)>> = vec![Vec::new(); num_tables];
         let mut bwd_decompressed = 0u64;
-        for (src, chunk) in received.iter().enumerate() {
-            for (table, payload) in decode_blocks(chunk) {
-                let values = resolved.decompress(table as usize, payload.as_slice());
-                bwd_decompressed += (values.len() * 4) as u64;
+        let recv = std::mem::take(&mut scratch.recv);
+        for (src, chunk) in recv.iter().enumerate() {
+            for (table, payload) in block_slices(chunk) {
                 let rows = shards[src].batch_size();
+                let mut values = scratch.take_floats(rows * dim);
+                resolved.decompress_into(
+                    table as usize,
+                    payload,
+                    &mut scratch.compress,
+                    &mut values,
+                );
+                bwd_decompressed += (values.len() * 4) as u64;
                 assert_eq!(values.len(), rows * dim, "grad for table {table}: bad size");
-                grad_blocks[table as usize].push((src, Matrix::from_vec(rows, dim, values)));
+                grad_entries.push((table, src as u32, Matrix::from_vec(rows, dim, values)));
             }
         }
+        let mut recv = recv;
+        recv.clear();
+        scratch.recv = recv;
         charge_codec(
             &mut ledger,
             phases::BWD_DECOMPRESS,
-            if resolved.is_raw() { 0.0 } else { t0.elapsed().as_secs_f64() },
+            if resolved.is_raw() {
+                0.0
+            } else {
+                t0.elapsed().as_secs_f64()
+            },
             bwd_decompressed,
             codec_throughput_d,
         );
+        let a = note_alloc(
+            &mut ledger,
+            phases::BWD_DECOMPRESS,
+            ctx,
+            &scratch,
+            &mut marks,
+            0,
+        );
+        steady_allocated += if counting { a } else { 0 };
 
         let t0 = Instant::now();
-        for &t in &owned {
-            // Apply in source-rank order for determinism.
-            let mut blocks = std::mem::take(&mut grad_blocks[t]);
-            blocks.sort_by_key(|(src, _)| *src);
-            for (src, grad) in blocks {
-                model.apply_embedding_grad(t, &shards[src].sparse[t], &grad, trainer.learning_rate);
-            }
+        // Apply per table in source-rank order for determinism (tables are
+        // independent, so cross-table order is irrelevant).
+        grad_entries.sort_unstable_by_key(|&(t, s, _)| (t, s));
+        for (table, src, grad) in grad_entries.drain(..) {
+            model.apply_embedding_grad(
+                table as usize,
+                &shards[src as usize].sparse[table as usize],
+                &grad,
+                trainer.learning_rate,
+            );
+            scratch.put_floats(grad.into_vec());
         }
-        ledger.add_time(phases::EMB_UPDATE, t0.elapsed().as_secs_f64() * compute_scale);
+        ledger.add_time(
+            phases::EMB_UPDATE,
+            t0.elapsed().as_secs_f64() * compute_scale,
+        );
 
         // ── Stage 8: all-reduce MLP gradients and update the replicas.
-        let mut flat = model.flatten_mlp_grads(&grads);
-        let ar_stats = ctx.all_reduce_sum(&mut flat);
-        let ar_time = cost.allreduce_time(flat.len() * 4, world);
+        model.flatten_mlp_grads_into(&grads, &mut scratch.flat_grads);
+        let ar_stats = ctx.all_reduce_sum(&mut scratch.flat_grads);
+        let ar_time = cost.allreduce_time(scratch.flat_grads.len() * 4, world);
         ledger.add_time(phases::ALLREDUCE, ar_time);
         ledger.add_bytes(
             phases::ALLREDUCE,
             (ar_stats.sent + ar_stats.received) as u64,
         );
+        let a = note_alloc(&mut ledger, phases::ALLREDUCE, ctx, &scratch, &mut marks, 0);
+        steady_allocated += if counting { a } else { 0 };
         let t0 = Instant::now();
         let scale = 1.0 / world as f32;
-        for g in flat.iter_mut() {
+        for g in scratch.flat_grads.iter_mut() {
             *g *= scale;
         }
-        model.apply_flat_mlp_grads(&flat, trainer.learning_rate);
-        ledger.add_time(phases::OPTIMIZER, t0.elapsed().as_secs_f64() * compute_scale);
+        model.apply_flat_mlp_grads(&scratch.flat_grads, trainer.learning_rate);
+        ledger.add_time(
+            phases::OPTIMIZER,
+            t0.elapsed().as_secs_f64() * compute_scale,
+        );
+
+        // Reclaim the float storage of this iteration's matrices for reuse.
+        for m in lookup_matrices.drain(..) {
+            scratch.put_floats(m.into_vec());
+        }
+        for m in my_lookups.drain(..) {
+            scratch.put_floats(m.into_vec());
+        }
+
+        // End of warm-up: park one extra working set of leases in the pool.
+        // Peers may still hold this iteration's leases when the next
+        // iteration's takes happen (the pipeline only synchronises at the
+        // collectives), and the in-flight amount is bounded by one
+        // iteration's working set — so a second set makes the steady state
+        // deterministically allocation-free regardless of thread timing.
+        if iter + 1 == WARMUP_ITERATIONS {
+            // Spares come in three size classes matching the three kinds of
+            // lease an iteration takes (payload chunks, 16-byte metadata
+            // records, the all-reduce flat buffer). The pool's best-fit
+            // policy keeps each class on its own buffers, and the extra sets
+            // parked here exceed the worst-case in-flight amount (bounded by
+            // one iteration's takes), so no racing take can ever land on an
+            // undersized buffer and grow it.
+            let payload_cap = scratch
+                .chunk_capacity_hint
+                .iter()
+                .chain(scratch.bwd_chunk_capacity_hint.iter())
+                .copied()
+                .max()
+                .unwrap_or(64);
+            let flat_cap = (scratch.flat_grads.len() * 4).max(64);
+            let mut spares: Vec<PooledBuf> = Vec::with_capacity(6 * world);
+            spares.extend((0..3 * world).map(|_| ctx.take_buf(payload_cap)));
+            spares.extend((0..2 * world).map(|_| ctx.take_buf(64)));
+            spares.extend((0..world).map(|_| ctx.take_buf(flat_cap)));
+            drop(spares);
+            // Parking is warm-up work; exclude it from the steady counters.
+            marks.pool = ctx.pool().stats();
+        }
     }
 
     RankOutcome {
@@ -440,6 +878,8 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         per_iteration,
         ledger,
         fwd_traffic,
+        pool_stats: ctx.pool().stats(),
+        steady_state_allocated_bytes: steady_allocated,
     }
 }
 

@@ -16,13 +16,19 @@ fn main() {
     let iterations = 200usize;
     let bandwidth = 4e9; // 4 GB/s all-to-all, as in the paper's analysis
 
-    println!("offline analysis of '{}' ({} tables)\n", dataset.name, dataset.num_tables());
+    println!(
+        "offline analysis of '{}' ({} tables)\n",
+        dataset.name,
+        dataset.num_tables()
+    );
     let compression_plan =
         plan::paper_default_plan(&dataset, iterations / 2, iterations / 2, bandwidth, 7)
             .expect("offline analysis");
 
-    println!("{:<6} {:>10} {:>8} {:>6} {:>9} {:>14} {:>10}",
-        "table", "patterns", "quant", "class", "base EB", "compressor", "est. speedup");
+    println!(
+        "{:<6} {:>10} {:>8} {:>6} {:>9} {:>14} {:>10}",
+        "table", "patterns", "quant", "class", "base EB", "compressor", "est. speedup"
+    );
     for t in &compression_plan.tables {
         println!(
             "{:<6} {:>10} {:>8} {:>6} {:>9.3} {:>14} {:>9.2}x",
@@ -68,5 +74,8 @@ fn main() {
 }
 
 fn mean_multiplier(schedule: &EbSchedule, initial: usize) -> f64 {
-    (0..initial).map(|i| schedule.multiplier(i) as f64).sum::<f64>() / initial.max(1) as f64
+    (0..initial)
+        .map(|i| schedule.multiplier(i) as f64)
+        .sum::<f64>()
+        / initial.max(1) as f64
 }

@@ -24,8 +24,7 @@ fn main() {
         payload.extend(traffic.lookup_batch(t, 256).into_vec());
     }
     let compressor = CompressorKind::OursHybrid.build();
-    let report =
-        measure_roundtrip(compressor.as_ref(), &payload, dim, 0.01).expect("round trip");
+    let report = measure_roundtrip(compressor.as_ref(), &payload, dim, 0.01).expect("round trip");
     println!(
         "hybrid compressor on {}: ratio {:.2}x, compress {:.2} MB/s, decompress {:.2} MB/s (CPU)\n",
         dataset.name,
@@ -50,12 +49,13 @@ fn main() {
     // Cross-check with the simulated cluster: move the same payload raw and
     // compressed through an 8-rank all-to-all and compare modelled times.
     let world = 8;
-    let compressed = compressor
-        .compress(&payload, dim, 0.01)
-        .expect("compress");
+    let compressed = compressor.compress(&payload, dim, 0.01).expect("compress");
     let raw_bytes: Vec<u8> = payload.iter().flat_map(|v| v.to_le_bytes()).collect();
     println!("\nsimulated {world}-rank all-to-all at 4 GB/s (α–β model):");
-    for (name, bytes) in [("raw fp32", raw_bytes.len()), ("compressed", compressed.len())] {
+    for (name, bytes) in [
+        ("raw fp32", raw_bytes.len()),
+        ("compressed", compressed.len()),
+    ] {
         let chunk = bytes / world;
         let cluster = SimCluster::new(world, NetworkConfig::default());
         let times = cluster.run(move |ctx| {
@@ -64,6 +64,9 @@ fn main() {
             ctx.cost_model().alltoall_time(stats.sent, stats.received)
         });
         let slowest = times.into_iter().fold(0.0f64, f64::max);
-        println!("  {name:<12} {:>10} bytes/rank  modelled time {:.6} s", chunk, slowest);
+        println!(
+            "  {name:<12} {:>10} bytes/rank  modelled time {:.6} s",
+            chunk, slowest
+        );
     }
 }

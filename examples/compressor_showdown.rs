@@ -21,7 +21,10 @@ fn main() {
     ];
     let error_bound = 0.01f32;
 
-    for dataset in [presets::criteo_kaggle_like(), presets::criteo_terabyte_like()] {
+    for dataset in [
+        presets::criteo_kaggle_like(),
+        presets::criteo_terabyte_like(),
+    ] {
         let dim = dataset.embedding_dim;
         let batch = dataset.default_batch_size.min(256);
         let mut traffic = EmbeddingTrafficGenerator::new(dataset.clone(), 21);

@@ -21,8 +21,14 @@ fn main() {
     let hot_batch = traffic.lookup_batch(8, 128);
     let cold_batch = traffic.lookup_batch(2, 128);
 
-    println!("dataset: {} (embedding dim {dim}, error bound {error_bound})\n", dataset.name);
-    for (name, batch) in [("repeat-heavy table 8", &hot_batch), ("spread-out table 2", &cold_batch)] {
+    println!(
+        "dataset: {} (embedding dim {dim}, error bound {error_bound})\n",
+        dataset.name
+    );
+    for (name, batch) in [
+        ("repeat-heavy table 8", &hot_batch),
+        ("spread-out table 2", &cold_batch),
+    ] {
         println!("== {name} ==");
         for kind in [
             CompressorKind::OursHybrid,

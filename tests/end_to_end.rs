@@ -73,8 +73,11 @@ fn offline_analysis_plan_drives_distributed_training() {
 #[test]
 fn compressed_training_tracks_uncompressed_accuracy() {
     let dataset = presets::tiny();
-    let iterations = 40;
-    let baseline = run_training(&dataset, &tiny_trainer(CompressionSetting::None, iterations));
+    let iterations = 80;
+    let baseline = run_training(
+        &dataset,
+        &tiny_trainer(CompressionSetting::None, iterations),
+    );
     let lossy = run_training(
         &dataset,
         &tiny_trainer(
@@ -82,9 +85,10 @@ fn compressed_training_tracks_uncompressed_accuracy() {
             iterations,
         ),
     );
-    // Both must learn.
-    assert!(baseline.final_metrics.loss < baseline.accuracy_curve[0].loss);
-    assert!(lossy.final_metrics.loss < lossy.accuracy_curve[0].loss);
+    // Both must learn (first-quarter vs last-quarter mean loss; single
+    // iterations are too noisy to compare).
+    assert!(baseline.final_metrics.loss < baseline.initial_metrics.loss);
+    assert!(lossy.final_metrics.loss < lossy.initial_metrics.loss);
     // And end up close to each other (the paper's headline accuracy claim,
     // at laptop scale with a generous tolerance).
     let gap = (baseline.final_metrics.accuracy - lossy.final_metrics.accuracy).abs();
@@ -116,18 +120,18 @@ fn distributed_and_single_process_models_agree_without_compression() {
     // pipeline is just a reshuffling of the single-process training step, so
     // both must produce finite, decreasing losses from the same start.
     let dataset = presets::tiny();
+    let mut cfg = tiny_trainer(CompressionSetting::None, 8);
+    cfg.world = 1;
+    cfg.global_batch = 64;
+
     let mut single = Dlrm::new(DlrmConfig::from_dataset(&dataset), 20_240_614);
     let mut gen = SyntheticCriteo::new(dataset.clone(), 20_240_615);
     let mut single_losses = Vec::new();
     for _ in 0..8 {
         let batch = gen.next_batch(64);
-        let m = single.train_step(&batch, 0.05);
+        let m = single.train_step(&batch, cfg.learning_rate);
         single_losses.push(m.loss);
     }
-
-    let mut cfg = tiny_trainer(CompressionSetting::None, 8);
-    cfg.world = 1;
-    cfg.global_batch = 64;
     let report = run_training(&dataset, &cfg);
     let dist_losses: Vec<f64> = report.accuracy_curve.iter().map(|m| m.loss).collect();
 
@@ -144,7 +148,10 @@ fn distributed_and_single_process_models_agree_without_compression() {
 fn world_sizes_scale_without_changing_learnability() {
     let dataset = presets::tiny();
     for world in [2usize, 4, 8] {
-        let mut cfg = tiny_trainer(CompressionSetting::fixed(0.02, CompressorKind::OursHybrid), 10);
+        let mut cfg = tiny_trainer(
+            CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+            10,
+        );
         cfg.world = world;
         cfg.global_batch = 64;
         let report = run_training(&dataset, &cfg);

@@ -1,0 +1,128 @@
+//! Minimal `rand` shim: the `RngCore` / `SeedableRng` / `Rng` trait surface
+//! this workspace uses, API-compatible with rand 0.8.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Error type returned by fallible RNG operations (never produced by the
+/// generators in this workspace, but required by the `RngCore` signature).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core random number generation trait (rand 0.8 shape).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u64().to_le_bytes();
+            let take = (dest.len() - i).min(8);
+            dest[i..i + take].copy_from_slice(&chunk[..take]);
+            i += take;
+        }
+    }
+    /// Fallible fill (infallible for all generators here).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Seedable construction (rand 0.8 shape, `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        // 24 high bits give a uniform float in [0, 1).
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift rejection-free mapping; bias is negligible
+                // for the spans used in this workspace (all far below 2^32).
+                let v = rng.next_u64() % span;
+                self.start + v as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u32, u64, usize, i64);
+
+/// Convenience extension over `RngCore` (rand 0.8 shape).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let f: f32 = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u: usize = rng.gen_range(0usize..17);
+            assert!(u < 17);
+        }
+    }
+}

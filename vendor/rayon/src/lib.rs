@@ -1,0 +1,93 @@
+//! Sequential shim for the rayon parallel-iterator surface.
+//!
+//! Every `par_*` entry point maps to the corresponding std sequential
+//! iterator, so downstream code written against `rayon::prelude::*` compiles
+//! and runs unchanged (just without the parallelism). The workspace's "fused
+//! vs naive" benchmarks still measure the *algorithmic* difference (single
+//! shared output buffer vs per-chunk gather), which does not depend on
+//! thread-level parallelism.
+
+pub mod prelude {
+    use std::ops::Range;
+
+    /// `.into_par_iter()` — sequential stand-in.
+    pub trait IntoParallelIterator {
+        /// The underlying sequential iterator type.
+        type Iter: Iterator;
+        /// Convert into a (sequential) "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// `.par_iter()` on slices and vectors.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item yielded by the iterator.
+        type Item: 'a;
+        /// The underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Borrowing (sequential) "parallel" iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.par_chunks_mut()` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for parallel mutable chunking.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn surface_compiles_and_behaves_sequentially() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+        let mut buf = [0u8; 6];
+        buf.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+        let idx: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+}

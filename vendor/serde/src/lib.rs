@@ -1,0 +1,5 @@
+//! serde facade shim: re-exports the no-op `Serialize` / `Deserialize`
+//! derives. The workspace only ever *derives* these traits; nothing consumes
+//! them, so no trait machinery is needed.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op derive macros for `Serialize` / `Deserialize`.
+//!
+//! Nothing in this workspace actually serializes (there is no serde_json or
+//! bincode anywhere), so the derives only need to *parse*; they emit no code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
