@@ -49,15 +49,50 @@ impl SpeedupInputs {
 /// Returns a value ≤ ratio; a speedup below 1 means compression would slow
 /// the exchange down (compressor slower than the network).
 pub fn estimate_speedup(inputs: SpeedupInputs) -> f64 {
+    validate(inputs);
+    1.0 / (1.0 / inputs.ratio
+        + inputs.bandwidth
+            * (1.0 / inputs.compress_throughput + 1.0 / inputs.decompress_throughput))
+}
+
+fn validate(inputs: SpeedupInputs) {
     assert!(inputs.ratio > 0.0, "ratio must be positive");
     assert!(
         inputs.compress_throughput > 0.0 && inputs.decompress_throughput > 0.0,
         "throughputs must be positive"
     );
     assert!(inputs.bandwidth > 0.0, "bandwidth must be positive");
-    1.0 / (1.0 / inputs.ratio
-        + inputs.bandwidth
-            * (1.0 / inputs.compress_throughput + 1.0 / inputs.decompress_throughput))
+}
+
+/// Equation 2 adjusted for the overlapped (double-buffered) pipeline, where
+/// compression of chunk *k+1* runs while chunk *k* is on the wire, so only
+/// the slower of the two stages paces the exchange:
+///
+/// ```text
+/// t_overlap ≈ max(V/Tc, V/(CR·B)) + V/Td
+/// speedup   = (V / B) / t_overlap = 1 / ( max(B/Tc, 1/CR) + B/Td )
+/// ```
+///
+/// (The pipeline-fill transient — one chunk's compression that nothing can
+/// hide — is amortised away over many chunks, exactly as the trainer's
+/// `OverlapTimeline` converges to for large chunk counts.) Always ≥ the
+/// sequential [`estimate_speedup`]; the gap is the hidden codec time.
+pub fn estimate_overlapped_speedup(inputs: SpeedupInputs) -> f64 {
+    validate(inputs);
+    let b = inputs.bandwidth;
+    1.0 / ((b / inputs.compress_throughput).max(1.0 / inputs.ratio)
+        + b / inputs.decompress_throughput)
+}
+
+/// Equation-2 estimate under a given overlap mode — what compressor
+/// selection uses so a pipeline that hides codec time ranks codecs by their
+/// *exposed* cost, not their raw cost.
+pub fn estimate_speedup_with(inputs: SpeedupInputs, overlapped: bool) -> f64 {
+    if overlapped {
+        estimate_overlapped_speedup(inputs)
+    } else {
+        estimate_speedup(inputs)
+    }
 }
 
 /// Pick the compressor with the best estimated speedup from measured reports
@@ -67,12 +102,24 @@ pub fn select_compressor(
     reports: &[(CompressorKind, CompressionReport)],
     bandwidth: f64,
 ) -> Option<(CompressorKind, f64)> {
+    select_compressor_with(reports, bandwidth, false)
+}
+
+/// [`select_compressor`] under a given overlap mode: with `overlapped`, the
+/// ranking uses [`estimate_overlapped_speedup`], so a high-ratio compressor
+/// whose codec time hides behind the wire is no longer penalised for it —
+/// the selection the overlapped trainer pipeline wants.
+pub fn select_compressor_with(
+    reports: &[(CompressorKind, CompressionReport)],
+    bandwidth: f64,
+    overlapped: bool,
+) -> Option<(CompressorKind, f64)> {
     reports
         .iter()
         .map(|(kind, report)| {
             (
                 *kind,
-                estimate_speedup(SpeedupInputs::from_report(report, bandwidth)),
+                estimate_speedup_with(SpeedupInputs::from_report(report, bandwidth), overlapped),
             )
         })
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
@@ -165,6 +212,76 @@ mod tests {
     #[test]
     fn empty_selection_returns_none() {
         assert!(select_compressor(&[], 4e9).is_none());
+        assert!(select_compressor_with(&[], 4e9, true).is_none());
+    }
+
+    #[test]
+    fn overlapped_estimate_dominates_the_sequential_one() {
+        for (cr, tc, td, b) in [
+            (19.9, 40.5e9, 205.4e9, 4e9),
+            (6.2, 136e9, 136e9, 4e9),
+            (2.0, 1e9, 1e9, 4e9), // codec slower than the link
+            (11.2, 40.5e9, 205.4e9, 60e9),
+        ] {
+            let i = inputs(cr, tc, td, b);
+            let seq = estimate_speedup(i);
+            let ovl = estimate_overlapped_speedup(i);
+            assert!(
+                ovl >= seq - 1e-12,
+                "overlap must never estimate slower: {ovl} < {seq}"
+            );
+            assert!(
+                ovl <= cr + 1e-9,
+                "no estimate can beat the compression ratio: {ovl}"
+            );
+            assert_eq!(estimate_speedup_with(i, true), ovl);
+            assert_eq!(estimate_speedup_with(i, false), seq);
+        }
+    }
+
+    #[test]
+    fn overlap_is_paced_by_the_slower_of_codec_and_wire() {
+        // Compression slower than the compressed wire share: the codec
+        // paces the pipeline (the wire hides behind it instead).
+        let i = inputs(10.0, 8e9, 1e15, 4e9);
+        let ovl = estimate_overlapped_speedup(i);
+        // max(B/Tc, 1/CR) = max(0.5, 0.1) = 0.5 → speedup 2.0 (minus the
+        // negligible decompression term).
+        assert!((ovl - 2.0).abs() < 1e-4, "{ovl}");
+        // With compression faster than the wire share, the ratio paces it.
+        let i = inputs(10.0, 1e15, 1e15, 4e9);
+        assert!((estimate_overlapped_speedup(i) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overlap_can_flip_the_selected_compressor() {
+        use dlrm_compress::CompressionReport;
+        let mk = |ratio: f64, tc: f64, td: f64| CompressionReport {
+            compressor: "x".into(),
+            original_bytes: 1_000_000,
+            compressed_bytes: (1_000_000.0 / ratio) as usize,
+            ratio,
+            compress_seconds: 1.0,
+            decompress_seconds: 1.0,
+            compress_throughput: tc,
+            decompress_throughput: td,
+            max_abs_error: 0.0,
+            error_bound: 0.01,
+        };
+        // A slow-but-dense codec vs a fast-but-sparse one: sequentially the
+        // dense codec's compression time (B/Tc = 0.32) is added to its wire
+        // share (1/CR = 0.05) and loses to the fast codec; overlapped, the
+        // wire share hides behind the codec and the dense codec wins.
+        let reports = vec![
+            (CompressorKind::FzLike, mk(3.0, 500e9, 500e9)),
+            (CompressorKind::OursHybrid, mk(20.0, 18.75e9, 1e15)),
+        ];
+        let b = 6e9;
+        let (seq_kind, _) = select_compressor_with(&reports, b, false).unwrap();
+        let (ovl_kind, ovl_speedup) = select_compressor_with(&reports, b, true).unwrap();
+        assert_eq!(seq_kind, CompressorKind::FzLike);
+        assert_eq!(ovl_kind, CompressorKind::OursHybrid);
+        assert!(ovl_speedup > 1.0);
     }
 
     #[test]

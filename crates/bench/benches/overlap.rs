@@ -1,0 +1,140 @@
+//! Benchmark of the overlapped chunked all-to-all: host-time cost of the
+//! chunked transport vs the two-phase variable collective, and end-to-end
+//! trainer iterations with the double-buffered pipeline on vs off. The
+//! *virtual* seconds (what the ledger charges) are covered by tests and the
+//! `ovl1` experiment; this measures the real overhead of running the
+//! chunked engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_comm::pool::PooledBuf;
+use dlrm_comm::{NetworkConfig, SimCluster};
+use dlrm_compress::buffer::{compress_chunks_into, FusedBuffer};
+use dlrm_compress::{ChunkEncoder, CompressScratch, CompressorKind};
+use dlrm_data::presets;
+use dlrm_trainer::{run_training, CompressionSetting, OverlapSetting, TrainerConfig};
+
+/// Chunked vs two-phase variable all-to-all over the same payloads.
+fn bench_chunked_transport(c: &mut Criterion) {
+    let chunk_bytes = 32 * 1024;
+    let world = 4;
+    let rounds = 8;
+
+    let mut group = c.benchmark_group("chunked-transport");
+    group.throughput(Throughput::Bytes(
+        (chunk_bytes * world * world * rounds) as u64,
+    ));
+    group.bench_function(BenchmarkId::new("var-two-phase", world), |b| {
+        b.iter(|| {
+            SimCluster::new(world, NetworkConfig::infinite()).run(move |ctx| {
+                let mut send: Vec<PooledBuf> = Vec::new();
+                let mut recv: Vec<PooledBuf> = Vec::new();
+                let mut records = Vec::new();
+                let tags = vec![0u32; world];
+                for _ in 0..rounds {
+                    for dst in 0..world {
+                        let mut buf = ctx.take_buf(chunk_bytes);
+                        buf.extend(std::iter::repeat_n(dst as u8, chunk_bytes));
+                        send.push(buf);
+                    }
+                    ctx.all_to_all_var_pooled(&mut send, &mut recv, &tags, &mut records);
+                    recv.clear();
+                }
+            })
+        })
+    });
+    group.bench_function(BenchmarkId::new("chunked-begin-send", world), |b| {
+        b.iter(|| {
+            SimCluster::new(world, NetworkConfig::infinite()).run(move |ctx| {
+                let mut send: Vec<PooledBuf> = Vec::new();
+                let mut recv: Vec<PooledBuf> = Vec::new();
+                let mut records = Vec::new();
+                let tags = vec![0u32; world];
+                for _ in 0..rounds {
+                    for dst in 0..world {
+                        let mut buf = ctx.take_chunk_buf(chunk_bytes);
+                        buf.extend(std::iter::repeat_n(dst as u8, chunk_bytes));
+                        send.push(buf);
+                    }
+                    ctx.all_to_all_chunked(&mut send, &mut recv, &tags, &mut records);
+                    recv.clear();
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+/// Streaming per-destination compression: one `ChunkEncoder::push_chunk`
+/// per chunk into its own (reused) send buffer — the shape the overlapped
+/// pipeline streams in — vs the batch `compress_chunks_into` fused buffer.
+fn bench_streaming_encoder(c: &mut Criterion) {
+    let dim = 16;
+    let num_chunks = 8;
+    let data: Vec<Vec<f32>> = (0..num_chunks)
+        .map(|d| {
+            (0..256 * dim)
+                .map(|i| ((d * 131 + i) % 97) as f32 * 0.004 - 0.19)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = data.iter().map(Vec::as_slice).collect();
+    let bytes: u64 = data.iter().map(|c| (c.len() * 4) as u64).sum();
+    let comp = CompressorKind::OursHybrid.build();
+
+    let mut group = c.benchmark_group("streaming-encoder");
+    group.throughput(Throughput::Bytes(bytes));
+    let mut scratch = CompressScratch::new();
+    let mut fused = FusedBuffer {
+        bytes: Vec::new(),
+        spans: Vec::new(),
+    };
+    group.bench_function("batch-fused", |b| {
+        b.iter(|| {
+            compress_chunks_into(comp.as_ref(), &refs, dim, 0.01, &mut scratch, &mut fused)
+                .expect("compress");
+            fused.payload_bytes()
+        })
+    });
+    let mut encoder = ChunkEncoder::new();
+    let mut leases: Vec<Vec<u8>> = (0..num_chunks).map(|_| Vec::new()).collect();
+    group.bench_function("stream-per-chunk", |b| {
+        b.iter(|| {
+            encoder.begin();
+            for (chunk, lease) in refs.iter().zip(leases.iter_mut()) {
+                lease.clear();
+                encoder
+                    .push_chunk(comp.as_ref(), chunk, dim, 0.01, &mut scratch, lease)
+                    .expect("push_chunk");
+            }
+            encoder.payload_bytes()
+        })
+    });
+    group.finish();
+}
+
+/// Full trainer iterations, sequential vs double-buffered pipeline.
+fn bench_overlapped_trainer(c: &mut Criterion) {
+    let dataset = presets::tiny();
+    let mut group = c.benchmark_group("trainer-overlap");
+    group.sample_size(10);
+    for overlap in [OverlapSetting::Off, OverlapSetting::DoubleBuffered] {
+        group.bench_function(BenchmarkId::from_parameter(overlap.label()), |b| {
+            let mut cfg = TrainerConfig::small_test(CompressionSetting::fixed(
+                0.02,
+                dlrm_compress::CompressorKind::OursHybrid,
+            ));
+            cfg.iterations = 4;
+            cfg.global_batch = 64;
+            cfg = cfg.with_overlap(overlap);
+            b.iter(|| run_training(&dataset, &cfg).total_seconds)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_chunked_transport, bench_streaming_encoder, bench_overlapped_trainer
+}
+criterion_main!(benches);

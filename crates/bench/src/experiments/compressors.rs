@@ -68,20 +68,21 @@ pub fn fig11(opts: &ExpOptions) -> String {
             "comp GB/s",
             "decomp GB/s",
             "est. a2a speedup",
+            "est. overlapped",
         ]);
         for &kind in CompressorKind::all() {
             let comp = kind.build();
             let report = aggregate_over_tables(comp.as_ref(), &samples, dim, 0.01);
-            let est = speedup::estimate_speedup(speedup::SpeedupInputs::from_report(
-                &report,
-                PAPER_BANDWIDTH,
-            ));
+            let inputs = speedup::SpeedupInputs::from_report(&report, PAPER_BANDWIDTH);
+            let est = speedup::estimate_speedup(inputs);
+            let est_overlapped = speedup::estimate_overlapped_speedup(inputs);
             table.row(vec![
                 kind.label().to_string(),
                 ratio(report.ratio),
                 f2(report.compress_gbps()),
                 f2(report.decompress_gbps()),
                 ratio(est),
+                ratio(est_overlapped),
             ]);
         }
         out.push_str(&format!("dataset: {}\n{}\n", dataset.name, table.render()));

@@ -7,6 +7,7 @@ pub mod buffer_opt;
 pub mod compressors;
 pub mod decay;
 pub mod meta;
+pub mod overlap;
 
 use crate::workloads::Scale;
 
@@ -130,6 +131,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "tab6",
             title: "Vector-LZ compression-ratio improvement vs window size",
             run: compressors::tab6,
+        },
+        Experiment {
+            id: "ovl1",
+            title: "Sequential vs overlapped (double-buffered) chunked all-to-all breakdown",
+            run: overlap::ovl1,
         },
         Experiment {
             id: "abl2",

@@ -6,7 +6,7 @@ use dlrm_adaptive::{EbConfig, EbSchedule, Thresholds, TrainingPhases};
 use dlrm_comm::NetworkConfig;
 use dlrm_compress::CompressorKind;
 use dlrm_data::{presets, DatasetConfig, EmbeddingTrafficGenerator};
-use dlrm_trainer::{plan, CompressionSetting, TrainerConfig};
+use dlrm_trainer::{plan, CompressionSetting, OverlapSetting, TrainerConfig};
 
 /// The all-to-all bandwidth the paper's Figure 11 speedup analysis assumes.
 pub const PAPER_BANDWIDTH: f64 = 4e9;
@@ -76,6 +76,7 @@ pub fn accuracy_trainer(
         iterations: accuracy_iterations(scale),
         learning_rate: 0.05,
         compression,
+        overlap: OverlapSetting::Off,
         network: NetworkConfig::default(),
         seed: 20_240_614,
         device_throughput: None,
@@ -113,6 +114,7 @@ pub fn breakdown_trainer(
         iterations,
         learning_rate: 0.05,
         compression,
+        overlap: OverlapSetting::Off,
         network: NetworkConfig {
             alltoall_bandwidth: PAPER_BANDWIDTH,
             allreduce_bandwidth: 8e9,
@@ -121,6 +123,33 @@ pub fn breakdown_trainer(
         seed: 20_240_614,
         device_throughput,
         compute_time_scale: BREAKDOWN_COMPUTE_SCALE,
+    }
+}
+
+/// The trainer configuration the overlap breakdown experiment uses: a slow
+/// link and analytic codec throughputs sized so the codec can genuinely hide
+/// behind the wire, with measured compute scaled far down — the experiment
+/// is about the deterministic comm/codec schedule, not this CPU.
+pub fn overlap_trainer(compression: CompressionSetting, scale: Scale) -> TrainerConfig {
+    let (world, iterations) = match scale {
+        Scale::Quick => (4, 4),
+        Scale::Full => (8, 6),
+    };
+    TrainerConfig {
+        world,
+        global_batch: world * 64,
+        iterations,
+        learning_rate: 0.05,
+        compression,
+        overlap: OverlapSetting::Off,
+        network: NetworkConfig {
+            alltoall_bandwidth: 5e7,
+            allreduce_bandwidth: 8e9,
+            latency: 5e-6,
+        },
+        seed: 20_240_614,
+        device_throughput: Some((0.5e9, 2e9)),
+        compute_time_scale: 1.0 / 5000.0,
     }
 }
 

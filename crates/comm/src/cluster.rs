@@ -8,7 +8,7 @@
 //!
 //! Collectives move real buffers; they also *return* the number of bytes the
 //! calling rank sent and received so the caller can charge virtual time via
-//! [`CostModel`](crate::cost::CostModel).
+//! [`crate::cost::CostModel`].
 //!
 //! Every message travels as a [`PooledBuf`] leased from the sending rank's
 //! [`BufferPool`]: when the receiver drops (or returns) its lease, the
@@ -27,6 +27,14 @@ use std::thread;
 /// Bytes of metadata exchanged per peer in the metadata phase of a
 /// variable-size all-to-all (compressed size + compressor id + flags).
 pub const METADATA_RECORD_BYTES: usize = 16;
+
+/// Bytes of the self-describing header prefixed to every chunk of the
+/// *chunked* all-to-all: `[payload_len u64][tag u32][reserved u32]`. Same
+/// size and content as a metadata record — the chunked collective inlines
+/// the metadata into each chunk instead of running a separate metadata
+/// phase, as a streaming pipeline must (the sizes are only known chunk by
+/// chunk).
+pub const CHUNK_HEADER_BYTES: usize = 16;
 
 /// A simulated cluster of `world` ranks.
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +143,10 @@ pub struct ExchangeBytes {
 struct CollectiveScratch {
     bufs_a: Vec<PooledBuf>,
     bufs_b: Vec<PooledBuf>,
+    /// Per-destination "chunk sent" flags of an in-flight chunked all-to-all.
+    sent_flags: Vec<bool>,
+    /// Per-source "chunk received" flags of an in-flight chunked all-to-all.
+    recv_flags: Vec<bool>,
 }
 
 /// Per-rank handle to the simulated cluster.
@@ -346,6 +358,78 @@ impl RankCtx {
         )
     }
 
+    /// Lease a send buffer for the chunked all-to-all: the first
+    /// [`CHUNK_HEADER_BYTES`] are reserved (zeroed) for the self-describing
+    /// header that [`ChunkedAllToAll::send`] back-patches; the payload is
+    /// appended after them.
+    pub fn take_chunk_buf(&self, capacity: usize) -> PooledBuf {
+        let mut buf = self.pool.take(capacity.max(CHUNK_HEADER_BYTES));
+        buf.extend_from_slice(&[0u8; CHUNK_HEADER_BYTES]);
+        buf
+    }
+
+    /// Start a non-blocking chunked all-to-all. See [`ChunkedAllToAll`].
+    ///
+    /// Exactly one chunk must be sent to and received from every rank
+    /// (including this one — the local chunk is moved, not copied) before
+    /// [`ChunkedAllToAll::finish`] is called.
+    pub fn begin_chunked(&self) -> ChunkedAllToAll<'_> {
+        let mut scratch = self.scratch.borrow_mut();
+        let mut sent = std::mem::take(&mut scratch.sent_flags);
+        let mut received = std::mem::take(&mut scratch.recv_flags);
+        drop(scratch);
+        sent.clear();
+        sent.resize(self.world, false);
+        received.clear();
+        received.resize(self.world, false);
+        ChunkedAllToAll {
+            ctx: self,
+            stats: ExchangeBytes::default(),
+            local: None,
+            sent,
+            received,
+            finished: false,
+        }
+    }
+
+    /// Chunked all-to-all over header-prefixed chunks (each built with
+    /// [`RankCtx::take_chunk_buf`]): drains `send` (entry `d` to rank `d`),
+    /// refills `recv` so entry `s` is the chunk received from rank `s` —
+    /// *with its header still in place*, payload at
+    /// `&chunk[CHUNK_HEADER_BYTES..]` — and refills `records` with each
+    /// source's `(payload_len, tag)`.
+    ///
+    /// Unlike [`RankCtx::all_to_all_var_pooled`] there is no separate
+    /// metadata phase: every chunk carries its own 16-byte header, so total
+    /// bytes on the wire are identical, but sizes arrive streamed with the
+    /// chunks. All sends are issued before any receive completes; a caller
+    /// that wants true compress/transfer interleaving drives
+    /// [`ChunkedAllToAll`] directly.
+    pub fn all_to_all_chunked(
+        &self,
+        send: &mut Vec<PooledBuf>,
+        recv: &mut Vec<PooledBuf>,
+        tags: &[u32],
+        records: &mut Vec<(usize, u32)>,
+    ) -> ExchangeBytes {
+        assert_eq!(send.len(), self.world);
+        assert_eq!(tags.len(), self.world);
+        let mut exchange = self.begin_chunked();
+        for (dst, chunk) in send.drain(..).enumerate() {
+            exchange.send(dst, chunk, tags[dst]);
+        }
+        recv.clear();
+        recv.reserve(self.world);
+        records.clear();
+        records.reserve(self.world);
+        for src in 0..self.world {
+            let (chunk, payload_len, tag) = exchange.recv(src);
+            records.push((payload_len, tag));
+            recv.push(chunk);
+        }
+        exchange.finish()
+    }
+
     /// All-gather: every rank contributes one byte chunk and receives all
     /// chunks in rank order.
     pub fn all_gather_bytes(&self, chunk: Vec<u8>) -> (Vec<Vec<u8>>, ExchangeBytes) {
@@ -429,6 +513,143 @@ impl RankCtx {
             stats.received += received.len();
             (received.into_vec(), stats)
         }
+    }
+}
+
+/// Handle of an in-flight non-blocking chunked all-to-all.
+///
+/// Created by [`RankCtx::begin_chunked`]. The sender side is a *begin-send*:
+/// [`ChunkedAllToAll::send`] back-patches the chunk's header and posts it to
+/// the destination's FIFO without blocking, so the caller can go compress
+/// the next chunk while this one is (virtually) on the wire — the paper's
+/// double-buffered pipeline. The receiver side offers both *poll-complete*
+/// ([`ChunkedAllToAll::try_recv`]) and blocking completion
+/// ([`ChunkedAllToAll::recv`]).
+///
+/// [`ChunkedAllToAll::finish`] asserts the exchange is complete (every rank
+/// sent to and received from) and returns the byte accounting. All internal
+/// state lives in reusable per-rank scratch, so a steady-state caller
+/// allocates nothing.
+pub struct ChunkedAllToAll<'a> {
+    ctx: &'a RankCtx,
+    stats: ExchangeBytes,
+    /// The local chunk is moved, not sent through a channel.
+    local: Option<PooledBuf>,
+    sent: Vec<bool>,
+    received: Vec<bool>,
+    finished: bool,
+}
+
+impl ChunkedAllToAll<'_> {
+    /// Begin-send `chunk` to `dst`, tagging its header with `tag`. The chunk
+    /// must have been built with [`RankCtx::take_chunk_buf`] (its first
+    /// [`CHUNK_HEADER_BYTES`] are the header placeholder); this call
+    /// back-patches the payload length and tag, then posts the chunk without
+    /// blocking. Sending to this rank itself parks the chunk locally.
+    ///
+    /// # Panics
+    /// Panics if a chunk was already sent to `dst` or the chunk is shorter
+    /// than its header.
+    pub fn send(&mut self, dst: usize, mut chunk: PooledBuf, tag: u32) {
+        assert!(
+            chunk.len() >= CHUNK_HEADER_BYTES,
+            "chunk is missing its header placeholder (use take_chunk_buf)"
+        );
+        assert!(
+            !std::mem::replace(&mut self.sent[dst], true),
+            "rank {}: chunk for {dst} sent twice",
+            self.ctx.rank
+        );
+        let payload_len = (chunk.len() - CHUNK_HEADER_BYTES) as u64;
+        chunk[0..8].copy_from_slice(&payload_len.to_le_bytes());
+        chunk[8..12].copy_from_slice(&tag.to_le_bytes());
+        chunk[12..16].copy_from_slice(&[0u8; 4]);
+        if dst == self.ctx.rank {
+            self.local = Some(chunk);
+        } else {
+            self.stats.sent += chunk.len();
+            self.ctx.senders[dst]
+                .send(chunk)
+                .expect("peer rank hung up");
+        }
+    }
+
+    /// Poll for the chunk from `src`: returns `Some((chunk, payload_len,
+    /// tag))` if it has arrived, `None` if it is still in flight. The
+    /// payload sits at `&chunk[CHUNK_HEADER_BYTES..]`.
+    ///
+    /// The caller tracks which sources have completed (e.g. a shrinking
+    /// pending list): polling `src == rank()` before the local chunk was
+    /// sent also reports `None` (nothing can be in flight yet).
+    ///
+    /// # Panics
+    /// Panics if the chunk from `src` was already received — a completed
+    /// source must not be polled again.
+    pub fn try_recv(&mut self, src: usize) -> Option<(PooledBuf, usize, u32)> {
+        assert!(!self.received[src], "chunk from {src} already received");
+        let chunk = if src == self.ctx.rank {
+            self.local.take()?
+        } else {
+            self.ctx.receivers[src].try_recv()?
+        };
+        Some(self.complete_recv(src, chunk))
+    }
+
+    /// Block until the chunk from `src` arrives and return `(chunk,
+    /// payload_len, tag)`. The payload sits at
+    /// `&chunk[CHUNK_HEADER_BYTES..]`.
+    ///
+    /// # Panics
+    /// Panics if the chunk from `src` was already received, or when
+    /// completing the local chunk before it was sent.
+    pub fn recv(&mut self, src: usize) -> (PooledBuf, usize, u32) {
+        assert!(!self.received[src], "chunk from {src} already received");
+        let chunk = if src == self.ctx.rank {
+            self.local.take().expect("local chunk was never sent")
+        } else {
+            self.ctx.receivers[src].recv().expect("peer rank hung up")
+        };
+        self.complete_recv(src, chunk)
+    }
+
+    fn complete_recv(&mut self, src: usize, chunk: PooledBuf) -> (PooledBuf, usize, u32) {
+        self.received[src] = true;
+        if src != self.ctx.rank {
+            self.stats.received += chunk.len();
+        }
+        let payload_len = u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes")) as usize;
+        let tag = u32::from_le_bytes(chunk[8..12].try_into().expect("4 bytes"));
+        assert_eq!(
+            payload_len,
+            chunk.len() - CHUNK_HEADER_BYTES,
+            "rank {}: chunk header from {src} disagrees with chunk size",
+            self.ctx.rank
+        );
+        (chunk, payload_len, tag)
+    }
+
+    /// Complete the collective: asserts every chunk was sent and received
+    /// and returns the byte totals (headers included — the same bytes the
+    /// two-phase variable all-to-all moves as metadata plus payload).
+    pub fn finish(&mut self) -> ExchangeBytes {
+        assert!(!self.finished, "chunked all-to-all finished twice");
+        for dst in 0..self.ctx.world {
+            assert!(self.sent[dst], "no chunk was sent to rank {dst}");
+            assert!(self.received[dst], "no chunk was received from {dst}");
+        }
+        self.finished = true;
+        self.stats
+    }
+}
+
+impl Drop for ChunkedAllToAll<'_> {
+    fn drop(&mut self) {
+        // Return the flag storage to the rank's scratch so the next
+        // collective reuses it (whether or not finish() ran — an unwinding
+        // rank must not poison the scratch).
+        let mut scratch = self.ctx.scratch.borrow_mut();
+        scratch.sent_flags = std::mem::take(&mut self.sent);
+        scratch.recv_flags = std::mem::take(&mut self.received);
     }
 }
 
@@ -635,6 +856,152 @@ mod tests {
             assert_eq!(delta.allocations, 0, "steady state allocated: {delta:?}");
             assert!(delta.reuses > 0);
         }
+    }
+
+    #[test]
+    fn chunked_all_to_all_permutes_chunks_and_parses_headers() {
+        let world = 4;
+        cluster(world).run(move |ctx| {
+            let mut send: Vec<PooledBuf> = Vec::new();
+            let mut recv: Vec<PooledBuf> = Vec::new();
+            let mut records = Vec::new();
+            for dst in 0..world {
+                let mut b = ctx.take_chunk_buf(64);
+                b.extend(std::iter::repeat_n(
+                    0xC0 ^ ctx.rank() as u8 ^ dst as u8,
+                    dst + 1,
+                ));
+                send.push(b);
+            }
+            let tags: Vec<u32> = (0..world).map(|d| (ctx.rank() * 10 + d) as u32).collect();
+            let stats = ctx.all_to_all_chunked(&mut send, &mut recv, &tags, &mut records);
+            for (src, chunk) in recv.iter().enumerate() {
+                let payload = &chunk[CHUNK_HEADER_BYTES..];
+                assert_eq!(payload.len(), ctx.rank() + 1);
+                assert!(payload
+                    .iter()
+                    .all(|&b| b == 0xC0 ^ src as u8 ^ ctx.rank() as u8));
+                assert_eq!(
+                    records[src],
+                    (payload.len(), (src * 10 + ctx.rank()) as u32)
+                );
+            }
+            // Bytes on the wire: payload + one 16-byte header per peer, each
+            // direction — exactly what the two-phase variable all-to-all
+            // counts as payload + metadata.
+            let expected_sent: usize = (0..world)
+                .filter(|&d| d != ctx.rank())
+                .map(|d| d + 1 + CHUNK_HEADER_BYTES)
+                .sum();
+            assert_eq!(stats.sent, expected_sent);
+        });
+    }
+
+    #[test]
+    fn chunked_handle_supports_begin_send_and_poll_complete() {
+        let world = 3;
+        cluster(world).run(move |ctx| {
+            let mut exchange = ctx.begin_chunked();
+            // Begin-send all chunks without blocking.
+            for dst in 0..world {
+                let mut b = ctx.take_chunk_buf(32);
+                b.extend_from_slice(&[ctx.rank() as u8; 5]);
+                exchange.send(dst, b, 7);
+            }
+            // Poll-complete in whatever order the chunks arrive.
+            let mut pending: Vec<usize> = (0..world).collect();
+            let mut seen = 0usize;
+            while !pending.is_empty() {
+                pending.retain(|&src| match exchange.try_recv(src) {
+                    Some((chunk, payload_len, tag)) => {
+                        assert_eq!(payload_len, 5);
+                        assert_eq!(tag, 7);
+                        assert_eq!(chunk[CHUNK_HEADER_BYTES], src as u8);
+                        seen += 1;
+                        false
+                    }
+                    None => true,
+                });
+            }
+            assert_eq!(seen, world);
+            let stats = exchange.finish();
+            assert_eq!(stats.received, (world - 1) * (5 + CHUNK_HEADER_BYTES));
+        });
+    }
+
+    #[test]
+    fn chunked_all_to_all_matches_var_byte_accounting() {
+        let world = 4;
+        cluster(world).run(move |ctx| {
+            let tags = vec![3u32; world];
+            let mut records = Vec::new();
+            // Variable-size path.
+            let chunks: Vec<Vec<u8>> = (0..world).map(|d| vec![1u8; 10 + d]).collect();
+            let (_, _, var_stats) = ctx.all_to_all_var(chunks, &tags);
+            // Chunked path with the same payloads.
+            let mut send: Vec<PooledBuf> = (0..world)
+                .map(|d| {
+                    let mut b = ctx.take_chunk_buf(64);
+                    b.extend(std::iter::repeat_n(1u8, 10 + d));
+                    b
+                })
+                .collect();
+            let mut recv = Vec::new();
+            let chunked_stats = ctx.all_to_all_chunked(&mut send, &mut recv, &tags, &mut records);
+            assert_eq!(var_stats, chunked_stats);
+        });
+    }
+
+    #[test]
+    fn chunked_all_to_all_stops_allocating_after_warmup() {
+        let world = 4;
+        let results = cluster(world).run(move |ctx| {
+            let mut send: Vec<PooledBuf> = Vec::new();
+            let mut recv: Vec<PooledBuf> = Vec::new();
+            let mut records = Vec::new();
+            let tags = vec![0u32; world];
+            let fill = |ctx: &RankCtx, send: &mut Vec<PooledBuf>, round: u8| {
+                for dst in 0..world {
+                    let mut b = ctx.take_chunk_buf(512);
+                    b.extend(std::iter::repeat_n(round ^ dst as u8, 128 + dst * 8));
+                    send.push(b);
+                }
+            };
+            for round in 0..3u8 {
+                fill(&ctx, &mut send, round);
+                ctx.all_to_all_chunked(&mut send, &mut recv, &tags, &mut records);
+                recv.clear();
+            }
+            let spares: Vec<PooledBuf> = (0..4 * world).map(|_| ctx.take_buf(1024)).collect();
+            drop(spares);
+            ctx.barrier();
+            let warm = ctx.pool().stats();
+            for round in 3..23u8 {
+                fill(&ctx, &mut send, round);
+                ctx.all_to_all_chunked(&mut send, &mut recv, &tags, &mut records);
+                for (src, chunk) in recv.iter().enumerate() {
+                    assert_eq!(chunk[CHUNK_HEADER_BYTES], round ^ ctx.rank() as u8);
+                    assert_eq!(records[src].0, 128 + ctx.rank() * 8);
+                }
+                recv.clear();
+            }
+            ctx.barrier();
+            ctx.pool().stats().since(&warm)
+        });
+        for delta in results {
+            assert_eq!(delta.allocations, 0, "steady state allocated: {delta:?}");
+            assert!(delta.reuses > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn chunked_finish_before_completion_panics() {
+        cluster(2).run(|ctx| {
+            let mut exchange = ctx.begin_chunked();
+            exchange.send(ctx.rank(), ctx.take_chunk_buf(16), 0);
+            let _ = exchange.finish(); // never sent to / received from the peer
+        });
     }
 
     #[test]

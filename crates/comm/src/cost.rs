@@ -95,6 +95,21 @@ impl CostModel {
     pub fn p2p_time(&self, bytes: usize) -> f64 {
         self.config.latency + bytes as f64 / self.config.alltoall_bandwidth
     }
+
+    /// The bandwidth (β) term alone of moving `bytes` over the all-to-all
+    /// link — no per-message latency.
+    ///
+    /// This is the building block of the *chunked* all-to-all: its chunks
+    /// ride back-to-back on an already-open link (as NCCL pipelines the
+    /// messages of one collective), so the α term is charged once per
+    /// collective, not once per chunk. Summed over chunks whose bottleneck
+    /// bytes add up to the collective's bottleneck total, the chunk times
+    /// reproduce [`CostModel::alltoall_time`]'s bandwidth term exactly —
+    /// chunking changes what *hides behind* the wire, never the wire time
+    /// itself.
+    pub fn bandwidth_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.config.alltoall_bandwidth
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +168,19 @@ mod tests {
         let meta = m.metadata_time(31, 16);
         let payload = m.alltoall_time(8 << 20, 8 << 20);
         assert!(meta * 10.0 < payload);
+    }
+
+    #[test]
+    fn chunked_bandwidth_terms_sum_to_the_bulk_collective() {
+        let m = NetworkConfig::default().cost_model();
+        let chunks = [100_000usize, 250_000, 1, 649_999];
+        let total: usize = chunks.iter().sum();
+        let summed: f64 = chunks.iter().map(|&c| m.bandwidth_time(c)).sum();
+        let bulk = m.alltoall_time(total, total) - m.config().latency;
+        assert!(
+            (summed - bulk).abs() < 1e-12,
+            "chunked {summed} vs bulk {bulk}"
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct TimingLedger {
     bytes: BTreeMap<String, u64>,
     allocated: BTreeMap<String, u64>,
     reused: BTreeMap<String, u64>,
+    /// Virtual seconds the overlapped (double-buffered) pipeline hid per
+    /// phase: codec time that ran while a chunk was on the wire. A phase's
+    /// *un-overlapped* cost is `seconds(phase) + overlap_saved(phase)`.
+    #[serde(default)]
+    overlap_saved: BTreeMap<String, f64>,
 }
 
 impl TimingLedger {
@@ -76,6 +81,25 @@ impl TimingLedger {
         self.reused.get(phase).copied().unwrap_or(0)
     }
 
+    /// Record `seconds` of codec time that the overlapped pipeline hid
+    /// behind `phase`'s wire time.
+    pub fn add_overlap_saved(&mut self, phase: &str, seconds: f64) {
+        if seconds > 0.0 {
+            *self.overlap_saved.entry(phase.to_string()).or_insert(0.0) += seconds;
+        }
+    }
+
+    /// Seconds of hidden (overlapped-away) time recorded for `phase`.
+    pub fn overlap_saved(&self, phase: &str) -> f64 {
+        self.overlap_saved.get(phase).copied().unwrap_or(0.0)
+    }
+
+    /// Total hidden seconds across all phases — how much faster the
+    /// overlapped pipeline is than its sequential schedule.
+    pub fn total_overlap_saved(&self) -> f64 {
+        self.overlap_saved.values().sum()
+    }
+
     /// Total freshly allocated buffer bytes across all phases.
     pub fn total_allocated_bytes(&self) -> u64 {
         self.allocated.values().sum()
@@ -121,6 +145,9 @@ impl TimingLedger {
         for (k, v) in &other.reused {
             *self.reused.entry(k.clone()).or_insert(0) += v;
         }
+        for (k, v) in &other.overlap_saved {
+            *self.overlap_saved.entry(k.clone()).or_insert(0.0) += v;
+        }
     }
 
     /// Merge ledgers from all ranks by taking the *maximum* per phase — the
@@ -143,6 +170,10 @@ impl TimingLedger {
             for (k, v) in &ledger.reused {
                 let entry = out.reused.entry(k.clone()).or_insert(0);
                 *entry = (*entry).max(*v);
+            }
+            for (k, v) in &ledger.overlap_saved {
+                let entry = out.overlap_saved.entry(k.clone()).or_insert(0.0);
+                *entry = entry.max(*v);
             }
         }
         out
@@ -195,5 +226,24 @@ mod tests {
     #[test]
     fn empty_ledger_fraction_is_zero() {
         assert_eq!(TimingLedger::new().fraction("x"), 0.0);
+    }
+
+    #[test]
+    fn overlap_saved_accumulates_and_merges() {
+        let mut a = TimingLedger::new();
+        a.add_overlap_saved("a2a", 0.5);
+        a.add_overlap_saved("a2a", 0.25);
+        a.add_overlap_saved("ignored", 0.0); // zero entries are not recorded
+        assert!((a.overlap_saved("a2a") - 0.75).abs() < 1e-12);
+        assert_eq!(a.overlap_saved("ignored"), 0.0);
+        assert!((a.total_overlap_saved() - 0.75).abs() < 1e-12);
+
+        let mut b = TimingLedger::new();
+        b.add_overlap_saved("a2a", 1.0);
+        a.merge_sum(&b);
+        assert!((a.overlap_saved("a2a") - 1.75).abs() < 1e-12);
+
+        let merged = TimingLedger::merge_max(&[a, b]);
+        assert!((merged.overlap_saved("a2a") - 1.75).abs() < 1e-12);
     }
 }

@@ -7,7 +7,7 @@
 //! buffers with its peers through per-pair channels ([`cluster`]); the
 //! collectives a hybrid-parallel DLRM needs — all-to-all (fixed and variable
 //! size), all-gather, all-reduce, barrier — are built on top of those
-//! channels ([`collectives`] via [`cluster::RankCtx`]). Because the data
+//! channels (via [`cluster::RankCtx`]). Because the data
 //! movement is real, compressed payloads genuinely have to be decompressed on
 //! the receiving rank, and a bug in the exchange shows up as a wrong training
 //! result rather than a wrong number in a spreadsheet.
@@ -29,12 +29,26 @@
 //! `*_pooled` collectives on [`cluster::RankCtx`] expose this with
 //! caller-owned containers; the `Vec<u8>` entry points remain as wrappers.
 
+//! ## Chunked, overlappable collectives
+//!
+//! Besides the bulk collectives, [`cluster::RankCtx::begin_chunked`] opens a
+//! non-blocking **chunked all-to-all** ([`cluster::ChunkedAllToAll`]):
+//! begin-send posts one header-prefixed chunk per destination without
+//! blocking, poll-complete (`try_recv`) or blocking `recv` retire them — the
+//! transport under the trainer's double-buffered compress/communicate
+//! pipeline. [`overlap::OverlapTimeline`] computes the exact virtual
+//! schedule of that pipeline (codec stage and wire stage on separate serial
+//! timelines), and [`ledger::TimingLedger`]'s `overlap_saved` counters
+//! record how much codec time the overlap hid.
+
 pub mod cluster;
 pub mod cost;
 pub mod ledger;
+pub mod overlap;
 pub mod pool;
 
-pub use cluster::{RankCtx, SimCluster};
+pub use cluster::{ChunkedAllToAll, RankCtx, SimCluster, CHUNK_HEADER_BYTES};
 pub use cost::{CostModel, NetworkConfig};
 pub use ledger::TimingLedger;
+pub use overlap::OverlapTimeline;
 pub use pool::{BufferPool, PoolStats, PooledBuf};

@@ -1,0 +1,206 @@
+//! Virtual timeline of a double-buffered compress → transfer pipeline.
+//!
+//! The paper's pipelined all-to-all (Figure 3) streams one compressed chunk
+//! per destination: while chunk *k* is on the wire, the codec already works
+//! on chunk *k+1*, so codec time hides behind network time instead of adding
+//! to it. Reproducing that on the simulated cluster needs no real
+//! concurrency — both the codec seconds (measured or analytically charged)
+//! and the wire seconds (α–β model) are *virtual*, so the overlapped
+//! schedule can be computed exactly with a classic two-stage pipeline
+//! recurrence.
+//!
+//! [`OverlapTimeline`] runs that recurrence: chunks are [`push`]ed in issue
+//! order with their codec and wire durations, the codec stage is serial (one
+//! codec engine), the wire stage is serial (one link), and chunk *k*'s
+//! transfer starts as soon as both its compression has finished and the link
+//! is free. The difference between the sequential sum and the pipelined
+//! makespan is the time the overlap saved — the ledger's `overlap_saved`
+//! counter.
+//!
+//! [`push`]: OverlapTimeline::push
+
+/// Exact schedule of a two-stage (codec → wire) chunk pipeline.
+///
+/// All quantities are virtual seconds. The timeline is deterministic: it
+/// depends only on the pushed durations, never on thread scheduling, so an
+/// overlapped training run charges exactly the same time on every execution
+/// with the same inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapTimeline {
+    /// When the codec engine finishes its last pushed chunk.
+    codec_done: f64,
+    /// When the link finishes its last pushed chunk.
+    wire_done: f64,
+    /// Sum of all codec durations.
+    codec_total: f64,
+    /// Sum of all wire durations.
+    wire_total: f64,
+    /// Number of chunks pushed.
+    chunks: usize,
+}
+
+impl OverlapTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear the timeline for the next collective (keeps nothing).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Append one chunk: `codec_s` seconds of compression followed by
+    /// `wire_s` seconds of transfer. The transfer starts when both the
+    /// chunk's compression is done and the link is free.
+    pub fn push(&mut self, codec_s: f64, wire_s: f64) {
+        assert!(
+            codec_s >= 0.0 && wire_s >= 0.0,
+            "chunk durations must be non-negative"
+        );
+        self.codec_done += codec_s;
+        self.wire_done = self.wire_done.max(self.codec_done) + wire_s;
+        self.codec_total += codec_s;
+        self.wire_total += wire_s;
+        self.chunks += 1;
+    }
+
+    /// Number of chunks pushed so far.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Total codec seconds across all chunks.
+    pub fn codec_seconds(&self) -> f64 {
+        self.codec_total
+    }
+
+    /// Total wire seconds across all chunks.
+    pub fn wire_seconds(&self) -> f64 {
+        self.wire_total
+    }
+
+    /// Makespan of the pipelined schedule (when the last stage of the last
+    /// chunk finishes).
+    pub fn elapsed(&self) -> f64 {
+        self.wire_done.max(self.codec_done)
+    }
+
+    /// What the same chunks would take with no overlap at all (every codec
+    /// second added to every wire second) — how the pre-pipelined trainer
+    /// charged the compress + all-to-all pair.
+    pub fn sequential(&self) -> f64 {
+        self.codec_total + self.wire_total
+    }
+
+    /// Seconds the overlap hid: `sequential() - elapsed()`. Non-negative.
+    pub fn saved(&self) -> f64 {
+        (self.sequential() - self.elapsed()).max(0.0)
+    }
+
+    /// Wire seconds *not* hidden behind the codec: `elapsed() -
+    /// codec_seconds()`. This is what the overlapped pipeline charges to the
+    /// all-to-all phase (the codec phase is charged its full total), so that
+    /// phase times still sum to the makespan. Non-negative, because the last
+    /// transfer cannot start before the last compression finishes.
+    pub fn exposed_wire(&self) -> f64 {
+        (self.elapsed() - self.codec_total).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn empty_timeline_is_all_zero() {
+        let t = OverlapTimeline::new();
+        assert_eq!(t.elapsed(), 0.0);
+        assert_eq!(t.saved(), 0.0);
+        assert_eq!(t.exposed_wire(), 0.0);
+        assert_eq!(t.chunks(), 0);
+    }
+
+    #[test]
+    fn single_chunk_cannot_overlap() {
+        let mut t = OverlapTimeline::new();
+        t.push(2.0, 3.0);
+        assert!((t.elapsed() - 5.0).abs() < EPS);
+        assert!(t.saved().abs() < EPS);
+        assert!((t.exposed_wire() - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn equal_chunks_hide_all_but_the_first_codec_or_wire() {
+        // 4 chunks, codec 1s, wire 1s: pipeline finishes at 5s instead of 8s.
+        let mut t = OverlapTimeline::new();
+        for _ in 0..4 {
+            t.push(1.0, 1.0);
+        }
+        assert!((t.elapsed() - 5.0).abs() < EPS);
+        assert!((t.saved() - 3.0).abs() < EPS);
+        assert!((t.exposed_wire() - 1.0).abs() < EPS);
+        assert!((t.sequential() - 8.0).abs() < EPS);
+    }
+
+    #[test]
+    fn wire_bound_pipeline_hides_codec_completely() {
+        // Wire much slower than codec: only the first chunk's codec time is
+        // exposed; elapsed = codec_1 + wire_total.
+        let mut t = OverlapTimeline::new();
+        for _ in 0..3 {
+            t.push(0.1, 10.0);
+        }
+        assert!((t.elapsed() - 30.1).abs() < EPS);
+        assert!((t.saved() - 0.2).abs() < EPS);
+    }
+
+    #[test]
+    fn codec_bound_pipeline_hides_wire_completely() {
+        // Codec much slower than wire: all but the last wire hop hides.
+        let mut t = OverlapTimeline::new();
+        for _ in 0..3 {
+            t.push(10.0, 0.1);
+        }
+        assert!((t.elapsed() - 30.1).abs() < EPS);
+        assert!((t.saved() - 0.2).abs() < EPS);
+        assert!((t.exposed_wire() - 0.1).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_wire_chunks_are_free() {
+        // The local chunk of an all-to-all has no wire time; it primes the
+        // codec pipeline without occupying the link.
+        let mut t = OverlapTimeline::new();
+        t.push(1.0, 0.0);
+        t.push(1.0, 4.0);
+        t.push(1.0, 4.0);
+        // codec done at 1,2,3; wire: chunk1 starts at 2 ends 6, chunk2 at 6
+        // ends 10.
+        assert!((t.elapsed() - 10.0).abs() < EPS);
+        assert!((t.saved() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn elapsed_never_exceeds_sequential_and_saved_is_consistent() {
+        let mut t = OverlapTimeline::new();
+        for k in 0..17 {
+            t.push((k % 5) as f64 * 0.3, ((k * 7) % 4) as f64 * 0.2);
+        }
+        assert!(t.elapsed() <= t.sequential() + EPS);
+        assert!((t.sequential() - t.elapsed() - t.saved()).abs() < EPS);
+        assert!(t.exposed_wire() >= -EPS);
+        assert!(
+            (t.codec_seconds() + t.exposed_wire() - t.elapsed()).abs() < EPS,
+            "codec + exposed wire must reconstruct the makespan"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_durations_panic() {
+        OverlapTimeline::new().push(-1.0, 0.0);
+    }
+}

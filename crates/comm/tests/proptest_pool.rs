@@ -1,0 +1,149 @@
+//! Property-based tests of the recycling [`BufferPool`]: leases always
+//! return to their origin pool, parked capacity never shrinks across
+//! take/return cycles, and cross-thread returns never lose buffers.
+
+use dlrm_comm::{BufferPool, PooledBuf};
+use proptest::prelude::*;
+
+/// One scripted pool operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Take a lease of the given capacity and hold it.
+    Take(usize),
+    /// Drop the oldest held lease (no-op when nothing is held).
+    DropOldest,
+    /// Drop every held lease.
+    DropAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..4096).prop_map(Op::Take),
+        Just(Op::DropOldest),
+        Just(Op::DropAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Capacity is conserved across arbitrary take/return cycles: counters
+    /// only grow, no drop ever loses a buffer, and after returning
+    /// everything the pool can serve the largest capacity it ever issued
+    /// without a fresh allocation — parked capacity never shrank.
+    #[test]
+    fn capacity_never_shrinks_across_take_return_cycles(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let pool = BufferPool::new();
+        let mut held: Vec<PooledBuf> = Vec::new();
+        let mut max_issued_cap = 0usize;
+        let mut prev_stats = pool.stats();
+        for op in ops {
+            match op {
+                Op::Take(cap) => {
+                    let b = pool.take(cap);
+                    prop_assert!(b.is_empty(), "leases must come back cleared");
+                    prop_assert!(b.capacity() >= cap);
+                    max_issued_cap = max_issued_cap.max(b.capacity());
+                    held.push(b);
+                }
+                Op::DropOldest => {
+                    if !held.is_empty() {
+                        let idle_before = pool.idle_buffers();
+                        held.remove(0);
+                        prop_assert_eq!(pool.idle_buffers(), idle_before + 1);
+                    }
+                }
+                Op::DropAll => {
+                    let idle_before = pool.idle_buffers();
+                    let returned = held.len();
+                    held.clear();
+                    prop_assert_eq!(pool.idle_buffers(), idle_before + returned);
+                }
+            }
+            let stats = pool.stats();
+            prop_assert!(stats.allocations >= prev_stats.allocations);
+            prop_assert!(stats.allocated_bytes >= prev_stats.allocated_bytes);
+            prop_assert!(stats.reuses >= prev_stats.reuses);
+            prev_stats = stats;
+        }
+        held.clear();
+        // The buffer with the largest capacity ever issued is parked again,
+        // so re-taking that capacity must be a pure reuse.
+        if max_issued_cap > 0 {
+            let before = pool.stats();
+            let b = pool.take(max_issued_cap);
+            prop_assert!(b.capacity() >= max_issued_cap);
+            let delta = pool.stats().since(&before);
+            prop_assert_eq!(delta.allocations, 0, "capacity shrank: {:?}", delta);
+            prop_assert_eq!(delta.reuses, 1);
+        }
+    }
+
+    /// A lease dropped on another thread still returns to its origin pool,
+    /// and no interleaving of cross-thread returns loses a buffer.
+    #[test]
+    fn cross_thread_returns_never_lose_buffers(
+        caps in prop::collection::vec(1usize..2048, 1..24),
+        split in 0usize..24,
+    ) {
+        let pool = BufferPool::new();
+        let leases: Vec<PooledBuf> = caps.iter().map(|&c| pool.take(c)).collect();
+        let taken = leases.len();
+        let split = split.min(taken);
+        let (here, there) = {
+            let mut l = leases;
+            let tail = l.split_off(split);
+            (l, tail)
+        };
+        let handles: Vec<_> = there
+            .into_iter()
+            .map(|lease| std::thread::spawn(move || drop(lease)))
+            .collect();
+        drop(here);
+        for h in handles {
+            h.join().expect("drop thread panicked");
+        }
+        // Every lease — dropped locally or on a foreign thread — is parked
+        // back in the one pool it came from.
+        prop_assert_eq!(pool.idle_buffers(), taken);
+        let stats = pool.stats();
+        prop_assert_eq!(stats.allocations, taken as u64);
+    }
+
+    /// Two pools never exchange storage: a lease returns to the pool that
+    /// issued it, even when drops interleave arbitrarily.
+    #[test]
+    fn leases_return_to_their_origin_pool(
+        caps_a in prop::collection::vec(1usize..512, 1..12),
+        caps_b in prop::collection::vec(1usize..512, 1..12),
+        drop_a_first in any::<bool>(),
+    ) {
+        let pool_a = BufferPool::new();
+        let pool_b = BufferPool::new();
+        let leases_a: Vec<PooledBuf> = caps_a.iter().map(|&c| pool_a.take(c)).collect();
+        let leases_b: Vec<PooledBuf> = caps_b.iter().map(|&c| pool_b.take(c)).collect();
+        let (na, nb) = (leases_a.len(), leases_b.len());
+        if drop_a_first {
+            drop(leases_a);
+            prop_assert_eq!(pool_a.idle_buffers(), na);
+            prop_assert_eq!(pool_b.idle_buffers(), 0);
+            drop(leases_b);
+        } else {
+            drop(leases_b);
+            prop_assert_eq!(pool_b.idle_buffers(), nb);
+            prop_assert_eq!(pool_a.idle_buffers(), 0);
+            drop(leases_a);
+        }
+        prop_assert_eq!(pool_a.idle_buffers(), na);
+        prop_assert_eq!(pool_b.idle_buffers(), nb);
+        // Steady state: re-taking the same capacities is now allocation-free.
+        let before = pool_a.stats();
+        let again: Vec<PooledBuf> = caps_a.iter().map(|&c| pool_a.take(c)).collect();
+        drop(again);
+        let delta = pool_a.stats().since(&before);
+        prop_assert_eq!(delta.allocations, 0, "re-take allocated: {:?}", delta);
+        prop_assert_eq!(delta.reuses, na as u64);
+    }
+}

@@ -106,8 +106,149 @@ pub fn compress_chunks_fused(
     Ok(FusedBuffer { bytes, spans })
 }
 
+/// Incremental, allocation-free encoder of a per-destination chunk stream —
+/// the streaming counterpart of the batch [`compress_chunks_into`] (which is
+/// built on it), in the same shape the trainer's overlapped pipeline streams
+/// (the trainer itself frames blocks with table ids via its own writer).
+///
+/// Where [`compress_chunks_into`] compresses a whole batch of chunks at
+/// once, a `ChunkEncoder` compresses them **one at a time**, so a caller
+/// can hand chunk *k* to the network (typically as a pooled send lease) and
+/// immediately start compressing chunk *k+1* while *k* is in flight. The
+/// encoder is reusable: [`ChunkEncoder::begin`] resets it for the next
+/// collective while keeping its span-table storage, so a steady-state loop
+/// allocates nothing.
+///
+/// Each [`ChunkEncoder::push_chunk`] call may target a different output
+/// buffer (one lease per destination) or the same one (a fused send
+/// buffer); spans are always relative to the buffer passed to that call.
+#[derive(Debug, Default)]
+pub struct ChunkEncoder {
+    spans: Vec<(usize, usize)>,
+}
+
+impl ChunkEncoder {
+    /// A fresh encoder (span storage grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an encoder around recycled span storage (cleared first).
+    pub fn with_spans(mut spans: Vec<(usize, usize)>) -> Self {
+        spans.clear();
+        Self { spans }
+    }
+
+    /// Start a new chunk stream, clearing the span table but keeping its
+    /// capacity.
+    pub fn begin(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Compress one chunk, *appending* its stream to `out` (a `Vec<u8>` or
+    /// anything deref-ing to one, e.g. a pooled send lease), and record the
+    /// resulting `(offset, len)` span. Returns the span.
+    pub fn push_chunk(
+        &mut self,
+        compressor: &dyn Compressor,
+        chunk: &[f32],
+        dim: usize,
+        eb: f32,
+        scratch: &mut CompressScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(usize, usize)> {
+        let start = out.len();
+        compressor.compress_into(chunk, dim, eb, scratch, out)?;
+        let span = (start, out.len() - start);
+        self.spans.push(span);
+        Ok(span)
+    }
+
+    /// Spans of every chunk pushed since the last [`ChunkEncoder::begin`].
+    pub fn spans(&self) -> &[(usize, usize)] {
+        &self.spans
+    }
+
+    /// Number of chunks pushed since the last [`ChunkEncoder::begin`].
+    pub fn num_chunks(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total compressed bytes pushed since the last [`ChunkEncoder::begin`].
+    pub fn payload_bytes(&self) -> usize {
+        self.spans.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Take the span storage back (for callers that recycle it).
+    pub fn into_spans(self) -> Vec<(usize, usize)> {
+        self.spans
+    }
+}
+
+/// Incremental decoder mirroring [`ChunkEncoder`]: decompresses one received
+/// chunk at a time into a caller-owned flat value buffer, recording f32
+/// spans — so a streaming receive side can decode chunk *k* while chunk
+/// *k+1* is still in flight (the batch [`decompress_chunks_into`] is built
+/// on it). Reusable via [`ChunkDecoder::begin`]; allocates nothing in the
+/// steady state.
+#[derive(Debug, Default)]
+pub struct ChunkDecoder {
+    spans: Vec<(usize, usize)>,
+}
+
+impl ChunkDecoder {
+    /// A fresh decoder (span storage grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a decoder around recycled span storage (cleared first).
+    pub fn with_spans(mut spans: Vec<(usize, usize)>) -> Self {
+        spans.clear();
+        Self { spans }
+    }
+
+    /// Start a new chunk stream, clearing the span table but keeping its
+    /// capacity.
+    pub fn begin(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Decompress one chunk's bytes, *appending* the values to `values`, and
+    /// record the resulting `(offset, len)` span in f32 elements. Returns
+    /// the span.
+    pub fn pop_chunk(
+        &mut self,
+        compressor: &dyn Compressor,
+        bytes: &[u8],
+        scratch: &mut CompressScratch,
+        values: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        let start = values.len();
+        compressor.decompress_into(bytes, scratch, values)?;
+        let span = (start, values.len() - start);
+        self.spans.push(span);
+        Ok(span)
+    }
+
+    /// Spans of every chunk decoded since the last [`ChunkDecoder::begin`].
+    pub fn spans(&self) -> &[(usize, usize)] {
+        &self.spans
+    }
+
+    /// Number of chunks decoded since the last [`ChunkDecoder::begin`].
+    pub fn num_chunks(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Take the span storage back (for callers that recycle it).
+    pub fn into_spans(self) -> Vec<(usize, usize)> {
+        self.spans
+    }
+}
+
 /// Zero-allocation path: compress every chunk *directly* into the shared
-/// send buffer through [`Compressor::compress_into`], reusing the caller's
+/// send buffer through a streaming [`ChunkEncoder`], reusing the caller's
 /// scratch and the `FusedBuffer`'s own storage across calls.
 ///
 /// Produces exactly the same chunks as [`compress_chunks_fused`] /
@@ -122,21 +263,21 @@ pub fn compress_chunks_into(
     scratch: &mut CompressScratch,
     out: &mut FusedBuffer,
 ) -> Result<()> {
+    let mut encoder = ChunkEncoder::with_spans(std::mem::take(&mut out.spans));
     out.bytes.clear();
-    out.spans.clear();
-    out.spans.reserve(chunks.len());
-    for chunk in chunks {
-        let start = out.bytes.len();
-        compressor.compress_into(chunk, dim, eb, scratch, &mut out.bytes)?;
-        out.spans.push((start, out.bytes.len() - start));
-    }
-    Ok(())
+    let result: Result<()> = chunks.iter().try_for_each(|chunk| {
+        encoder
+            .push_chunk(compressor, chunk, dim, eb, scratch, &mut out.bytes)
+            .map(|_| ())
+    });
+    out.spans = encoder.into_spans();
+    result
 }
 
 /// Decompress every chunk of a fused buffer into one caller-owned flat
-/// buffer, returning per-chunk `(offset, len)` spans into it (all in f32
-/// elements). The zero-allocation receive-side counterpart of
-/// [`compress_chunks_into`].
+/// buffer through a streaming [`ChunkDecoder`], returning per-chunk
+/// `(offset, len)` spans into it (all in f32 elements). The zero-allocation
+/// receive-side counterpart of [`compress_chunks_into`].
 pub fn decompress_chunks_into(
     compressor: &dyn Compressor,
     buffer: &FusedBuffer,
@@ -144,15 +285,15 @@ pub fn decompress_chunks_into(
     values: &mut Vec<f32>,
     spans: &mut Vec<(usize, usize)>,
 ) -> Result<()> {
+    let mut decoder = ChunkDecoder::with_spans(std::mem::take(spans));
     values.clear();
-    spans.clear();
-    spans.reserve(buffer.num_chunks());
-    for i in 0..buffer.num_chunks() {
-        let start = values.len();
-        compressor.decompress_into(buffer.chunk(i), scratch, values)?;
-        spans.push((start, values.len() - start));
-    }
-    Ok(())
+    let result: Result<()> = (0..buffer.num_chunks()).try_for_each(|i| {
+        decoder
+            .pop_chunk(compressor, buffer.chunk(i), scratch, values)
+            .map(|_| ())
+    });
+    *spans = decoder.into_spans();
+    result
 }
 
 /// Naive path: compress chunks one at a time, then gather them into the send
@@ -258,6 +399,90 @@ mod tests {
             covered += len;
         }
         assert_eq!(covered, fused.bytes.len());
+    }
+
+    #[test]
+    fn streaming_encoder_matches_batch_compression() {
+        let comp = build_compressor(CompressorKind::OursHybrid);
+        let data = chunked_data(5, 24, 8);
+        let refs: Vec<&[f32]> = data.iter().map(Vec::as_slice).collect();
+        let batch = compress_chunks_fused(comp.as_ref(), &refs, 8, 0.01).unwrap();
+
+        // Stream each chunk into its own output buffer, as the overlapped
+        // pipeline does with one pooled lease per destination.
+        let mut scratch = CompressScratch::new();
+        let mut encoder = ChunkEncoder::new();
+        encoder.begin();
+        let mut per_dest: Vec<Vec<u8>> = Vec::new();
+        for chunk in &refs {
+            let mut lease = Vec::new();
+            let (off, len) = encoder
+                .push_chunk(comp.as_ref(), chunk, 8, 0.01, &mut scratch, &mut lease)
+                .unwrap();
+            assert_eq!(off, 0);
+            assert_eq!(len, lease.len());
+            per_dest.push(lease);
+        }
+        assert_eq!(encoder.num_chunks(), batch.num_chunks());
+        assert_eq!(encoder.payload_bytes(), batch.payload_bytes());
+        for (i, lease) in per_dest.iter().enumerate() {
+            assert_eq!(lease.as_slice(), batch.chunk(i), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_roundtrips_chunk_by_chunk() {
+        let comp = build_compressor(CompressorKind::FzLike);
+        let data = chunked_data(4, 20, 8);
+        let refs: Vec<&[f32]> = data.iter().map(Vec::as_slice).collect();
+        let fused = compress_chunks_fused(comp.as_ref(), &refs, 8, 0.02).unwrap();
+
+        let mut scratch = CompressScratch::new();
+        let mut decoder = ChunkDecoder::new();
+        decoder.begin();
+        let mut values = Vec::new();
+        for (i, original) in data.iter().enumerate() {
+            let (off, len) = decoder
+                .pop_chunk(comp.as_ref(), fused.chunk(i), &mut scratch, &mut values)
+                .unwrap();
+            assert_eq!(len, original.len());
+            for (a, b) in original.iter().zip(values[off..off + len].iter()) {
+                assert!((a - b).abs() <= 0.0201);
+            }
+        }
+        assert_eq!(decoder.num_chunks(), fused.num_chunks());
+    }
+
+    #[test]
+    fn encoder_and_decoder_reuse_storage_across_streams() {
+        let comp = build_compressor(CompressorKind::OursHuffman);
+        let data = chunked_data(6, 16, 8);
+        let refs: Vec<&[f32]> = data.iter().map(Vec::as_slice).collect();
+        let mut scratch = CompressScratch::new();
+        let mut encoder = ChunkEncoder::new();
+        let mut out = Vec::new();
+        let mut first_spans: Vec<(usize, usize)> = Vec::new();
+        for round in 0..3 {
+            encoder.begin();
+            out.clear();
+            for chunk in &refs {
+                encoder
+                    .push_chunk(comp.as_ref(), chunk, 8, 0.01, &mut scratch, &mut out)
+                    .unwrap();
+            }
+            if round == 0 {
+                first_spans = encoder.spans().to_vec();
+            } else {
+                // Reused encoder state must not leak between streams.
+                assert_eq!(encoder.spans(), first_spans.as_slice());
+            }
+        }
+        // Recycling spans through with_spans keeps the storage.
+        let spans = encoder.into_spans();
+        let cap = spans.capacity();
+        let recycled = ChunkEncoder::with_spans(spans);
+        assert_eq!(recycled.num_chunks(), 0);
+        assert_eq!(recycled.spans.capacity(), cap);
     }
 
     #[test]

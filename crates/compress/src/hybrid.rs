@@ -2,9 +2,9 @@
 //!
 //! One quantization pass feeds one of two lossless back-ends:
 //!
-//! * [`vlz`](crate::vlz) — vector-based LZ, best for tables whose batches are
+//! * [`crate::vlz`] — vector-based LZ, best for tables whose batches are
 //!   dominated by repeated (or homogenized) vectors;
-//! * the optimised entropy encoder ([`huffman`](crate::huffman)) — best for
+//! * the optimised entropy encoder ([`crate::huffman`]) — best for
 //!   tables whose quantized values concentrate into a low-entropy
 //!   distribution.
 //!

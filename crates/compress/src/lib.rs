@@ -63,6 +63,7 @@ pub mod szlike;
 pub mod varint;
 pub mod vlz;
 
+pub use buffer::{ChunkDecoder, ChunkEncoder};
 pub use error::CompressError;
 pub use registry::{Compressor, CompressorKind};
 pub use scratch::CompressScratch;

@@ -73,6 +73,41 @@ impl CompressionSetting {
     }
 }
 
+/// Whether the two all-to-all stages run the double-buffered
+/// compress/communicate pipeline (the paper's Figure 3 streaming design) or
+/// the plain sequential schedule.
+///
+/// Overlap never changes numerics — the same bytes are compressed, moved and
+/// decompressed — only how their *virtual time* is charged: with
+/// `DoubleBuffered`, the codec for chunk *k+1* runs while chunk *k* is on
+/// the wire, and the hidden codec time is recorded in the ledger's
+/// `overlap_saved` counters instead of the iteration's critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OverlapSetting {
+    /// Sequential compress → all-to-all, as the pre-pipelined trainer ran.
+    #[default]
+    Off,
+    /// Chunked double-buffered pipeline: per-destination chunks are
+    /// begin-sent as soon as they are compressed, overlapping the codec with
+    /// the (virtual) wire.
+    DoubleBuffered,
+}
+
+impl OverlapSetting {
+    /// True when the overlapped pipeline is selected.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, OverlapSetting::DoubleBuffered)
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverlapSetting::Off => "sequential",
+            OverlapSetting::DoubleBuffered => "overlapped",
+        }
+    }
+}
+
 /// Full configuration of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainerConfig {
@@ -86,6 +121,10 @@ pub struct TrainerConfig {
     pub learning_rate: f32,
     /// Compression applied to the all-to-all payloads.
     pub compression: CompressionSetting,
+    /// Whether the all-to-all stages overlap compression with the wire
+    /// (defaults to [`OverlapSetting::Off`], the sequential schedule).
+    #[serde(default)]
+    pub overlap: OverlapSetting,
     /// Simulated interconnect.
     pub network: NetworkConfig,
     /// Seed for data generation and model initialisation.
@@ -118,11 +157,19 @@ impl TrainerConfig {
             iterations: 8,
             learning_rate: 0.2,
             compression,
+            overlap: OverlapSetting::Off,
             network: NetworkConfig::default(),
             seed: 20_240_614,
             device_throughput: None,
             compute_time_scale: 1.0,
         }
+    }
+
+    /// The same configuration with the given overlap mode (builder-style
+    /// convenience for the on/off test matrix and experiments).
+    pub fn with_overlap(mut self, overlap: OverlapSetting) -> Self {
+        self.overlap = overlap;
+        self
     }
 
     /// Per-rank batch shard size for rank `r` (earlier ranks absorb the
@@ -183,6 +230,21 @@ mod tests {
         let mut bad3 = good;
         bad3.learning_rate = -1.0;
         assert!(bad3.validate().is_err());
+    }
+
+    #[test]
+    fn overlap_setting_defaults_off_and_labels() {
+        assert_eq!(OverlapSetting::default(), OverlapSetting::Off);
+        assert!(!OverlapSetting::Off.is_enabled());
+        assert!(OverlapSetting::DoubleBuffered.is_enabled());
+        assert_ne!(
+            OverlapSetting::Off.label(),
+            OverlapSetting::DoubleBuffered.label()
+        );
+        let cfg = TrainerConfig::small_test(CompressionSetting::None)
+            .with_overlap(OverlapSetting::DoubleBuffered);
+        assert!(cfg.overlap.is_enabled());
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

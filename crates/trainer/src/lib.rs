@@ -20,6 +20,33 @@
 //! compression time is measured; both are recorded per phase in a
 //! [`dlrm_comm::TimingLedger`], which is what the Figure 1 / Figure 12
 //! breakdowns are built from.
+//!
+//! ## The overlapped (double-buffered) pipeline
+//!
+//! With [`config::OverlapSetting::DoubleBuffered`], both all-to-all stages
+//! run as the paper's *streamed* pipeline instead of the sequential
+//! schedule: each per-destination chunk is compressed into its own pooled
+//! lease and **begin-sent immediately** over the non-blocking chunked
+//! collective ([`dlrm_comm::cluster::ChunkedAllToAll`]), so the codec for
+//! chunk *k+1* runs while chunk *k* is on the virtual wire. An exact
+//! two-stage pipeline schedule ([`dlrm_comm::OverlapTimeline`]) determines
+//! how much codec time the wire hid; per-chunk wire times are the bulk
+//! collective's bottleneck-bandwidth time split across chunks, so chunking
+//! never changes total wire time — only what hides behind it.
+//!
+//! The ledger charges the overlapped run as follows:
+//!
+//! * `fwd/bwd compression` — the full codec time (measured, or analytic
+//!   under a device-throughput override), exactly as the sequential path;
+//! * `fwd/bwd all-to-all` — one α latency plus only the **exposed** wire
+//!   time (the part not hidden behind the codec);
+//! * the hidden seconds land in the ledger's `overlap_saved` counters
+//!   (surfaced as [`run::TrainingReport::overlap_saved_seconds`]), so a
+//!   phase's un-overlapped cost is always `seconds + overlap_saved`.
+//!
+//! Overlap never changes numerics — the same bytes are compressed, moved
+//! and decompressed, and the zero-allocation steady state of the pooled
+//! buffers survives (chunk leases recycle through the same per-rank pools).
 
 pub mod config;
 pub mod partition;
@@ -27,6 +54,6 @@ pub mod pipeline;
 pub mod plan;
 pub mod run;
 
-pub use config::{CompressionSetting, TrainerConfig};
+pub use config::{CompressionSetting, OverlapSetting, TrainerConfig};
 pub use partition::TablePartition;
 pub use run::{run_training, TableCompressionStats, TrainingReport};

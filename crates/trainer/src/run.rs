@@ -1,7 +1,7 @@
 //! Driver that runs the per-rank pipeline on the simulated cluster and merges
 //! the per-rank outcomes into one [`TrainingReport`].
 
-use crate::config::TrainerConfig;
+use crate::config::{OverlapSetting, TrainerConfig};
 use crate::partition::TablePartition;
 use crate::pipeline::{self, RankOutcome, RankSetup};
 use dlrm_comm::{SimCluster, TimingLedger};
@@ -38,6 +38,9 @@ impl TableCompressionStats {
 pub struct TrainingReport {
     /// Compression setting label.
     pub label: String,
+    /// Overlap mode the run used (sequential vs double-buffered pipeline).
+    #[serde(default)]
+    pub overlap: OverlapSetting,
     /// Number of ranks.
     pub world: usize,
     /// Number of iterations run.
@@ -61,6 +64,11 @@ pub struct TrainingReport {
     pub overall_ratio: f64,
     /// Total modelled time of the run (sum of the breakdown's phases).
     pub total_seconds: f64,
+    /// Virtual seconds the double-buffered pipeline hid (codec time that ran
+    /// while chunks were on the wire), max-merged across ranks and summed
+    /// over both all-to-all phases. Zero for sequential runs.
+    #[serde(default)]
+    pub overlap_saved_seconds: f64,
     /// Bytes of fresh buffer capacity the compress/send path allocated after
     /// the warm-up iterations, summed across ranks. Zero when the buffer
     /// pool, compression scratch and float recycler are fully reused.
@@ -139,6 +147,7 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
     let ledgers: Vec<TimingLedger> = outcomes.iter().map(|o| o.ledger.clone()).collect();
     let breakdown = TimingLedger::merge_max(&ledgers);
     let total_seconds = breakdown.total_seconds();
+    let overlap_saved_seconds = breakdown.total_overlap_saved();
 
     // Per-table traffic, summed across owning ranks.
     let mut per_table: Vec<TableCompressionStats> = (0..num_tables)
@@ -170,6 +179,7 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
 
     TrainingReport {
         label: setup.trainer.compression.label(),
+        overlap: setup.trainer.overlap,
         world: setup.trainer.world,
         iterations,
         accuracy_curve,
@@ -179,6 +189,7 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
         per_table,
         overall_ratio,
         total_seconds,
+        overlap_saved_seconds,
         steady_state_allocated_bytes,
         buffer_reused_bytes,
     }
