@@ -13,7 +13,11 @@
 //! * **Compressor selection** ([`speedup`]): Equation 2 of the paper converts
 //!   a compressor's ratio and throughput plus the network bandwidth into an
 //!   expected all-to-all speedup; the offline analysis uses it to pick the
-//!   best encoder per table ([`analysis`], Algorithm 2).
+//!   best encoder per table ([`analysis`], Algorithm 2). The same model has
+//!   an allreduce-aware variant
+//!   ([`speedup::estimate_allreduce_speedup`]) for the dense-gradient
+//!   reduce-scatter + all-gather, so dense codec selection works like table
+//!   selection does.
 
 pub mod analysis;
 pub mod classify;
@@ -25,4 +29,7 @@ pub use analysis::{analyze_tables, CompressionPlan, TablePlan};
 pub use classify::{EbClass, EbConfig, Thresholds};
 pub use decay::{DecaySchedule, EbSchedule, TrainingPhases};
 pub use homo::{homogenization_index, pattern_counts, HomoReport};
-pub use speedup::{estimate_speedup, select_compressor, SpeedupInputs};
+pub use speedup::{
+    estimate_allreduce_speedup, estimate_speedup, select_allreduce_compressor, select_compressor,
+    SpeedupInputs,
+};

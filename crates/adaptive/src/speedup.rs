@@ -84,6 +84,53 @@ pub fn estimate_overlapped_speedup(inputs: SpeedupInputs) -> f64 {
         + b / inputs.decompress_throughput)
 }
 
+/// Equation 2 adapted to the dense-gradient **all-reduce** (reduce-scatter +
+/// all-gather over `world` ranks), where a rank moves `r = 2·(P−1)/P` of the
+/// vector instead of all of it:
+///
+/// ```text
+/// t_raw  = r·V/B
+/// t_comp = V/Tc + r·(V/CR)/B + 2·V/Td
+/// speedup = t_raw / t_comp = r / ( B/Tc + r/CR + 2·B/Td )
+/// ```
+///
+/// The codec terms follow the compressed schedule's work: each rank encodes
+/// roughly one vector's worth of shards per call (the `(P−1)/P` it
+/// contributes plus its own reduced shard re-encoded for the all-gather),
+/// and decodes about two (the peer contributions it reduces plus the
+/// gathered shards) — hence `V/Tc + 2·V/Td`. At `world == 1` nothing moves
+/// and the estimate is 1.
+pub fn estimate_allreduce_speedup(inputs: SpeedupInputs, world: usize) -> f64 {
+    validate(inputs);
+    if world <= 1 {
+        return 1.0;
+    }
+    let p = world as f64;
+    let r = 2.0 * (p - 1.0) / p;
+    let b = inputs.bandwidth;
+    r / (b / inputs.compress_throughput + r / inputs.ratio + 2.0 * b / inputs.decompress_throughput)
+}
+
+/// Pick the gradient compressor with the best estimated **all-reduce**
+/// speedup from measured reports — the dense-path analogue of
+/// [`select_compressor`]. Returns `(kind, estimated speedup)`; `None` if
+/// `reports` is empty.
+pub fn select_allreduce_compressor(
+    reports: &[(CompressorKind, CompressionReport)],
+    bandwidth: f64,
+    world: usize,
+) -> Option<(CompressorKind, f64)> {
+    reports
+        .iter()
+        .map(|(kind, report)| {
+            (
+                *kind,
+                estimate_allreduce_speedup(SpeedupInputs::from_report(report, bandwidth), world),
+            )
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
 /// Equation-2 estimate under a given overlap mode — what compressor
 /// selection uses so a pipeline that hides codec time ranks codecs by their
 /// *exposed* cost, not their raw cost.
@@ -288,5 +335,50 @@ mod tests {
     #[should_panic]
     fn zero_bandwidth_panics() {
         let _ = estimate_speedup(inputs(5.0, 1e9, 1e9, 0.0));
+    }
+
+    #[test]
+    fn allreduce_estimate_limits_and_monotonicity() {
+        // Infinitely fast codecs: the speedup approaches the ratio — the
+        // wire term shrinks by CR in both phases of the schedule.
+        let s = estimate_allreduce_speedup(inputs(8.0, 1e15, 1e15, 8e9), 4);
+        assert!((s - 8.0).abs() < 1e-2, "{s}");
+        // world == 1: nothing moves, nothing to speed up.
+        assert_eq!(
+            estimate_allreduce_speedup(inputs(8.0, 1e9, 1e9, 8e9), 1),
+            1.0
+        );
+        // A codec slower than the link loses, as in the all-to-all model.
+        assert!(estimate_allreduce_speedup(inputs(8.0, 1e9, 1e9, 8e9), 4) < 1.0);
+        // More ranks move more relative volume, so compression pays off
+        // (weakly) more.
+        let few = estimate_allreduce_speedup(inputs(4.0, 50e9, 50e9, 8e9), 2);
+        let many = estimate_allreduce_speedup(inputs(4.0, 50e9, 50e9, 8e9), 32);
+        assert!(many >= few, "{many} < {few}");
+    }
+
+    #[test]
+    fn allreduce_selection_ranks_by_the_allreduce_estimate() {
+        use dlrm_compress::CompressionReport;
+        let mk = |ratio: f64, tc: f64, td: f64| CompressionReport {
+            compressor: "x".into(),
+            original_bytes: 1_000_000,
+            compressed_bytes: (1_000_000.0 / ratio) as usize,
+            ratio,
+            compress_seconds: 1.0,
+            decompress_seconds: 1.0,
+            compress_throughput: tc,
+            decompress_throughput: td,
+            max_abs_error: 0.0,
+            error_bound: 0.01,
+        };
+        let reports = vec![
+            (CompressorKind::Fp16, mk(2.0, 300e9, 300e9)),
+            (CompressorKind::SzLike, mk(10.0, 60e9, 120e9)),
+        ];
+        let (kind, speedup) = select_allreduce_compressor(&reports, 8e9, 8).unwrap();
+        assert_eq!(kind, CompressorKind::SzLike);
+        assert!(speedup > 1.0);
+        assert!(select_allreduce_compressor(&[], 8e9, 8).is_none());
     }
 }

@@ -1,0 +1,60 @@
+//! Micro-benchmark of the dense-gradient all-reduce: the plain
+//! reduce-scatter + all-gather against the compressed collective with the
+//! `dlrm-grad` codecs (identity, fp16 + error feedback, top-k + error
+//! feedback) — how much real (host) time the encode/reduce/decode cycle
+//! costs, independent of the α–β model's virtual seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_comm::{NetworkConfig, ReduceScratch, SimCluster};
+use dlrm_grad::{GradCodecKind, GradCompressor};
+
+fn bench_dense_allreduce(c: &mut Criterion) {
+    let elements = 1 << 16;
+    let world = 4usize;
+
+    let mut group = c.benchmark_group("dense_allreduce");
+    group.throughput(Throughput::Bytes((elements * 4 * world) as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("fp32"), |b| {
+        b.iter(|| {
+            let cluster = SimCluster::new(world, NetworkConfig::infinite());
+            cluster.run(move |ctx| {
+                let mut data = vec![ctx.rank() as f32 * 0.01; elements];
+                ctx.all_reduce_sum(&mut data);
+                data[0]
+            })
+        })
+    });
+
+    for (label, kind, ef) in [
+        ("identity", GradCodecKind::Identity, false),
+        ("fp16+ef", GradCodecKind::Fp16, true),
+        ("top5%+ef", GradCodecKind::TopK { fraction: 0.05 }, true),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let kind = kind.clone();
+            b.iter(move || {
+                let kind = kind.clone();
+                let cluster = SimCluster::new(world, NetworkConfig::infinite());
+                cluster.run(move |ctx| {
+                    let mut state = GradCompressor::new(&kind, ef);
+                    let mut scratch = ReduceScratch::new();
+                    let mut data: Vec<f32> = (0..elements)
+                        .map(|i| ((i + ctx.rank()) as f32 * 0.001).sin() * 0.1)
+                        .collect();
+                    state.compensate(&mut data);
+                    let stats = ctx.all_reduce_compressed(&mut data, &mut state, &mut scratch);
+                    (data[0], stats.wire.sent)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dense_allreduce
+}
+criterion_main!(benches);

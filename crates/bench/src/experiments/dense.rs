@@ -1,0 +1,114 @@
+//! Dense-path ablation: the error-feedback compressed MLP-gradient
+//! all-reduce (`dlrm-grad`) against fp32 and naive fp16, on an
+//! allreduce-bound interconnect.
+//!
+//! The paper compresses only the embedding all-to-all; this experiment
+//! measures what the dense subsystem adds — accuracy (does error feedback
+//! keep convergence?), wire ratio, all-reduce seconds and saved seconds,
+//! and the final residual norm.
+
+use super::ExpOptions;
+use crate::format::{f4, ratio, TextTable};
+use crate::workloads;
+use dlrm_compress::CompressorKind;
+use dlrm_grad::GradCodecKind;
+use dlrm_trainer::pipeline::phases;
+use dlrm_trainer::{run_training, DenseCompression};
+
+/// Dense-path breakdown: fp32 vs fp16 vs EF-compressed gradient all-reduce.
+pub fn dense1(opts: &ExpOptions) -> String {
+    let dataset = workloads::preset_at(opts.scale, "kaggle");
+    let settings: Vec<(&str, DenseCompression)> = vec![
+        ("fp32 (off)", DenseCompression::Off),
+        ("fp16", DenseCompression::fp16()),
+        ("fp16 + EF", DenseCompression::fp16_ef()),
+        (
+            "sz-like 1e-4 + EF",
+            DenseCompression::Compressed {
+                codec: GradCodecKind::ErrorBounded {
+                    compressor: CompressorKind::SzLike,
+                    error_bound: 1e-4,
+                },
+                error_feedback: true,
+            },
+        ),
+        ("top-10% + EF", DenseCompression::top_k_ef(0.1)),
+    ];
+    let mut out = format!(
+        "Dense-path ablation — error-feedback compressed MLP-gradient all-reduce\n(dataset: {}, allreduce link 0.05 GB/s; measured compute scaled down — the dense schedule, not this CPU, is under test)\n\n",
+        dataset.name
+    );
+    let mut table = TextTable::new(vec![
+        "dense codec",
+        "final acc",
+        "delta vs fp32",
+        "final loss",
+        "dense CR",
+        "allreduce s",
+        "saved s",
+        "residual L2",
+    ]);
+    let mut baseline_acc = 0.0f64;
+    for (i, (name, dense)) in settings.iter().enumerate() {
+        let cfg = workloads::dense_trainer(dense.clone(), opts.scale);
+        let report = run_training(&dataset, &cfg);
+        if i == 0 {
+            baseline_acc = report.final_metrics.accuracy;
+        }
+        table.row(vec![
+            name.to_string(),
+            f4(report.final_metrics.accuracy),
+            format!("{:+.4}", report.final_metrics.accuracy - baseline_acc),
+            f4(report.final_metrics.loss),
+            ratio(report.dense_ratio),
+            format!("{:.6}", report.breakdown.seconds(phases::ALLREDUCE)),
+            format!("{:.6}", report.dense_saved_seconds),
+            format!("{:.2e}", report.dense_residual_norm),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\n(Compressed rows move their savings out of the all-reduce column; the\nresidual column is the error-feedback accumulator's final L2 norm — bounded\nmeans the loop is stable. fp16 without EF simply drops its rounding error.)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense1_quick_reports_all_columns() {
+        let report = dense1(&ExpOptions::quick());
+        assert!(report.contains("dense CR"));
+        assert!(report.contains("saved s"));
+        assert!(report.contains("residual L2"));
+        assert!(report.contains("top-10% + EF"));
+    }
+
+    #[test]
+    fn dense_compression_strictly_reduces_allreduce_time() {
+        // The acceptance behind the experiment: on an allreduce-bound link,
+        // the EF-compressed run charges less all-reduce time than fp32 and
+        // records saved seconds.
+        use crate::workloads::Scale;
+        let dataset = dlrm_data::presets::tiny();
+        let base = run_training(
+            &dataset,
+            &workloads::dense_trainer(DenseCompression::Off, Scale::Quick),
+        );
+        let ef = run_training(
+            &dataset,
+            &workloads::dense_trainer(DenseCompression::fp16_ef(), Scale::Quick),
+        );
+        let ar = |r: &dlrm_trainer::TrainingReport| r.breakdown.seconds(phases::ALLREDUCE);
+        assert!(
+            ar(&ef) < ar(&base),
+            "compressed {} >= baseline {}",
+            ar(&ef),
+            ar(&base)
+        );
+        assert!(ef.dense_saved_seconds > 0.0);
+        assert!((ef.dense_ratio - 2.0).abs() < 0.1, "{}", ef.dense_ratio);
+    }
+}

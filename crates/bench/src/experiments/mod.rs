@@ -6,6 +6,7 @@ pub mod breakdown;
 pub mod buffer_opt;
 pub mod compressors;
 pub mod decay;
+pub mod dense;
 pub mod meta;
 pub mod overlap;
 
@@ -136,6 +137,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "ovl1",
             title: "Sequential vs overlapped (double-buffered) chunked all-to-all breakdown",
             run: overlap::ovl1,
+        },
+        Experiment {
+            id: "dense1",
+            title: "Dense path: fp32 vs fp16 vs error-feedback compressed gradient all-reduce",
+            run: dense::dense1,
         },
         Experiment {
             id: "abl2",

@@ -6,7 +6,7 @@ use dlrm_adaptive::{EbConfig, EbSchedule, Thresholds, TrainingPhases};
 use dlrm_comm::NetworkConfig;
 use dlrm_compress::CompressorKind;
 use dlrm_data::{presets, DatasetConfig, EmbeddingTrafficGenerator};
-use dlrm_trainer::{plan, CompressionSetting, OverlapSetting, TrainerConfig};
+use dlrm_trainer::{plan, CompressionSetting, DenseCompression, OverlapSetting, TrainerConfig};
 
 /// The all-to-all bandwidth the paper's Figure 11 speedup analysis assumes.
 pub const PAPER_BANDWIDTH: f64 = 4e9;
@@ -77,6 +77,7 @@ pub fn accuracy_trainer(
         learning_rate: 0.05,
         compression,
         overlap: OverlapSetting::Off,
+        dense_compression: Default::default(),
         network: NetworkConfig::default(),
         seed: 20_240_614,
         device_throughput: None,
@@ -115,6 +116,7 @@ pub fn breakdown_trainer(
         learning_rate: 0.05,
         compression,
         overlap: OverlapSetting::Off,
+        dense_compression: Default::default(),
         network: NetworkConfig {
             alltoall_bandwidth: PAPER_BANDWIDTH,
             allreduce_bandwidth: 8e9,
@@ -142,6 +144,7 @@ pub fn overlap_trainer(compression: CompressionSetting, scale: Scale) -> Trainer
         learning_rate: 0.05,
         compression,
         overlap: OverlapSetting::Off,
+        dense_compression: Default::default(),
         network: NetworkConfig {
             alltoall_bandwidth: 5e7,
             allreduce_bandwidth: 8e9,
@@ -149,6 +152,34 @@ pub fn overlap_trainer(compression: CompressionSetting, scale: Scale) -> Trainer
         },
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
+        compute_time_scale: 1.0 / 5000.0,
+    }
+}
+
+/// The trainer configuration the dense-path experiment (`dense1`) uses: an
+/// allreduce-bound interconnect (slow all-reduce link, fast all-to-all) so
+/// the MLP-gradient exchange dominates the wire, with measured compute
+/// scaled far down — the dense schedule, not this CPU, is under test.
+pub fn dense_trainer(dense: DenseCompression, scale: Scale) -> TrainerConfig {
+    let (world, iterations) = match scale {
+        Scale::Quick => (4, 12),
+        Scale::Full => (8, 60),
+    };
+    TrainerConfig {
+        world,
+        global_batch: world * 32,
+        iterations,
+        learning_rate: 0.2,
+        compression: CompressionSetting::None,
+        overlap: OverlapSetting::Off,
+        dense_compression: dense,
+        network: NetworkConfig {
+            alltoall_bandwidth: 8e9,
+            allreduce_bandwidth: 5e7,
+            latency: 5e-6,
+        },
+        seed: 20_240_614,
+        device_throughput: None,
         compute_time_scale: 1.0 / 5000.0,
     }
 }

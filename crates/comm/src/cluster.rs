@@ -19,6 +19,7 @@
 
 use crate::cost::{CostModel, NetworkConfig};
 use crate::pool::{BufferPool, PooledBuf};
+use crate::reduce::{shard_range, RawF32Codec, ReduceCodec, ReduceScratch, ReduceStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cell::RefCell;
 use std::sync::{Arc, Barrier};
@@ -147,6 +148,9 @@ struct CollectiveScratch {
     sent_flags: Vec<bool>,
     /// Per-source "chunk received" flags of an in-flight chunked all-to-all.
     recv_flags: Vec<bool>,
+    /// Float/byte staging of [`RankCtx::all_reduce_sum`]'s reduce-scatter +
+    /// all-gather schedule.
+    reduce: ReduceScratch,
 }
 
 /// Per-rank handle to the simulated cluster.
@@ -448,46 +452,128 @@ impl RankCtx {
     /// element-wise sum across ranks; summation is performed in rank order so
     /// the result is bit-identical on every rank.
     ///
+    /// Runs as a **reduce-scatter + all-gather**: each element's sum is
+    /// computed once, on the rank owning its shard, and distributed — so a
+    /// rank's traffic is `2·(P−1)/P` of the vector, exactly the volume
+    /// [`CostModel::allreduce_time`]'s ring formula assumes (the former
+    /// full-replication schedule moved `(P−1)·V` per rank while the ledger
+    /// charged ring time). Because every element is still accumulated in
+    /// rank order 0..P, the result is bit-for-bit identical to the
+    /// full-replication schedule's.
+    ///
     /// All transfers ride pool leases, so the steady state allocates nothing.
     pub fn all_reduce_sum(&self, data: &mut [f32]) -> ExchangeBytes {
-        if self.world == 1 {
-            return ExchangeBytes::default();
+        let mut scratch = self.scratch.borrow_mut();
+        let mut reduce = std::mem::take(&mut scratch.reduce);
+        drop(scratch);
+        let stats = self.all_reduce_compressed(data, &mut RawF32Codec, &mut reduce);
+        self.scratch.borrow_mut().reduce = reduce;
+        stats.wire
+    }
+
+    /// Sum-all-reduce whose hops carry `codec`-encoded shards: a
+    /// reduce-scatter + all-gather schedule ([`shard_range`] split) where
+    /// each contribution is **decoded → reduced → re-encoded** on the shard's
+    /// owner. The owner round-trips its own reduced shard through the codec
+    /// before use, so every rank ends with bit-identical values — and with a
+    /// lossless codec ([`RawF32Codec`]) the result is bit-identical to
+    /// [`RankCtx::all_reduce_sum`] (rank-order summation per element).
+    ///
+    /// The codec's `offset` argument tells stateful codecs (error feedback)
+    /// which elements of the full vector a shard covers. Returns wire bytes
+    /// (encoded) alongside the raw bytes the same schedule would have moved
+    /// uncompressed. Pool leases and `scratch` make the steady state
+    /// allocation-free.
+    pub fn all_reduce_compressed<C: ReduceCodec + ?Sized>(
+        &self,
+        data: &mut [f32],
+        codec: &mut C,
+        scratch: &mut ReduceScratch,
+    ) -> ReduceStats {
+        let world = self.world;
+        let mut stats = ReduceStats::default();
+        if world == 1 {
+            return stats;
         }
-        let byte_len = data.len() * 4;
-        let mut stats = ExchangeBytes::default();
-        // Stash this rank's contribution, then send a copy to every peer.
-        let mut mine = self.pool.take(byte_len);
-        for v in data.iter() {
-            mine.extend_from_slice(&v.to_le_bytes());
-        }
-        for dst in 0..self.world {
+
+        // ── Reduce-scatter: encode each peer's shard and post it.
+        for dst in 0..world {
             if dst == self.rank {
                 continue;
             }
-            let mut b = self.pool.take(byte_len);
-            b.extend_from_slice(&mine);
-            stats.sent += b.len();
-            self.senders[dst].send(b).expect("peer rank hung up");
+            let range = shard_range(data.len(), world, dst);
+            let shard = &data[range.clone()];
+            let mut buf = self.pool.take(codec.max_encoded_bytes(shard.len()));
+            codec.encode_into(range.start, shard, &mut buf);
+            stats.wire.sent += buf.len();
+            stats.raw.sent += shard.len() * 4;
+            self.senders[dst].send(buf).expect("peer rank hung up");
         }
-        // Accumulate contributions in rank order so the result is
-        // bit-identical on every rank.
-        for x in data.iter_mut() {
-            *x = 0.0;
-        }
-        let add = |data: &mut [f32], bytes: &[u8]| {
-            assert_eq!(bytes.len(), byte_len, "all_reduce size mismatch");
-            for (i, b) in bytes.chunks_exact(4).enumerate() {
-                data[i] += f32::from_le_bytes(b.try_into().expect("4-byte chunk"));
-            }
-        };
-        for src in 0..self.world {
+
+        // Own shard: accumulate every rank's contribution in rank order
+        // (bit-identity across ranks and with the uncompressed schedule).
+        let own = shard_range(data.len(), world, self.rank);
+        scratch.accum.clear();
+        scratch.accum.resize(own.len(), 0.0);
+        for src in 0..world {
             if src == self.rank {
-                add(data, &mine);
+                for (a, &v) in scratch.accum.iter_mut().zip(&data[own.clone()]) {
+                    *a += v;
+                }
             } else {
                 let chunk = self.receivers[src].recv().expect("peer rank hung up");
-                stats.received += chunk.len();
-                add(data, &chunk);
+                stats.wire.received += chunk.len();
+                stats.raw.received += own.len() * 4;
+                scratch.decode.clear();
+                codec.decode_into(own.start, &chunk, &mut scratch.decode);
+                assert_eq!(
+                    scratch.decode.len(),
+                    own.len(),
+                    "rank {}: shard from {src} decoded to the wrong size",
+                    self.rank
+                );
+                for (a, &v) in scratch.accum.iter_mut().zip(scratch.decode.iter()) {
+                    *a += v;
+                }
             }
+        }
+
+        // ── All-gather: encode the reduced shard once, send to every peer.
+        scratch.encoded.clear();
+        codec.encode_into(own.start, &scratch.accum, &mut scratch.encoded);
+        for dst in 0..world {
+            if dst == self.rank {
+                continue;
+            }
+            let mut buf = self.pool.take(scratch.encoded.len());
+            buf.extend_from_slice(&scratch.encoded);
+            stats.wire.sent += buf.len();
+            stats.raw.sent += own.len() * 4;
+            self.senders[dst].send(buf).expect("peer rank hung up");
+        }
+        // Round-trip the own shard through the codec so this rank holds the
+        // same (possibly lossy) values its peers will decode.
+        scratch.decode.clear();
+        codec.decode_into(own.start, &scratch.encoded, &mut scratch.decode);
+        assert_eq!(scratch.decode.len(), own.len(), "own shard round-trip size");
+        data[own].copy_from_slice(&scratch.decode);
+        for src in 0..world {
+            if src == self.rank {
+                continue;
+            }
+            let chunk = self.receivers[src].recv().expect("peer rank hung up");
+            stats.wire.received += chunk.len();
+            let range = shard_range(data.len(), world, src);
+            stats.raw.received += range.len() * 4;
+            scratch.decode.clear();
+            codec.decode_into(range.start, &chunk, &mut scratch.decode);
+            assert_eq!(
+                scratch.decode.len(),
+                range.len(),
+                "rank {}: reduced shard from {src} decoded to the wrong size",
+                self.rank
+            );
+            data[range].copy_from_slice(&scratch.decode);
         }
         stats
     }
@@ -1001,6 +1087,122 @@ mod tests {
             let mut exchange = ctx.begin_chunked();
             exchange.send(ctx.rank(), ctx.take_chunk_buf(16), 0);
             let _ = exchange.finish(); // never sent to / received from the peer
+        });
+    }
+
+    #[test]
+    fn all_reduce_matches_full_replication_reference_bitwise() {
+        // The pre-reduce-scatter schedule summed every element in rank order
+        // on every rank; the reference below is that computation performed
+        // serially. The restructured collective must reproduce it bit for
+        // bit on every rank.
+        let world = 5;
+        let len = 37; // not divisible by world: shards are uneven
+        let contribution =
+            move |rank: usize, i: usize| ((rank * len + i) as f32 * 0.37).sin() * 0.25 - 0.1;
+        let mut expected = vec![0.0f32; len];
+        for r in 0..world {
+            for (i, e) in expected.iter_mut().enumerate() {
+                *e += contribution(r, i);
+            }
+        }
+        let results = cluster(world).run(move |ctx| {
+            let mut data: Vec<f32> = (0..len).map(|i| contribution(ctx.rank(), i)).collect();
+            ctx.all_reduce_sum(&mut data);
+            data
+        });
+        for (rank, r) in results.iter().enumerate() {
+            for (i, (a, b)) in r.iter().zip(expected.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "rank {rank} element {i}: {a} vs reference {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_traffic_matches_ring_formula_volume() {
+        // Satellite fix: a rank must move 2·(P−1)/P of the vector, not
+        // (P−1)·V — so ExchangeBytes agrees with CostModel::allreduce_time.
+        let world = 4;
+        let len = 1024; // divisible by world: exact ring volume
+        let results = cluster(world).run(move |ctx| {
+            let mut data = vec![1.0f32; len];
+            ctx.all_reduce_sum(&mut data)
+        });
+        let expected = 2 * (world - 1) * (len / world) * 4;
+        for stats in results {
+            assert_eq!(stats.sent, expected);
+            assert_eq!(stats.received, expected);
+        }
+        // And the wire-time charge for that volume is exactly the ring
+        // formula's time.
+        let cost = NetworkConfig::default().cost_model();
+        let wire = cost.allreduce_wire_time(expected, expected, world);
+        let ring = cost.allreduce_time(len * 4, world);
+        assert!((wire - ring).abs() < 1e-15, "wire {wire} vs ring {ring}");
+    }
+
+    #[test]
+    fn compressed_all_reduce_reports_raw_and_wire_bytes() {
+        // A codec that halves every payload (truncates to fp16-ish by
+        // dropping the low half of each f32) is enough to check accounting;
+        // values are powers of two so the truncation is exact.
+        struct HalfCodec;
+        impl crate::reduce::ReduceCodec for HalfCodec {
+            fn encode_into(&mut self, _o: usize, data: &[f32], out: &mut Vec<u8>) {
+                for v in data {
+                    out.extend_from_slice(&v.to_le_bytes()[2..4]);
+                }
+            }
+            fn decode_into(&mut self, _o: usize, bytes: &[u8], out: &mut Vec<f32>) {
+                out.extend(
+                    bytes
+                        .chunks_exact(2)
+                        .map(|b| f32::from_le_bytes([0, 0, b[0], b[1]])),
+                );
+            }
+            fn max_encoded_bytes(&self, len: usize) -> usize {
+                len * 2
+            }
+        }
+        let world = 4;
+        let len = 64;
+        let results = cluster(world).run(move |ctx| {
+            let mut data = vec![2.0f32; len];
+            let mut scratch = crate::reduce::ReduceScratch::new();
+            let stats = ctx.all_reduce_compressed(&mut data, &mut HalfCodec, &mut scratch);
+            (data, stats)
+        });
+        for (data, stats) in results {
+            assert!(data.iter().all(|&v| v == 8.0), "sum of 2.0 over 4 ranks");
+            assert_eq!(stats.raw.sent, 2 * (world - 1) * (len / world) * 4);
+            assert_eq!(stats.wire.sent * 2, stats.raw.sent);
+            assert!((stats.ratio() - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compressed_all_reduce_handles_short_vectors_and_world_one() {
+        // len < world: some shards are empty.
+        let world = 4;
+        let results = cluster(world).run(move |ctx| {
+            let mut data = vec![ctx.rank() as f32 + 1.0, -1.0];
+            ctx.all_reduce_sum(&mut data);
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![1.0 + 2.0 + 3.0 + 4.0, -4.0]);
+        }
+        cluster(1).run(|ctx| {
+            let mut data = vec![3.5f32; 8];
+            let mut scratch = crate::reduce::ReduceScratch::new();
+            let stats =
+                ctx.all_reduce_compressed(&mut data, &mut crate::reduce::RawF32Codec, &mut scratch);
+            assert_eq!(stats, crate::reduce::ReduceStats::default());
+            assert!(data.iter().all(|&v| v == 3.5));
         });
     }
 

@@ -91,6 +91,23 @@ impl CostModel {
             + 2.0 * (p - 1.0) / p * bytes as f64 / self.config.allreduce_bandwidth
     }
 
+    /// Time of a reduce-scatter + all-gather all-reduce that actually moved
+    /// `sent_bytes` / `recv_bytes` on this rank (e.g. compressed shard
+    /// payloads): the same `2·⌈log₂P⌉·α` latency term as
+    /// [`CostModel::allreduce_time`], with the bandwidth term driven by the
+    /// bottleneck direction's *measured* bytes instead of the raw vector
+    /// size. With raw fp32 payloads a rank moves `2·(P−1)/P` of the vector
+    /// in each direction, so this reproduces the ring formula exactly;
+    /// compressed hops shrink the bandwidth term by the achieved ratio.
+    pub fn allreduce_wire_time(&self, sent_bytes: usize, recv_bytes: usize, world: usize) -> f64 {
+        if world <= 1 {
+            return 0.0;
+        }
+        let depth = (world as f64).log2().ceil();
+        2.0 * depth * self.config.latency
+            + sent_bytes.max(recv_bytes) as f64 / self.config.allreduce_bandwidth
+    }
+
     /// Time to move `bytes` point-to-point.
     pub fn p2p_time(&self, bytes: usize) -> f64 {
         self.config.latency + bytes as f64 / self.config.alltoall_bandwidth

@@ -41,14 +41,29 @@
 //! timelines), and [`ledger::TimingLedger`]'s `overlap_saved` counters
 //! record how much codec time the overlap hid.
 
+//! ## Compressed all-reduce
+//!
+//! The sum-all-reduce runs as a reduce-scatter + all-gather
+//! ([`reduce::shard_range`] split, rank-order summation on each shard's
+//! owner), so a rank's traffic matches the `2·(P−1)/P` volume the cost
+//! model's ring formula charges. [`cluster::RankCtx::all_reduce_compressed`]
+//! generalises it: every hop carries bytes produced by a
+//! [`reduce::ReduceCodec`] (decode → reduce → re-encode at each owner), which
+//! is how the trainer's error-feedback dense-gradient compression
+//! (`dlrm-grad`) shrinks the MLP all-reduce. With the lossless
+//! [`reduce::RawF32Codec`] the compressed collective is bit-identical to
+//! [`cluster::RankCtx::all_reduce_sum`].
+
 pub mod cluster;
 pub mod cost;
 pub mod ledger;
 pub mod overlap;
 pub mod pool;
+pub mod reduce;
 
 pub use cluster::{ChunkedAllToAll, RankCtx, SimCluster, CHUNK_HEADER_BYTES};
 pub use cost::{CostModel, NetworkConfig};
 pub use ledger::TimingLedger;
 pub use overlap::OverlapTimeline;
 pub use pool::{BufferPool, PoolStats, PooledBuf};
+pub use reduce::{shard_range, RawF32Codec, ReduceCodec, ReduceScratch, ReduceStats};

@@ -1,0 +1,194 @@
+//! Support types of the compressed all-reduce
+//! ([`RankCtx::all_reduce_compressed`](crate::cluster::RankCtx::all_reduce_compressed)).
+//!
+//! The collective is a **reduce-scatter + all-gather** schedule: the vector
+//! is split into `world` contiguous shards, every rank sends each peer's
+//! shard to its owner (reduce-scatter), the owner sums the contributions in
+//! rank order, and finally every owner distributes its reduced shard to all
+//! peers (all-gather). Every hop carries bytes produced by a [`ReduceCodec`],
+//! so a lossy gradient codec shrinks the wire traffic of *both* phases; the
+//! trivial [`RawF32Codec`] reproduces the classic uncompressed all-reduce
+//! bit for bit.
+//!
+//! The codec is deliberately a small trait owned by this crate (rather than
+//! a dependency on the compression crates): `dlrm-grad` implements it for
+//! its error-feedback gradient compressors, tests implement it for identity
+//! and fault-injection codecs, and the cluster itself only needs the two
+//! `encode`/`decode` hooks plus a worst-case size bound for pool leases.
+
+use crate::cluster::ExchangeBytes;
+use std::ops::Range;
+
+/// Encoder/decoder driving the hops of a compressed all-reduce.
+///
+/// `offset` is the element index of the shard's first value within the full
+/// all-reduce vector — stateful codecs (e.g. an error-feedback residual
+/// accumulator) use it to know *which* elements a shard covers. A stateless
+/// codec can ignore it.
+///
+/// Contract: `decode_into(offset, encode_into(offset, data))` must append
+/// exactly `data.len()` values. The collective round-trips the owner's own
+/// reduced shard through the codec before use, so every rank — owner
+/// included — ends with bit-identical values.
+pub trait ReduceCodec {
+    /// Append the encoded form of `data` (the shard starting at element
+    /// `offset` of the full vector) to `out`.
+    fn encode_into(&mut self, offset: usize, data: &[f32], out: &mut Vec<u8>);
+
+    /// Append the decoded values of a shard produced by
+    /// [`ReduceCodec::encode_into`] to `out`.
+    fn decode_into(&mut self, offset: usize, bytes: &[u8], out: &mut Vec<f32>);
+
+    /// Upper bound on the encoded size of a shard of `len` values; sizes the
+    /// pool leases so a steady-state encode never grows its lease mid-fill.
+    fn max_encoded_bytes(&self, len: usize) -> usize {
+        len * 4 + 16
+    }
+}
+
+/// The trivial lossless codec: raw little-endian f32 bytes. With it,
+/// [`RankCtx::all_reduce_compressed`](crate::cluster::RankCtx::all_reduce_compressed)
+/// is exactly [`RankCtx::all_reduce_sum`](crate::cluster::RankCtx::all_reduce_sum)
+/// (which is implemented through it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawF32Codec;
+
+impl ReduceCodec for RawF32Codec {
+    fn encode_into(&mut self, _offset: usize, data: &[f32], out: &mut Vec<u8>) {
+        out.reserve(data.len() * 4);
+        for v in data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode_into(&mut self, _offset: usize, bytes: &[u8], out: &mut Vec<f32>) {
+        assert_eq!(bytes.len() % 4, 0, "raw f32 shard not a multiple of 4");
+        out.reserve(bytes.len() / 4);
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
+        );
+    }
+
+    fn max_encoded_bytes(&self, len: usize) -> usize {
+        len * 4
+    }
+}
+
+/// Reusable buffers of the compressed all-reduce, so a steady-state caller
+/// allocates nothing: the owner-shard accumulator, the decode staging
+/// buffer, and the once-per-call all-gather encode buffer.
+#[derive(Debug, Default)]
+pub struct ReduceScratch {
+    /// Rank-order sum of the contributions to this rank's own shard.
+    pub(crate) accum: Vec<f32>,
+    /// Decode staging for incoming shards.
+    pub(crate) decode: Vec<f32>,
+    /// The reduced own shard, encoded once and copied to every peer lease.
+    pub(crate) encoded: Vec<u8>,
+}
+
+impl ReduceScratch {
+    /// Create an empty scratch (buffers grow to working size on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes of heap capacity currently held — stable once warmed up,
+    /// which the trainer's allocation ledger uses to prove the steady state.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.accum.capacity() * 4 + self.decode.capacity() * 4 + self.encoded.capacity()) as u64
+    }
+}
+
+/// Byte accounting of one compressed all-reduce.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Bytes actually moved (encoded payloads), both directions.
+    pub wire: ExchangeBytes,
+    /// Bytes the same reduce-scatter + all-gather schedule would have moved
+    /// with raw f32 payloads — the denominator of the compression ratio and
+    /// the bytes [`CostModel::allreduce_time`](crate::cost::CostModel::allreduce_time)
+    /// assumes.
+    pub raw: ExchangeBytes,
+}
+
+impl ReduceStats {
+    /// Wire compression ratio of the exchange (1.0 when nothing moved).
+    pub fn ratio(&self) -> f64 {
+        let wire = self.wire.sent + self.wire.received;
+        if wire == 0 {
+            1.0
+        } else {
+            (self.raw.sent + self.raw.received) as f64 / wire as f64
+        }
+    }
+}
+
+/// Element range of the all-reduce shard owned by `rank`: contiguous,
+/// near-even split with earlier ranks absorbing the remainder (mirrors the
+/// trainer's batch sharding).
+pub fn shard_range(len: usize, world: usize, rank: usize) -> Range<usize> {
+    assert!(rank < world, "rank {rank} out of world {world}");
+    let base = len / world;
+    let rem = len % world;
+    let start = rank * base + rank.min(rem);
+    let size = base + usize::from(rank < rem);
+    start..start + size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_tile_the_vector() {
+        for (len, world) in [(0, 1), (7, 3), (12, 4), (3, 5), (100, 7)] {
+            let mut next = 0usize;
+            for r in 0..world {
+                let range = shard_range(len, world, r);
+                assert_eq!(range.start, next, "len {len} world {world} rank {r}");
+                next = range.end;
+            }
+            assert_eq!(next, len, "len {len} world {world}");
+            // Earlier ranks are never smaller than later ones.
+            let sizes: Vec<usize> = (0..world)
+                .map(|r| shard_range(len, world, r).len())
+                .collect();
+            assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn raw_codec_roundtrips_bitwise() {
+        let data: Vec<f32> = (0..33).map(|i| (i as f32 * 0.7).sin() - 0.5).collect();
+        let mut codec = RawF32Codec;
+        let mut bytes = Vec::new();
+        codec.encode_into(5, &data, &mut bytes);
+        assert_eq!(bytes.len(), data.len() * 4);
+        assert!(bytes.len() <= codec.max_encoded_bytes(data.len()));
+        let mut back = Vec::new();
+        codec.decode_into(5, &bytes, &mut back);
+        assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reduce_stats_ratio() {
+        let stats = ReduceStats {
+            wire: ExchangeBytes {
+                sent: 250,
+                received: 250,
+            },
+            raw: ExchangeBytes {
+                sent: 1000,
+                received: 1000,
+            },
+        };
+        assert!((stats.ratio() - 4.0).abs() < 1e-12);
+        assert_eq!(ReduceStats::default().ratio(), 1.0);
+    }
+}

@@ -1,9 +1,10 @@
 //! Property-based tests of the simulated collectives: all-to-all delivers a
 //! correct permutation for arbitrary chunk sizes, the variable-size variant
-//! reports sizes faithfully, and all-reduce equals a sequential sum on every
-//! rank.
+//! reports sizes faithfully, all-reduce equals a sequential sum on every
+//! rank, and the compressed all-reduce with a lossless codec is
+//! bit-identical to the plain one.
 
-use dlrm_comm::{NetworkConfig, SimCluster};
+use dlrm_comm::{NetworkConfig, RawF32Codec, ReduceScratch, SimCluster};
 use proptest::prelude::*;
 
 proptest! {
@@ -85,6 +86,54 @@ proptest! {
             for (a, b) in result.iter().zip(expected.iter()) {
                 prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()));
             }
+        }
+    }
+
+    #[test]
+    fn compressed_all_reduce_with_lossless_codec_is_bit_identical(
+        world in 1usize..6,
+        values in prop::collection::vec(-100.0f32..100.0, 0..96),
+    ) {
+        // Satellite acceptance: `all_reduce_compressed` with the identity
+        // codec must match `all_reduce_sum` bit for bit on every rank —
+        // arbitrary vector lengths (empty shards included) and world sizes.
+        let len = values.len();
+        let values = std::sync::Arc::new(values);
+        let cluster = SimCluster::new(world, NetworkConfig::infinite());
+        let vals = std::sync::Arc::clone(&values);
+        let results = cluster.run(move |ctx| {
+            let contribution: Vec<f32> = (0..len)
+                .map(|i| vals[(i + ctx.rank()) % len.max(1)] * (1.0 + ctx.rank() as f32 * 0.125))
+                .collect();
+            let mut plain = contribution.clone();
+            let plain_stats = ctx.all_reduce_sum(&mut plain);
+            let mut compressed = contribution;
+            let mut scratch = ReduceScratch::new();
+            let stats = ctx.all_reduce_compressed(
+                &mut compressed,
+                &mut RawF32Codec,
+                &mut scratch,
+            );
+            (plain, plain_stats, compressed, stats)
+        });
+        let reference = &results[0].0;
+        for (rank, (plain, plain_stats, compressed, stats)) in results.iter().enumerate() {
+            for (i, (a, b)) in plain.iter().zip(compressed.iter()).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "rank {} element {}: {} vs {}",
+                    rank, i, a, b
+                );
+            }
+            // Bit-identical across ranks as well.
+            for (a, b) in compressed.iter().zip(reference.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // The raw codec's wire bytes ARE the raw bytes, and match the
+            // plain collective's accounting.
+            prop_assert_eq!(stats.wire, stats.raw);
+            prop_assert_eq!(&stats.wire, plain_stats);
         }
     }
 }

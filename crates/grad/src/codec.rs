@@ -1,0 +1,385 @@
+//! Gradient codec adapters: how a shard of the flattened dense gradient
+//! becomes bytes on the all-reduce wire.
+//!
+//! Four families, all behind one [`GradCodec`] with reusable scratch:
+//!
+//! * **Identity** — raw little-endian f32 (lossless; with it the compressed
+//!   all-reduce is bit-identical to the uncompressed one);
+//! * **Fp16 / Fp8** — the low-precision casts from `dlrm-compress`;
+//! * **ErrorBounded** — any error-bounded compressor from the registry
+//!   (sz-like Lorenzo+quantization works well on smooth gradients);
+//! * **TopK** — magnitude sparsification: only the `⌈fraction·n⌉` largest
+//!   |values| are sent as `(index, value)` pairs, kept values bit-exact.
+//!   Requires error feedback to converge (the unsent mass accumulates in
+//!   the residual until it earns a slot).
+//!
+//! Every stream opens with the element count, so decoding is
+//! self-describing: `[n u32 LE]` then a kind-specific payload.
+
+use dlrm_compress::lowprec::{self, Precision};
+use dlrm_compress::{CompressScratch, Compressor, CompressorKind};
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of a gradient codec (the form carried in
+/// trainer configs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GradCodecKind {
+    /// Raw f32 — lossless, ratio 1. The control arm of every experiment.
+    Identity,
+    /// IEEE binary16 cast — fixed 2×.
+    Fp16,
+    /// FP8 E4M3 cast — fixed 4×.
+    Fp8,
+    /// An error-bounded compressor from the `dlrm-compress` registry with an
+    /// absolute error bound.
+    ErrorBounded {
+        /// Which registry compressor encodes the shards.
+        compressor: CompressorKind,
+        /// Absolute point-wise error bound.
+        error_bound: f32,
+    },
+    /// Magnitude top-k sparsification: send the `⌈fraction·n⌉` largest
+    /// |values| as exact `(index, value)` pairs. Ratio ≈ `1/(2·fraction)`.
+    TopK {
+        /// Fraction of elements kept per shard, in `(0, 1]`.
+        fraction: f32,
+    },
+}
+
+impl GradCodecKind {
+    /// Short display label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            GradCodecKind::Identity => "identity".to_string(),
+            GradCodecKind::Fp16 => "fp16".to_string(),
+            GradCodecKind::Fp8 => "fp8".to_string(),
+            GradCodecKind::ErrorBounded {
+                compressor,
+                error_bound,
+            } => format!("{}-eb{}", compressor.label(), error_bound),
+            GradCodecKind::TopK { fraction } => format!("top{}", fraction),
+        }
+    }
+
+    /// Build the runnable codec.
+    pub fn build(&self) -> GradCodec {
+        let compressor = match self {
+            GradCodecKind::ErrorBounded { compressor, .. } => Some(compressor.build()),
+            _ => None,
+        };
+        GradCodec {
+            kind: self.clone(),
+            compressor,
+        }
+    }
+}
+
+/// Reusable intermediates of the gradient codecs.
+#[derive(Default)]
+pub struct GradScratch {
+    /// Scratch of the `dlrm-compress` codecs.
+    pub compress: CompressScratch,
+    /// Index ordering buffer of the top-k selection.
+    order: Vec<u32>,
+}
+
+impl GradScratch {
+    /// Create an empty scratch (buffers grow to working size on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total heap capacity currently held.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.compress.capacity_bytes() + (self.order.capacity() * 4) as u64
+    }
+}
+
+/// A runnable gradient codec (built by [`GradCodecKind::build`]).
+pub struct GradCodec {
+    kind: GradCodecKind,
+    compressor: Option<Box<dyn Compressor>>,
+}
+
+impl GradCodec {
+    /// The kind this codec was built from.
+    pub fn kind(&self) -> &GradCodecKind {
+        &self.kind
+    }
+
+    /// True when decoding reproduces the input bit-exactly (Identity only).
+    pub fn is_lossless(&self) -> bool {
+        matches!(self.kind, GradCodecKind::Identity)
+    }
+
+    /// Upper bound on the encoded size of a shard of `len` values.
+    pub fn max_encoded_bytes(&self, len: usize) -> usize {
+        4 + match self.kind {
+            GradCodecKind::Identity => len * 4,
+            // lowprec streams open with a ≤10-byte varint count + format tag.
+            GradCodecKind::Fp16 => 11 + len * 2,
+            GradCodecKind::Fp8 => 11 + len,
+            // Same worst case the trainer assumes for the a2a codecs.
+            GradCodecKind::ErrorBounded { .. } => len * 12 + 708,
+            GradCodecKind::TopK { fraction } => 4 + top_k_count(len, fraction) * 8,
+        }
+    }
+
+    /// Heap capacity held by the codec itself (its boxed compressor holds
+    /// no buffers; scratch is accounted by [`GradScratch`]).
+    pub fn capacity_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Append the encoded form of `data` to `out`, drawing intermediates
+    /// from `scratch`.
+    pub fn encode_into(&self, data: &[f32], scratch: &mut GradScratch, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        if data.is_empty() {
+            return;
+        }
+        match &self.kind {
+            GradCodecKind::Identity => {
+                out.reserve(data.len() * 4);
+                for v in data {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            GradCodecKind::Fp16 => lowprec::compress_into(data, Precision::Fp16, out),
+            GradCodecKind::Fp8 => lowprec::compress_into(data, Precision::Fp8E4M3, out),
+            GradCodecKind::ErrorBounded { error_bound, .. } => {
+                let comp = self.compressor.as_ref().expect("built with a compressor");
+                // The flat gradient is one long row: Lorenzo prediction runs
+                // along it, which suits smooth per-layer gradients.
+                comp.compress_into(data, data.len(), *error_bound, &mut scratch.compress, out)
+                    .expect("gradient compression of finite data cannot fail");
+            }
+            GradCodecKind::TopK { fraction } => {
+                let k = top_k_count(data.len(), *fraction);
+                out.extend_from_slice(&(k as u32).to_le_bytes());
+                scratch.order.clear();
+                scratch.order.extend(0..data.len() as u32);
+                // Deterministic selection: magnitude descending, index
+                // ascending as the tie-break (total order even with NaNs).
+                let key = |&i: &u32| {
+                    let v = data[i as usize].abs();
+                    (std::cmp::Reverse(OrdF32(v)), i)
+                };
+                if k < data.len() {
+                    scratch.order.select_nth_unstable_by_key(k - 1, key);
+                }
+                let kept = &mut scratch.order[..k];
+                // Ascending index order on the wire (and for decode locality).
+                kept.sort_unstable();
+                for &i in kept.iter() {
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                for &i in kept.iter() {
+                    out.extend_from_slice(&data[i as usize].to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Append the decoded values of a stream produced by
+    /// [`GradCodec::encode_into`] to `out`.
+    pub fn decode_into(&self, bytes: &[u8], scratch: &mut GradScratch, out: &mut Vec<f32>) {
+        let n = u32::from_le_bytes(bytes[0..4].try_into().expect("count header")) as usize;
+        let payload = &bytes[4..];
+        if n == 0 {
+            return;
+        }
+        match &self.kind {
+            GradCodecKind::Identity => {
+                assert_eq!(payload.len(), n * 4, "identity payload size");
+                out.reserve(n);
+                out.extend(
+                    payload
+                        .chunks_exact(4)
+                        .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
+                );
+            }
+            GradCodecKind::Fp16 | GradCodecKind::Fp8 => {
+                lowprec::decompress_into(payload, out).expect("well-formed lowprec stream")
+            }
+            GradCodecKind::ErrorBounded { .. } => {
+                let comp = self.compressor.as_ref().expect("built with a compressor");
+                comp.decompress_into(payload, &mut scratch.compress, out)
+                    .expect("well-formed gradient stream");
+            }
+            GradCodecKind::TopK { .. } => {
+                let k = u32::from_le_bytes(payload[0..4].try_into().expect("k header")) as usize;
+                let idx = &payload[4..4 + k * 4];
+                let vals = &payload[4 + k * 4..4 + k * 8];
+                let start = out.len();
+                out.resize(start + n, 0.0);
+                let dense = &mut out[start..];
+                for (ib, vb) in idx.chunks_exact(4).zip(vals.chunks_exact(4)) {
+                    let i = u32::from_le_bytes(ib.try_into().expect("index")) as usize;
+                    dense[i] = f32::from_le_bytes(vb.try_into().expect("value"));
+                }
+            }
+        }
+    }
+}
+
+/// Number of elements the top-k sparsifier keeps for a shard of `len`.
+fn top_k_count(len: usize, fraction: f32) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    ((len as f64 * fraction as f64).ceil() as usize).clamp(1, len)
+}
+
+/// Total-order f32 wrapper for the top-k selection.
+#[derive(PartialEq)]
+struct OrdF32(f32);
+impl Eq for OrdF32 {}
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grads(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.13).sin() * 0.05).collect()
+    }
+
+    #[test]
+    fn identity_roundtrips_bitwise() {
+        let data = grads(200);
+        let codec = GradCodecKind::Identity.build();
+        let mut scratch = GradScratch::new();
+        let mut bytes = Vec::new();
+        codec.encode_into(&data, &mut scratch, &mut bytes);
+        assert!(bytes.len() <= codec.max_encoded_bytes(data.len()));
+        let mut back = Vec::new();
+        codec.decode_into(&bytes, &mut scratch, &mut back);
+        assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn lowprec_and_error_bounded_stay_within_tolerance() {
+        let data = grads(300);
+        for (kind, tol) in [
+            (GradCodecKind::Fp16, 1e-4f32),
+            (GradCodecKind::Fp8, 6e-3),
+            (
+                GradCodecKind::ErrorBounded {
+                    compressor: CompressorKind::SzLike,
+                    error_bound: 1e-3,
+                },
+                1.02e-3,
+            ),
+        ] {
+            let codec = kind.build();
+            let mut scratch = GradScratch::new();
+            let mut bytes = Vec::new();
+            codec.encode_into(&data, &mut scratch, &mut bytes);
+            assert!(
+                bytes.len() <= codec.max_encoded_bytes(data.len()),
+                "{}: {} > bound {}",
+                kind.label(),
+                bytes.len(),
+                codec.max_encoded_bytes(data.len())
+            );
+            let mut back = Vec::new();
+            codec.decode_into(&bytes, &mut scratch, &mut back);
+            assert_eq!(back.len(), data.len(), "{}", kind.label());
+            for (a, b) in data.iter().zip(back.iter()) {
+                assert!((a - b).abs() <= tol, "{}: {a} vs {b}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_keeps_the_largest_magnitudes_exactly() {
+        let mut data = vec![0.01f32; 100];
+        data[7] = -5.0;
+        data[42] = 3.0;
+        data[99] = 4.0;
+        let codec = GradCodecKind::TopK { fraction: 0.03 }.build();
+        let mut scratch = GradScratch::new();
+        let mut bytes = Vec::new();
+        codec.encode_into(&data, &mut scratch, &mut bytes);
+        // 4 count + 4 k + 3 * 8 bytes of pairs.
+        assert_eq!(bytes.len(), 8 + 3 * 8);
+        let mut back = Vec::new();
+        codec.decode_into(&bytes, &mut scratch, &mut back);
+        assert_eq!(back.len(), 100);
+        assert_eq!(back[7], -5.0);
+        assert_eq!(back[42], 3.0);
+        assert_eq!(back[99], 4.0);
+        assert_eq!(back.iter().filter(|&&v| v != 0.0).count(), 3);
+    }
+
+    #[test]
+    fn top_k_selection_is_deterministic_under_ties() {
+        let data = vec![1.0f32; 12]; // every magnitude ties
+        let codec = GradCodecKind::TopK { fraction: 0.25 }.build();
+        let mut scratch = GradScratch::new();
+        let mut a = Vec::new();
+        codec.encode_into(&data, &mut scratch, &mut a);
+        let mut b = Vec::new();
+        codec.encode_into(&data, &mut scratch, &mut b);
+        assert_eq!(a, b);
+        let mut back = Vec::new();
+        codec.decode_into(&a, &mut scratch, &mut back);
+        // Ties break toward the lowest indices.
+        assert_eq!(&back[..3], &[1.0, 1.0, 1.0]);
+        assert!(back[3..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_shards_encode_and_decode() {
+        for kind in [
+            GradCodecKind::Identity,
+            GradCodecKind::Fp16,
+            GradCodecKind::Fp8,
+            GradCodecKind::ErrorBounded {
+                compressor: CompressorKind::SzLike,
+                error_bound: 0.01,
+            },
+            GradCodecKind::TopK { fraction: 0.1 },
+        ] {
+            let codec = kind.build();
+            let mut scratch = GradScratch::new();
+            let mut bytes = Vec::new();
+            codec.encode_into(&[], &mut scratch, &mut bytes);
+            let mut back = Vec::new();
+            codec.decode_into(&bytes, &mut scratch, &mut back);
+            assert!(back.is_empty(), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            GradCodecKind::Identity,
+            GradCodecKind::Fp16,
+            GradCodecKind::Fp8,
+            GradCodecKind::ErrorBounded {
+                compressor: CompressorKind::SzLike,
+                error_bound: 0.001,
+            },
+            GradCodecKind::TopK { fraction: 0.1 },
+        ]
+        .iter()
+        .map(GradCodecKind::label)
+        .collect();
+        let unique: std::collections::HashSet<&String> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

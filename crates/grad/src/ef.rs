@@ -1,0 +1,143 @@
+//! The error-feedback residual accumulator.
+//!
+//! One buffer, the length of the flattened dense gradient, holding per
+//! element everything lossy compression has discarded so far on this rank.
+//! The loop is: [`ErrorFeedback::compensate`] adds the residual into the
+//! fresh gradient *before* compression, and [`ErrorFeedback::record`]
+//! rebuilds it *after* from the quantization error of the bytes that
+//! actually went on the wire — `r ← g̃ − decode(encode(g̃))`. Elements are
+//! recorded shard by shard (matching the reduce-scatter split), each shard
+//! exactly once per iteration.
+//!
+//! Steady state is allocation-free: the buffer is sized on first use and
+//! only reused afterwards.
+
+/// Per-rank residual accumulator of an error-feedback compression loop.
+#[derive(Debug, Default)]
+pub struct ErrorFeedback {
+    residual: Vec<f32>,
+}
+
+impl ErrorFeedback {
+    /// Create an empty accumulator (sized lazily by the first
+    /// [`ErrorFeedback::compensate`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements tracked (0 before first use).
+    pub fn len(&self) -> usize {
+        self.residual.len()
+    }
+
+    /// True before the first [`ErrorFeedback::compensate`].
+    pub fn is_empty(&self) -> bool {
+        self.residual.is_empty()
+    }
+
+    /// Add the residual into `grads` element-wise (the *compensate* step),
+    /// sizing the buffer on first use. The gradient length must not change
+    /// between iterations — it is the model's flattened parameter count.
+    pub fn compensate(&mut self, grads: &mut [f32]) {
+        if self.residual.is_empty() {
+            self.residual.resize(grads.len(), 0.0);
+        }
+        assert_eq!(
+            self.residual.len(),
+            grads.len(),
+            "gradient length changed between iterations"
+        );
+        for (g, &r) in grads.iter_mut().zip(self.residual.iter()) {
+            *g += r;
+        }
+    }
+
+    /// Rebuild the residual of the shard at `offset`: element `i` becomes
+    /// `original[i] − roundtrip[i]`, the part of the compensated gradient
+    /// the codec failed to transmit.
+    pub fn record(&mut self, offset: usize, original: &[f32], roundtrip: &[f32]) {
+        assert_eq!(original.len(), roundtrip.len(), "round-trip size mismatch");
+        let slot = &mut self.residual[offset..offset + original.len()];
+        for ((s, &o), &t) in slot.iter_mut().zip(original).zip(roundtrip) {
+            *s = o - t;
+        }
+    }
+
+    /// Record a lossless transmission of the shard at `offset`: nothing was
+    /// lost, so the shard's residual resets to zero.
+    pub fn record_exact(&mut self, offset: usize, len: usize) {
+        self.residual[offset..offset + len].fill(0.0);
+    }
+
+    /// L2 norm of the residual — the test hook behind the "residual stays
+    /// bounded" convergence assertions.
+    pub fn l2_norm(&self) -> f64 {
+        self.residual
+            .iter()
+            .map(|&r| r as f64 * r as f64)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Heap capacity held by the accumulator.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.residual.capacity() * 4) as u64
+    }
+
+    /// Read-only view of the residual (diagnostics and tests).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compensate_then_record_roundtrip() {
+        let mut ef = ErrorFeedback::new();
+        let mut grads = vec![1.0f32, -2.0, 3.0, 0.5];
+        ef.compensate(&mut grads);
+        assert_eq!(grads, vec![1.0, -2.0, 3.0, 0.5]); // first pass: residual 0
+        assert_eq!(ef.len(), 4);
+
+        // Pretend the codec transmitted only roughly half of each value.
+        let sent: Vec<f32> = grads.iter().map(|g| g * 0.5).collect();
+        ef.record(0, &grads, &sent);
+        assert!((ef.l2_norm() - (0.25f64 + 1.0 + 2.25 + 0.0625).sqrt()).abs() < 1e-6);
+
+        // Next iteration: the lost half is re-injected.
+        let mut next = vec![0.0f32; 4];
+        ef.compensate(&mut next);
+        assert_eq!(next, vec![0.5, -1.0, 1.5, 0.25]);
+    }
+
+    #[test]
+    fn record_exact_clears_the_shard() {
+        let mut ef = ErrorFeedback::new();
+        ef.compensate(&mut [0.0f32; 6]);
+        ef.record(0, &[1.0; 6], &[0.0; 6]);
+        assert!(ef.l2_norm() > 0.0);
+        ef.record_exact(2, 2);
+        assert_eq!(ef.residual(), &[1.0, 1.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn shards_update_independently() {
+        let mut ef = ErrorFeedback::new();
+        ef.compensate(&mut [0.0f32; 8]);
+        ef.record(0, &[1.0; 3], &[0.25; 3]);
+        ef.record(3, &[2.0; 5], &[2.0; 5]);
+        assert_eq!(ef.residual()[..3], [0.75, 0.75, 0.75]);
+        assert_eq!(ef.residual()[3..], [0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn changing_length_panics() {
+        let mut ef = ErrorFeedback::new();
+        ef.compensate(&mut [0.0f32; 4]);
+        ef.compensate(&mut [0.0f32; 5]);
+    }
+}

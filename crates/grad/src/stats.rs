@@ -1,0 +1,210 @@
+//! Per-layer gradient statistics and codec selection for the dense path.
+//!
+//! Dense-gradient codecs trade differently depending on what the gradients
+//! look like: near-sparse gradients (most elements ~0, as late-training MLP
+//! layers produce) favour top-k sparsification, dense smooth gradients
+//! favour a cheap cast or an error-bounded codec. [`GradStats`] measures the
+//! relevant features per layer; [`select_grad_codec`] turns them into a
+//! [`GradCodecKind`] by ranking the candidates with the allreduce-aware
+//! Equation-2 estimate from `dlrm-adaptive` — the dense-path mirror of the
+//! paper's per-table compressor selection.
+
+use crate::codec::GradCodecKind;
+use dlrm_adaptive::{estimate_allreduce_speedup, SpeedupInputs};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one gradient slice (a layer, or the whole flat
+/// vector).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradStats {
+    /// Number of elements.
+    pub count: usize,
+    /// L2 norm.
+    pub l2_norm: f64,
+    /// Largest |value|.
+    pub max_abs: f32,
+    /// Mean |value|.
+    pub mean_abs: f64,
+    /// Fraction of elements with |value| below 1% of the largest |value|
+    /// (1.0 for an all-zero slice) — the sparsity signal top-k keys on.
+    pub near_zero_fraction: f64,
+}
+
+impl GradStats {
+    /// Measure a gradient slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        if data.is_empty() {
+            return Self {
+                count: 0,
+                l2_norm: 0.0,
+                max_abs: 0.0,
+                mean_abs: 0.0,
+                near_zero_fraction: 1.0,
+            };
+        }
+        let mut sq = 0.0f64;
+        let mut abs_sum = 0.0f64;
+        let mut max_abs = 0.0f32;
+        for &v in data {
+            let a = v.abs();
+            sq += v as f64 * v as f64;
+            abs_sum += a as f64;
+            if a > max_abs {
+                max_abs = a;
+            }
+        }
+        let threshold = max_abs * 0.01;
+        let near_zero = data.iter().filter(|v| v.abs() <= threshold).count();
+        Self {
+            count: data.len(),
+            l2_norm: sq.sqrt(),
+            max_abs,
+            mean_abs: abs_sum / data.len() as f64,
+            near_zero_fraction: near_zero as f64 / data.len() as f64,
+        }
+    }
+}
+
+/// Per-layer statistics of a flattened gradient, given the layer segment
+/// lengths (e.g. weight+bias parameter counts per MLP layer, in flatten
+/// order).
+///
+/// # Panics
+/// Panics if the lengths do not sum to `flat.len()`.
+pub fn per_layer_stats(flat: &[f32], layer_lens: &[usize]) -> Vec<GradStats> {
+    let total: usize = layer_lens.iter().sum();
+    assert_eq!(total, flat.len(), "layer lengths do not tile the gradient");
+    let mut out = Vec::with_capacity(layer_lens.len());
+    let mut pos = 0usize;
+    for &len in layer_lens {
+        out.push(GradStats::from_slice(&flat[pos..pos + len]));
+        pos += len;
+    }
+    out
+}
+
+/// Nominal codec throughputs `(compress, decompress)` in bytes/s used by the
+/// selection model: casts are memory-bound, top-k is a selection pass,
+/// error-bounded codecs run the full quantize+entropy pipeline. These are
+/// GPU-class figures in the spirit of the paper's Table V.
+fn nominal_throughput(kind: &GradCodecKind) -> (f64, f64) {
+    match kind {
+        GradCodecKind::Identity => (1e15, 1e15),
+        GradCodecKind::Fp16 | GradCodecKind::Fp8 => (200e9, 200e9),
+        GradCodecKind::ErrorBounded { .. } => (40e9, 100e9),
+        GradCodecKind::TopK { .. } => (80e9, 150e9),
+    }
+}
+
+/// Expected wire compression ratio of a codec on gradients with the given
+/// statistics.
+fn expected_ratio(kind: &GradCodecKind, stats: &GradStats) -> f64 {
+    match kind {
+        GradCodecKind::Identity => 1.0,
+        GradCodecKind::Fp16 => 2.0,
+        GradCodecKind::Fp8 => 4.0,
+        // An error-bounded codec removes the bits below the bound; how much
+        // that buys scales with how concentrated the values are. A
+        // conservative stand-in (measured selection uses real reports).
+        GradCodecKind::ErrorBounded { .. } => 4.0 + 8.0 * stats.near_zero_fraction,
+        // k values at 8 bytes each replace n values at 4.
+        GradCodecKind::TopK { fraction } => 1.0 / (2.0 * *fraction as f64).min(1.0),
+    }
+}
+
+/// Pick a dense-gradient codec from measured statistics, the all-reduce
+/// bandwidth (bytes/s) and the world size — the dense-path analogue of the
+/// paper's Algorithm-2 table selection, ranked by
+/// [`dlrm_adaptive::estimate_allreduce_speedup`].
+///
+/// Candidates: fp16 and fp8 casts always; top-k (keeping roughly the
+/// non-near-zero fraction, floored at 5%) when the gradients are at least
+/// half near-zero. Falls back to [`GradCodecKind::Identity`] when no
+/// candidate is estimated to beat the uncompressed exchange.
+pub fn select_grad_codec(stats: &GradStats, bandwidth: f64, world: usize) -> GradCodecKind {
+    let mut candidates = vec![GradCodecKind::Fp16, GradCodecKind::Fp8];
+    if stats.near_zero_fraction >= 0.5 {
+        let fraction = ((1.0 - stats.near_zero_fraction) as f32).max(0.05);
+        candidates.push(GradCodecKind::TopK { fraction });
+    }
+    let mut best = GradCodecKind::Identity;
+    let mut best_speedup = 1.0f64;
+    for kind in candidates {
+        let (tc, td) = nominal_throughput(&kind);
+        let inputs = SpeedupInputs {
+            ratio: expected_ratio(&kind, stats),
+            compress_throughput: tc,
+            decompress_throughput: td,
+            bandwidth,
+        };
+        let s = estimate_allreduce_speedup(inputs, world);
+        if s > best_speedup {
+            best_speedup = s;
+            best = kind;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_measure_the_obvious() {
+        let stats = GradStats::from_slice(&[0.0, 0.0, 0.0, 4.0]);
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.max_abs, 4.0);
+        assert!((stats.l2_norm - 4.0).abs() < 1e-12);
+        assert!((stats.near_zero_fraction - 0.75).abs() < 1e-12);
+        let empty = GradStats::from_slice(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.near_zero_fraction, 1.0);
+    }
+
+    #[test]
+    fn per_layer_stats_tile_the_vector() {
+        let flat: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let layers = per_layer_stats(&flat, &[4, 6]);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].count, 4);
+        assert_eq!(layers[0].max_abs, 3.0);
+        assert_eq!(layers[1].max_abs, 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_layer_lengths_panic() {
+        per_layer_stats(&[1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn selection_prefers_top_k_for_sparse_gradients() {
+        let mut sparse = vec![0.0f32; 1000];
+        sparse[3] = 1.0;
+        sparse[700] = -2.0;
+        let stats = GradStats::from_slice(&sparse);
+        let kind = select_grad_codec(&stats, 8e9, 8);
+        assert!(
+            matches!(kind, GradCodecKind::TopK { .. }),
+            "sparse gradients should pick top-k, got {}",
+            kind.label()
+        );
+
+        let dense: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let stats = GradStats::from_slice(&dense);
+        let kind = select_grad_codec(&stats, 8e9, 8);
+        assert!(
+            matches!(kind, GradCodecKind::Fp16 | GradCodecKind::Fp8),
+            "dense gradients should pick a cast, got {}",
+            kind.label()
+        );
+    }
+
+    #[test]
+    fn selection_falls_back_to_identity_on_a_single_rank() {
+        // world == 1: every estimate is 1.0, so nothing beats uncompressed.
+        let stats = GradStats::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(select_grad_codec(&stats, 8e9, 1), GradCodecKind::Identity);
+    }
+}

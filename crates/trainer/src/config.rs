@@ -3,6 +3,7 @@
 use dlrm_adaptive::{CompressionPlan, DecaySchedule, EbSchedule, TrainingPhases};
 use dlrm_comm::NetworkConfig;
 use dlrm_compress::CompressorKind;
+use dlrm_grad::GradCodecKind;
 use serde::{Deserialize, Serialize};
 
 /// How (and whether) all-to-all payloads are compressed.
@@ -73,6 +74,84 @@ impl CompressionSetting {
     }
 }
 
+/// How (and whether) the dense MLP-gradient all-reduce (pipeline Stage 8)
+/// is compressed.
+///
+/// `Off` runs the classic uncompressed sum-all-reduce and is **bit-for-bit
+/// identical** to the pre-compression trainer. `Compressed` routes the
+/// gradients through [`dlrm_comm`]'s reduce-scatter + all-gather compressed
+/// collective with a [`GradCodecKind`] encoding every hop; with
+/// `error_feedback` the per-rank residual accumulator re-injects whatever
+/// the codec lost (required for top-k, recommended for every lossy codec).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum DenseCompression {
+    /// Uncompressed fp32 all-reduce — today's path, bit for bit.
+    #[default]
+    Off,
+    /// Compressed all-reduce hops.
+    Compressed {
+        /// Codec applied to every shard on the wire.
+        codec: GradCodecKind,
+        /// Maintain an error-feedback residual accumulator.
+        error_feedback: bool,
+    },
+}
+
+impl DenseCompression {
+    /// FP16-cast hops without error feedback (the naive low-precision arm).
+    pub fn fp16() -> Self {
+        DenseCompression::Compressed {
+            codec: GradCodecKind::Fp16,
+            error_feedback: false,
+        }
+    }
+
+    /// FP16-cast hops with error feedback — the recommended cheap setting.
+    pub fn fp16_ef() -> Self {
+        DenseCompression::Compressed {
+            codec: GradCodecKind::Fp16,
+            error_feedback: true,
+        }
+    }
+
+    /// Magnitude top-k sparsification with error feedback (EF is what makes
+    /// sparsification converge).
+    pub fn top_k_ef(fraction: f32) -> Self {
+        DenseCompression::Compressed {
+            codec: GradCodecKind::TopK { fraction },
+            error_feedback: true,
+        }
+    }
+
+    /// The lossless identity codec through the compressed collective —
+    /// diagnostics arm proving the schedule itself is exact.
+    pub fn identity() -> Self {
+        DenseCompression::Compressed {
+            codec: GradCodecKind::Identity,
+            error_feedback: false,
+        }
+    }
+
+    /// True if Stage 8 runs the compressed collective.
+    pub fn is_compressed(&self) -> bool {
+        !matches!(self, DenseCompression::Off)
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            DenseCompression::Off => "dense-fp32".to_string(),
+            DenseCompression::Compressed {
+                codec,
+                error_feedback,
+            } => {
+                let ef = if *error_feedback { "+ef" } else { "" };
+                format!("dense-{}{}", codec.label(), ef)
+            }
+        }
+    }
+}
+
 /// Whether the two all-to-all stages run the double-buffered
 /// compress/communicate pipeline (the paper's Figure 3 streaming design) or
 /// the plain sequential schedule.
@@ -125,6 +204,10 @@ pub struct TrainerConfig {
     /// (defaults to [`OverlapSetting::Off`], the sequential schedule).
     #[serde(default)]
     pub overlap: OverlapSetting,
+    /// Compression of the dense MLP-gradient all-reduce (defaults to
+    /// [`DenseCompression::Off`], the bit-exact uncompressed path).
+    #[serde(default)]
+    pub dense_compression: DenseCompression,
     /// Simulated interconnect.
     pub network: NetworkConfig,
     /// Seed for data generation and model initialisation.
@@ -158,6 +241,7 @@ impl TrainerConfig {
             learning_rate: 0.2,
             compression,
             overlap: OverlapSetting::Off,
+            dense_compression: DenseCompression::Off,
             network: NetworkConfig::default(),
             seed: 20_240_614,
             device_throughput: None,
@@ -169,6 +253,13 @@ impl TrainerConfig {
     /// convenience for the on/off test matrix and experiments).
     pub fn with_overlap(mut self, overlap: OverlapSetting) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// The same configuration with the given dense-gradient compression
+    /// (builder-style convenience for the dense test matrix and experiments).
+    pub fn with_dense_compression(mut self, dense: DenseCompression) -> Self {
+        self.dense_compression = dense;
         self
     }
 
@@ -196,6 +287,19 @@ impl TrainerConfig {
         }
         if !(self.compute_time_scale > 0.0 && self.compute_time_scale.is_finite()) {
             return Err("compute_time_scale must be positive".into());
+        }
+        if let DenseCompression::Compressed { codec, .. } = &self.dense_compression {
+            match codec {
+                GradCodecKind::TopK { fraction } if !(*fraction > 0.0 && *fraction <= 1.0) => {
+                    return Err("top-k fraction must be in (0, 1]".into());
+                }
+                GradCodecKind::ErrorBounded { error_bound, .. }
+                    if !(*error_bound > 0.0 && error_bound.is_finite()) =>
+                {
+                    return Err("dense error bound must be positive".into());
+                }
+                _ => {}
+            }
         }
         Ok(())
     }
@@ -245,6 +349,41 @@ mod tests {
             .with_overlap(OverlapSetting::DoubleBuffered);
         assert!(cfg.overlap.is_enabled());
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn dense_compression_defaults_off_validates_and_labels() {
+        assert_eq!(DenseCompression::default(), DenseCompression::Off);
+        assert!(!DenseCompression::Off.is_compressed());
+        let labels: Vec<String> = [
+            DenseCompression::Off,
+            DenseCompression::fp16(),
+            DenseCompression::fp16_ef(),
+            DenseCompression::top_k_ef(0.1),
+            DenseCompression::identity(),
+        ]
+        .iter()
+        .map(DenseCompression::label)
+        .collect();
+        let unique: std::collections::HashSet<&String> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+
+        let good = TrainerConfig::small_test(CompressionSetting::None)
+            .with_dense_compression(DenseCompression::top_k_ef(0.25));
+        assert!(good.validate().is_ok());
+        let bad = TrainerConfig::small_test(CompressionSetting::None)
+            .with_dense_compression(DenseCompression::top_k_ef(0.0));
+        assert!(bad.validate().is_err());
+        let bad_eb = TrainerConfig::small_test(CompressionSetting::None).with_dense_compression(
+            DenseCompression::Compressed {
+                codec: dlrm_grad::GradCodecKind::ErrorBounded {
+                    compressor: CompressorKind::SzLike,
+                    error_bound: -1.0,
+                },
+                error_feedback: true,
+            },
+        );
+        assert!(bad_eb.validate().is_err());
     }
 
     #[test]

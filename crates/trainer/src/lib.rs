@@ -47,6 +47,28 @@
 //! Overlap never changes numerics — the same bytes are compressed, moved
 //! and decompressed, and the zero-allocation steady state of the pooled
 //! buffers survives (chunk leases recycle through the same per-rank pools).
+//!
+//! ## The compressed dense path (Stage 8)
+//!
+//! The MLP-gradient all-reduce has its own compression knob,
+//! [`config::DenseCompression`], independent of the embedding all-to-all's
+//! [`config::CompressionSetting`]:
+//!
+//! * `Off` (default) — the classic uncompressed sum-all-reduce,
+//!   **bit-for-bit** today's numerics;
+//! * `Compressed { codec, error_feedback }` — gradients ride
+//!   [`dlrm_comm`]'s reduce-scatter + all-gather compressed collective with
+//!   a `dlrm-grad` codec (fp16/fp8 casts, an error-bounded compressor, or
+//!   magnitude top-k) encoding every hop. With `error_feedback`, a per-rank
+//!   residual accumulator (threaded through the reused per-rank state, so
+//!   the zero-allocation steady state holds) re-injects whatever the codec
+//!   lost, which keeps convergence within tolerance of uncompressed.
+//!
+//! The report surfaces the dense wire ratio
+//! ([`run::TrainingReport::dense_ratio`]), the virtual seconds saved vs the
+//! raw ring-formula charge
+//! ([`run::TrainingReport::dense_saved_seconds`]) and the final residual
+//! norm ([`run::TrainingReport::dense_residual_norm`]).
 
 pub mod config;
 pub mod partition;
@@ -54,6 +76,6 @@ pub mod pipeline;
 pub mod plan;
 pub mod run;
 
-pub use config::{CompressionSetting, OverlapSetting, TrainerConfig};
+pub use config::{CompressionSetting, DenseCompression, OverlapSetting, TrainerConfig};
 pub use partition::TablePartition;
 pub use run::{run_training, TableCompressionStats, TrainingReport};

@@ -6,15 +6,17 @@
 //! rank, and then perform exactly the stages of the paper's Figure 3
 //! pipeline, with compression spliced around both all-to-alls.
 
-use crate::config::{CompressionSetting, OverlapSetting, TrainerConfig};
+use crate::config::{CompressionSetting, DenseCompression, OverlapSetting, TrainerConfig};
 use crate::partition::TablePartition;
 use dlrm_adaptive::EbSchedule;
 use dlrm_comm::cluster::{RankCtx, CHUNK_HEADER_BYTES, METADATA_RECORD_BYTES};
 use dlrm_comm::pool::{PoolStats, PooledBuf};
+use dlrm_comm::reduce::{shard_range, ReduceCodec, ReduceScratch};
 use dlrm_comm::{CostModel, OverlapTimeline, TimingLedger};
 use dlrm_compress::lowprec::{self, Precision};
 use dlrm_compress::{CompressScratch, Compressor};
 use dlrm_data::{DatasetConfig, SyntheticCriteo};
+use dlrm_grad::GradCompressor;
 use dlrm_model::{Dlrm, DlrmConfig, EvalMetrics};
 use dlrm_tensor::Matrix;
 use std::time::Instant;
@@ -249,6 +251,15 @@ pub struct RankOutcome {
     /// *after* [`WARMUP_ITERATIONS`] — zero when the pool, the compress
     /// scratch and the float recycler are fully reused in the steady state.
     pub steady_state_allocated_bytes: u64,
+    /// `(raw bytes, wire bytes)` this rank's dense-gradient all-reduce would
+    /// have moved uncompressed vs actually moved, summed over iterations
+    /// (equal when dense compression is off).
+    pub dense_traffic: (u64, u64),
+    /// Virtual seconds the compressed dense all-reduce saved vs charging
+    /// the raw ring formula, summed over iterations (0 when off).
+    pub dense_saved_seconds: f64,
+    /// Final L2 norm of the error-feedback residual (0 without EF).
+    pub dense_residual_norm: f64,
 }
 
 /// Per-rank reusable state threaded through every pipeline stage so the
@@ -266,6 +277,8 @@ pub struct PipelineScratch {
     pub meta: Vec<(usize, u32)>,
     /// Flattened MLP gradient buffer for the all-reduce.
     pub flat_grads: Vec<f32>,
+    /// Staging buffers of the compressed dense all-reduce.
+    pub dense_reduce: ReduceScratch,
     /// Recycled float storage for lookup/gradient matrices.
     float_pool: Vec<Vec<f32>>,
     /// Bytes of float storage freshly allocated by `take_floats`.
@@ -295,6 +308,7 @@ impl PipelineScratch {
             recv: Vec::with_capacity(world),
             meta: Vec::with_capacity(world),
             flat_grads: Vec::new(),
+            dense_reduce: ReduceScratch::new(),
             float_pool: Vec::new(),
             float_allocated: 0,
             float_reused: 0,
@@ -580,6 +594,21 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
 
     let resolved = ResolvedCompression::from_setting(&trainer.compression, num_tables);
     let overlapped = matches!(trainer.overlap, OverlapSetting::DoubleBuffered);
+    // Dense-gradient (Stage 8) compression state: codec + error-feedback
+    // residual + scratch, all per-rank and reused every iteration.
+    let mut dense: Option<GradCompressor> = match &trainer.dense_compression {
+        DenseCompression::Off => None,
+        DenseCompression::Compressed {
+            codec,
+            error_feedback,
+        } => Some(GradCompressor::new(codec, *error_feedback)),
+    };
+    let mut dense_traffic = (0u64, 0u64);
+    let mut dense_saved_seconds = 0.0f64;
+    // Capacity mark of the dense state (codec scratch + residual +
+    // reduce staging), so its warm-up growth is charged to the ALLREDUCE
+    // phase and steady-state growth would break the zero-allocation test.
+    let mut dense_capacity_mark = 0u64;
     let owned = partition.tables_of(rank).to_vec();
     // Block counts of the backward chunks: how many tables each rank owns.
     let tables_of_owner: Vec<u32> = (0..world)
@@ -1180,14 +1209,68 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
 
         // ── Stage 8: all-reduce MLP gradients and update the replicas.
         model.flatten_mlp_grads_into(&grads, &mut scratch.flat_grads);
-        let ar_stats = ctx.all_reduce_sum(&mut scratch.flat_grads);
-        let ar_time = cost.allreduce_time(scratch.flat_grads.len() * 4, world);
-        ledger.add_time(phases::ALLREDUCE, ar_time);
-        ledger.add_bytes(
+        let raw_time = cost.allreduce_time(scratch.flat_grads.len() * 4, world);
+        let dense_extra_alloc = match dense.as_mut() {
+            None => {
+                let ar_stats = ctx.all_reduce_sum(&mut scratch.flat_grads);
+                ledger.add_time(phases::ALLREDUCE, raw_time);
+                ledger.add_bytes(
+                    phases::ALLREDUCE,
+                    (ar_stats.sent + ar_stats.received) as u64,
+                );
+                0
+            }
+            Some(state) => {
+                // Error feedback: re-inject what compression lost so far,
+                // then let the compressed reduce-scatter + all-gather
+                // rebuild the residual from the bytes it actually sends.
+                state.compensate(&mut scratch.flat_grads);
+                let stats = ctx.all_reduce_compressed(
+                    &mut scratch.flat_grads,
+                    state,
+                    &mut scratch.dense_reduce,
+                );
+                let mut ar_time =
+                    cost.allreduce_wire_time(stats.wire.sent, stats.wire.received, world);
+                // Codec time: charged analytically under a device-throughput
+                // override (the same convention the a2a codecs use for the
+                // breakdown experiments); without one the codec is treated
+                // as hidden behind the reduction arithmetic. The charge
+                // follows the work actually performed — every element is
+                // *encoded* exactly once per rank (the peer shards in the
+                // reduce-scatter plus the reduced own shard once, however
+                // many peers its copy then fans out to), and decodes cover
+                // the received contributions plus the own-shard round-trip —
+                // matching `estimate_allreduce_speedup`'s V/Tc + ~2V/Td
+                // model so selection and charging agree.
+                if let Some((tc, td)) = trainer.device_throughput {
+                    let encoded = (scratch.flat_grads.len() * 4) as f64;
+                    let own_shard = shard_range(scratch.flat_grads.len(), world, rank).len() * 4;
+                    let decoded = (stats.raw.received + own_shard) as f64;
+                    ar_time += encoded / tc + decoded / td;
+                }
+                dense_saved_seconds += (raw_time - ar_time).max(0.0);
+                dense_traffic.0 += (stats.raw.sent + stats.raw.received) as u64;
+                dense_traffic.1 += (stats.wire.sent + stats.wire.received) as u64;
+                ledger.add_time(phases::ALLREDUCE, ar_time);
+                ledger.add_bytes(
+                    phases::ALLREDUCE,
+                    (stats.wire.sent + stats.wire.received) as u64,
+                );
+                let capacity = state.capacity_bytes() + scratch.dense_reduce.capacity_bytes();
+                let grew = capacity.saturating_sub(dense_capacity_mark);
+                dense_capacity_mark = capacity;
+                grew
+            }
+        };
+        let a = note_alloc(
+            &mut ledger,
             phases::ALLREDUCE,
-            (ar_stats.sent + ar_stats.received) as u64,
+            ctx,
+            &scratch,
+            &mut marks,
+            dense_extra_alloc,
         );
-        let a = note_alloc(&mut ledger, phases::ALLREDUCE, ctx, &scratch, &mut marks, 0);
         steady_allocated += if counting { a } else { 0 };
         let t0 = Instant::now();
         let scale = 1.0 / world as f32;
@@ -1222,18 +1305,38 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             // parked here exceed the worst-case in-flight amount (bounded by
             // one iteration's takes), so no racing take can ever land on an
             // undersized buffer and grow it.
+            // Spares must cover the worst-case *request* of the compress
+            // stages (their takes ask for the codec worst case, not the
+            // learned filled size), and the all-reduce's shard leases: raw
+            // f32 shards when dense compression is off, else the dense
+            // codec's worst case for the largest shard. Shard and payload
+            // sizes can sit close together (unlike the old full-vector
+            // all-reduce), so best-fit could let one class steal the
+            // other's spares and leave a later take to grow a too-small
+            // buffer — the large spares are therefore parked at one unified
+            // capacity serving both classes.
+            let max_shard_batch = trainer.global_batch.div_ceil(world);
+            let max_tables = tables_of_owner.iter().copied().max().unwrap_or(0) as usize;
+            let block_worst = max_shard_batch * dim * 12 + 708;
             let payload_cap = scratch
                 .chunk_capacity_hint
                 .iter()
                 .chain(scratch.bwd_chunk_capacity_hint.iter())
                 .copied()
                 .max()
-                .unwrap_or(64);
-            let flat_cap = (scratch.flat_grads.len() * 4).max(64);
-            let mut spares: Vec<PooledBuf> = Vec::with_capacity(6 * world);
-            spares.extend((0..3 * world).map(|_| ctx.take_buf(payload_cap)));
+                .unwrap_or(64)
+                .max(CHUNK_HEADER_BYTES + 4 + owned.len().max(max_tables) * block_worst);
+            let largest_shard = shard_range(scratch.flat_grads.len(), world, 0).len();
+            let dense_cap = dense
+                .as_ref()
+                .map_or(0, |s| s.max_encoded_bytes(largest_shard));
+            let big_cap = payload_cap.max((largest_shard * 4).max(64).max(dense_cap));
+            let mut spares: Vec<PooledBuf> = Vec::with_capacity(9 * world);
+            // 3·world for the two a2a compress stages plus in-flight chunks,
+            // 4·world for the two shard-lease waves per all-reduce
+            // (reduce-scatter, then all-gather) with peers holding a wave.
+            spares.extend((0..7 * world).map(|_| ctx.take_buf(big_cap)));
             spares.extend((0..2 * world).map(|_| ctx.take_buf(64)));
-            spares.extend((0..world).map(|_| ctx.take_buf(flat_cap)));
             drop(spares);
             // Parking is warm-up work; exclude it from the steady counters.
             marks.pool = ctx.pool().stats();
@@ -1247,6 +1350,9 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         fwd_traffic,
         pool_stats: ctx.pool().stats(),
         steady_state_allocated_bytes: steady_allocated,
+        dense_traffic,
+        dense_saved_seconds,
+        dense_residual_norm: dense.as_ref().map_or(0.0, GradCompressor::residual_norm),
     }
 }
 

@@ -69,6 +69,23 @@ pub struct TrainingReport {
     /// over both all-to-all phases. Zero for sequential runs.
     #[serde(default)]
     pub overlap_saved_seconds: f64,
+    /// Label of the dense-gradient (Stage 8) compression setting.
+    #[serde(default)]
+    pub dense_compression: String,
+    /// Wire compression ratio of the dense all-reduce: raw bytes the
+    /// schedule would have moved over bytes it actually moved, summed over
+    /// ranks and iterations (1.0 when off).
+    #[serde(default)]
+    pub dense_ratio: f64,
+    /// Virtual seconds the compressed dense all-reduce saved vs the raw
+    /// ring-formula charge, max-merged across ranks (the slowest rank bounds
+    /// the bulk-synchronous step). Zero when off.
+    #[serde(default)]
+    pub dense_saved_seconds: f64,
+    /// Largest final error-feedback residual L2 norm across ranks (0
+    /// without EF) — bounded residuals are the EF convergence invariant.
+    #[serde(default)]
+    pub dense_residual_norm: f64,
     /// Bytes of fresh buffer capacity the compress/send path allocated after
     /// the warm-up iterations, summed across ranks. Zero when the buffer
     /// pool, compression scratch and float recycler are fully reused.
@@ -167,6 +184,21 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
         .iter()
         .map(|o| o.steady_state_allocated_bytes)
         .sum();
+    let dense_raw: u64 = outcomes.iter().map(|o| o.dense_traffic.0).sum();
+    let dense_wire: u64 = outcomes.iter().map(|o| o.dense_traffic.1).sum();
+    let dense_ratio = if dense_wire == 0 {
+        1.0
+    } else {
+        dense_raw as f64 / dense_wire as f64
+    };
+    let dense_saved_seconds = outcomes
+        .iter()
+        .map(|o| o.dense_saved_seconds)
+        .fold(0.0, f64::max);
+    let dense_residual_norm = outcomes
+        .iter()
+        .map(|o| o.dense_residual_norm)
+        .fold(0.0, f64::max);
     let buffer_reused_bytes: u64 = outcomes.iter().map(|o| o.ledger.total_reused_bytes()).sum();
 
     let total_orig: u64 = per_table.iter().map(|t| t.original_bytes).sum();
@@ -190,6 +222,10 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
         overall_ratio,
         total_seconds,
         overlap_saved_seconds,
+        dense_compression: setup.trainer.dense_compression.label(),
+        dense_ratio,
+        dense_saved_seconds,
+        dense_residual_norm,
         steady_state_allocated_bytes,
         buffer_reused_bytes,
     }

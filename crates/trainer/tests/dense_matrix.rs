@@ -1,0 +1,301 @@
+//! Trainer-wide test matrix of the compressed dense-gradient all-reduce:
+//! every `DenseCompression` setting × overlap on/off trains end to end with
+//! finite reports, `Off` is bit-for-bit the pre-compression path (pinned via
+//! the lossless identity codec, which the comm-level tests pin to the
+//! full-replication reference), fp16 with error feedback converges within
+//! tolerance of uncompressed while its residual stays bounded, and the
+//! zero-allocation steady state survives with dense compression enabled.
+
+use dlrm_compress::CompressorKind;
+use dlrm_data::presets;
+use dlrm_grad::GradCodecKind;
+use dlrm_trainer::{
+    run_training, CompressionSetting, DenseCompression, OverlapSetting, TrainerConfig,
+    TrainingReport,
+};
+
+/// Every dense-compression mode the pipeline supports.
+fn all_dense_settings() -> Vec<DenseCompression> {
+    vec![
+        DenseCompression::Off,
+        DenseCompression::identity(),
+        DenseCompression::fp16(),
+        DenseCompression::fp16_ef(),
+        DenseCompression::Compressed {
+            codec: GradCodecKind::Fp8,
+            error_feedback: true,
+        },
+        DenseCompression::Compressed {
+            codec: GradCodecKind::ErrorBounded {
+                compressor: CompressorKind::SzLike,
+                error_bound: 1e-4,
+            },
+            error_feedback: true,
+        },
+        DenseCompression::top_k_ef(0.25),
+    ]
+}
+
+fn tiny_config(dense: DenseCompression, iterations: usize) -> TrainerConfig {
+    let mut cfg = TrainerConfig::small_test(CompressionSetting::None);
+    cfg.iterations = iterations;
+    cfg.with_dense_compression(dense)
+}
+
+/// Bit-exact view of a report's numeric outcome (everything that must not
+/// depend on timing or thread scheduling).
+fn metric_bits(report: &TrainingReport) -> Vec<(u64, u64, u64, usize)> {
+    report
+        .accuracy_curve
+        .iter()
+        .map(|m| {
+            (
+                m.loss.to_bits(),
+                m.accuracy.to_bits(),
+                m.auc.to_bits(),
+                m.samples,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_dense_setting_trains_with_and_without_overlap() {
+    let dataset = presets::tiny();
+    let iterations = 60;
+    for dense in all_dense_settings() {
+        for overlap in [OverlapSetting::Off, OverlapSetting::DoubleBuffered] {
+            let cfg = tiny_config(dense.clone(), iterations).with_overlap(overlap);
+            let report = run_training(&dataset, &cfg);
+            let tag = format!("{} / {}", report.dense_compression, overlap.label());
+            assert_eq!(report.accuracy_curve.len(), iterations, "{tag}");
+            assert_eq!(report.dense_compression, dense.label(), "{tag}");
+            assert!(
+                report.final_metrics.loss < report.initial_metrics.loss,
+                "{tag}: loss did not decrease: {} -> {}",
+                report.initial_metrics.loss,
+                report.final_metrics.loss
+            );
+            assert!(report.final_metrics.loss.is_finite(), "{tag}");
+            assert!(report.final_metrics.accuracy.is_finite(), "{tag}");
+            assert!(report.final_metrics.auc.is_finite(), "{tag}");
+            assert!(report.total_seconds.is_finite(), "{tag}");
+            assert!(report.dense_ratio.is_finite(), "{tag}");
+            assert!(report.dense_saved_seconds.is_finite(), "{tag}");
+            assert!(report.dense_residual_norm.is_finite(), "{tag}");
+            for m in &report.accuracy_curve {
+                assert!(m.loss.is_finite() && m.auc.is_finite(), "{tag}");
+            }
+            match &dense {
+                DenseCompression::Off => {
+                    assert!((report.dense_ratio - 1.0).abs() < 1e-12, "{tag}");
+                    assert_eq!(report.dense_saved_seconds, 0.0, "{tag}");
+                    assert_eq!(report.dense_residual_norm, 0.0, "{tag}");
+                }
+                DenseCompression::Compressed { codec, .. } => {
+                    // Identity moves the same bytes; every lossy codec must
+                    // genuinely shrink the wire and save modelled time.
+                    if matches!(codec, GradCodecKind::Identity) {
+                        assert!((report.dense_ratio - 1.0).abs() < 0.01, "{tag}");
+                    } else {
+                        assert!(
+                            report.dense_ratio > 1.5,
+                            "{tag}: dense ratio {}",
+                            report.dense_ratio
+                        );
+                        assert!(
+                            report.dense_saved_seconds > 0.0,
+                            "{tag}: nothing saved on the dense wire"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_off_is_bit_for_bit_the_uncompressed_path() {
+    // `Off` runs the plain all-reduce whose rank-order summation is pinned
+    // to the pre-PR full-replication reference by the comm-level tests;
+    // routing the same gradients through the compressed collective with the
+    // lossless identity codec must not move a single bit — proving the
+    // reduce-scatter + all-gather schedule itself is exact, for both
+    // overlap modes.
+    let dataset = presets::tiny();
+    for overlap in [OverlapSetting::Off, OverlapSetting::DoubleBuffered] {
+        let off = run_training(
+            &dataset,
+            &tiny_config(DenseCompression::Off, 24).with_overlap(overlap),
+        );
+        let identity = run_training(
+            &dataset,
+            &tiny_config(DenseCompression::identity(), 24).with_overlap(overlap),
+        );
+        assert_eq!(
+            metric_bits(&off),
+            metric_bits(&identity),
+            "{}: identity-compressed dense path changed the numerics",
+            overlap.label()
+        );
+        // And two Off runs are reproducible bit for bit.
+        let off2 = run_training(
+            &dataset,
+            &tiny_config(DenseCompression::Off, 24).with_overlap(overlap),
+        );
+        assert_eq!(metric_bits(&off), metric_bits(&off2));
+    }
+}
+
+#[test]
+fn dense_compression_composes_with_embedding_compression() {
+    // Both knobs at once: lossy embedding all-to-all AND compressed dense
+    // all-reduce, overlapped — the full paper pipeline plus the new dense
+    // subsystem.
+    let dataset = presets::tiny();
+    let mut cfg =
+        TrainerConfig::small_test(CompressionSetting::fixed(0.02, CompressorKind::OursHybrid));
+    cfg.iterations = 60;
+    let cfg = cfg
+        .with_overlap(OverlapSetting::DoubleBuffered)
+        .with_dense_compression(DenseCompression::fp16_ef());
+    let report = run_training(&dataset, &cfg);
+    assert!(report.final_metrics.loss < report.initial_metrics.loss);
+    assert!(report.overall_ratio > 1.5);
+    assert!(report.dense_ratio > 1.5);
+    assert!(report.dense_residual_norm.is_finite());
+}
+
+#[test]
+fn fp16_with_error_feedback_matches_uncompressed_within_tolerance() {
+    let dataset = presets::tiny();
+    let iterations = 80;
+    let baseline = run_training(&dataset, &tiny_config(DenseCompression::Off, iterations));
+    let ef = run_training(
+        &dataset,
+        &tiny_config(DenseCompression::fp16_ef(), iterations),
+    );
+    // EF convergence: the compressed run must land within tolerance of the
+    // uncompressed run, both in loss and accuracy.
+    let loss_gap = (baseline.final_metrics.loss - ef.final_metrics.loss).abs();
+    assert!(
+        loss_gap < 0.05,
+        "fp16+EF final loss {} vs baseline {} (gap {loss_gap})",
+        ef.final_metrics.loss,
+        baseline.final_metrics.loss
+    );
+    let acc_gap = (baseline.final_metrics.accuracy - ef.final_metrics.accuracy).abs();
+    assert!(acc_gap < 0.08, "accuracy gap {acc_gap} too large");
+    // The residual is the fp16 rounding error of one gradient — bounded far
+    // below the gradient scale, and strictly positive (fp16 is lossy).
+    assert!(ef.dense_residual_norm > 0.0);
+    assert!(
+        ef.dense_residual_norm < 1.0,
+        "residual norm {} diverged",
+        ef.dense_residual_norm
+    );
+}
+
+#[test]
+fn top_k_needs_error_feedback_and_its_residual_stays_bounded() {
+    let dataset = presets::tiny();
+    let iterations = 80;
+    let ef = run_training(
+        &dataset,
+        &tiny_config(DenseCompression::top_k_ef(0.25), iterations),
+    );
+    // Top-k sends 25% of elements: EF must still learn.
+    assert!(
+        ef.final_metrics.loss < ef.initial_metrics.loss,
+        "top-k with EF failed to learn"
+    );
+    // The residual holds the unsent mass; bounded, not exploding.
+    assert!(ef.dense_residual_norm > 0.0);
+    assert!(
+        ef.dense_residual_norm < 10.0,
+        "top-k residual norm {} diverged",
+        ef.dense_residual_norm
+    );
+    // And the wire ratio reflects the sparsification (~2x at 25% kept,
+    // since each kept element costs index + value).
+    assert!(
+        ef.dense_ratio > 1.7,
+        "top-k dense ratio {} unexpectedly low",
+        ef.dense_ratio
+    );
+}
+
+#[test]
+fn analytic_codec_charge_counts_each_element_encoded_once() {
+    // Under a device-throughput override, the dense codec is charged
+    // analytically: every element is encoded exactly once per rank (the
+    // all-gather shard is encoded once, not once per peer), so the charge
+    // must match `flat_len / tc` plus the decode terms — not the wire
+    // volume. With a slow analytic compressor the charge dominates, so the
+    // total ALLREDUCE time pins the formula.
+    use dlrm_trainer::pipeline::phases;
+    let dataset = presets::tiny();
+    let mut base = tiny_config(DenseCompression::fp16_ef(), 4);
+    // Infinitely fast network + decompression, slow compression: the
+    // ALLREDUCE charge reduces to iterations · flat_bytes / tc.
+    base.network = dlrm_comm::NetworkConfig::infinite();
+    let tc = 1e6;
+    base.device_throughput = Some((tc, 1e15));
+    let with_codec = run_training(&dataset, &base);
+    let mut free = base.clone();
+    free.device_throughput = Some((1e15, 1e15));
+    let without_codec = run_training(&dataset, &free);
+    let charged = with_codec.breakdown.seconds(phases::ALLREDUCE)
+        - without_codec.breakdown.seconds(phases::ALLREDUCE);
+    // flat gradient bytes per iteration, recoverable from the raw traffic:
+    // the ledger's ALLREDUCE bytes are one rank's wire volume (max-merged),
+    // sent + received, i.e. 4·(P−1)/P · flat_bytes per iteration before
+    // compression.
+    let world = base.world as f64;
+    let iters = base.iterations as f64;
+    let raw_per_rank_per_iter =
+        with_codec.dense_ratio * with_codec.breakdown.bytes(phases::ALLREDUCE) as f64 / iters;
+    let flat_bytes = raw_per_rank_per_iter / (4.0 * (world - 1.0) / world);
+    let expected = iters * flat_bytes / tc;
+    let rel = (charged - expected).abs() / expected;
+    assert!(
+        rel < 0.05,
+        "analytic encode charge {charged} vs expected {expected} (rel {rel}): \
+         each element must be charged exactly one encode"
+    );
+}
+
+#[test]
+fn zero_allocation_steady_state_survives_dense_compression() {
+    // Acceptance: steady_state_allocated_bytes == 0 with dense compression
+    // enabled, across codecs and both overlap modes.
+    let dataset = presets::tiny();
+    for overlap in [OverlapSetting::Off, OverlapSetting::DoubleBuffered] {
+        for dense in [
+            DenseCompression::identity(),
+            DenseCompression::fp16_ef(),
+            DenseCompression::top_k_ef(0.25),
+            DenseCompression::Compressed {
+                codec: GradCodecKind::ErrorBounded {
+                    compressor: CompressorKind::SzLike,
+                    error_bound: 1e-4,
+                },
+                error_feedback: true,
+            },
+        ] {
+            let label = format!("{} / {}", dense.label(), overlap.label());
+            let mut cfg = tiny_config(dense, 12).with_overlap(overlap);
+            cfg.global_batch = 64;
+            let report = run_training(&dataset, &cfg);
+            assert_eq!(
+                report.steady_state_allocated_bytes, 0,
+                "{label}: steady state allocated {} bytes",
+                report.steady_state_allocated_bytes
+            );
+            assert!(
+                report.buffer_reused_bytes > 0,
+                "{label}: reuse counters never moved"
+            );
+        }
+    }
+}

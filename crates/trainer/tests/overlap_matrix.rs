@@ -144,6 +144,7 @@ fn timing_config(compression: CompressionSetting) -> TrainerConfig {
         learning_rate: 0.05,
         compression,
         overlap: OverlapSetting::Off,
+        dense_compression: Default::default(),
         network: NetworkConfig {
             alltoall_bandwidth: 5e7,
             allreduce_bandwidth: 8e9,

@@ -15,8 +15,10 @@
 //! * [`adaptive`] — homogenization index, table classification, error-bound
 //!   decay, compressor selection;
 //! * [`comm`] — the simulated multi-rank cluster and α–β network model;
+//! * [`grad`] — error-feedback compressed gradients for the dense
+//!   (MLP-gradient all-reduce) path;
 //! * [`trainer`] — the hybrid-parallel training pipeline with compressed
-//!   all-to-all.
+//!   all-to-all and compressed dense all-reduce.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use dlrm_adaptive as adaptive;
 pub use dlrm_comm as comm;
 pub use dlrm_compress as compress;
 pub use dlrm_data as data;
+pub use dlrm_grad as grad;
 pub use dlrm_model as model;
 pub use dlrm_tensor as tensor;
 pub use dlrm_trainer as trainer;
