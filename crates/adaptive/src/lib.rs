@@ -30,6 +30,7 @@ pub use classify::{EbClass, EbConfig, Thresholds};
 pub use decay::{DecaySchedule, EbSchedule, TrainingPhases};
 pub use homo::{homogenization_index, pattern_counts, HomoReport};
 pub use speedup::{
-    estimate_allreduce_speedup, estimate_speedup, select_allreduce_compressor, select_compressor,
-    SpeedupInputs,
+    estimate_allreduce_speedup, estimate_hierarchical_speedup, estimate_speedup,
+    select_allreduce_compressor, select_compressor, select_compressor_per_tier, SpeedupInputs,
+    TierSelection,
 };

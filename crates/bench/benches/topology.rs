@@ -1,0 +1,72 @@
+//! Micro-benchmark of the hierarchical two-level all-to-all against the flat
+//! pooled collective: the host-time cost of leader aggregation (gather,
+//! bundle copy, scatter) for the same delivered payloads, across cluster
+//! shapes at a fixed world size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_comm::{NetworkConfig, PooledBuf, RankCtx, SimCluster, Topology};
+
+const WORLD: usize = 8;
+const CHUNK_BYTES: usize = 16 * 1024;
+
+fn fill(ctx: &RankCtx, send: &mut Vec<PooledBuf>) {
+    for dst in 0..WORLD {
+        let mut b = ctx.take_buf(CHUNK_BYTES);
+        b.extend(std::iter::repeat_n(
+            (ctx.rank() as u8) ^ (dst as u8),
+            CHUNK_BYTES,
+        ));
+        send.push(b);
+    }
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_alltoall");
+    group.throughput(Throughput::Bytes((CHUNK_BYTES * WORLD * WORLD) as u64));
+
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            let cluster = SimCluster::new(WORLD, NetworkConfig::infinite());
+            cluster.run(move |ctx| {
+                let mut send = Vec::new();
+                let mut recv = Vec::new();
+                fill(&ctx, &mut send);
+                ctx.all_to_all_pooled(&mut send, &mut recv);
+                recv.len()
+            })
+        })
+    });
+
+    for &rpn in &[2usize, 4, 8] {
+        let topo = Topology::new(
+            WORLD / rpn,
+            rpn,
+            NetworkConfig::infinite(),
+            NetworkConfig::infinite(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hier", format!("{}x{rpn}", WORLD / rpn)),
+            &topo,
+            |b, &topo| {
+                b.iter(|| {
+                    let cluster = SimCluster::new(WORLD, NetworkConfig::infinite());
+                    cluster.run(move |ctx| {
+                        let mut send = Vec::new();
+                        let mut recv = Vec::new();
+                        fill(&ctx, &mut send);
+                        ctx.all_to_all_hier_pooled(&topo, &mut send, &mut recv);
+                        recv.len()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_topology
+}
+criterion_main!(benches);

@@ -9,6 +9,7 @@ pub mod decay;
 pub mod dense;
 pub mod meta;
 pub mod overlap;
+pub mod topology;
 
 use crate::workloads::Scale;
 
@@ -142,6 +143,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "dense1",
             title: "Dense path: fp32 vs fp16 vs error-feedback compressed gradient all-reduce",
             run: dense::dense1,
+        },
+        Experiment {
+            id: "topo1",
+            title: "Node-aware topology sweep: modeled time vs ranks per node at fixed world",
+            run: topology::topo1,
         },
         Experiment {
             id: "abl2",

@@ -3,10 +3,12 @@
 //! the paper's evaluation assumes.
 
 use dlrm_adaptive::{EbConfig, EbSchedule, Thresholds, TrainingPhases};
-use dlrm_comm::NetworkConfig;
+use dlrm_comm::{NetworkConfig, Topology};
 use dlrm_compress::CompressorKind;
 use dlrm_data::{presets, DatasetConfig, EmbeddingTrafficGenerator};
-use dlrm_trainer::{plan, CompressionSetting, DenseCompression, OverlapSetting, TrainerConfig};
+use dlrm_trainer::{
+    plan, CompressionSetting, DenseCompression, OverlapSetting, TopologySetting, TrainerConfig,
+};
 
 /// The all-to-all bandwidth the paper's Figure 11 speedup analysis assumes.
 pub const PAPER_BANDWIDTH: f64 = 4e9;
@@ -79,6 +81,7 @@ pub fn accuracy_trainer(
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
         network: NetworkConfig::default(),
+        topology: Default::default(),
         seed: 20_240_614,
         device_throughput: None,
         compute_time_scale: 1.0,
@@ -117,11 +120,8 @@ pub fn breakdown_trainer(
         compression,
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
-        network: NetworkConfig {
-            alltoall_bandwidth: PAPER_BANDWIDTH,
-            allreduce_bandwidth: 8e9,
-            latency: 5e-6,
-        },
+        network: NetworkConfig::paper_figure11(),
+        topology: Default::default(),
         seed: 20_240_614,
         device_throughput,
         compute_time_scale: BREAKDOWN_COMPUTE_SCALE,
@@ -145,11 +145,8 @@ pub fn overlap_trainer(compression: CompressionSetting, scale: Scale) -> Trainer
         compression,
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
-        network: NetworkConfig {
-            alltoall_bandwidth: 5e7,
-            allreduce_bandwidth: 8e9,
-            latency: 5e-6,
-        },
+        network: NetworkConfig::alltoall_bound(5e7),
+        topology: Default::default(),
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
         compute_time_scale: 1.0 / 5000.0,
@@ -173,13 +170,67 @@ pub fn dense_trainer(dense: DenseCompression, scale: Scale) -> TrainerConfig {
         compression: CompressionSetting::None,
         overlap: OverlapSetting::Off,
         dense_compression: dense,
-        network: NetworkConfig {
-            alltoall_bandwidth: 8e9,
-            allreduce_bandwidth: 5e7,
-            latency: 5e-6,
-        },
+        network: NetworkConfig::allreduce_bound(5e7),
+        topology: Default::default(),
         seed: 20_240_614,
         device_throughput: None,
+        compute_time_scale: 1.0 / 5000.0,
+    }
+}
+
+/// World size of the `topo1` topology sweep (fixed while `ranks_per_node`
+/// varies).
+pub const TOPOLOGY_WORLD: usize = 8;
+
+/// The intra-node (NVLink-class) tier of the `topo1` sweep.
+pub fn topology_intra_link() -> NetworkConfig {
+    NetworkConfig::nvlink_intra_node()
+}
+
+/// The inter-node fabric of the `topo1` sweep: a slow, high-latency link —
+/// the regime where node awareness pays (and where the paper's compression
+/// matters most).
+pub fn topology_inter_link() -> NetworkConfig {
+    NetworkConfig {
+        alltoall_bandwidth: 5e7,
+        allreduce_bandwidth: 5e7,
+        latency: 20e-6,
+    }
+}
+
+/// The `topo1` cluster shape at a given `ranks_per_node` (must divide
+/// [`TOPOLOGY_WORLD`]).
+pub fn topology_shape(ranks_per_node: usize) -> Topology {
+    assert_eq!(TOPOLOGY_WORLD % ranks_per_node, 0, "shape must tile world");
+    Topology::new(
+        TOPOLOGY_WORLD / ranks_per_node,
+        ranks_per_node,
+        topology_intra_link(),
+        topology_inter_link(),
+    )
+}
+
+/// The trainer configuration the topology sweep (`topo1`) uses: fixed world
+/// over a two-tier cluster, analytic codec throughputs and measured compute
+/// scaled far down so the deterministic tiered wire time dominates — the
+/// sweep is about the cluster shape, not this CPU.
+pub fn topology_trainer(ranks_per_node: usize, scale: Scale) -> TrainerConfig {
+    let iterations = match scale {
+        Scale::Quick => 3,
+        Scale::Full => 6,
+    };
+    TrainerConfig {
+        world: TOPOLOGY_WORLD,
+        global_batch: TOPOLOGY_WORLD * 32,
+        iterations,
+        learning_rate: 0.05,
+        compression: fixed_lossy_setting(),
+        overlap: OverlapSetting::Off,
+        dense_compression: Default::default(),
+        network: topology_inter_link(),
+        topology: TopologySetting::Hierarchical(topology_shape(ranks_per_node)),
+        seed: 20_240_614,
+        device_throughput: Some(PAPER_HYBRID_THROUGHPUT),
         compute_time_scale: 1.0 / 5000.0,
     }
 }

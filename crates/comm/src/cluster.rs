@@ -19,7 +19,10 @@
 
 use crate::cost::{CostModel, NetworkConfig};
 use crate::pool::{BufferPool, PooledBuf};
-use crate::reduce::{shard_range, RawF32Codec, ReduceCodec, ReduceScratch, ReduceStats};
+use crate::reduce::{
+    shard_range, RawF32Codec, ReduceCodec, ReduceScratch, ReduceStats, TieredReduceStats,
+};
+use crate::topology::{HierExchangeBytes, Topology};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cell::RefCell;
 use std::sync::{Arc, Barrier};
@@ -36,6 +39,12 @@ pub const METADATA_RECORD_BYTES: usize = 16;
 /// phase, as a streaming pipeline must (the sizes are only known chunk by
 /// chunk).
 pub const CHUNK_HEADER_BYTES: usize = 16;
+
+/// Bytes of the `[src u32][dst u32][len u32]` frame prefixed to every chunk
+/// carried inside a hierarchical-all-to-all bundle (bundles additionally
+/// carry a 4-byte entry count), so relaying leaders can split aggregated
+/// node-pair payloads back into per-rank chunks.
+pub const HIER_ENTRY_HEADER_BYTES: usize = 12;
 
 /// A simulated cluster of `world` ranks.
 #[derive(Debug, Clone, Copy)]
@@ -151,6 +160,11 @@ struct CollectiveScratch {
     /// Float/byte staging of [`RankCtx::all_reduce_sum`]'s reduce-scatter +
     /// all-gather schedule.
     reduce: ReduceScratch,
+    /// Per-source assembly slots of the hierarchical all-to-all.
+    slots: Vec<Option<PooledBuf>>,
+    /// Reusable length staging of the hierarchical all-to-all (chunk sizes,
+    /// then per-member scatter-bundle sizes).
+    lens: Vec<usize>,
 }
 
 /// Per-rank handle to the simulated cluster.
@@ -434,6 +448,259 @@ impl RankCtx {
         exchange.finish()
     }
 
+    /// Two-level hierarchical all-to-all over a node-aware [`Topology`]:
+    /// same-node chunks move directly over the intra tier, inter-node-bound
+    /// chunks are **gathered onto the node's leader**, exchanged between
+    /// leaders as one aggregated bundle per node pair, and **scattered** to
+    /// their destination ranks — the message pattern of a real two-level
+    /// NCCL/MPI all-to-all, where only leaders touch the fabric.
+    ///
+    /// Drains `send` (entry `d` to rank `d`) and refills `recv` so entry `s`
+    /// holds exactly the bytes rank `s` sent — **bit-identical** to
+    /// [`RankCtx::all_to_all_pooled`] (property-tested); only the route, the
+    /// per-tier wire volume and therefore the modeled time change. Chunks
+    /// inside bundles are framed with [`HIER_ENTRY_HEADER_BYTES`] headers so
+    /// leaders can relay payloads they cannot interpret (e.g. compressed
+    /// blocks) verbatim.
+    ///
+    /// Returns per-phase byte accounting ([`HierExchangeBytes`]): gather and
+    /// scatter ride the intra tier, the leader exchange the fabric — the
+    /// inputs of [`crate::topology::TieredCostModel::hier_alltoall_time`].
+    /// All bundles and delivered chunks ride pool leases sized exactly, so a
+    /// steady-state caller (with warmed spares parked) allocates nothing.
+    ///
+    /// Degenerate shapes hold: `nodes == 1` performs only direct intra sends
+    /// (no bundling), `ranks_per_node == 1` makes every rank a leader (no
+    /// gather/scatter).
+    ///
+    /// # Panics
+    /// Panics if `topo.world() != world` or `send.len() != world`.
+    // Rank ids index channels AND assembly slots together; range loops over
+    // rank ranges read better than enumerate/skip/take chains here.
+    #[allow(clippy::needless_range_loop)]
+    pub fn all_to_all_hier_pooled(
+        &self,
+        topo: &Topology,
+        send: &mut Vec<PooledBuf>,
+        recv: &mut Vec<PooledBuf>,
+    ) -> HierExchangeBytes {
+        assert_eq!(
+            topo.world(),
+            self.world,
+            "topology does not match the cluster's world"
+        );
+        assert_eq!(
+            send.len(),
+            self.world,
+            "all_to_all needs exactly one chunk per rank"
+        );
+        let world = self.world;
+        let rank = self.rank;
+        let rpn = topo.ranks_per_node();
+        let nodes = topo.nodes();
+        let my_node = topo.node_of(rank);
+        let node_first = my_node * rpn;
+        let leader = topo.leader_of(rank);
+        let am_leader = rank == leader;
+        let mut bytes = HierExchangeBytes::default();
+
+        let mut scratch = self.scratch.borrow_mut();
+        let mut slots = std::mem::take(&mut scratch.slots);
+        let mut bufs_a = std::mem::take(&mut scratch.bufs_a);
+        let mut bufs_b = std::mem::take(&mut scratch.bufs_b);
+        let mut lens = std::mem::take(&mut scratch.lens);
+        drop(scratch);
+        slots.clear();
+        slots.resize_with(world, || None);
+        bufs_a.clear();
+        bufs_b.clear();
+        lens.clear();
+        lens.extend(send.iter().map(|c| c.len()));
+
+        // ── Phase A sends, in destination order (so every channel's message
+        // sequence is the one the matching receive schedule below expects):
+        // the local chunk is kept, same-node chunks are posted directly,
+        // and inter-node chunks are bundled — members frame one bundle per
+        // remote node for their leader, the leader parks its own (bufs_b,
+        // ascending destination order) for the exchange bundles it builds.
+        {
+            let mut chunks = send.drain(..);
+            for dst_node in 0..nodes {
+                let first = dst_node * rpn;
+                if dst_node == my_node {
+                    for dst in first..first + rpn {
+                        let chunk = chunks.next().expect("one chunk per destination");
+                        if dst == rank {
+                            slots[dst] = Some(chunk);
+                        } else {
+                            bytes.gather.sent += chunk.len();
+                            self.senders[dst].send(chunk).expect("peer rank hung up");
+                        }
+                    }
+                } else if am_leader {
+                    bufs_b.extend(
+                        (first..first + rpn)
+                            .map(|_| chunks.next().expect("one chunk per destination")),
+                    );
+                } else {
+                    let total = 4
+                        + (first..first + rpn)
+                            .map(|d| HIER_ENTRY_HEADER_BYTES + lens[d])
+                            .sum::<usize>();
+                    let mut bundle = self.pool.take(total);
+                    bundle.extend_from_slice(&(rpn as u32).to_le_bytes());
+                    for dst in first..first + rpn {
+                        let chunk = chunks.next().expect("one chunk per destination");
+                        write_hier_entry(&mut bundle, rank, dst, &chunk);
+                    }
+                    bytes.gather.sent += bundle.len();
+                    self.senders[leader]
+                        .send(bundle)
+                        .expect("peer rank hung up");
+                }
+            }
+        }
+
+        if am_leader {
+            // ── Leader: walk nodes in the same ascending order every member
+            // used when sending, so FIFO channels line up — direct chunks at
+            // my node's slot, one member segment per remote node otherwise,
+            // aggregated (with this leader's own parked chunks) into one
+            // exchange bundle per node pair.
+            let mut remote_idx = 0usize; // run index into bufs_b
+            for dst_node in 0..nodes {
+                if dst_node == my_node {
+                    for src in node_first + 1..node_first + rpn {
+                        let chunk = self.receivers[src].recv().expect("peer rank hung up");
+                        bytes.gather.received += chunk.len();
+                        slots[src] = Some(chunk);
+                    }
+                    continue;
+                }
+                bufs_a.clear();
+                for src in node_first + 1..node_first + rpn {
+                    let seg = self.receivers[src].recv().expect("peer rank hung up");
+                    bytes.gather.received += seg.len();
+                    bufs_a.push(seg);
+                }
+                let own = &bufs_b[remote_idx * rpn..(remote_idx + 1) * rpn];
+                let own_len: usize = own.iter().map(|c| HIER_ENTRY_HEADER_BYTES + c.len()).sum();
+                let seg_len: usize = bufs_a.iter().map(|s| s.len() - 4).sum();
+                let mut bundle = self.pool.take(4 + own_len + seg_len);
+                bundle.extend_from_slice(&((rpn * rpn) as u32).to_le_bytes());
+                for (j, chunk) in own.iter().enumerate() {
+                    write_hier_entry(&mut bundle, rank, dst_node * rpn + j, chunk);
+                }
+                for seg in &bufs_a {
+                    let count = u32::from_le_bytes(seg[0..4].try_into().expect("4 bytes")) as usize;
+                    assert_eq!(count, rpn, "member segment with the wrong entry count");
+                    bundle.extend_from_slice(&seg[4..]);
+                }
+                bufs_a.clear(); // recycle member segments to their pools
+                bytes.exchange.sent += bundle.len();
+                self.senders[topo.leader_of_node(dst_node)]
+                    .send(bundle)
+                    .expect("peer rank hung up");
+                remote_idx += 1;
+            }
+            bufs_b.clear(); // own inter chunks were copied into bundles
+
+            // ── Phase B receive + phase C: collect every remote leader's
+            // bundle, size the per-member scatter bundles exactly (pass 1),
+            // then deliver (pass 2) — own chunks into slots, the rest framed
+            // onward to their destination rank. A single-node topology has
+            // neither phase.
+            if nodes > 1 {
+                for src_node in (0..nodes).filter(|&n| n != my_node) {
+                    let bundle = self.receivers[topo.leader_of_node(src_node)]
+                        .recv()
+                        .expect("peer rank hung up");
+                    bytes.exchange.received += bundle.len();
+                    bufs_a.push(bundle);
+                }
+                lens.clear();
+                lens.resize(rpn, 0);
+                for bundle in &bufs_a {
+                    for (_src, dst, payload) in hier_entries(bundle) {
+                        let dst = dst as usize;
+                        assert!(
+                            topo.node_of(dst) == my_node,
+                            "rank {rank}: bundle entry for foreign rank {dst}"
+                        );
+                        if dst != rank {
+                            lens[dst - node_first] += HIER_ENTRY_HEADER_BYTES + payload.len();
+                        }
+                    }
+                }
+                for local in 1..rpn {
+                    let mut b = self.pool.take(4 + lens[local]);
+                    b.extend_from_slice(&((world - rpn) as u32).to_le_bytes());
+                    bufs_b.push(b);
+                }
+                for bundle in &bufs_a {
+                    for (src, dst, payload) in hier_entries(bundle) {
+                        let (src, dst) = (src as usize, dst as usize);
+                        if dst == rank {
+                            let mut chunk = self.pool.take(payload.len());
+                            chunk.extend_from_slice(payload);
+                            slots[src] = Some(chunk);
+                        } else {
+                            write_hier_entry(&mut bufs_b[dst - node_first - 1], src, dst, payload);
+                        }
+                    }
+                }
+                bufs_a.clear(); // recycle the inbound bundles to their leaders
+                for (local, bundle) in (1..rpn).zip(bufs_b.drain(..)) {
+                    bytes.scatter.sent += bundle.len();
+                    self.senders[node_first + local]
+                        .send(bundle)
+                        .expect("peer rank hung up");
+                }
+            }
+        } else {
+            // ── Member: direct chunks from every same-node peer (each
+            // peer's first message on its channel), then the leader's
+            // scatter bundle (the leader's second message) carrying every
+            // inter-node chunk destined here.
+            for src in node_first..node_first + rpn {
+                if src == rank {
+                    continue;
+                }
+                let chunk = self.receivers[src].recv().expect("peer rank hung up");
+                bytes.gather.received += chunk.len();
+                slots[src] = Some(chunk);
+            }
+            if nodes > 1 {
+                let bundle = self.receivers[leader].recv().expect("peer rank hung up");
+                bytes.scatter.received += bundle.len();
+                let count = u32::from_le_bytes(bundle[0..4].try_into().expect("4 bytes")) as usize;
+                assert_eq!(count, world - rpn, "scatter bundle with wrong entry count");
+                for (src, dst, payload) in hier_entries(&bundle) {
+                    assert_eq!(dst as usize, rank, "misrouted scatter entry");
+                    let mut chunk = self.pool.take(payload.len());
+                    chunk.extend_from_slice(payload);
+                    slots[src as usize] = Some(chunk);
+                }
+            }
+        }
+
+        recv.clear();
+        recv.reserve(world);
+        for (s, slot) in slots.iter_mut().enumerate() {
+            recv.push(
+                slot.take()
+                    .unwrap_or_else(|| panic!("rank {rank}: no chunk received from {s}")),
+            );
+        }
+
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.slots = slots;
+        scratch.bufs_a = bufs_a;
+        scratch.bufs_b = bufs_b;
+        scratch.lens = lens;
+        bytes
+    }
+
     /// All-gather: every rank contributes one byte chunk and receives all
     /// chunks in rank order.
     pub fn all_gather_bytes(&self, chunk: Vec<u8>) -> (Vec<Vec<u8>>, ExchangeBytes) {
@@ -490,10 +757,45 @@ impl RankCtx {
         codec: &mut C,
         scratch: &mut ReduceScratch,
     ) -> ReduceStats {
+        self.all_reduce_impl(data, codec, scratch, None).stats
+    }
+
+    /// [`RankCtx::all_reduce_compressed`] with per-tier byte accounting over
+    /// a node-aware [`Topology`]: the schedule, the wire bytes and the
+    /// reduced values are **identical** (rank-order summation per element —
+    /// bit-for-bit the flat collective's result); the returned
+    /// [`TieredReduceStats`] additionally buckets each hop's wire bytes by
+    /// the tier the `(src, dst)` pair crosses, which is what
+    /// [`crate::topology::TieredCostModel::allreduce_tier_times`] charges.
+    pub fn all_reduce_compressed_tiered<C: ReduceCodec + ?Sized>(
+        &self,
+        data: &mut [f32],
+        codec: &mut C,
+        scratch: &mut ReduceScratch,
+        topo: &Topology,
+    ) -> TieredReduceStats {
+        assert_eq!(
+            topo.world(),
+            self.world,
+            "topology does not match the cluster's world"
+        );
+        self.all_reduce_impl(data, codec, scratch, Some(topo))
+    }
+
+    fn all_reduce_impl<C: ReduceCodec + ?Sized>(
+        &self,
+        data: &mut [f32],
+        codec: &mut C,
+        scratch: &mut ReduceScratch,
+        topo: Option<&Topology>,
+    ) -> TieredReduceStats {
         let world = self.world;
-        let mut stats = ReduceStats::default();
+        let mut out = TieredReduceStats::default();
+        // The tier a hop to/from `peer` crosses (`None` without a topology —
+        // wire bytes then land only in the untiered totals).
+        let tier_of = |peer: usize| topo.map(|t| t.tier_of(self.rank, peer));
         if world == 1 {
-            return stats;
+            return out;
         }
 
         // ── Reduce-scatter: encode each peer's shard and post it.
@@ -505,8 +807,8 @@ impl RankCtx {
             let shard = &data[range.clone()];
             let mut buf = self.pool.take(codec.max_encoded_bytes(shard.len()));
             codec.encode_into(range.start, shard, &mut buf);
-            stats.wire.sent += buf.len();
-            stats.raw.sent += shard.len() * 4;
+            out.record_sent(tier_of(dst), buf.len());
+            out.stats.raw.sent += shard.len() * 4;
             self.senders[dst].send(buf).expect("peer rank hung up");
         }
 
@@ -522,8 +824,8 @@ impl RankCtx {
                 }
             } else {
                 let chunk = self.receivers[src].recv().expect("peer rank hung up");
-                stats.wire.received += chunk.len();
-                stats.raw.received += own.len() * 4;
+                out.record_received(tier_of(src), chunk.len());
+                out.stats.raw.received += own.len() * 4;
                 scratch.decode.clear();
                 codec.decode_into(own.start, &chunk, &mut scratch.decode);
                 assert_eq!(
@@ -547,8 +849,8 @@ impl RankCtx {
             }
             let mut buf = self.pool.take(scratch.encoded.len());
             buf.extend_from_slice(&scratch.encoded);
-            stats.wire.sent += buf.len();
-            stats.raw.sent += own.len() * 4;
+            out.record_sent(tier_of(dst), buf.len());
+            out.stats.raw.sent += own.len() * 4;
             self.senders[dst].send(buf).expect("peer rank hung up");
         }
         // Round-trip the own shard through the codec so this rank holds the
@@ -562,9 +864,9 @@ impl RankCtx {
                 continue;
             }
             let chunk = self.receivers[src].recv().expect("peer rank hung up");
-            stats.wire.received += chunk.len();
+            out.record_received(tier_of(src), chunk.len());
             let range = shard_range(data.len(), world, src);
-            stats.raw.received += range.len() * 4;
+            out.stats.raw.received += range.len() * 4;
             scratch.decode.clear();
             codec.decode_into(range.start, &chunk, &mut scratch.decode);
             assert_eq!(
@@ -575,7 +877,7 @@ impl RankCtx {
             );
             data[range].copy_from_slice(&scratch.decode);
         }
-        stats
+        out
     }
 
     /// Broadcast a byte buffer from `root` to every rank.
@@ -600,6 +902,31 @@ impl RankCtx {
             (received.into_vec(), stats)
         }
     }
+}
+
+/// Append one `[src u32][dst u32][len u32][payload]` entry to a
+/// hierarchical-all-to-all bundle.
+fn write_hier_entry(bundle: &mut PooledBuf, src: usize, dst: usize, payload: &[u8]) {
+    bundle.extend_from_slice(&(src as u32).to_le_bytes());
+    bundle.extend_from_slice(&(dst as u32).to_le_bytes());
+    bundle.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bundle.extend_from_slice(payload);
+}
+
+/// Walk a hierarchical bundle's `[count u32]` + entry stream, yielding
+/// `(src, dst, payload)` with payloads borrowed from `bundle`.
+fn hier_entries(bundle: &[u8]) -> impl Iterator<Item = (u32, u32, &[u8])> {
+    let count = u32::from_le_bytes(bundle[0..4].try_into().expect("entry count")) as usize;
+    let mut pos = 4usize;
+    (0..count).map(move |_| {
+        let src = u32::from_le_bytes(bundle[pos..pos + 4].try_into().expect("src"));
+        let dst = u32::from_le_bytes(bundle[pos + 4..pos + 8].try_into().expect("dst"));
+        let len = u32::from_le_bytes(bundle[pos + 8..pos + 12].try_into().expect("len")) as usize;
+        pos += HIER_ENTRY_HEADER_BYTES;
+        let payload = &bundle[pos..pos + len];
+        pos += len;
+        (src, dst, payload)
+    })
 }
 
 /// Handle of an in-flight non-blocking chunked all-to-all.
@@ -1203,6 +1530,214 @@ mod tests {
                 ctx.all_reduce_compressed(&mut data, &mut crate::reduce::RawF32Codec, &mut scratch);
             assert_eq!(stats, crate::reduce::ReduceStats::default());
             assert!(data.iter().all(|&v| v == 3.5));
+        });
+    }
+
+    fn hier_topo(nodes: usize, rpn: usize) -> Topology {
+        Topology::new(
+            nodes,
+            rpn,
+            NetworkConfig::infinite(),
+            NetworkConfig::infinite(),
+        )
+    }
+
+    /// Deterministic test chunk for the (src, dst) pair.
+    fn hier_chunk(src: usize, dst: usize) -> Vec<u8> {
+        let len = (src * 13 + dst * 5) % 97;
+        (0..len)
+            .map(|i| (src as u8) ^ (dst as u8).wrapping_mul(7) ^ (i as u8))
+            .collect()
+    }
+
+    #[test]
+    fn hier_all_to_all_delivers_and_accounts_by_tier() {
+        let topo = hier_topo(2, 2);
+        let world = topo.world();
+        let results = cluster(world).run(move |ctx| {
+            let me = ctx.rank();
+            let mut send: Vec<PooledBuf> = (0..world)
+                .map(|d| {
+                    let payload = hier_chunk(me, d);
+                    let mut b = ctx.take_buf(payload.len().max(1));
+                    b.extend_from_slice(&payload);
+                    b
+                })
+                .collect();
+            let mut recv = Vec::new();
+            let bytes = ctx.all_to_all_hier_pooled(&topo, &mut send, &mut recv);
+            for (src, chunk) in recv.iter().enumerate() {
+                assert_eq!(
+                    chunk.as_slice(),
+                    hier_chunk(src, me).as_slice(),
+                    "rank {me}: wrong chunk from {src}"
+                );
+            }
+            bytes
+        });
+        for (rank, bytes) in results.iter().enumerate() {
+            if topo.is_leader(rank) {
+                // Leaders drive the fabric and feed their members.
+                assert!(
+                    bytes.exchange.sent > 0 && bytes.exchange.received > 0,
+                    "{rank}"
+                );
+                assert!(bytes.scatter.sent > 0, "{rank}");
+                assert_eq!(bytes.scatter.received, 0, "{rank}");
+            } else {
+                // Members never touch the fabric directly.
+                assert_eq!(bytes.exchange, ExchangeBytes::default(), "{rank}");
+                assert!(bytes.scatter.received > 0, "{rank}");
+                assert_eq!(bytes.scatter.sent, 0, "{rank}");
+                assert!(bytes.gather.sent > 0, "{rank}");
+            }
+        }
+        // The fabric carries every cross-node payload byte exactly once,
+        // plus one 4-byte count and per-chunk 12-byte frames per bundle.
+        let payload_across: usize = (0..world)
+            .flat_map(|s| (0..world).map(move |d| (s, d)))
+            .filter(|&(s, d)| !topo.same_node(s, d))
+            .map(|(s, d)| hier_chunk(s, d).len())
+            .sum();
+        let framing = 2 * (4 + 4 * HIER_ENTRY_HEADER_BYTES); // one 4-entry bundle per leader
+        let fabric_sent: usize = results.iter().map(|b| b.exchange.sent).sum();
+        assert_eq!(fabric_sent, payload_across + framing);
+    }
+
+    #[test]
+    fn hier_all_to_all_degenerate_shapes_match_flat() {
+        // nodes == 1 (single tier) and ranks_per_node == 1 (all leaders)
+        // must both deliver exactly what the flat collective delivers.
+        for (nodes, rpn) in [(1usize, 4usize), (4, 1), (3, 2)] {
+            let topo = hier_topo(nodes, rpn);
+            let world = topo.world();
+            cluster(world).run(move |ctx| {
+                let me = ctx.rank();
+                let build = |ctx: &RankCtx| -> Vec<PooledBuf> {
+                    (0..world)
+                        .map(|d| {
+                            let payload = hier_chunk(me, d);
+                            let mut b = ctx.take_buf(payload.len().max(1));
+                            b.extend_from_slice(&payload);
+                            b
+                        })
+                        .collect()
+                };
+                let mut send = build(&ctx);
+                let mut flat_recv = Vec::new();
+                ctx.all_to_all_pooled(&mut send, &mut flat_recv);
+                let mut send = build(&ctx);
+                let mut hier_recv = Vec::new();
+                let bytes = ctx.all_to_all_hier_pooled(&topo, &mut send, &mut hier_recv);
+                for (src, (flat, hier)) in flat_recv.iter().zip(hier_recv.iter()).enumerate() {
+                    assert_eq!(
+                        flat.as_slice(),
+                        hier.as_slice(),
+                        "({nodes}x{rpn}) rank {me}: chunk from {src} differs"
+                    );
+                }
+                if nodes == 1 {
+                    assert_eq!(bytes.exchange, ExchangeBytes::default());
+                    assert_eq!(bytes.scatter, ExchangeBytes::default());
+                }
+                if rpn == 1 {
+                    assert_eq!(bytes.gather, ExchangeBytes::default());
+                    assert_eq!(bytes.scatter, ExchangeBytes::default());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn tiered_all_reduce_buckets_wire_bytes_and_stays_bit_identical() {
+        let topo = hier_topo(2, 2);
+        let world = topo.world();
+        let len = 37;
+        let results = cluster(world).run(move |ctx| {
+            let contribution: Vec<f32> = (0..len)
+                .map(|i| ((ctx.rank() * len + i) as f32 * 0.41).sin())
+                .collect();
+            let mut plain = contribution.clone();
+            ctx.all_reduce_sum(&mut plain);
+            let mut tiered_data = contribution;
+            let mut scratch = crate::reduce::ReduceScratch::new();
+            let stats = ctx.all_reduce_compressed_tiered(
+                &mut tiered_data,
+                &mut RawF32Codec,
+                &mut scratch,
+                &topo,
+            );
+            (plain, tiered_data, stats)
+        });
+        for (rank, (plain, tiered_data, stats)) in results.iter().enumerate() {
+            for (a, b) in plain.iter().zip(tiered_data.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "rank {rank} diverged");
+            }
+            // Every wire byte lands in exactly one tier bucket…
+            assert_eq!(stats.intra.sent + stats.inter.sent, stats.stats.wire.sent);
+            assert_eq!(
+                stats.intra.received + stats.inter.received,
+                stats.stats.wire.received
+            );
+            // …and with the raw codec the buckets match the analytic raw
+            // schedule exactly.
+            let (intra, inter) = crate::reduce::allreduce_tier_bytes(len, &topo, rank);
+            assert_eq!(stats.intra, intra, "rank {rank}");
+            assert_eq!(stats.inter, inter, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn hier_all_to_all_stops_allocating_after_warmup() {
+        let topo = hier_topo(2, 2);
+        let world = topo.world();
+        let results = cluster(world).run(move |ctx| {
+            let mut send: Vec<PooledBuf> = Vec::new();
+            let mut recv: Vec<PooledBuf> = Vec::new();
+            let fill = |ctx: &RankCtx, send: &mut Vec<PooledBuf>, round: u8| {
+                for dst in 0..world {
+                    let mut b = ctx.take_buf(512);
+                    b.extend(std::iter::repeat_n(round ^ dst as u8, 128 + dst * 8));
+                    send.push(b);
+                }
+            };
+            for round in 0..3u8 {
+                fill(&ctx, &mut send, round);
+                ctx.all_to_all_hier_pooled(&topo, &mut send, &mut recv);
+                recv.clear();
+            }
+            // Bundles are bigger than chunks: park spares sized for the
+            // largest lease any phase takes.
+            let spares: Vec<PooledBuf> = (0..6 * world).map(|_| ctx.take_buf(4096)).collect();
+            drop(spares);
+            ctx.barrier();
+            let warm = ctx.pool().stats();
+            for round in 3..23u8 {
+                fill(&ctx, &mut send, round);
+                ctx.all_to_all_hier_pooled(&topo, &mut send, &mut recv);
+                for (src, chunk) in recv.iter().enumerate() {
+                    assert_eq!(chunk.len(), 128 + ctx.rank() * 8);
+                    assert_eq!(chunk[0], round ^ ctx.rank() as u8, "from {src}");
+                }
+                recv.clear();
+            }
+            ctx.barrier();
+            ctx.pool().stats().since(&warm)
+        });
+        for delta in results {
+            assert_eq!(delta.allocations, 0, "steady state allocated: {delta:?}");
+            assert!(delta.reuses > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn hier_all_to_all_rejects_mismatched_topology() {
+        cluster(3).run(|ctx| {
+            let topo = hier_topo(2, 2); // world 4 != cluster world 3
+            let mut send: Vec<PooledBuf> = (0..3).map(|_| ctx.take_buf(8)).collect();
+            let mut recv = Vec::new();
+            let _ = ctx.all_to_all_hier_pooled(&topo, &mut send, &mut recv);
         });
     }
 

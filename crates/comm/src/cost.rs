@@ -8,7 +8,27 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Static description of the simulated interconnect.
+/// Static description of the simulated interconnect (one link tier; a
+/// two-tier cluster pairs two of these in a
+/// [`Topology`](crate::topology::Topology)).
+///
+/// ```
+/// use dlrm_comm::NetworkConfig;
+///
+/// // The flat default: the paper's 4 GB/s all-to-all assumption.
+/// let net = NetworkConfig::default();
+/// assert_eq!(net.alltoall_bandwidth, 4e9);
+///
+/// // The Figure-11 speedup-analysis network, as the breakdown experiments
+/// // configure it.
+/// let fig11 = NetworkConfig::paper_figure11();
+/// let t = fig11.cost_model().alltoall_time(4_000_000_000, 4_000_000_000);
+/// assert!((t - (5e-6 + 1.0)).abs() < 1e-9); // 4 GB over 4 GB/s ≈ 1 s
+///
+/// // Single-bottleneck test networks, without re-declaring the triple.
+/// assert!(NetworkConfig::alltoall_bound(5e7).alltoall_bandwidth < 1e8);
+/// assert!(NetworkConfig::allreduce_bound(5e7).allreduce_bandwidth < 1e8);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetworkConfig {
     /// Effective per-rank all-to-all bandwidth in bytes per second.
@@ -38,6 +58,50 @@ impl NetworkConfig {
             alltoall_bandwidth: 1e18,
             allreduce_bandwidth: 1e18,
             latency: 0.0,
+        }
+    }
+
+    /// The network of the paper's Figure-11 speedup analysis: 4 GB/s
+    /// all-to-all, 8 GB/s all-reduce, 5 µs latency — the triple the
+    /// breakdown experiments (Figures 1 and 12) configure.
+    pub fn paper_figure11() -> Self {
+        Self {
+            alltoall_bandwidth: 4e9,
+            allreduce_bandwidth: 8e9,
+            latency: 5e-6,
+        }
+    }
+
+    /// An NVLink-class intra-node link (150 GB/s per rank, 1 µs) — the fast
+    /// tier of a hierarchical [`Topology`](crate::topology::Topology).
+    pub fn nvlink_intra_node() -> Self {
+        Self {
+            alltoall_bandwidth: 150e9,
+            allreduce_bandwidth: 150e9,
+            latency: 1e-6,
+        }
+    }
+
+    /// A network whose all-to-all link is the bottleneck: the given
+    /// all-to-all bandwidth under a fast (8 GB/s) all-reduce link — the
+    /// shape the overlap experiments use to make codec time hideable.
+    pub fn alltoall_bound(alltoall_bandwidth: f64) -> Self {
+        Self {
+            alltoall_bandwidth,
+            allreduce_bandwidth: 8e9,
+            latency: 5e-6,
+        }
+    }
+
+    /// A network whose all-reduce link is the bottleneck: the given
+    /// all-reduce bandwidth under a fast (8 GB/s) all-to-all link — the
+    /// shape the dense-path experiments use so the MLP-gradient exchange
+    /// dominates the wire.
+    pub fn allreduce_bound(allreduce_bandwidth: f64) -> Self {
+        Self {
+            alltoall_bandwidth: 8e9,
+            allreduce_bandwidth,
+            latency: 5e-6,
         }
     }
 

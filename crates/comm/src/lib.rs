@@ -54,16 +54,40 @@
 //! [`reduce::RawF32Codec`] the compressed collective is bit-identical to
 //! [`cluster::RankCtx::all_reduce_sum`].
 
+//! ## Node-aware hierarchical topology
+//!
+//! A [`topology::Topology`] describes the cluster as `nodes ×
+//! ranks_per_node` with a fast intra-node and a slow inter-node
+//! [`cost::NetworkConfig`] tier; its [`topology::TieredCostModel`] charges
+//! every `(src, dst)` pair by the link it actually crosses (the flat model
+//! remains the `nodes == 1` special case).
+//! [`cluster::RankCtx::all_to_all_hier_pooled`] runs the matching two-level
+//! collective — intra-node gather of inter-node-bound payloads onto each
+//! node's leader, one aggregated bundle per node pair across the fabric,
+//! intra-node scatter — delivering payloads **bit-identical** to the flat
+//! all-to-all (property-tested) while reporting per-tier
+//! [`topology::HierExchangeBytes`]. The compressed all-reduce has a tiered
+//! twin ([`cluster::RankCtx::all_reduce_compressed_tiered`]) that buckets
+//! its wire bytes by tier for the same charging.
+
 pub mod cluster;
 pub mod cost;
 pub mod ledger;
 pub mod overlap;
 pub mod pool;
 pub mod reduce;
+pub mod topology;
 
-pub use cluster::{ChunkedAllToAll, RankCtx, SimCluster, CHUNK_HEADER_BYTES};
+pub use cluster::{
+    ChunkedAllToAll, ExchangeBytes, RankCtx, SimCluster, CHUNK_HEADER_BYTES,
+    HIER_ENTRY_HEADER_BYTES,
+};
 pub use cost::{CostModel, NetworkConfig};
 pub use ledger::TimingLedger;
 pub use overlap::OverlapTimeline;
 pub use pool::{BufferPool, PoolStats, PooledBuf};
-pub use reduce::{shard_range, RawF32Codec, ReduceCodec, ReduceScratch, ReduceStats};
+pub use reduce::{
+    allreduce_tier_bytes, shard_range, RawF32Codec, ReduceCodec, ReduceScratch, ReduceStats,
+    TieredReduceStats,
+};
+pub use topology::{HierExchangeBytes, Tier, TieredCostModel, Topology};

@@ -17,6 +17,7 @@
 //! `encode`/`decode` hooks plus a worst-case size bound for pool leases.
 
 use crate::cluster::ExchangeBytes;
+use crate::topology::{Tier, Topology};
 use std::ops::Range;
 
 /// Encoder/decoder driving the hops of a compressed all-reduce.
@@ -124,6 +125,74 @@ impl ReduceStats {
             (self.raw.sent + self.raw.received) as f64 / wire as f64
         }
     }
+}
+
+/// [`ReduceStats`] with the wire bytes additionally bucketed by the tier
+/// each hop crossed — what
+/// [`RankCtx::all_reduce_compressed_tiered`](crate::cluster::RankCtx::all_reduce_compressed_tiered)
+/// returns over a node-aware topology. `intra + inter == stats.wire` when a
+/// topology was supplied; both stay zero without one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TieredReduceStats {
+    /// The untiered accounting (wire and raw bytes).
+    pub stats: ReduceStats,
+    /// Wire bytes whose hop stayed within a node.
+    pub intra: ExchangeBytes,
+    /// Wire bytes whose hop crossed the fabric.
+    pub inter: ExchangeBytes,
+}
+
+impl TieredReduceStats {
+    pub(crate) fn record_sent(&mut self, tier: Option<Tier>, bytes: usize) {
+        self.stats.wire.sent += bytes;
+        match tier {
+            Some(Tier::Intra) => self.intra.sent += bytes,
+            Some(Tier::Inter) => self.inter.sent += bytes,
+            None => {}
+        }
+    }
+
+    pub(crate) fn record_received(&mut self, tier: Option<Tier>, bytes: usize) {
+        self.stats.wire.received += bytes;
+        match tier {
+            Some(Tier::Intra) => self.intra.received += bytes,
+            Some(Tier::Inter) => self.inter.received += bytes,
+            None => {}
+        }
+    }
+}
+
+/// Per-tier `(intra, inter)` bytes `rank` moves in an **uncompressed**
+/// reduce-scatter + all-gather over a `len`-element f32 vector on `topo` —
+/// the raw baseline the trainer charges `dense_saved_seconds` against when
+/// the compressed collective runs on a hierarchical topology. With raw f32
+/// payloads the tiered collective's measured wire bytes reproduce these
+/// numbers exactly.
+pub fn allreduce_tier_bytes(
+    len: usize,
+    topo: &Topology,
+    rank: usize,
+) -> (ExchangeBytes, ExchangeBytes) {
+    let world = topo.world();
+    let own = shard_range(len, world, rank).len() * 4;
+    let mut intra = ExchangeBytes::default();
+    let mut inter = ExchangeBytes::default();
+    for peer in 0..world {
+        if peer == rank {
+            continue;
+        }
+        let peer_shard = shard_range(len, world, peer).len() * 4;
+        // Reduce-scatter: send the peer's shard, receive a contribution to
+        // our own. All-gather: send our reduced shard, receive the peer's.
+        let bucket = if topo.same_node(rank, peer) {
+            &mut intra
+        } else {
+            &mut inter
+        };
+        bucket.sent += peer_shard + own;
+        bucket.received += own + peer_shard;
+    }
+    (intra, inter)
 }
 
 /// Element range of the all-reduce shard owned by `rank`: contiguous,

@@ -1,10 +1,13 @@
 //! Property-based tests of the simulated collectives: all-to-all delivers a
 //! correct permutation for arbitrary chunk sizes, the variable-size variant
 //! reports sizes faithfully, all-reduce equals a sequential sum on every
-//! rank, and the compressed all-reduce with a lossless codec is
-//! bit-identical to the plain one.
+//! rank, the compressed all-reduce with a lossless codec is bit-identical to
+//! the plain one, and the hierarchical all-to-all delivers payloads
+//! bit-identical to the flat collective for arbitrary node shapes.
 
-use dlrm_comm::{NetworkConfig, RawF32Codec, ReduceScratch, SimCluster};
+use dlrm_comm::{
+    ExchangeBytes, NetworkConfig, PooledBuf, RawF32Codec, ReduceScratch, SimCluster, Topology,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -134,6 +137,80 @@ proptest! {
             // plain collective's accounting.
             prop_assert_eq!(stats.wire, stats.raw);
             prop_assert_eq!(&stats.wire, plain_stats);
+        }
+    }
+
+    #[test]
+    fn hierarchical_all_to_all_is_bit_identical_to_flat(
+        nodes in 1usize..5,
+        ranks_per_node in 1usize..5,
+        sizes in prop::collection::vec(0usize..200, 36),
+        salt in 0u8..255,
+    ) {
+        // Tentpole acceptance: for arbitrary world shapes — the degenerate
+        // `nodes == 1` and `ranks_per_node == 1` cases included — the
+        // two-level collective must deliver exactly the bytes the flat
+        // pooled all-to-all delivers; only the route differs.
+        let net = NetworkConfig::infinite();
+        let topo = Topology::new(nodes, ranks_per_node, net, net);
+        let world = topo.world();
+        let sizes = std::sync::Arc::new(sizes);
+        let cluster = SimCluster::new(world, net);
+        let sizes_for_ranks = std::sync::Arc::clone(&sizes);
+        let results = cluster.run(move |ctx| {
+            let me = ctx.rank();
+            let payload = |src: usize, dst: usize| -> Vec<u8> {
+                let len = sizes_for_ranks[(src * 31 + dst * 7) % sizes_for_ranks.len()];
+                (0..len)
+                    .map(|i| {
+                        (src as u8)
+                            .wrapping_mul(37)
+                            .wrapping_add((dst as u8).wrapping_mul(11))
+                            ^ (i as u8)
+                            ^ salt
+                    })
+                    .collect()
+            };
+            let build = |ctx: &dlrm_comm::RankCtx| -> Vec<PooledBuf> {
+                (0..world)
+                    .map(|d| {
+                        let p = payload(me, d);
+                        let mut b = ctx.take_buf(p.len().max(1));
+                        b.extend_from_slice(&p);
+                        b
+                    })
+                    .collect()
+            };
+            let mut send = build(&ctx);
+            let mut flat_recv: Vec<PooledBuf> = Vec::new();
+            ctx.all_to_all_pooled(&mut send, &mut flat_recv);
+            let mut send = build(&ctx);
+            let mut hier_recv: Vec<PooledBuf> = Vec::new();
+            let bytes = ctx.all_to_all_hier_pooled(&topo, &mut send, &mut hier_recv);
+            let flat: Vec<Vec<u8>> = flat_recv.drain(..).map(PooledBuf::into_vec).collect();
+            let hier: Vec<Vec<u8>> = hier_recv.drain(..).map(PooledBuf::into_vec).collect();
+            (me, flat, hier, bytes)
+        });
+        for (me, flat, hier, bytes) in results {
+            for (src, (f, h)) in flat.iter().zip(hier.iter()).enumerate() {
+                prop_assert_eq!(
+                    f, h,
+                    "rank {} received different bytes from {} ({}x{})",
+                    me, src, nodes, ranks_per_node
+                );
+            }
+            // Tier invariants of the degenerate shapes.
+            if nodes == 1 {
+                prop_assert_eq!(bytes.exchange, ExchangeBytes::default());
+                prop_assert_eq!(bytes.scatter, ExchangeBytes::default());
+            }
+            if ranks_per_node == 1 {
+                prop_assert_eq!(bytes.gather, ExchangeBytes::default());
+                prop_assert_eq!(bytes.scatter, ExchangeBytes::default());
+            }
+            if !topo.is_leader(me) {
+                prop_assert_eq!(bytes.exchange, ExchangeBytes::default());
+            }
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Trainer configuration.
 
 use dlrm_adaptive::{CompressionPlan, DecaySchedule, EbSchedule, TrainingPhases};
-use dlrm_comm::NetworkConfig;
+use dlrm_comm::{NetworkConfig, Topology};
 use dlrm_compress::CompressorKind;
 use dlrm_grad::GradCodecKind;
 use serde::{Deserialize, Serialize};
@@ -187,6 +187,53 @@ impl OverlapSetting {
     }
 }
 
+/// How the cluster's interconnect is shaped: one flat tier (every rank pair
+/// identical — today's model and the default) or a node-aware hierarchy.
+///
+/// `Flat` takes exactly the code path the topology-less trainer took —
+/// bit-for-bit, in numerics *and* in charged virtual time (asserted by the
+/// topology test matrix). `Hierarchical` routes both all-to-all stages
+/// through [`dlrm_comm`]'s two-level collective (intra-node gather onto the
+/// node leader, aggregated leader exchange across the fabric, intra-node
+/// scatter) and charges every phase — the all-to-alls *and* the dense
+/// all-reduce — with the [`Topology`]'s tiered cost model. Delivered
+/// payloads and reduced gradients are bit-identical to the flat run; only
+/// modeled time and per-tier wire volume change. When a topology is set,
+/// [`TrainerConfig::network`] is ignored in favour of the per-tier links.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum TopologySetting {
+    /// Single-tier cluster over [`TrainerConfig::network`] — today's path.
+    #[default]
+    Flat,
+    /// Node-aware two-tier cluster.
+    Hierarchical(Topology),
+}
+
+impl TopologySetting {
+    /// The topology, when hierarchical.
+    pub fn topology(&self) -> Option<&Topology> {
+        match self {
+            TopologySetting::Flat => None,
+            TopologySetting::Hierarchical(topo) => Some(topo),
+        }
+    }
+
+    /// True when the hierarchical collective is selected.
+    pub fn is_hierarchical(&self) -> bool {
+        matches!(self, TopologySetting::Hierarchical(_))
+    }
+
+    /// Short label used in reports (`"flat"` or `"<nodes>x<ranks>"`).
+    pub fn label(&self) -> String {
+        match self {
+            TopologySetting::Flat => "flat".to_string(),
+            TopologySetting::Hierarchical(topo) => {
+                format!("{}x{}", topo.nodes(), topo.ranks_per_node())
+            }
+        }
+    }
+}
+
 /// Full configuration of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainerConfig {
@@ -210,6 +257,10 @@ pub struct TrainerConfig {
     pub dense_compression: DenseCompression,
     /// Simulated interconnect.
     pub network: NetworkConfig,
+    /// Cluster shape: flat (default) or a node-aware two-tier hierarchy
+    /// (see [`TopologySetting`]).
+    #[serde(default)]
+    pub topology: TopologySetting,
     /// Seed for data generation and model initialisation.
     pub seed: u64,
     /// If set, compression and decompression time is *charged analytically*
@@ -243,10 +294,19 @@ impl TrainerConfig {
             overlap: OverlapSetting::Off,
             dense_compression: DenseCompression::Off,
             network: NetworkConfig::default(),
+            topology: TopologySetting::Flat,
             seed: 20_240_614,
             device_throughput: None,
             compute_time_scale: 1.0,
         }
+    }
+
+    /// The same configuration with the given cluster topology
+    /// (builder-style convenience for the topology test matrix and the
+    /// `topo1` experiment).
+    pub fn with_topology(mut self, topology: TopologySetting) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// The same configuration with the given overlap mode (builder-style
@@ -287,6 +347,16 @@ impl TrainerConfig {
         }
         if !(self.compute_time_scale > 0.0 && self.compute_time_scale.is_finite()) {
             return Err("compute_time_scale must be positive".into());
+        }
+        if let TopologySetting::Hierarchical(topo) = &self.topology {
+            topo.validate()?;
+            if topo.world() != self.world {
+                return Err(format!(
+                    "topology world {} does not match trainer world {}",
+                    topo.world(),
+                    self.world
+                ));
+            }
         }
         if let DenseCompression::Compressed { codec, .. } = &self.dense_compression {
             match codec {
@@ -384,6 +454,37 @@ mod tests {
             },
         );
         assert!(bad_eb.validate().is_err());
+    }
+
+    #[test]
+    fn topology_setting_defaults_flat_validates_and_labels() {
+        assert_eq!(TopologySetting::default(), TopologySetting::Flat);
+        assert!(!TopologySetting::Flat.is_hierarchical());
+        assert!(TopologySetting::Flat.topology().is_none());
+        assert_eq!(TopologySetting::Flat.label(), "flat");
+
+        let topo = Topology::new(
+            2,
+            2,
+            NetworkConfig::nvlink_intra_node(),
+            NetworkConfig::paper_figure11(),
+        );
+        let hier = TopologySetting::Hierarchical(topo);
+        assert!(hier.is_hierarchical());
+        assert_eq!(hier.label(), "2x2");
+        let good = TrainerConfig::small_test(CompressionSetting::None).with_topology(hier);
+        assert!(good.validate().is_ok());
+
+        // World mismatch is rejected.
+        let mismatched = TrainerConfig::small_test(CompressionSetting::None).with_topology(
+            TopologySetting::Hierarchical(Topology::new(
+                2,
+                4,
+                NetworkConfig::default(),
+                NetworkConfig::default(),
+            )),
+        );
+        assert!(mismatched.validate().is_err());
     }
 
     #[test]

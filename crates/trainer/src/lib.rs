@@ -69,6 +69,26 @@
 //! raw ring-formula charge
 //! ([`run::TrainingReport::dense_saved_seconds`]) and the final residual
 //! norm ([`run::TrainingReport::dense_residual_norm`]).
+//!
+//! ## Node-aware hierarchical topology
+//!
+//! [`config::TopologySetting`] shapes the cluster: `Flat` (default) is the
+//! single-tier model and takes exactly the topology-less code paths;
+//! `Hierarchical` describes `nodes × ranks_per_node` with a fast intra-node
+//! and a slow inter-node link ([`dlrm_comm::Topology`]). Under a hierarchy,
+//! both all-to-all stages run [`dlrm_comm`]'s two-level collective
+//! (intra-node gather onto the node leader, one aggregated bundle per node
+//! pair across the fabric, intra-node scatter), the dense all-reduce keeps
+//! its rank-order schedule with per-tier byte accounting, and every network
+//! phase is charged by the tiered cost model — per-rank tier bandwidths, the
+//! leader exchange over the node's NIC pool. Delivered payloads and reduced
+//! gradients are **bit-identical** to the flat run (asserted by the topology
+//! test matrix); only modeled time and per-tier wire volume change, surfaced
+//! as [`run::TrainingReport::intra_tier_bytes`] /
+//! [`run::TrainingReport::inter_tier_bytes`] and the matching
+//! `*_tier_seconds`. Overlap composes: the per-chunk codec seconds feed the
+//! same [`dlrm_comm::OverlapTimeline`] with the tiered β split across
+//! chunks.
 
 pub mod config;
 pub mod partition;
@@ -76,6 +96,8 @@ pub mod pipeline;
 pub mod plan;
 pub mod run;
 
-pub use config::{CompressionSetting, DenseCompression, OverlapSetting, TrainerConfig};
+pub use config::{
+    CompressionSetting, DenseCompression, OverlapSetting, TopologySetting, TrainerConfig,
+};
 pub use partition::TablePartition;
 pub use run::{run_training, TableCompressionStats, TrainingReport};

@@ -6,12 +6,19 @@
 //! rank, and then perform exactly the stages of the paper's Figure 3
 //! pipeline, with compression spliced around both all-to-alls.
 
-use crate::config::{CompressionSetting, DenseCompression, OverlapSetting, TrainerConfig};
+use crate::config::{
+    CompressionSetting, DenseCompression, OverlapSetting, TopologySetting, TrainerConfig,
+};
 use crate::partition::TablePartition;
 use dlrm_adaptive::EbSchedule;
-use dlrm_comm::cluster::{RankCtx, CHUNK_HEADER_BYTES, METADATA_RECORD_BYTES};
+use dlrm_comm::cluster::{
+    RankCtx, CHUNK_HEADER_BYTES, HIER_ENTRY_HEADER_BYTES, METADATA_RECORD_BYTES,
+};
 use dlrm_comm::pool::{PoolStats, PooledBuf};
-use dlrm_comm::reduce::{shard_range, ReduceCodec, ReduceScratch};
+use dlrm_comm::reduce::{
+    allreduce_tier_bytes, shard_range, RawF32Codec, ReduceCodec, ReduceScratch,
+};
+use dlrm_comm::topology::{HierExchangeBytes, TieredCostModel, Topology};
 use dlrm_comm::{CostModel, OverlapTimeline, TimingLedger};
 use dlrm_compress::lowprec::{self, Precision};
 use dlrm_compress::{CompressScratch, Compressor};
@@ -260,6 +267,13 @@ pub struct RankOutcome {
     pub dense_saved_seconds: f64,
     /// Final L2 norm of the error-feedback residual (0 without EF).
     pub dense_residual_norm: f64,
+    /// `(intra, inter)` tier bytes this rank moved (both directions, all
+    /// network phases) under a hierarchical topology; zeros when flat.
+    pub tier_bytes: (u64, u64),
+    /// `(intra, inter)` virtual tier seconds charged to this rank's network
+    /// phases under a hierarchical topology (un-overlapped charge — hidden
+    /// time is accounted separately in the ledger); zeros when flat.
+    pub tier_seconds: (f64, f64),
 }
 
 /// Per-rank reusable state threaded through every pipeline stage so the
@@ -491,6 +505,50 @@ fn charge_overlapped_a2a(
     timeline
 }
 
+/// Charge one hierarchical all-to-all. Sequential mode charges the full
+/// tiered time (gather + exchange + scatter, each phase one α of its tier
+/// plus its bottleneck bytes over the tier bandwidth). Double-buffered mode
+/// mirrors [`charge_overlapped_a2a`]: the α's are charged once, the β
+/// seconds are split across chunks in proportion to `weights` (this rank's
+/// per-destination chunk bytes) and fed through the [`OverlapTimeline`]
+/// against the per-chunk codec seconds — only the exposed wire is charged,
+/// the hidden seconds land in the `overlap_saved` counter. Either way the
+/// collective's total wire time is the tiered model's; overlap only changes
+/// what hides behind it. Returns the un-overlapped `(intra, inter)` tier
+/// seconds for the report's per-tier breakdown.
+fn charge_hier_a2a(
+    ledger: &mut TimingLedger,
+    phase: &str,
+    tiered: &TieredCostModel,
+    bytes: &HierExchangeBytes,
+    overlapped: bool,
+    codec_s: &[f64],
+    weights: &[usize],
+) -> (f64, f64) {
+    let (intra_t, inter_t) = tiered.hier_tier_times(bytes);
+    ledger.add_bytes(phase, bytes.total());
+    if overlapped {
+        debug_assert_eq!(codec_s.len(), weights.len());
+        let alpha = tiered.hier_alpha_seconds();
+        let beta = (intra_t + inter_t - alpha).max(0.0);
+        let weight_total: f64 = weights.iter().map(|&w| w as f64).sum();
+        let mut timeline = OverlapTimeline::new();
+        for (&codec, &w) in codec_s.iter().zip(weights) {
+            let wire = if weight_total > 0.0 {
+                beta * w as f64 / weight_total
+            } else {
+                0.0
+            };
+            timeline.push(codec, wire);
+        }
+        ledger.add_time(phase, alpha + timeline.exposed_wire());
+        ledger.add_overlap_saved(phase, timeline.saved());
+    } else {
+        ledger.add_time(phase, intra_t + inter_t);
+    }
+    (intra_t, inter_t)
+}
+
 /// Append one `[table u32][len u32][payload]` block to a send lease,
 /// compressing the payload in place and back-patching the length — the
 /// single definition of the chunk wire format shared by the forward and
@@ -594,6 +652,15 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
 
     let resolved = ResolvedCompression::from_setting(&trainer.compression, num_tables);
     let overlapped = matches!(trainer.overlap, OverlapSetting::DoubleBuffered);
+    // Hierarchical topology: the two-level collective replaces both
+    // all-to-alls and every network phase is charged by the tiered model.
+    // `None` (flat) takes exactly the topology-less code paths.
+    let hier: Option<(Topology, TieredCostModel)> = match &trainer.topology {
+        TopologySetting::Flat => None,
+        TopologySetting::Hierarchical(topo) => Some((*topo, topo.cost_model())),
+    };
+    let mut tier_bytes = (0u64, 0u64);
+    let mut tier_seconds = (0.0f64, 0.0f64);
     // Dense-gradient (Stage 8) compression state: codec + error-feedback
     // residual + scratch, all per-rank and reused every iteration.
     let mut dense: Option<GradCompressor> = match &trainer.dense_compression {
@@ -677,7 +744,128 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // time differs.
         lookup_slots.clear();
         lookup_slots.resize_with(num_tables, || None);
-        if overlapped {
+        if let Some((topo, tiered)) = &hier {
+            // Hierarchical route: compress per-destination chunks
+            // (destination-major, so per-chunk codec seconds can feed the
+            // overlap timeline; block order within a chunk matches the flat
+            // paths, so chunk bytes are identical), move them through the
+            // two-level collective, decompress. Only the route and the
+            // charged time differ from the flat schedules.
+            scratch.chunk_codec_s.clear();
+            scratch.chunk_sent.clear();
+            scratch.send.clear();
+            take_caps.clear();
+            let mut fwd_original_bytes = 0u64;
+            for (dst, shard) in shards.iter().enumerate() {
+                let t0 = Instant::now();
+                let worst = 4 + owned.len() * (shard.batch_size() * dim * 12 + 708);
+                let mut buf = ctx.take_buf(scratch.chunk_capacity_hint[dst].max(worst));
+                take_caps.push(buf.capacity());
+                buf.extend_from_slice(&(owned.len() as u32).to_le_bytes());
+                let mut chunk_original = 0u64;
+                for (local_idx, &t) in owned.iter().enumerate() {
+                    let matrix = &lookup_matrices[local_idx * world + dst];
+                    let payload_len = write_block(
+                        &resolved,
+                        t,
+                        iter,
+                        matrix.as_slice(),
+                        dim,
+                        &mut scratch.compress,
+                        &mut buf,
+                    );
+                    chunk_original += (matrix.len() * 4) as u64;
+                    fwd_traffic[t].0 += (matrix.len() * 4) as u64;
+                    fwd_traffic[t].1 += payload_len as u64;
+                }
+                scratch.chunk_codec_s.push(chunk_codec_seconds(
+                    resolved.is_raw(),
+                    t0.elapsed().as_secs_f64(),
+                    chunk_original,
+                    codec_throughput_c,
+                ));
+                scratch
+                    .chunk_sent
+                    .push(if dst == rank { 0 } else { buf.len() });
+                fwd_original_bytes += chunk_original;
+                scratch.send.push(buf);
+            }
+            let lease_growth =
+                settle_send_leases(&scratch.send, &take_caps, &mut scratch.chunk_capacity_hint);
+            ledger.add_time(
+                phases::FWD_COMPRESS,
+                scratch.chunk_codec_s.iter().sum::<f64>(),
+            );
+            ledger.add_bytes(phases::FWD_COMPRESS, fwd_original_bytes);
+            let a = note_alloc(
+                &mut ledger,
+                phases::FWD_COMPRESS,
+                ctx,
+                &scratch,
+                &mut marks,
+                lease_growth,
+            );
+            steady_allocated += if counting { a } else { 0 };
+
+            let hier_bytes = ctx.all_to_all_hier_pooled(topo, &mut scratch.send, &mut scratch.recv);
+            let (ti, te) = charge_hier_a2a(
+                &mut ledger,
+                phases::FWD_A2A,
+                tiered,
+                &hier_bytes,
+                overlapped,
+                &scratch.chunk_codec_s,
+                &scratch.chunk_sent,
+            );
+            tier_seconds.0 += ti;
+            tier_seconds.1 += te;
+            tier_bytes.0 += hier_bytes.intra_total();
+            tier_bytes.1 += hier_bytes.inter_total();
+            let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
+            steady_allocated += if counting { a } else { 0 };
+
+            let t0 = Instant::now();
+            let mut decompressed_bytes = 0u64;
+            let recv = std::mem::take(&mut scratch.recv);
+            for chunk in &recv {
+                for (table, payload) in block_slices(chunk) {
+                    let rows = my_shard.batch_size();
+                    let mut values = scratch.take_floats(rows * dim);
+                    resolved.decompress_into(
+                        table as usize,
+                        payload,
+                        &mut scratch.compress,
+                        &mut values,
+                    );
+                    decompressed_bytes += (values.len() * 4) as u64;
+                    assert_eq!(values.len(), rows * dim, "table {table}: bad payload size");
+                    lookup_slots[table as usize] = Some(Matrix::from_vec(rows, dim, values));
+                }
+            }
+            let mut recv = recv;
+            recv.clear(); // release the payload leases back to their pools
+            scratch.recv = recv;
+            charge_codec(
+                &mut ledger,
+                phases::FWD_DECOMPRESS,
+                if resolved.is_raw() {
+                    0.0
+                } else {
+                    t0.elapsed().as_secs_f64()
+                },
+                decompressed_bytes,
+                codec_throughput_d,
+            );
+            let a = note_alloc(
+                &mut ledger,
+                phases::FWD_DECOMPRESS,
+                ctx,
+                &scratch,
+                &mut marks,
+                0,
+            );
+            steady_allocated += if counting { a } else { 0 };
+        } else if overlapped {
             // Chunk k goes to destination (rank+k) and arrives from source
             // (rank−k); each chunk is begin-sent the moment its compression
             // finishes, so the codec timeline runs ahead of the wire.
@@ -950,8 +1138,125 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
 
         // ── Stages 6–7a: compress embedding gradients, send them home, and
         // decompress them on the owning rank — the backward mirror of
-        // stages 2–4, double-buffered under the same overlap setting.
-        if overlapped {
+        // stages 2–4, double-buffered under the same overlap setting and
+        // hierarchical under the same topology setting.
+        if let Some((topo, tiered)) = &hier {
+            scratch.chunk_codec_s.clear();
+            scratch.chunk_sent.clear();
+            scratch.send.clear();
+            take_caps.clear();
+            let mut bwd_bytes = 0u64;
+            for (owner, &table_count) in tables_of_owner.iter().enumerate() {
+                let t0 = Instant::now();
+                let worst = 4 + table_count as usize * (my_shard.batch_size() * dim * 12 + 708);
+                let mut buf = ctx.take_buf(scratch.bwd_chunk_capacity_hint[owner].max(worst));
+                take_caps.push(buf.capacity());
+                buf.extend_from_slice(&table_count.to_le_bytes());
+                let mut chunk_original = 0u64;
+                for &t in partition.tables_of(owner) {
+                    let grad = &grads.embedding_grads[t];
+                    write_block(
+                        &resolved,
+                        t,
+                        iter,
+                        grad.as_slice(),
+                        dim,
+                        &mut scratch.compress,
+                        &mut buf,
+                    );
+                    chunk_original += (grad.len() * 4) as u64;
+                }
+                scratch.chunk_codec_s.push(chunk_codec_seconds(
+                    resolved.is_raw(),
+                    t0.elapsed().as_secs_f64(),
+                    chunk_original,
+                    codec_throughput_c,
+                ));
+                scratch
+                    .chunk_sent
+                    .push(if owner == rank { 0 } else { buf.len() });
+                bwd_bytes += chunk_original;
+                scratch.send.push(buf);
+            }
+            let lease_growth = settle_send_leases(
+                &scratch.send,
+                &take_caps,
+                &mut scratch.bwd_chunk_capacity_hint,
+            );
+            ledger.add_time(
+                phases::BWD_COMPRESS,
+                scratch.chunk_codec_s.iter().sum::<f64>(),
+            );
+            ledger.add_bytes(phases::BWD_COMPRESS, bwd_bytes);
+            let a = note_alloc(
+                &mut ledger,
+                phases::BWD_COMPRESS,
+                ctx,
+                &scratch,
+                &mut marks,
+                lease_growth,
+            );
+            steady_allocated += if counting { a } else { 0 };
+
+            let hier_bytes = ctx.all_to_all_hier_pooled(topo, &mut scratch.send, &mut scratch.recv);
+            let (ti, te) = charge_hier_a2a(
+                &mut ledger,
+                phases::BWD_A2A,
+                tiered,
+                &hier_bytes,
+                overlapped,
+                &scratch.chunk_codec_s,
+                &scratch.chunk_sent,
+            );
+            tier_seconds.0 += ti;
+            tier_seconds.1 += te;
+            tier_bytes.0 += hier_bytes.intra_total();
+            tier_bytes.1 += hier_bytes.inter_total();
+            let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
+            steady_allocated += if counting { a } else { 0 };
+
+            let t0 = Instant::now();
+            let mut bwd_decompressed = 0u64;
+            let recv = std::mem::take(&mut scratch.recv);
+            for (src, chunk) in recv.iter().enumerate() {
+                for (table, payload) in block_slices(chunk) {
+                    let rows = shards[src].batch_size();
+                    let mut values = scratch.take_floats(rows * dim);
+                    resolved.decompress_into(
+                        table as usize,
+                        payload,
+                        &mut scratch.compress,
+                        &mut values,
+                    );
+                    bwd_decompressed += (values.len() * 4) as u64;
+                    assert_eq!(values.len(), rows * dim, "grad for table {table}: bad size");
+                    grad_entries.push((table, src as u32, Matrix::from_vec(rows, dim, values)));
+                }
+            }
+            let mut recv = recv;
+            recv.clear();
+            scratch.recv = recv;
+            charge_codec(
+                &mut ledger,
+                phases::BWD_DECOMPRESS,
+                if resolved.is_raw() {
+                    0.0
+                } else {
+                    t0.elapsed().as_secs_f64()
+                },
+                bwd_decompressed,
+                codec_throughput_d,
+            );
+            let a = note_alloc(
+                &mut ledger,
+                phases::BWD_DECOMPRESS,
+                ctx,
+                &scratch,
+                &mut marks,
+                0,
+            );
+            steady_allocated += if counting { a } else { 0 };
+        } else if overlapped {
             scratch.chunk_codec_s.clear();
             scratch.chunk_sent.clear();
             scratch.chunk_recv.clear();
@@ -1209,9 +1514,20 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
 
         // ── Stage 8: all-reduce MLP gradients and update the replicas.
         model.flatten_mlp_grads_into(&grads, &mut scratch.flat_grads);
-        let raw_time = cost.allreduce_time(scratch.flat_grads.len() * 4, world);
+        // Raw (uncompressed-schedule) charge on this cluster shape — the
+        // baseline `dense_saved_seconds` compares against: the flat ring
+        // formula, or the tiered charge of the same schedule's analytic
+        // per-tier volume under a hierarchical topology.
+        let raw_time = match &hier {
+            None => cost.allreduce_time(scratch.flat_grads.len() * 4, world),
+            Some((topo, tiered)) => {
+                let (ri, re) = allreduce_tier_bytes(scratch.flat_grads.len(), topo, rank);
+                let (ti, te) = tiered.allreduce_tier_times(ri, re);
+                ti + te
+            }
+        };
         let dense_extra_alloc = match dense.as_mut() {
-            None => {
+            None if hier.is_none() => {
                 let ar_stats = ctx.all_reduce_sum(&mut scratch.flat_grads);
                 ledger.add_time(phases::ALLREDUCE, raw_time);
                 ledger.add_bytes(
@@ -1220,18 +1536,71 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 );
                 0
             }
+            None => {
+                // Uncompressed on a hierarchical topology: the identical
+                // rank-order schedule (bit-for-bit the flat result, through
+                // the lossless codec), with wire bytes bucketed by tier and
+                // the tiered charge replacing the flat ring formula.
+                let (topo, tiered) = hier.as_ref().expect("hierarchical topology");
+                let stats = ctx.all_reduce_compressed_tiered(
+                    &mut scratch.flat_grads,
+                    &mut RawF32Codec,
+                    &mut scratch.dense_reduce,
+                    topo,
+                );
+                let (ti, te) = tiered.allreduce_tier_times(stats.intra, stats.inter);
+                ledger.add_time(phases::ALLREDUCE, ti + te);
+                ledger.add_bytes(
+                    phases::ALLREDUCE,
+                    (stats.stats.wire.sent + stats.stats.wire.received) as u64,
+                );
+                tier_seconds.0 += ti;
+                tier_seconds.1 += te;
+                tier_bytes.0 += (stats.intra.sent + stats.intra.received) as u64;
+                tier_bytes.1 += (stats.inter.sent + stats.inter.received) as u64;
+                let capacity = scratch.dense_reduce.capacity_bytes();
+                let grew = capacity.saturating_sub(dense_capacity_mark);
+                dense_capacity_mark = capacity;
+                grew
+            }
             Some(state) => {
                 // Error feedback: re-inject what compression lost so far,
                 // then let the compressed reduce-scatter + all-gather
                 // rebuild the residual from the bytes it actually sends.
                 state.compensate(&mut scratch.flat_grads);
-                let stats = ctx.all_reduce_compressed(
-                    &mut scratch.flat_grads,
-                    state,
-                    &mut scratch.dense_reduce,
-                );
-                let mut ar_time =
-                    cost.allreduce_wire_time(stats.wire.sent, stats.wire.received, world);
+                let (stats, hier_split) = match &hier {
+                    None => (
+                        ctx.all_reduce_compressed(
+                            &mut scratch.flat_grads,
+                            state,
+                            &mut scratch.dense_reduce,
+                        ),
+                        None,
+                    ),
+                    Some((topo, _)) => {
+                        let tiered_stats = ctx.all_reduce_compressed_tiered(
+                            &mut scratch.flat_grads,
+                            state,
+                            &mut scratch.dense_reduce,
+                            topo,
+                        );
+                        (
+                            tiered_stats.stats,
+                            Some((tiered_stats.intra, tiered_stats.inter)),
+                        )
+                    }
+                };
+                let mut ar_time = match (&hier, &hier_split) {
+                    (Some((_, tiered)), Some((intra, inter))) => {
+                        let (ti, te) = tiered.allreduce_tier_times(*intra, *inter);
+                        tier_seconds.0 += ti;
+                        tier_seconds.1 += te;
+                        tier_bytes.0 += (intra.sent + intra.received) as u64;
+                        tier_bytes.1 += (inter.sent + inter.received) as u64;
+                        ti + te
+                    }
+                    _ => cost.allreduce_wire_time(stats.wire.sent, stats.wire.received, world),
+                };
                 // Codec time: charged analytically under a device-throughput
                 // override (the same convention the a2a codecs use for the
                 // breakdown experiments); without one the codec is treated
@@ -1338,6 +1707,22 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             spares.extend((0..7 * world).map(|_| ctx.take_buf(big_cap)));
             spares.extend((0..2 * world).map(|_| ctx.take_buf(64)));
             drop(spares);
+            if let Some((topo, _)) = &hier {
+                // The hierarchical collective takes bundle leases bigger
+                // than any single chunk (a node-pair exchange bundle carries
+                // ranks_per_node² framed chunks, a scatter bundle carries
+                // world − ranks_per_node). Park a working set sized to the
+                // largest bundle any phase can request, so fluctuating
+                // compressed sizes never catch the pool short.
+                let rpn = topo.ranks_per_node();
+                let entry = HIER_ENTRY_HEADER_BYTES + payload_cap;
+                let bundle_cap = (4 + rpn * rpn * entry)
+                    .max(4 + world.saturating_sub(rpn) * entry)
+                    .max(4 + rpn * entry);
+                let spares: Vec<PooledBuf> =
+                    (0..6 * world).map(|_| ctx.take_buf(bundle_cap)).collect();
+                drop(spares);
+            }
             // Parking is warm-up work; exclude it from the steady counters.
             marks.pool = ctx.pool().stats();
         }
@@ -1353,6 +1738,8 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         dense_traffic,
         dense_saved_seconds,
         dense_residual_norm: dense.as_ref().map_or(0.0, GradCompressor::residual_norm),
+        tier_bytes,
+        tier_seconds,
     }
 }
 

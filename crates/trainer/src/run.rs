@@ -86,6 +86,28 @@ pub struct TrainingReport {
     /// without EF) — bounded residuals are the EF convergence invariant.
     #[serde(default)]
     pub dense_residual_norm: f64,
+    /// Label of the cluster topology the run used (`"flat"` or
+    /// `"<nodes>x<ranks_per_node>"`).
+    #[serde(default)]
+    pub topology: String,
+    /// Intra-node tier bytes moved (both directions, all network phases),
+    /// summed across ranks and iterations. Zero under a flat topology —
+    /// tier accounting is only recorded when a hierarchy is configured.
+    #[serde(default)]
+    pub intra_tier_bytes: u64,
+    /// Inter-node (fabric) tier bytes moved, summed across ranks and
+    /// iterations. Zero under a flat topology.
+    #[serde(default)]
+    pub inter_tier_bytes: u64,
+    /// Virtual seconds charged to the intra-node tier, max-merged across
+    /// ranks (the slowest rank bounds each bulk-synchronous phase). The
+    /// un-overlapped charge: hidden time stays in `overlap_saved_seconds`.
+    #[serde(default)]
+    pub intra_tier_seconds: f64,
+    /// Virtual seconds charged to the inter-node (fabric) tier, max-merged
+    /// across ranks.
+    #[serde(default)]
+    pub inter_tier_seconds: f64,
     /// Bytes of fresh buffer capacity the compress/send path allocated after
     /// the warm-up iterations, summed across ranks. Zero when the buffer
     /// pool, compression scratch and float recycler are fully reused.
@@ -199,6 +221,16 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
         .iter()
         .map(|o| o.dense_residual_norm)
         .fold(0.0, f64::max);
+    let intra_tier_bytes: u64 = outcomes.iter().map(|o| o.tier_bytes.0).sum();
+    let inter_tier_bytes: u64 = outcomes.iter().map(|o| o.tier_bytes.1).sum();
+    let intra_tier_seconds = outcomes
+        .iter()
+        .map(|o| o.tier_seconds.0)
+        .fold(0.0, f64::max);
+    let inter_tier_seconds = outcomes
+        .iter()
+        .map(|o| o.tier_seconds.1)
+        .fold(0.0, f64::max);
     let buffer_reused_bytes: u64 = outcomes.iter().map(|o| o.ledger.total_reused_bytes()).sum();
 
     let total_orig: u64 = per_table.iter().map(|t| t.original_bytes).sum();
@@ -226,6 +258,11 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
         dense_ratio,
         dense_saved_seconds,
         dense_residual_norm,
+        topology: setup.trainer.topology.label(),
+        intra_tier_bytes,
+        inter_tier_bytes,
+        intra_tier_seconds,
+        inter_tier_seconds,
         steady_state_allocated_bytes,
         buffer_reused_bytes,
     }

@@ -145,11 +145,8 @@ fn timing_config(compression: CompressionSetting) -> TrainerConfig {
         compression,
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
-        network: NetworkConfig {
-            alltoall_bandwidth: 5e7,
-            allreduce_bandwidth: 8e9,
-            latency: 5e-6,
-        },
+        network: NetworkConfig::alltoall_bound(5e7),
+        topology: Default::default(),
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
         compute_time_scale: 1.0 / 5000.0,

@@ -38,11 +38,7 @@ fn main() {
     // link, so Stage 8 dominates the wire and the dense codecs matter.
     let mut base = TrainerConfig::small_test(CompressionSetting::None);
     base.iterations = 60;
-    base.network = NetworkConfig {
-        alltoall_bandwidth: 8e9,
-        allreduce_bandwidth: 5e7,
-        latency: 5e-6,
-    };
+    base.network = NetworkConfig::allreduce_bound(5e7);
 
     println!(
         "training a DLRM on the '{}' preset: {} ranks, {} iterations, allreduce link 0.05 GB/s\n",
