@@ -10,6 +10,13 @@
 //! * **Iteration-wise** ([`decay`]): the error bound starts larger and decays
 //!   over the initial training phase (step-wise by default), mirroring how a
 //!   learning-rate schedule front-loads tolerance for noise.
+//! * **Runtime control** ([`controller`]): the offline choices above are
+//!   made once, before iteration 0; a [`controller::RuntimeController`]
+//!   re-runs Equation-2 selection *during* training from live per-window
+//!   observations (measured ratios, effective wire bandwidth, the loss
+//!   curve), with hysteresis so selection doesn't thrash — the closed loop
+//!   that lets the dual-level scheme survive drifting networks and shifting
+//!   traffic.
 //! * **Compressor selection** ([`speedup`]): Equation 2 of the paper converts
 //!   a compressor's ratio and throughput plus the network bandwidth into an
 //!   expected all-to-all speedup; the offline analysis uses it to pick the
@@ -21,12 +28,17 @@
 
 pub mod analysis;
 pub mod classify;
+pub mod controller;
 pub mod decay;
 pub mod homo;
 pub mod speedup;
 
 pub use analysis::{analyze_tables, CompressionPlan, TablePlan};
 pub use classify::{EbClass, EbConfig, Thresholds};
+pub use controller::{
+    CodecProfile, ControllerConfig, PlateauEbControl, Reselection, RuntimeController,
+    TableObservation, TableRevision, TierAdvice, WindowObservation,
+};
 pub use decay::{DecaySchedule, EbSchedule, TrainingPhases};
 pub use homo::{homogenization_index, pattern_counts, HomoReport};
 pub use speedup::{

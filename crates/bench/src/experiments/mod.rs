@@ -2,6 +2,7 @@
 //! ablations), each producing a plain-text report.
 
 pub mod accuracy;
+pub mod adapt;
 pub mod breakdown;
 pub mod buffer_opt;
 pub mod compressors;
@@ -148,6 +149,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "topo1",
             title: "Node-aware topology sweep: modeled time vs ranks per node at fixed world",
             run: topology::topo1,
+        },
+        Experiment {
+            id: "adapt1",
+            title: "Runtime adaptivity: static plans vs the closed-loop controller under drift",
+            run: adapt::adapt1,
         },
         Experiment {
             id: "abl2",

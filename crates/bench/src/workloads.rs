@@ -2,12 +2,13 @@
 //! per table, scaled-down trainer configurations, and the network settings
 //! the paper's evaluation assumes.
 
-use dlrm_adaptive::{EbConfig, EbSchedule, Thresholds, TrainingPhases};
-use dlrm_comm::{NetworkConfig, Topology};
+use dlrm_adaptive::{CodecProfile, EbConfig, EbSchedule, Thresholds, TrainingPhases};
+use dlrm_comm::{BandwidthTrace, NetworkConfig, Topology};
 use dlrm_compress::CompressorKind;
 use dlrm_data::{presets, DatasetConfig, EmbeddingTrafficGenerator};
 use dlrm_trainer::{
-    plan, CompressionSetting, DenseCompression, OverlapSetting, TopologySetting, TrainerConfig,
+    plan, AdaptiveSetting, CompressionSetting, DenseCompression, OverlapSetting, TopologySetting,
+    TrainerConfig,
 };
 
 /// The all-to-all bandwidth the paper's Figure 11 speedup analysis assumes.
@@ -82,6 +83,9 @@ pub fn accuracy_trainer(
         dense_compression: Default::default(),
         network: NetworkConfig::default(),
         topology: Default::default(),
+        adaptive: Default::default(),
+        bandwidth_trace: None,
+        codec_profile: None,
         seed: 20_240_614,
         device_throughput: None,
         compute_time_scale: 1.0,
@@ -122,6 +126,9 @@ pub fn breakdown_trainer(
         dense_compression: Default::default(),
         network: NetworkConfig::paper_figure11(),
         topology: Default::default(),
+        adaptive: Default::default(),
+        bandwidth_trace: None,
+        codec_profile: None,
         seed: 20_240_614,
         device_throughput,
         compute_time_scale: BREAKDOWN_COMPUTE_SCALE,
@@ -147,6 +154,9 @@ pub fn overlap_trainer(compression: CompressionSetting, scale: Scale) -> Trainer
         dense_compression: Default::default(),
         network: NetworkConfig::alltoall_bound(5e7),
         topology: Default::default(),
+        adaptive: Default::default(),
+        bandwidth_trace: None,
+        codec_profile: None,
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
         compute_time_scale: 1.0 / 5000.0,
@@ -172,6 +182,9 @@ pub fn dense_trainer(dense: DenseCompression, scale: Scale) -> TrainerConfig {
         dense_compression: dense,
         network: NetworkConfig::allreduce_bound(5e7),
         topology: Default::default(),
+        adaptive: Default::default(),
+        bandwidth_trace: None,
+        codec_profile: None,
         seed: 20_240_614,
         device_throughput: None,
         compute_time_scale: 1.0 / 5000.0,
@@ -229,9 +242,98 @@ pub fn topology_trainer(ranks_per_node: usize, scale: Scale) -> TrainerConfig {
         dense_compression: Default::default(),
         network: topology_inter_link(),
         topology: TopologySetting::Hierarchical(topology_shape(ranks_per_node)),
+        adaptive: Default::default(),
+        bandwidth_trace: None,
+        codec_profile: None,
         seed: 20_240_614,
         device_throughput: Some(PAPER_HYBRID_THROUGHPUT),
         compute_time_scale: 1.0 / 5000.0,
+    }
+}
+
+/// World size of the `adapt1` runtime-adaptivity sweep.
+pub const ADAPT_WORLD: usize = 4;
+
+/// Controller window of the `adapt1` sweep (iterations per reselection
+/// point).
+pub const ADAPT_WINDOW: usize = 3;
+
+/// Iterations of the `adapt1` sweep at a given scale (the drift lands at the
+/// midpoint).
+pub fn adapt_iterations(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 24,
+        Scale::Full => 48,
+    }
+}
+
+/// The healthy fabric of the `adapt1` sweep: fast enough that heavy
+/// compression cannot pay for its codec time.
+pub fn adapt_fast_link() -> NetworkConfig {
+    NetworkConfig::alltoall_bound(2e9)
+}
+
+/// The degraded fabric of the `adapt1` sweep: 10x slower, where Equation 2
+/// flips to the heavy codec.
+pub fn adapt_slow_link() -> NetworkConfig {
+    NetworkConfig::alltoall_bound(2e8)
+}
+
+/// The `adapt1` drift scenario: the run starts on a degraded fabric (a
+/// co-tenant job saturates the links) that recovers 10x at mid-run. The
+/// runtime arm starts on the codec the degraded fabric wants, so its
+/// one-window reaction lag after the recovery only delays its upside — the
+/// honest shape of a closed loop that can only observe the past window.
+pub fn adapt_drift_trace(scale: Scale) -> BandwidthTrace {
+    BandwidthTrace::step(
+        adapt_slow_link(),
+        adapt_fast_link(),
+        adapt_iterations(scale) / 2,
+    )
+}
+
+/// The per-codec analytic throughput model of the `adapt1` sweep: a very
+/// fast cheap cast against a slow heavy codec (with the FZ-like baseline
+/// priced out), so the speed/ratio trade-off Equation 2 arbitrates is stark
+/// and deterministic.
+pub fn adapt_profile() -> CodecProfile {
+    CodecProfile::paper_reference()
+        .with(CompressorKind::Fp16, 200e9, 200e9)
+        .with(CompressorKind::OursHybrid, 2e9, 10e9)
+        .with(CompressorKind::FzLike, 1e9, 1e9)
+}
+
+/// The error bound every `adapt1` arm compresses at.
+pub const ADAPT_EB: f32 = 0.05;
+
+/// One `adapt1` arm: a fixed-EB lossy run over the drift trace with the
+/// per-codec profile, either static on `codec` or runtime-adaptive starting
+/// from `codec`. Measured compute is scaled far down — the deterministic
+/// wire + codec schedule is what the arms compare.
+pub fn adapt_trainer(
+    codec: CompressorKind,
+    adaptive: AdaptiveSetting,
+    scale: Scale,
+) -> TrainerConfig {
+    TrainerConfig {
+        world: ADAPT_WORLD,
+        global_batch: ADAPT_WORLD * 32,
+        iterations: adapt_iterations(scale),
+        learning_rate: 0.05,
+        compression: CompressionSetting::fixed(ADAPT_EB, codec),
+        overlap: OverlapSetting::Off,
+        dense_compression: Default::default(),
+        network: adapt_slow_link(),
+        topology: Default::default(),
+        adaptive,
+        bandwidth_trace: Some(adapt_drift_trace(scale)),
+        codec_profile: Some(adapt_profile()),
+        seed: 20_240_614,
+        device_throughput: None,
+        // Deep scale-down: the arms are compared on their deterministic
+        // wire + analytic codec schedules; measured CPU noise must not be
+        // able to blur a percent-level margin.
+        compute_time_scale: 1.0 / 50_000.0,
     }
 }
 

@@ -70,6 +70,18 @@
 //! twin ([`cluster::RankCtx::all_reduce_compressed_tiered`]) that buckets
 //! its wire bytes by tier for the same charging.
 
+//! ## Drifting networks
+//!
+//! A [`trace::BandwidthTrace`] makes the modeled fabric a function of the
+//! iteration counter: piecewise-constant `(start_iter, NetworkConfig)`
+//! segments cover drift, congestion spikes and tier degradation, with
+//! [`trace::BandwidthTrace::cost_model_at`] /
+//! [`trace::BandwidthTrace::tiered_cost_model_at`] producing the
+//! [`cost::CostModel`] / [`topology::TieredCostModel`] in effect at any
+//! iteration. The trainer threads a trace through every network charge, and
+//! the runtime adaptive controller (`dlrm-adaptive`) re-runs compressor
+//! selection against the bandwidth it actually observes.
+
 pub mod cluster;
 pub mod cost;
 pub mod ledger;
@@ -77,6 +89,7 @@ pub mod overlap;
 pub mod pool;
 pub mod reduce;
 pub mod topology;
+pub mod trace;
 
 pub use cluster::{
     ChunkedAllToAll, ExchangeBytes, RankCtx, SimCluster, CHUNK_HEADER_BYTES,
@@ -91,3 +104,4 @@ pub use reduce::{
     TieredReduceStats,
 };
 pub use topology::{HierExchangeBytes, Tier, TieredCostModel, Topology};
+pub use trace::{BandwidthTrace, TraceSegment};

@@ -132,6 +132,14 @@ impl Topology {
         self.inter
     }
 
+    /// The same shape with the inter-node tier replaced — how a
+    /// [`BandwidthTrace`](crate::trace::BandwidthTrace) degrades the fabric
+    /// mid-run while the intra-node links hold steady.
+    pub fn with_inter(mut self, inter: NetworkConfig) -> Self {
+        self.inter = inter;
+        self
+    }
+
     /// Node that `rank` lives on.
     pub fn node_of(&self, rank: usize) -> usize {
         debug_assert!(rank < self.world());

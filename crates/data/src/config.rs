@@ -97,6 +97,78 @@ impl TableProfile {
     }
 }
 
+/// Mid-run drift of a dataset's query traffic.
+///
+/// Real recommendation traffic does not hold still: item popularity shifts
+/// (the hot set rotates) and the overall skew of the query distribution
+/// changes with time of day and catalogue churn. Both move exactly the
+/// properties the paper's compression exploits — repeated vectors and table
+/// homogenization — so a selection made offline on iteration-0 traffic can
+/// stop being the right one mid-run. `TrafficDrift` makes the synthetic
+/// stream reproduce that: from `start_batch` on, every table's Zipf exponent
+/// shifts by `exponent_shift` (more or less repetition per batch), and every
+/// `hot_rotation_every` batches the hot set rotates to a different slice of
+/// each table's categories.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficDrift {
+    /// Batch index at which the drift begins.
+    pub start_batch: usize,
+    /// Added to every table's Zipf exponent from `start_batch` on (the
+    /// effective exponent is clamped to the valid `[0, 5]` range). Positive
+    /// shifts concentrate queries (more repeated vectors); negative shifts
+    /// spread them.
+    pub exponent_shift: f64,
+    /// Rotate every table's hot set one step (an eighth of the table's
+    /// cardinality, at least one category) each `hot_rotation_every` batches
+    /// after `start_batch`; `0` disables rotation.
+    pub hot_rotation_every: usize,
+}
+
+impl TrafficDrift {
+    /// Pure skew drift: shift every table's exponent at `start_batch`.
+    pub fn exponent_shift(start_batch: usize, exponent_shift: f64) -> Self {
+        Self {
+            start_batch,
+            exponent_shift,
+            hot_rotation_every: 0,
+        }
+    }
+
+    /// Pure popularity churn: rotate the hot set every `every` batches.
+    pub fn hot_rotation(start_batch: usize, every: usize) -> Self {
+        Self {
+            start_batch,
+            exponent_shift: 0.0,
+            hot_rotation_every: every,
+        }
+    }
+
+    /// Number of hot-set rotation steps in effect at `batch_index`.
+    pub fn rotation_steps(&self, batch_index: usize) -> usize {
+        if self.hot_rotation_every == 0 || batch_index < self.start_batch {
+            0
+        } else {
+            (batch_index - self.start_batch) / self.hot_rotation_every
+        }
+    }
+
+    /// True once the drift has begun at `batch_index`.
+    pub fn active_at(&self, batch_index: usize) -> bool {
+        batch_index >= self.start_batch
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.exponent_shift.is_finite() {
+            return Err("exponent shift must be finite".into());
+        }
+        if self.exponent_shift == 0.0 && self.hot_rotation_every == 0 {
+            return Err("drift must shift the exponent or rotate the hot set".into());
+        }
+        Ok(())
+    }
+}
+
 /// Full description of a synthetic dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatasetConfig {
@@ -112,9 +184,19 @@ pub struct DatasetConfig {
     pub tables: Vec<TableProfile>,
     /// Seed that pins the hidden ground-truth labelling model.
     pub label_seed: u64,
+    /// Optional mid-run traffic drift (`None` keeps the stream stationary —
+    /// and bit-identical to the drift-less generator).
+    #[serde(default)]
+    pub drift: Option<TrafficDrift>,
 }
 
 impl DatasetConfig {
+    /// The same dataset with the given traffic drift (builder-style).
+    pub fn with_drift(mut self, drift: TrafficDrift) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
     /// Number of categorical features / embedding tables.
     pub fn num_tables(&self) -> usize {
         self.tables.len()
@@ -170,6 +252,9 @@ impl DatasetConfig {
                 return Err(format!("table {i} has implausible zipf exponent"));
             }
         }
+        if let Some(drift) = &self.drift {
+            drift.validate()?;
+        }
         Ok(())
     }
 }
@@ -189,6 +274,7 @@ mod tests {
                 TableProfile::new(1, 10, 0.5, ValueDistribution::Uniform { range: 0.1 }),
             ],
             label_seed: 7,
+            drift: None,
         }
     }
 

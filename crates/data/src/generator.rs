@@ -21,6 +21,10 @@ use dlrm_tensor::{Matrix, SeededRng};
 pub struct SyntheticCriteo {
     config: DatasetConfig,
     queries: Vec<Zipf>,
+    /// Post-drift query distributions, built lazily the first time a batch
+    /// falls past the drift's `start_batch` (`None` until then, and forever
+    /// when the dataset has no drift or a pure-rotation drift).
+    drifted_queries: Option<Vec<Zipf>>,
     /// Hidden per-table, per-category-bucket logit contributions.
     table_weights: Vec<Vec<f32>>,
     /// Hidden weights on the dense features.
@@ -29,6 +33,7 @@ pub struct SyntheticCriteo {
     bias: f32,
     rng: SeededRng,
     samples_drawn: u64,
+    batches_drawn: u64,
 }
 
 /// Number of hash buckets the hidden labeler uses per table. Keeping this
@@ -63,10 +68,12 @@ impl SyntheticCriteo {
             rng: root.fork(1),
             config,
             queries,
+            drifted_queries: None,
             table_weights,
             dense_weights,
             bias: -0.8,
             samples_drawn: 0,
+            batches_drawn: 0,
         }
     }
 
@@ -80,11 +87,47 @@ impl SyntheticCriteo {
         self.samples_drawn
     }
 
+    /// Number of batches generated so far (the drift clock).
+    pub fn batches_drawn(&self) -> u64 {
+        self.batches_drawn
+    }
+
     /// Generate the next mini-batch of `batch_size` samples.
+    ///
+    /// With [`DatasetConfig::drift`] set, batches past the drift's
+    /// `start_batch` sample from the shifted Zipf distributions and rotate
+    /// the hot set; without drift the stream is bit-identical to the
+    /// drift-less generator.
     pub fn next_batch(&mut self, batch_size: usize) -> MiniBatch {
         assert!(batch_size > 0, "batch size must be positive");
         let num_dense = self.config.num_dense;
         let num_tables = self.config.num_tables();
+
+        // Resolve the drift state of this batch before any sampling: the
+        // active query distributions and the hot-set rotation offset.
+        let batch_index = self.batches_drawn as usize;
+        let drift = self.config.drift.filter(|d| d.active_at(batch_index));
+        if let Some(d) = drift {
+            if d.exponent_shift != 0.0 && self.drifted_queries.is_none() {
+                self.drifted_queries = Some(
+                    self.config
+                        .tables
+                        .iter()
+                        .map(|t| {
+                            Zipf::new(
+                                t.cardinality,
+                                (t.zipf_exponent + d.exponent_shift).clamp(0.0, 5.0),
+                            )
+                        })
+                        .collect(),
+                );
+            }
+        }
+        let queries = match (&drift, &self.drifted_queries) {
+            (Some(d), Some(shifted)) if d.exponent_shift != 0.0 => shifted,
+            _ => &self.queries,
+        };
+        let rotation_steps = drift.map_or(0, |d| d.rotation_steps(batch_index));
 
         let mut dense = Matrix::zeros(batch_size, num_dense);
         let mut sparse: Vec<Vec<u32>> = vec![Vec::with_capacity(batch_size); num_tables];
@@ -102,9 +145,17 @@ impl SyntheticCriteo {
                     logit += self.dense_weights[j] * *v;
                 }
             }
-            // Categorical features.
-            for (t, zipf) in self.queries.iter().enumerate() {
-                let cat = zipf.sample(&mut self.rng);
+            // Categorical features. Hot-set rotation re-maps the sampled
+            // rank onto a rotated category identity, so which categories are
+            // hot (and therefore which vectors repeat, and which label
+            // buckets fire) churns over the run.
+            for (t, zipf) in queries.iter().enumerate() {
+                let mut cat = zipf.sample(&mut self.rng);
+                if rotation_steps > 0 {
+                    let card = self.config.tables[t].cardinality;
+                    let stride = (card / 8).max(1);
+                    cat = (cat + rotation_steps * stride) % card;
+                }
                 sparse[t].push(cat as u32);
                 let bucket = bucket_of(t, cat);
                 logit += self.table_weights[t][bucket];
@@ -119,6 +170,7 @@ impl SyntheticCriteo {
             });
         }
         self.samples_drawn += batch_size as u64;
+        self.batches_drawn += 1;
         let batch = MiniBatch {
             dense,
             sparse,
@@ -236,6 +288,78 @@ mod tests {
         assert!(
             max_gap > 0.02,
             "no conditional signal found (gap {max_gap})"
+        );
+    }
+
+    #[test]
+    fn drifting_stream_matches_stationary_until_start_batch() {
+        use crate::config::TrafficDrift;
+        let cfg = presets::tiny();
+        let drifted_cfg = cfg.clone().with_drift(TrafficDrift {
+            start_batch: 3,
+            exponent_shift: 1.0,
+            hot_rotation_every: 2,
+        });
+        let mut stationary = SyntheticCriteo::new(cfg, 21);
+        let mut drifting = SyntheticCriteo::new(drifted_cfg, 21);
+        for b in 0..3 {
+            assert_eq!(
+                stationary.next_batch(64),
+                drifting.next_batch(64),
+                "batch {b} diverged before the drift began"
+            );
+        }
+        // Once the drift starts the streams part ways.
+        assert_ne!(stationary.next_batch(512), drifting.next_batch(512));
+        assert_eq!(drifting.batches_drawn(), 4);
+    }
+
+    #[test]
+    fn exponent_shift_concentrates_queries() {
+        use crate::config::TrafficDrift;
+        // A strong positive shift must make the hot category dominate far
+        // more after the drift than before — the repetition structure (and
+        // therefore table homogenization) genuinely moves mid-run.
+        let cfg = presets::tiny().with_drift(TrafficDrift::exponent_shift(1, 2.0));
+        let mut g = SyntheticCriteo::new(cfg, 13);
+        let before = g.next_batch(2000);
+        let after = g.next_batch(2000);
+        // Table 0 (cardinality 7, mild base skew): count the modal category.
+        let modal = |b: &MiniBatch| {
+            let mut counts = [0usize; 16];
+            for &c in &b.sparse[0] {
+                counts[c as usize % 16] += 1;
+            }
+            counts.iter().copied().max().unwrap()
+        };
+        assert!(
+            modal(&after) > modal(&before) + 200,
+            "repetition did not increase: {} -> {}",
+            modal(&before),
+            modal(&after)
+        );
+    }
+
+    #[test]
+    fn hot_rotation_moves_the_modal_category() {
+        use crate::config::TrafficDrift;
+        let cfg = presets::tiny().with_drift(TrafficDrift::hot_rotation(0, 1));
+        let mut g = SyntheticCriteo::new(cfg.clone(), 29);
+        let modal = |b: &MiniBatch, t: usize| {
+            let mut counts = std::collections::HashMap::new();
+            for &c in &b.sparse[t] {
+                *counts.entry(c).or_insert(0usize) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, n)| n).unwrap().0
+        };
+        // Pick a table with real skew so the mode is stable; table 0 of the
+        // tiny preset has cardinality 7 with exponent >= 1.
+        let b0 = g.next_batch(2000); // rotation step 0
+        let b1 = g.next_batch(2000); // rotation step 1
+        assert_ne!(
+            modal(&b0, 0),
+            modal(&b1, 0),
+            "hot set did not rotate between batches"
         );
     }
 

@@ -37,7 +37,7 @@ pub mod traffic;
 pub mod zipf;
 
 pub use batch::MiniBatch;
-pub use config::{DatasetConfig, TableProfile, ValueDistribution};
+pub use config::{DatasetConfig, TableProfile, TrafficDrift, ValueDistribution};
 pub use generator::SyntheticCriteo;
 pub use traffic::EmbeddingTrafficGenerator;
 pub use zipf::Zipf;

@@ -152,6 +152,7 @@ fn build(
         default_batch_size: batch,
         tables,
         label_seed,
+        drift: None,
     };
     debug_assert!(cfg.validate().is_ok());
     cfg

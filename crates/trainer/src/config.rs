@@ -1,7 +1,8 @@
 //! Trainer configuration.
 
-use dlrm_adaptive::{CompressionPlan, DecaySchedule, EbSchedule, TrainingPhases};
-use dlrm_comm::{NetworkConfig, Topology};
+use dlrm_adaptive::controller::PlateauEbControl;
+use dlrm_adaptive::{CodecProfile, CompressionPlan, DecaySchedule, EbSchedule, TrainingPhases};
+use dlrm_comm::{BandwidthTrace, NetworkConfig, Topology};
 use dlrm_compress::CompressorKind;
 use dlrm_grad::GradCodecKind;
 use serde::{Deserialize, Serialize};
@@ -234,6 +235,68 @@ impl TopologySetting {
     }
 }
 
+/// Whether compressor/error-bound selection is frozen before iteration 0
+/// (the offline analysis) or revised *during* training by the closed-loop
+/// runtime controller.
+///
+/// `Static` is the default and stays **bit-for-bit** the pre-controller
+/// pipeline (asserted by the adaptive test matrix). `Runtime` re-runs
+/// Equation-2 selection once per `window` iterations from live
+/// measurements — per-table compression ratios, candidate-codec ratios
+/// probed on live payloads, the effective wire bandwidth observed on the
+/// ledger, the loss curve — with `hysteresis` guarding against selection
+/// thrash (see [`dlrm_adaptive::RuntimeController`]). Reselection decisions
+/// are deterministic and identical on every rank: the raw per-table
+/// measurements are all-gathered at each window boundary, so the rank that
+/// compresses a table and the ranks that decompress it always agree on the
+/// codec.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum AdaptiveSetting {
+    /// Offline selection only — today's path, bit for bit.
+    #[default]
+    Static,
+    /// Closed-loop runtime reselection.
+    Runtime {
+        /// Iterations per observation window (one reselection point per
+        /// window boundary).
+        window: usize,
+        /// Relative Equation-2 advantage a challenger codec needs over the
+        /// incumbent before a table switches (e.g. `0.1` = 10%).
+        hysteresis: f64,
+        /// Optional loss-plateau-driven error-bound control; `None` leaves
+        /// error bounds to the decay schedule alone.
+        #[serde(default)]
+        eb_control: Option<PlateauEbControl>,
+    },
+}
+
+impl AdaptiveSetting {
+    /// Runtime reselection with the given window and hysteresis, without
+    /// error-bound control — the common configuration.
+    pub fn runtime(window: usize, hysteresis: f64) -> Self {
+        AdaptiveSetting::Runtime {
+            window,
+            hysteresis,
+            eb_control: None,
+        }
+    }
+
+    /// True when the runtime controller is enabled.
+    pub fn is_runtime(&self) -> bool {
+        matches!(self, AdaptiveSetting::Runtime { .. })
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            AdaptiveSetting::Static => "static".to_string(),
+            AdaptiveSetting::Runtime {
+                window, hysteresis, ..
+            } => format!("runtime-w{window}-h{hysteresis}"),
+        }
+    }
+}
+
 /// Full configuration of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainerConfig {
@@ -261,6 +324,28 @@ pub struct TrainerConfig {
     /// (see [`TopologySetting`]).
     #[serde(default)]
     pub topology: TopologySetting,
+    /// Whether compressor selection is frozen at iteration 0 or revised
+    /// mid-run by the closed-loop controller (defaults to
+    /// [`AdaptiveSetting::Static`], the bit-exact offline-only path).
+    #[serde(default)]
+    pub adaptive: AdaptiveSetting,
+    /// Optional piecewise-constant drift of the modeled interconnect.
+    /// `None` (the default) charges [`TrainerConfig::network`] — or the
+    /// topology's tiers — for the whole run, bit for bit; `Some(trace)`
+    /// makes every network charge use the link in effect at the current
+    /// iteration (under a hierarchical topology the trace replaces the
+    /// **inter-node** tier).
+    #[serde(default)]
+    pub bandwidth_trace: Option<BandwidthTrace>,
+    /// Optional per-codec analytic throughput model: when set, compression
+    /// and decompression time of the all-to-all payloads is charged as
+    /// `bytes / throughput(kind)` per codec instead of a single flat
+    /// [`TrainerConfig::device_throughput`] pair — which is what lets two
+    /// codecs with different speed/ratio trade-offs be compared in modeled
+    /// time (and what the runtime controller's selection assumes). Takes
+    /// precedence over `device_throughput` for the embedding payloads.
+    #[serde(default)]
+    pub codec_profile: Option<CodecProfile>,
     /// Seed for data generation and model initialisation.
     pub seed: u64,
     /// If set, compression and decompression time is *charged analytically*
@@ -295,6 +380,9 @@ impl TrainerConfig {
             dense_compression: DenseCompression::Off,
             network: NetworkConfig::default(),
             topology: TopologySetting::Flat,
+            adaptive: AdaptiveSetting::Static,
+            bandwidth_trace: None,
+            codec_profile: None,
             seed: 20_240_614,
             device_throughput: None,
             compute_time_scale: 1.0,
@@ -320,6 +408,26 @@ impl TrainerConfig {
     /// (builder-style convenience for the dense test matrix and experiments).
     pub fn with_dense_compression(mut self, dense: DenseCompression) -> Self {
         self.dense_compression = dense;
+        self
+    }
+
+    /// The same configuration with the given adaptive setting
+    /// (builder-style convenience for the adaptive test matrix and the
+    /// `adapt1` experiment).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveSetting) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// The same configuration over the given bandwidth trace.
+    pub fn with_bandwidth_trace(mut self, trace: BandwidthTrace) -> Self {
+        self.bandwidth_trace = Some(trace);
+        self
+    }
+
+    /// The same configuration with per-codec analytic throughputs.
+    pub fn with_codec_profile(mut self, profile: CodecProfile) -> Self {
+        self.codec_profile = Some(profile);
         self
     }
 
@@ -357,6 +465,34 @@ impl TrainerConfig {
                     self.world
                 ));
             }
+        }
+        if let AdaptiveSetting::Runtime {
+            window,
+            hysteresis,
+            eb_control,
+        } = &self.adaptive
+        {
+            // Delegate window/hysteresis/eb-control validation to the
+            // controller's own rules, so a config that passes here can
+            // never panic `RuntimeController::new` inside a rank thread.
+            let mut controller_cfg = dlrm_adaptive::ControllerConfig::new(*window, *hysteresis);
+            if let Some(ebc) = eb_control {
+                controller_cfg = controller_cfg.with_eb_control(*ebc);
+            }
+            controller_cfg.validate()?;
+            if !matches!(
+                self.compression,
+                CompressionSetting::FixedLossy { .. } | CompressionSetting::Adaptive(_)
+            ) {
+                return Err(
+                    "runtime adaptive selection needs an error-bounded compression setting \
+                     (FixedLossy or Adaptive) to control"
+                        .into(),
+                );
+            }
+        }
+        if let Some(trace) = &self.bandwidth_trace {
+            trace.validate()?;
         }
         if let DenseCompression::Compressed { codec, .. } = &self.dense_compression {
             match codec {
@@ -485,6 +621,61 @@ mod tests {
             )),
         );
         assert!(mismatched.validate().is_err());
+    }
+
+    #[test]
+    fn adaptive_setting_defaults_static_validates_and_labels() {
+        assert_eq!(AdaptiveSetting::default(), AdaptiveSetting::Static);
+        assert!(!AdaptiveSetting::Static.is_runtime());
+        assert!(AdaptiveSetting::runtime(8, 0.1).is_runtime());
+        assert_ne!(
+            AdaptiveSetting::Static.label(),
+            AdaptiveSetting::runtime(8, 0.1).label()
+        );
+
+        // Runtime selection needs an error-bounded setting to control.
+        let good =
+            TrainerConfig::small_test(CompressionSetting::fixed(0.02, CompressorKind::OursHybrid))
+                .with_adaptive(AdaptiveSetting::runtime(4, 0.1));
+        assert!(good.validate().is_ok());
+        let raw = TrainerConfig::small_test(CompressionSetting::None)
+            .with_adaptive(AdaptiveSetting::runtime(4, 0.1));
+        assert!(raw.validate().is_err());
+        let zero_window =
+            TrainerConfig::small_test(CompressionSetting::fixed(0.02, CompressorKind::OursHybrid))
+                .with_adaptive(AdaptiveSetting::runtime(0, 0.1));
+        assert!(zero_window.validate().is_err());
+        let bad_hysteresis =
+            TrainerConfig::small_test(CompressionSetting::fixed(0.02, CompressorKind::OursHybrid))
+                .with_adaptive(AdaptiveSetting::runtime(4, -0.5));
+        assert!(bad_hysteresis.validate().is_err());
+        // Every controller rule is enforced at config time — including the
+        // plateau threshold, which only the delegated validation checks.
+        let bad_plateau =
+            TrainerConfig::small_test(CompressionSetting::fixed(0.02, CompressorKind::OursHybrid))
+                .with_adaptive(AdaptiveSetting::Runtime {
+                    window: 4,
+                    hysteresis: 0.1,
+                    eb_control: Some(dlrm_adaptive::PlateauEbControl {
+                        plateau_threshold: f64::NAN,
+                        tighten_factor: 0.5,
+                        min_scale: 0.25,
+                    }),
+                });
+        assert!(bad_plateau.validate().is_err());
+    }
+
+    #[test]
+    fn bandwidth_trace_validates_through_the_config() {
+        use dlrm_comm::BandwidthTrace;
+        let cfg = TrainerConfig::small_test(CompressionSetting::None).with_bandwidth_trace(
+            BandwidthTrace::step(
+                NetworkConfig::default(),
+                NetworkConfig::alltoall_bound(5e8),
+                4,
+            ),
+        );
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -90,6 +90,26 @@
 //! same [`dlrm_comm::OverlapTimeline`] with the tiered β split across
 //! chunks.
 
+//! ## Closed-loop runtime adaptivity
+//!
+//! [`config::AdaptiveSetting`] decides whether compressor/error-bound
+//! selection stays frozen at iteration 0 (`Static`, the bit-exact default)
+//! or is revised mid-run (`Runtime { window, hysteresis, eb_control }`).
+//! Under the runtime setting the pipeline accumulates per-window
+//! observations — per-table measured ratios, candidate-codec ratios probed
+//! on live payloads, the effective wire bandwidth derived from the virtual
+//! charges, the mean loss — all-gathers the raw measurements at each window
+//! boundary, and runs the identical deterministic
+//! [`dlrm_adaptive::RuntimeController`] on every rank, so codec switches
+//! stay coherent between compressing and decompressing ranks. Revisions and
+//! per-window ratios surface as [`run::TrainingReport::reselections`] and
+//! [`run::TrainingReport::window_ratios`]. The conditions to adapt against
+//! are configurable: [`config::TrainerConfig::bandwidth_trace`] drifts the
+//! modeled fabric ([`dlrm_comm::BandwidthTrace`]),
+//! [`config::TrainerConfig::codec_profile`] charges codec time per codec
+//! kind, and `dlrm-data`'s `TrafficDrift` shifts the query skew mid-run.
+//! See `docs/ADAPTIVITY.md` for the end-to-end walkthrough.
+
 pub mod config;
 pub mod partition;
 pub mod pipeline;
@@ -97,7 +117,8 @@ pub mod plan;
 pub mod run;
 
 pub use config::{
-    CompressionSetting, DenseCompression, OverlapSetting, TopologySetting, TrainerConfig,
+    AdaptiveSetting, CompressionSetting, DenseCompression, OverlapSetting, TopologySetting,
+    TrainerConfig,
 };
 pub use partition::TablePartition;
 pub use run::{run_training, TableCompressionStats, TrainingReport};

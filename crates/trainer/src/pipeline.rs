@@ -7,10 +7,14 @@
 //! pipeline, with compression spliced around both all-to-alls.
 
 use crate::config::{
-    CompressionSetting, DenseCompression, OverlapSetting, TopologySetting, TrainerConfig,
+    AdaptiveSetting, CompressionSetting, DenseCompression, OverlapSetting, TopologySetting,
+    TrainerConfig,
 };
 use crate::partition::TablePartition;
-use dlrm_adaptive::EbSchedule;
+use dlrm_adaptive::controller::{
+    ControllerConfig, Reselection, RuntimeController, TableObservation, WindowObservation,
+};
+use dlrm_adaptive::{CodecProfile, EbSchedule};
 use dlrm_comm::cluster::{
     RankCtx, CHUNK_HEADER_BYTES, HIER_ENTRY_HEADER_BYTES, METADATA_RECORD_BYTES,
 };
@@ -21,7 +25,7 @@ use dlrm_comm::reduce::{
 use dlrm_comm::topology::{HierExchangeBytes, TieredCostModel, Topology};
 use dlrm_comm::{CostModel, OverlapTimeline, TimingLedger};
 use dlrm_compress::lowprec::{self, Precision};
-use dlrm_compress::{CompressScratch, Compressor};
+use dlrm_compress::{CompressScratch, Compressor, CompressorKind};
 use dlrm_data::{DatasetConfig, SyntheticCriteo};
 use dlrm_grad::GradCompressor;
 use dlrm_model::{Dlrm, DlrmConfig, EvalMetrics};
@@ -60,6 +64,10 @@ pub mod phases {
     pub const ALLREDUCE: &str = "mlp all-reduce";
     /// MLP parameter update.
     pub const OPTIMIZER: &str = "optimizer";
+    /// Runtime adaptive controller: candidate-codec probing plus the
+    /// window-boundary observation exchange (zero under
+    /// [`AdaptiveSetting::Static`](crate::config::AdaptiveSetting)).
+    pub const CONTROLLER: &str = "runtime controller";
 
     /// All phases, in pipeline order.
     pub const ALL: &[&str] = &[
@@ -75,6 +83,7 @@ pub mod phases {
         EMB_UPDATE,
         ALLREDUCE,
         OPTIMIZER,
+        CONTROLLER,
     ];
 }
 
@@ -92,6 +101,11 @@ pub enum ResolvedCompression {
         per_table: Vec<(Box<dyn Compressor>, f32)>,
         /// Iteration-wise decay schedule.
         schedule: EbSchedule,
+        /// Runtime multiplier on every table's scheduled bound, revised by
+        /// the closed-loop controller's loss-plateau signal. Stays exactly
+        /// `1.0` under [`AdaptiveSetting::Static`], where multiplying by it
+        /// is a bit-exact no-op.
+        eb_scale: f32,
     },
 }
 
@@ -111,6 +125,7 @@ impl ResolvedCompression {
                     .map(|_| (compressor.build(), *error_bound))
                     .collect(),
                 schedule: *schedule,
+                eb_scale: 1.0,
             },
             CompressionSetting::Adaptive(plan) => {
                 assert_eq!(
@@ -125,6 +140,7 @@ impl ResolvedCompression {
                         .map(|t| (t.compressor.build(), t.base_error_bound))
                         .collect(),
                     schedule: plan.schedule,
+                    eb_scale: 1.0,
                 }
             }
         }
@@ -162,9 +178,10 @@ impl ResolvedCompression {
             ResolvedCompression::Lossy {
                 per_table,
                 schedule,
+                eb_scale,
             } => {
                 let (comp, base_eb) = &per_table[table];
-                let eb = schedule.error_bound_at(*base_eb, iter);
+                let eb = schedule.error_bound_at(*base_eb, iter) * eb_scale;
                 comp.compress_into(data, dim, eb, scratch, out)
                     .expect("lossy compression of finite training data cannot fail");
             }
@@ -213,6 +230,47 @@ impl ResolvedCompression {
     /// buffer directly, so its measured cost is not charged to the pipeline.
     fn is_raw(&self) -> bool {
         matches!(self, ResolvedCompression::Raw)
+    }
+
+    /// Registry kind of the codec `table` runs under this setting (`None`
+    /// for raw fp32) — what the per-codec analytic throughput profile and
+    /// the runtime controller key on.
+    pub fn kind_of(&self, table: usize) -> Option<CompressorKind> {
+        match self {
+            ResolvedCompression::Raw => None,
+            ResolvedCompression::LowPrec(Precision::Fp16) => Some(CompressorKind::Fp16),
+            ResolvedCompression::LowPrec(Precision::Fp8E4M3) => Some(CompressorKind::Fp8),
+            ResolvedCompression::Lossy { per_table, .. } => Some(per_table[table].0.kind()),
+        }
+    }
+
+    /// The effective error bound of `table` at `iter` (scheduled bound times
+    /// the runtime scale); 0 for non-lossy settings.
+    fn effective_eb(&self, table: usize, iter: usize) -> f32 {
+        match self {
+            ResolvedCompression::Lossy {
+                per_table,
+                schedule,
+                eb_scale,
+            } => schedule.error_bound_at(per_table[table].1, iter) * eb_scale,
+            _ => 0.0,
+        }
+    }
+
+    /// Swap `table`'s codec — how the runtime controller applies a
+    /// reselection. Only meaningful for the lossy setting (the controller is
+    /// only ever constructed over one).
+    fn set_compressor(&mut self, table: usize, comp: Box<dyn Compressor>) {
+        if let ResolvedCompression::Lossy { per_table, .. } = self {
+            per_table[table].0 = comp;
+        }
+    }
+
+    /// Set the runtime error-bound scale (no-op for non-lossy settings).
+    fn set_eb_scale(&mut self, scale: f32) {
+        if let ResolvedCompression::Lossy { eb_scale, .. } = self {
+            *eb_scale = scale;
+        }
     }
 
     /// Numeric tag describing the compressor of `table` (carried in the
@@ -274,6 +332,13 @@ pub struct RankOutcome {
     /// phases under a hierarchical topology (un-overlapped charge — hidden
     /// time is accounted separately in the ledger); zeros when flat.
     pub tier_seconds: (f64, f64),
+    /// The runtime controller's reselection log (empty under
+    /// [`AdaptiveSetting::Static`]; identical on every rank — asserted by
+    /// the report merger).
+    pub reselections: Vec<Reselection>,
+    /// `(original, compressed)` forward-payload bytes of this rank's owned
+    /// tables per completed controller window (empty under `Static`).
+    pub window_traffic: Vec<(u64, u64)>,
 }
 
 /// Per-rank reusable state threaded through every pipeline stage so the
@@ -411,17 +476,21 @@ pub fn block_slices(bytes: &[u8]) -> impl Iterator<Item = (u32, &[u8])> {
     })
 }
 
-/// Charge a compression/decompression phase: measured seconds by default, or
-/// `bytes / throughput` when a device-throughput override is configured.
+/// Charge a compression/decompression phase: per-codec analytic seconds
+/// when a [`CodecProfile`] is configured (accumulated per block by the
+/// caller and passed as `analytic`), `bytes / throughput` under the flat
+/// device-throughput override, measured seconds otherwise.
 fn charge_codec(
     ledger: &mut TimingLedger,
     phase: &str,
     measured: f64,
     bytes: u64,
     throughput: Option<f64>,
+    analytic: Option<f64>,
 ) {
-    let seconds = match throughput {
-        Some(t) if t > 0.0 => bytes as f64 / t,
+    let seconds = match (analytic, throughput) {
+        (Some(a), _) => a,
+        (None, Some(t)) if t > 0.0 => bytes as f64 / t,
         _ => measured,
     };
     ledger.add_time(phase, seconds);
@@ -430,16 +499,46 @@ fn charge_codec(
 
 /// Seconds one chunk's codec work is charged on the virtual codec timeline:
 /// zero for raw payloads (the byte conversion stands in for NCCL sending the
-/// original buffer), `bytes / throughput` under a device-throughput
-/// override, the measured seconds otherwise — chunk-level mirror of
-/// [`charge_codec`], so the timeline and the ledger always agree.
-fn chunk_codec_seconds(is_raw: bool, measured: f64, bytes: u64, throughput: Option<f64>) -> f64 {
+/// original buffer), the per-codec analytic sum when a profile is
+/// configured, `bytes / throughput` under a device-throughput override, the
+/// measured seconds otherwise — chunk-level mirror of [`charge_codec`], so
+/// the timeline and the ledger always agree.
+fn chunk_codec_seconds(
+    is_raw: bool,
+    measured: f64,
+    bytes: u64,
+    throughput: Option<f64>,
+    analytic: Option<f64>,
+) -> f64 {
     if is_raw {
         return 0.0;
     }
-    match throughput {
-        Some(t) if t > 0.0 => bytes as f64 / t,
+    match (analytic, throughput) {
+        (Some(a), _) => a,
+        (None, Some(t)) if t > 0.0 => bytes as f64 / t,
         _ => measured,
+    }
+}
+
+/// Per-block analytic codec seconds under a per-codec throughput profile:
+/// `bytes` over the profile throughput of the codec `table` runs (the
+/// compress side, or the decompress side with `decompress`). Zero without a
+/// profile or for raw payloads — callers sum this per block and pass the
+/// total as the `analytic` argument of [`charge_codec`] /
+/// [`chunk_codec_seconds`].
+fn block_profile_seconds(
+    profile: Option<&CodecProfile>,
+    resolved: &ResolvedCompression,
+    table: usize,
+    bytes: u64,
+    decompress: bool,
+) -> f64 {
+    match (profile, resolved.kind_of(table)) {
+        (Some(p), Some(kind)) => {
+            let (tc, td) = p.throughput(kind);
+            bytes as f64 / if decompress { td } else { tc }
+        }
+        _ => 0.0,
     }
 }
 
@@ -636,6 +735,380 @@ fn note_alloc(
     allocated
 }
 
+/// Per-rank state of the closed-loop runtime controller
+/// ([`AdaptiveSetting::Runtime`]); `None` under the bit-exact
+/// [`AdaptiveSetting::Static`] path.
+///
+/// The controller itself ([`RuntimeController`]) is pure decision logic;
+/// this wrapper owns the trainer-side plumbing: window accumulators
+/// (per-table traffic, virtual wire bytes/seconds per tier, the loss sum),
+/// candidate-codec probing on live payloads, and the window-boundary
+/// **observation all-gather** that makes every rank decide on identical
+/// inputs — which is what keeps a mid-run codec switch consistent between
+/// the rank that compresses a table and the ranks that decompress it.
+struct ControllerState {
+    ctl: RuntimeController,
+    /// Prebuilt candidate codecs, in controller-candidate order.
+    candidates: Vec<(CompressorKind, Box<dyn Compressor>)>,
+    /// Iterations per observation window.
+    window: usize,
+    /// `fwd_traffic` snapshot at the current window's start.
+    traffic_mark: Vec<(u64, u64)>,
+    /// Sum and count of per-iteration losses in the current window.
+    loss_sum: f64,
+    loss_n: u32,
+    /// Bottleneck-tier wire accounting of the window: bytes and the β
+    /// seconds the cost model charged for them (their quotient is the
+    /// effective bandwidth the controller reselects against).
+    wire_bytes: f64,
+    wire_seconds: f64,
+    /// Intra-node tier accounting (hierarchical topologies only).
+    intra_bytes: f64,
+    intra_seconds: f64,
+    /// Codec-phase marks at the window start (ledger seconds/bytes of the
+    /// two compress phases), for measured-throughput calibration.
+    codec_seconds_mark: f64,
+    codec_bytes_mark: u64,
+    /// Candidate compression ratios per owned table (local index), probed on
+    /// the iteration preceding a window boundary.
+    probe_ratios: Vec<Vec<f64>>,
+    /// Reusable serialization buffer for the observation exchange.
+    blob: Vec<u8>,
+    /// `(original, compressed)` bytes of this rank's owned tables per
+    /// completed window.
+    window_traffic: Vec<(u64, u64)>,
+}
+
+impl ControllerState {
+    fn new(
+        window: usize,
+        hysteresis: f64,
+        eb_control: Option<dlrm_adaptive::PlateauEbControl>,
+        overlapped: bool,
+        profile: Option<&CodecProfile>,
+        resolved: &ResolvedCompression,
+        num_tables: usize,
+    ) -> Self {
+        let initial: Vec<CompressorKind> = (0..num_tables)
+            .map(|t| {
+                resolved
+                    .kind_of(t)
+                    .expect("validated: runtime adaptation requires a lossy setting")
+            })
+            .collect();
+        let mut cfg = ControllerConfig::new(window, hysteresis).with_overlap(overlapped);
+        if let Some(p) = profile {
+            cfg = cfg.with_profile(p.clone());
+        }
+        if let Some(ebc) = eb_control {
+            cfg = cfg.with_eb_control(ebc);
+        }
+        let candidates = cfg.candidates.iter().map(|&k| (k, k.build())).collect();
+        Self {
+            ctl: RuntimeController::new(cfg, initial),
+            candidates,
+            window,
+            traffic_mark: vec![(0, 0); num_tables],
+            loss_sum: 0.0,
+            loss_n: 0,
+            wire_bytes: 0.0,
+            wire_seconds: 0.0,
+            intra_bytes: 0.0,
+            intra_seconds: 0.0,
+            codec_seconds_mark: 0.0,
+            codec_bytes_mark: 0,
+            probe_ratios: Vec::new(),
+            blob: Vec::new(),
+            window_traffic: Vec::new(),
+        }
+    }
+
+    /// Worst-case observation-blob bytes this rank can produce — the lease
+    /// capacity the control exchange requests (spares of this class are
+    /// parked at warm-up so the steady state stays allocation-free).
+    fn blob_capacity(&self, owned_tables: usize) -> usize {
+        // 9 u64-sized header fields, then per table: id + orig + comp
+        // (3 x u64) plus one f64 ratio per candidate.
+        72 + owned_tables * (24 + 8 * self.candidates.len())
+    }
+
+    /// True when `iter` starts a new window (a reselection point).
+    fn is_boundary(&self, iter: usize) -> bool {
+        iter > 0 && iter.is_multiple_of(self.window)
+    }
+
+    /// True when the iteration *before* `boundary_iter` should probe the
+    /// candidate codecs on live payloads.
+    fn wants_probe(&self, iter: usize, iterations: usize) -> bool {
+        let next = iter + 1;
+        next < iterations && self.is_boundary(next)
+    }
+
+    /// Record one bottleneck-tier wire charge.
+    fn add_wire(&mut self, bytes: usize, seconds: f64) {
+        self.wire_bytes += bytes as f64;
+        self.wire_seconds += seconds;
+    }
+
+    /// Record one intra-tier wire charge (hierarchical topologies).
+    fn add_intra(&mut self, bytes: usize, seconds: f64) {
+        self.intra_bytes += bytes as f64;
+        self.intra_seconds += seconds;
+    }
+
+    /// Compress every candidate codec over each owned table's live payload
+    /// (this rank's own shard of the lookups) and record the achieved
+    /// ratios — the runtime analogue of Algorithm 2's offline sampling. The
+    /// compressed byte counts are deterministic; the probe's time is charged
+    /// to the controller phase (per-codec analytic under a profile, measured
+    /// otherwise).
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        &mut self,
+        ctx: &RankCtx,
+        resolved: &ResolvedCompression,
+        owned: &[usize],
+        lookup_matrices: &[Matrix],
+        world: usize,
+        rank: usize,
+        dim: usize,
+        iter: usize,
+        scratch: &mut CompressScratch,
+        ledger: &mut TimingLedger,
+        profile: Option<&CodecProfile>,
+        device_compress: Option<f64>,
+    ) {
+        self.probe_ratios.clear();
+        let t0 = Instant::now();
+        let mut probed_bytes = 0u64;
+        let mut profile_seconds = 0.0f64;
+        // Probing every candidate over the full payload would make the
+        // controller's overhead scale with the batch; a bounded row sample
+        // estimates the ratios at constant cost (like the offline analysis,
+        // which also samples).
+        const PROBE_ROWS: usize = 32;
+        for (local_idx, &t) in owned.iter().enumerate() {
+            let matrix = &lookup_matrices[local_idx * world + rank];
+            let sample = &matrix.as_slice()[..matrix.len().min(PROBE_ROWS * dim)];
+            let eb = resolved.effective_eb(t, iter);
+            let mut buf = ctx.take_buf(sample.len() * 12 + 708);
+            let mut ratios = Vec::with_capacity(self.candidates.len());
+            for (kind, comp) in &self.candidates {
+                buf.clear();
+                comp.compress_into(sample, dim, eb, scratch, &mut buf)
+                    .expect("probe compression of finite training data cannot fail");
+                ratios.push((sample.len() * 4) as f64 / buf.len().max(1) as f64);
+                probed_bytes += (sample.len() * 4) as u64;
+                if let Some(p) = profile {
+                    profile_seconds += (sample.len() * 4) as f64 / p.throughput(*kind).0;
+                }
+            }
+            drop(buf);
+            self.probe_ratios.push(ratios);
+        }
+        charge_codec(
+            ledger,
+            phases::CONTROLLER,
+            t0.elapsed().as_secs_f64(),
+            probed_bytes,
+            device_compress,
+            profile.map(|_| profile_seconds),
+        );
+    }
+
+    /// Close the window ending at `iter`: all-gather every rank's raw
+    /// measurements, assemble the identical global [`WindowObservation`] on
+    /// every rank, run the controller, and apply its revisions (codec swaps
+    /// and the error-bound scale) to this rank's compression state. The
+    /// control exchange rides pool leases and is charged to the controller
+    /// phase.
+    #[allow(clippy::too_many_arguments)]
+    fn window_boundary(
+        &mut self,
+        ctx: &RankCtx,
+        cost: &CostModel,
+        iter: usize,
+        owned: &[usize],
+        fwd_traffic: &[(u64, u64)],
+        resolved: &mut ResolvedCompression,
+        tags: &mut [u32],
+        ledger: &mut TimingLedger,
+        send: &mut Vec<PooledBuf>,
+        recv: &mut Vec<PooledBuf>,
+        hierarchical: bool,
+    ) {
+        let world = ctx.world();
+        // Codec throughput over the window, from the ledger's compress
+        // phases (deterministic whenever codec time is charged
+        // analytically).
+        let codec_seconds = ledger.seconds(phases::FWD_COMPRESS)
+            + ledger.seconds(phases::BWD_COMPRESS)
+            - self.codec_seconds_mark;
+        let codec_bytes = ledger.bytes(phases::FWD_COMPRESS) + ledger.bytes(phases::BWD_COMPRESS)
+            - self.codec_bytes_mark;
+
+        // ── Serialize this rank's share of the observation.
+        self.blob.clear();
+        let blob = &mut self.blob;
+        blob.extend_from_slice(&self.loss_sum.to_le_bytes());
+        blob.extend_from_slice(&(self.loss_n as u64).to_le_bytes());
+        blob.extend_from_slice(&self.wire_bytes.to_le_bytes());
+        blob.extend_from_slice(&self.wire_seconds.to_le_bytes());
+        blob.extend_from_slice(&self.intra_bytes.to_le_bytes());
+        blob.extend_from_slice(&self.intra_seconds.to_le_bytes());
+        blob.extend_from_slice(&(codec_bytes as f64).to_le_bytes());
+        blob.extend_from_slice(&codec_seconds.to_le_bytes());
+        blob.extend_from_slice(&(owned.len() as u64).to_le_bytes());
+        let mut window_orig = 0u64;
+        let mut window_comp = 0u64;
+        for (local_idx, &t) in owned.iter().enumerate() {
+            let (orig, comp) = (
+                fwd_traffic[t].0 - self.traffic_mark[t].0,
+                fwd_traffic[t].1 - self.traffic_mark[t].1,
+            );
+            window_orig += orig;
+            window_comp += comp;
+            blob.extend_from_slice(&(t as u64).to_le_bytes());
+            blob.extend_from_slice(&orig.to_le_bytes());
+            blob.extend_from_slice(&comp.to_le_bytes());
+            // A missing probe (no probe iteration ran yet) reports the
+            // measured ratio for every candidate: selection then holds.
+            let fallback = if comp == 0 {
+                1.0
+            } else {
+                orig as f64 / comp as f64
+            };
+            for c in 0..self.candidates.len() {
+                let ratio = self
+                    .probe_ratios
+                    .get(local_idx)
+                    .and_then(|r| r.get(c))
+                    .copied()
+                    .unwrap_or(fallback);
+                blob.extend_from_slice(&ratio.to_le_bytes());
+            }
+        }
+
+        // ── Exchange: every rank sends its blob to every rank over pool
+        // leases (an all-gather on the metadata plane).
+        let cap = self.blob_capacity(owned.len()).max(self.blob.len());
+        send.clear();
+        for _ in 0..world {
+            let mut b = ctx.take_buf(cap);
+            b.extend_from_slice(&self.blob);
+            send.push(b);
+        }
+        let stats = ctx.all_to_all_pooled(send, recv);
+        // Charged as extra *bytes*, not an extra collective: the blob is
+        // metadata-sized and rides the α already paid by the iteration's
+        // forward all-to-all (exactly how the variable collective's size
+        // records travel), so only the bandwidth term is charged here.
+        ledger.add_time(
+            phases::CONTROLLER,
+            cost.bandwidth_time(stats.sent.max(stats.received)),
+        );
+        ledger.add_bytes(phases::CONTROLLER, (stats.sent + stats.received) as u64);
+
+        // ── Assemble the global observation (identical on every rank: the
+        // same blobs arrive in the same rank order everywhere).
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0u64;
+        let mut wire = (0.0f64, 0.0f64);
+        let mut intra = (0.0f64, 0.0f64);
+        let mut codec = (0.0f64, 0.0f64);
+        let mut tables: Vec<TableObservation> = Vec::new();
+        for chunk in recv.iter() {
+            let mut pos = 0usize;
+            let f = |p: &mut usize| {
+                let v = f64::from_le_bytes(chunk[*p..*p + 8].try_into().expect("f64 field"));
+                *p += 8;
+                v
+            };
+            loss_sum += f(&mut pos);
+            loss_n += u64::from_le_bytes(chunk[pos..pos + 8].try_into().expect("loss count"));
+            pos += 8;
+            wire.0 += f(&mut pos);
+            wire.1 += f(&mut pos);
+            intra.0 += f(&mut pos);
+            intra.1 += f(&mut pos);
+            codec.0 += f(&mut pos);
+            codec.1 += f(&mut pos);
+            let count = u64::from_le_bytes(chunk[pos..pos + 8].try_into().expect("count")) as usize;
+            pos += 8;
+            for _ in 0..count {
+                let table_id =
+                    u64::from_le_bytes(chunk[pos..pos + 8].try_into().expect("table id")) as usize;
+                pos += 8;
+                let original =
+                    u64::from_le_bytes(chunk[pos..pos + 8].try_into().expect("orig bytes"));
+                pos += 8;
+                let compressed =
+                    u64::from_le_bytes(chunk[pos..pos + 8].try_into().expect("comp bytes"));
+                pos += 8;
+                let mut candidate_ratios = Vec::with_capacity(self.candidates.len());
+                for _ in 0..self.candidates.len() {
+                    candidate_ratios.push(f(&mut pos));
+                }
+                tables.push(TableObservation {
+                    table_id,
+                    original_bytes: original,
+                    compressed_bytes: compressed,
+                    candidate_ratios,
+                });
+            }
+        }
+        recv.clear(); // release the leases back to their origin pools
+        tables.sort_by_key(|t| t.table_id);
+
+        let effective_bandwidth = if wire.1 > 0.0 {
+            wire.0 / wire.1
+        } else {
+            cost.config().alltoall_bandwidth
+        };
+        let intra_bandwidth = (hierarchical && intra.1 > 0.0).then(|| intra.0 / intra.1);
+        let obs = WindowObservation {
+            iteration: iter,
+            effective_bandwidth,
+            intra_bandwidth,
+            mean_loss: if loss_n > 0 {
+                loss_sum / loss_n as f64
+            } else {
+                0.0
+            },
+            measured_compress_throughput: if codec.1 > 0.0 {
+                codec.0 / codec.1
+            } else {
+                0.0
+            },
+            tables,
+        };
+
+        // ── Decide and apply.
+        let reselection = self.ctl.observe(&obs);
+        for rev in &reselection.switches {
+            resolved.set_compressor(rev.table_id, rev.to.build());
+        }
+        resolved.set_eb_scale(self.ctl.eb_scale());
+        let tag = owned.first().map_or(0, |&t| resolved.tag(t));
+        tags.fill(tag);
+
+        // ── Roll the window state.
+        self.window_traffic.push((window_orig, window_comp));
+        self.traffic_mark.copy_from_slice(fwd_traffic);
+        self.loss_sum = 0.0;
+        self.loss_n = 0;
+        self.wire_bytes = 0.0;
+        self.wire_seconds = 0.0;
+        self.intra_bytes = 0.0;
+        self.intra_seconds = 0.0;
+        self.codec_seconds_mark =
+            ledger.seconds(phases::FWD_COMPRESS) + ledger.seconds(phases::BWD_COMPRESS);
+        self.codec_bytes_mark =
+            ledger.bytes(phases::FWD_COMPRESS) + ledger.bytes(phases::BWD_COMPRESS);
+        self.probe_ratios.clear();
+    }
+}
+
 /// Run the full training loop on one rank. Must be called from within a
 /// [`SimCluster`](dlrm_comm::SimCluster) whose world matches
 /// `setup.trainer.world`.
@@ -648,10 +1121,31 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
     let partition = &setup.partition;
     let num_tables = dataset.num_tables();
     let dim = dataset.embedding_dim;
-    let cost = ctx.cost_model();
+    let base_cost = ctx.cost_model();
+    // Drifting network and per-codec analytic throughputs: both optional,
+    // both `None` on the bit-exact default path.
+    let trace = trainer.bandwidth_trace.as_ref();
+    let profile = trainer.codec_profile.as_ref();
 
-    let resolved = ResolvedCompression::from_setting(&trainer.compression, num_tables);
+    let mut resolved = ResolvedCompression::from_setting(&trainer.compression, num_tables);
     let overlapped = matches!(trainer.overlap, OverlapSetting::DoubleBuffered);
+    // Closed-loop runtime controller (None under the bit-exact Static path).
+    let mut controller: Option<ControllerState> = match &trainer.adaptive {
+        AdaptiveSetting::Static => None,
+        AdaptiveSetting::Runtime {
+            window,
+            hysteresis,
+            eb_control,
+        } => Some(ControllerState::new(
+            *window,
+            *hysteresis,
+            *eb_control,
+            overlapped,
+            profile,
+            &resolved,
+            num_tables,
+        )),
+    };
     // Hierarchical topology: the two-level collective replaces both
     // all-to-alls and every network phase is charged by the tiered model.
     // `None` (flat) takes exactly the topology-less code paths.
@@ -694,8 +1188,9 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
     let codec_throughput_c = trainer.device_throughput.map(|(c, _)| c);
     let codec_throughput_d = trainer.device_throughput.map(|(_, d)| d);
     let compute_scale = trainer.compute_time_scale;
-    // The tag is constant across iterations (compressor choice is static).
-    let tags: Vec<u32> = (0..world)
+    // The tag follows the compressor choice: constant under Static,
+    // recomputed at reselection points under the runtime controller.
+    let mut tags: Vec<u32> = (0..world)
         .map(|_| owned.first().map_or(0, |&t| resolved.tag(t)))
         .collect();
 
@@ -716,6 +1211,51 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
 
     for iter in 0..trainer.iterations {
         let counting = iter >= WARMUP_ITERATIONS;
+        // The link (and therefore every network charge) in effect this
+        // iteration: the static network without a trace — bit for bit the
+        // pre-trace path — or whatever the trace says right now.
+        let cost = match trace {
+            None => base_cost,
+            Some(t) => t.cost_model_at(iter),
+        };
+        let hier_iter: Option<(Topology, TieredCostModel)> = match (&hier, trace) {
+            (None, _) => None,
+            (Some(pair), None) => Some(*pair),
+            (Some((topo, _)), Some(t)) => {
+                let drifted = t.topology_at(topo, iter);
+                Some((drifted, drifted.cost_model()))
+            }
+        };
+        // ── Reselection point: close the previous window, exchange
+        // observations, and apply the controller's revisions before any of
+        // this iteration's compression runs (so every rank flips codecs on
+        // the same iteration).
+        if let Some(state) = controller.as_mut() {
+            if state.is_boundary(iter) {
+                state.window_boundary(
+                    ctx,
+                    &cost,
+                    iter,
+                    &owned,
+                    &fwd_traffic,
+                    &mut resolved,
+                    &mut tags,
+                    &mut ledger,
+                    &mut scratch.send,
+                    &mut scratch.recv,
+                    hier_iter.is_some(),
+                );
+                let a = note_alloc(
+                    &mut ledger,
+                    phases::CONTROLLER,
+                    ctx,
+                    &scratch,
+                    &mut marks,
+                    0,
+                );
+                steady_allocated += if counting { a } else { 0 };
+            }
+        }
         let global_batch = generator.next_batch(trainer.global_batch);
         let shards = global_batch.shard(world);
         let my_shard = &shards[rank];
@@ -744,7 +1284,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // time differs.
         lookup_slots.clear();
         lookup_slots.resize_with(num_tables, || None);
-        if let Some((topo, tiered)) = &hier {
+        if let Some((topo, tiered)) = &hier_iter {
             // Hierarchical route: compress per-destination chunks
             // (destination-major, so per-chunk codec seconds can feed the
             // overlap timeline; block order within a chunk matches the flat
@@ -763,6 +1303,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 take_caps.push(buf.capacity());
                 buf.extend_from_slice(&(owned.len() as u32).to_le_bytes());
                 let mut chunk_original = 0u64;
+                let mut chunk_profile_s = 0.0f64;
                 for (local_idx, &t) in owned.iter().enumerate() {
                     let matrix = &lookup_matrices[local_idx * world + dst];
                     let payload_len = write_block(
@@ -775,6 +1316,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut buf,
                     );
                     chunk_original += (matrix.len() * 4) as u64;
+                    chunk_profile_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        t,
+                        (matrix.len() * 4) as u64,
+                        false,
+                    );
                     fwd_traffic[t].0 += (matrix.len() * 4) as u64;
                     fwd_traffic[t].1 += payload_len as u64;
                 }
@@ -783,6 +1331,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     t0.elapsed().as_secs_f64(),
                     chunk_original,
                     codec_throughput_c,
+                    profile.map(|_| chunk_profile_s),
                 ));
                 scratch
                     .chunk_sent
@@ -821,11 +1370,20 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             tier_seconds.1 += te;
             tier_bytes.0 += hier_bytes.intra_total();
             tier_bytes.1 += hier_bytes.inter_total();
+            if let Some(state) = controller.as_mut() {
+                let ex = hier_bytes.exchange;
+                let inter_b = ex.sent.max(ex.received);
+                state.add_wire(inter_b, inter_b as f64 / tiered.node_fabric_bandwidth());
+                let intra_b = hier_bytes.gather.sent.max(hier_bytes.gather.received)
+                    + hier_bytes.scatter.sent.max(hier_bytes.scatter.received);
+                state.add_intra(intra_b, intra_b as f64 / topo.intra().alltoall_bandwidth);
+            }
             let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
 
             let t0 = Instant::now();
             let mut decompressed_bytes = 0u64;
+            let mut profile_d_s = 0.0f64;
             let recv = std::mem::take(&mut scratch.recv);
             for chunk in &recv {
                 for (table, payload) in block_slices(chunk) {
@@ -838,6 +1396,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut values,
                     );
                     decompressed_bytes += (values.len() * 4) as u64;
+                    profile_d_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        table as usize,
+                        (values.len() * 4) as u64,
+                        true,
+                    );
                     assert_eq!(values.len(), rows * dim, "table {table}: bad payload size");
                     lookup_slots[table as usize] = Some(Matrix::from_vec(rows, dim, values));
                 }
@@ -855,6 +1420,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 },
                 decompressed_bytes,
                 codec_throughput_d,
+                profile.map(|_| profile_d_s),
             );
             let a = note_alloc(
                 &mut ledger,
@@ -888,6 +1454,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 let cap_at_take = buf.capacity();
                 buf.extend_from_slice(&(owned.len() as u32).to_le_bytes());
                 let mut chunk_original = 0u64;
+                let mut chunk_profile_s = 0.0f64;
                 for (local_idx, &t) in owned.iter().enumerate() {
                     let matrix = &lookup_matrices[local_idx * world + dst];
                     let payload_len = write_block(
@@ -900,6 +1467,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut buf,
                     );
                     chunk_original += (matrix.len() * 4) as u64;
+                    chunk_profile_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        t,
+                        (matrix.len() * 4) as u64,
+                        false,
+                    );
                     fwd_traffic[t].0 += (matrix.len() * 4) as u64;
                     fwd_traffic[t].1 += payload_len as u64;
                 }
@@ -912,6 +1486,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     t0.elapsed().as_secs_f64(),
                     chunk_original,
                     codec_throughput_c,
+                    profile.map(|_| chunk_profile_s),
                 ));
                 scratch
                     .chunk_sent
@@ -937,6 +1512,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             // Retire chunks in matching rotation, decompressing each as it
             // completes; the lease drops back to its sender's pool at once.
             let mut decompressed_bytes = 0u64;
+            let mut profile_d_s = 0.0f64;
             let mut decompress_measured = 0.0f64;
             for step in 0..world {
                 let src = (rank + world - step) % world;
@@ -955,6 +1531,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut values,
                     );
                     decompressed_bytes += (values.len() * 4) as u64;
+                    profile_d_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        table as usize,
+                        (values.len() * 4) as u64,
+                        true,
+                    );
                     assert_eq!(values.len(), rows * dim, "table {table}: bad payload size");
                     lookup_slots[table as usize] = Some(Matrix::from_vec(rows, dim, values));
                 }
@@ -974,6 +1557,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 },
                 decompressed_bytes,
                 codec_throughput_d,
+                profile.map(|_| profile_d_s),
             );
             let a = note_alloc(
                 &mut ledger,
@@ -992,6 +1576,14 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 &scratch.chunk_sent,
                 &scratch.chunk_recv,
             );
+            if let Some(state) = controller.as_mut() {
+                let bottleneck = scratch
+                    .chunk_sent
+                    .iter()
+                    .sum::<usize>()
+                    .max(scratch.chunk_recv.iter().sum::<usize>());
+                state.add_wire(bottleneck, cost.bandwidth_time(bottleneck));
+            }
             let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
         } else {
@@ -1013,6 +1605,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 scratch.send.push(buf);
             }
             let mut fwd_original_bytes = 0u64;
+            let mut profile_c_s = 0.0f64;
             for (local_idx, &t) in owned.iter().enumerate() {
                 for dst in 0..world {
                     let matrix = &lookup_matrices[local_idx * world + dst];
@@ -1026,6 +1619,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut scratch.send[dst],
                     );
                     fwd_original_bytes += (matrix.len() * 4) as u64;
+                    profile_c_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        t,
+                        (matrix.len() * 4) as u64,
+                        false,
+                    );
                     fwd_traffic[t].0 += (matrix.len() * 4) as u64;
                     fwd_traffic[t].1 += payload_len as u64;
                 }
@@ -1042,6 +1642,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 },
                 fwd_original_bytes,
                 codec_throughput_c,
+                profile.map(|_| profile_c_s),
             );
             let a = note_alloc(
                 &mut ledger,
@@ -1071,6 +1672,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 );
             ledger.add_time(phases::FWD_A2A, fwd_a2a_time);
             ledger.add_bytes(phases::FWD_A2A, (stats.sent + stats.received) as u64);
+            if let Some(state) = controller.as_mut() {
+                let bottleneck = stats
+                    .sent
+                    .saturating_sub(meta_bytes)
+                    .max(stats.received.saturating_sub(meta_bytes));
+                state.add_wire(bottleneck, cost.bandwidth_time(bottleneck));
+            }
             let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
 
@@ -1078,6 +1686,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             // are walked in place; float storage comes from the recycler).
             let t0 = Instant::now();
             let mut decompressed_bytes = 0u64;
+            let mut profile_d_s = 0.0f64;
             let recv = std::mem::take(&mut scratch.recv);
             for chunk in &recv {
                 for (table, payload) in block_slices(chunk) {
@@ -1090,6 +1699,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut values,
                     );
                     decompressed_bytes += (values.len() * 4) as u64;
+                    profile_d_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        table as usize,
+                        (values.len() * 4) as u64,
+                        true,
+                    );
                     assert_eq!(values.len(), rows * dim, "table {table}: bad payload size");
                     lookup_slots[table as usize] = Some(Matrix::from_vec(rows, dim, values));
                 }
@@ -1107,6 +1723,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 },
                 decompressed_bytes,
                 codec_throughput_d,
+                profile.map(|_| profile_d_s),
             );
             let a = note_alloc(
                 &mut ledger,
@@ -1131,6 +1748,10 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         let cache = model.forward_dense(&my_shard.dense, &my_lookups);
         ledger.add_time(phases::MLP_FWD, t0.elapsed().as_secs_f64() * compute_scale);
         per_iteration.push(EvalMetrics::from_logits(&cache.logits, &my_shard.labels));
+        if let Some(state) = controller.as_mut() {
+            state.loss_sum += per_iteration.last().expect("just pushed").loss;
+            state.loss_n += 1;
+        }
 
         let t0 = Instant::now();
         let grads = model.backward_dense(&cache, &my_shard.labels);
@@ -1140,7 +1761,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // decompress them on the owning rank — the backward mirror of
         // stages 2–4, double-buffered under the same overlap setting and
         // hierarchical under the same topology setting.
-        if let Some((topo, tiered)) = &hier {
+        if let Some((topo, tiered)) = &hier_iter {
             scratch.chunk_codec_s.clear();
             scratch.chunk_sent.clear();
             scratch.send.clear();
@@ -1153,6 +1774,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 take_caps.push(buf.capacity());
                 buf.extend_from_slice(&table_count.to_le_bytes());
                 let mut chunk_original = 0u64;
+                let mut chunk_profile_s = 0.0f64;
                 for &t in partition.tables_of(owner) {
                     let grad = &grads.embedding_grads[t];
                     write_block(
@@ -1165,12 +1787,20 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut buf,
                     );
                     chunk_original += (grad.len() * 4) as u64;
+                    chunk_profile_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        t,
+                        (grad.len() * 4) as u64,
+                        false,
+                    );
                 }
                 scratch.chunk_codec_s.push(chunk_codec_seconds(
                     resolved.is_raw(),
                     t0.elapsed().as_secs_f64(),
                     chunk_original,
                     codec_throughput_c,
+                    profile.map(|_| chunk_profile_s),
                 ));
                 scratch
                     .chunk_sent
@@ -1212,11 +1842,20 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             tier_seconds.1 += te;
             tier_bytes.0 += hier_bytes.intra_total();
             tier_bytes.1 += hier_bytes.inter_total();
+            if let Some(state) = controller.as_mut() {
+                let ex = hier_bytes.exchange;
+                let inter_b = ex.sent.max(ex.received);
+                state.add_wire(inter_b, inter_b as f64 / tiered.node_fabric_bandwidth());
+                let intra_b = hier_bytes.gather.sent.max(hier_bytes.gather.received)
+                    + hier_bytes.scatter.sent.max(hier_bytes.scatter.received);
+                state.add_intra(intra_b, intra_b as f64 / topo.intra().alltoall_bandwidth);
+            }
             let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
 
             let t0 = Instant::now();
             let mut bwd_decompressed = 0u64;
+            let mut profile_d_s = 0.0f64;
             let recv = std::mem::take(&mut scratch.recv);
             for (src, chunk) in recv.iter().enumerate() {
                 for (table, payload) in block_slices(chunk) {
@@ -1229,6 +1868,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut values,
                     );
                     bwd_decompressed += (values.len() * 4) as u64;
+                    profile_d_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        table as usize,
+                        (values.len() * 4) as u64,
+                        true,
+                    );
                     assert_eq!(values.len(), rows * dim, "grad for table {table}: bad size");
                     grad_entries.push((table, src as u32, Matrix::from_vec(rows, dim, values)));
                 }
@@ -1246,6 +1892,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 },
                 bwd_decompressed,
                 codec_throughput_d,
+                profile.map(|_| profile_d_s),
             );
             let a = note_alloc(
                 &mut ledger,
@@ -1274,6 +1921,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 let cap_at_take = buf.capacity();
                 buf.extend_from_slice(&table_count.to_le_bytes());
                 let mut chunk_original = 0u64;
+                let mut chunk_profile_s = 0.0f64;
                 // `tables_of` is sorted ascending, so blocks land in the
                 // same order the sequential path writes them.
                 for &t in partition.tables_of(owner) {
@@ -1288,6 +1936,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut buf,
                     );
                     chunk_original += (grad.len() * 4) as u64;
+                    chunk_profile_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        t,
+                        (grad.len() * 4) as u64,
+                        false,
+                    );
                 }
                 let (buf, grown) = settle_chunk(ctx, buf, cap_at_take);
                 lease_growth += grown;
@@ -1298,6 +1953,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     t0.elapsed().as_secs_f64(),
                     chunk_original,
                     codec_throughput_c,
+                    profile.map(|_| chunk_profile_s),
                 ));
                 scratch
                     .chunk_sent
@@ -1321,6 +1977,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             steady_allocated += if counting { a } else { 0 };
 
             let mut bwd_decompressed = 0u64;
+            let mut profile_d_s = 0.0f64;
             let mut decompress_measured = 0.0f64;
             for step in 0..world {
                 let src = (rank + world - step) % world;
@@ -1339,6 +1996,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut values,
                     );
                     bwd_decompressed += (values.len() * 4) as u64;
+                    profile_d_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        table as usize,
+                        (values.len() * 4) as u64,
+                        true,
+                    );
                     assert_eq!(values.len(), rows * dim, "grad for table {table}: bad size");
                     grad_entries.push((table, src as u32, Matrix::from_vec(rows, dim, values)));
                 }
@@ -1358,6 +2022,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 },
                 bwd_decompressed,
                 codec_throughput_d,
+                profile.map(|_| profile_d_s),
             );
             let a = note_alloc(
                 &mut ledger,
@@ -1376,6 +2041,14 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 &scratch.chunk_sent,
                 &scratch.chunk_recv,
             );
+            if let Some(state) = controller.as_mut() {
+                let bottleneck = scratch
+                    .chunk_sent
+                    .iter()
+                    .sum::<usize>()
+                    .max(scratch.chunk_recv.iter().sum::<usize>());
+                state.add_wire(bottleneck, cost.bandwidth_time(bottleneck));
+            }
             let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
         } else {
@@ -1392,6 +2065,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 scratch.send.push(buf);
             }
             let mut bwd_bytes = 0u64;
+            let mut profile_c_s = 0.0f64;
             for (t, grad) in grads.embedding_grads.iter().enumerate() {
                 let owner = partition.owner_of(t);
                 write_block(
@@ -1404,6 +2078,8 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     &mut scratch.send[owner],
                 );
                 bwd_bytes += (grad.len() * 4) as u64;
+                profile_c_s +=
+                    block_profile_seconds(profile, &resolved, t, (grad.len() * 4) as u64, false);
             }
             let lease_growth = settle_send_leases(
                 &scratch.send,
@@ -1420,6 +2096,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 },
                 bwd_bytes,
                 codec_throughput_c,
+                profile.map(|_| profile_c_s),
             );
             let a = note_alloc(
                 &mut ledger,
@@ -1447,12 +2124,20 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 );
             ledger.add_time(phases::BWD_A2A, bwd_a2a_time);
             ledger.add_bytes(phases::BWD_A2A, (stats.sent + stats.received) as u64);
+            if let Some(state) = controller.as_mut() {
+                let bottleneck = stats
+                    .sent
+                    .saturating_sub(meta_bytes)
+                    .max(stats.received.saturating_sub(meta_bytes));
+                state.add_wire(bottleneck, cost.bandwidth_time(bottleneck));
+            }
             let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
 
             // ── Stage 7: decompress gradients for the owned tables.
             let t0 = Instant::now();
             let mut bwd_decompressed = 0u64;
+            let mut profile_d_s = 0.0f64;
             let recv = std::mem::take(&mut scratch.recv);
             for (src, chunk) in recv.iter().enumerate() {
                 for (table, payload) in block_slices(chunk) {
@@ -1465,6 +2150,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         &mut values,
                     );
                     bwd_decompressed += (values.len() * 4) as u64;
+                    profile_d_s += block_profile_seconds(
+                        profile,
+                        &resolved,
+                        table as usize,
+                        (values.len() * 4) as u64,
+                        true,
+                    );
                     assert_eq!(values.len(), rows * dim, "grad for table {table}: bad size");
                     grad_entries.push((table, src as u32, Matrix::from_vec(rows, dim, values)));
                 }
@@ -1482,6 +2174,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 },
                 bwd_decompressed,
                 codec_throughput_d,
+                profile.map(|_| profile_d_s),
             );
             let a = note_alloc(
                 &mut ledger,
@@ -1518,7 +2211,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // baseline `dense_saved_seconds` compares against: the flat ring
         // formula, or the tiered charge of the same schedule's analytic
         // per-tier volume under a hierarchical topology.
-        let raw_time = match &hier {
+        let raw_time = match &hier_iter {
             None => cost.allreduce_time(scratch.flat_grads.len() * 4, world),
             Some((topo, tiered)) => {
                 let (ri, re) = allreduce_tier_bytes(scratch.flat_grads.len(), topo, rank);
@@ -1527,7 +2220,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
         };
         let dense_extra_alloc = match dense.as_mut() {
-            None if hier.is_none() => {
+            None if hier_iter.is_none() => {
                 let ar_stats = ctx.all_reduce_sum(&mut scratch.flat_grads);
                 ledger.add_time(phases::ALLREDUCE, raw_time);
                 ledger.add_bytes(
@@ -1541,7 +2234,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 // rank-order schedule (bit-for-bit the flat result, through
                 // the lossless codec), with wire bytes bucketed by tier and
                 // the tiered charge replacing the flat ring formula.
-                let (topo, tiered) = hier.as_ref().expect("hierarchical topology");
+                let (topo, tiered) = hier_iter.as_ref().expect("hierarchical topology");
                 let stats = ctx.all_reduce_compressed_tiered(
                     &mut scratch.flat_grads,
                     &mut RawF32Codec,
@@ -1568,7 +2261,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 // then let the compressed reduce-scatter + all-gather
                 // rebuild the residual from the bytes it actually sends.
                 state.compensate(&mut scratch.flat_grads);
-                let (stats, hier_split) = match &hier {
+                let (stats, hier_split) = match &hier_iter {
                     None => (
                         ctx.all_reduce_compressed(
                             &mut scratch.flat_grads,
@@ -1590,7 +2283,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         )
                     }
                 };
-                let mut ar_time = match (&hier, &hier_split) {
+                let mut ar_time = match (&hier_iter, &hier_split) {
                     (Some((_, tiered)), Some((intra, inter))) => {
                         let (ti, te) = tiered.allreduce_tier_times(*intra, *inter);
                         tier_seconds.0 += ti;
@@ -1651,6 +2344,38 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             phases::OPTIMIZER,
             t0.elapsed().as_secs_f64() * compute_scale,
         );
+
+        // ── Probe the candidate codecs on live payloads when the next
+        // iteration is a reselection point — and once at the end of warm-up,
+        // so every candidate's scratch demand and the probe lease class
+        // reach working size before the steady-state counters arm.
+        if let Some(state) = controller.as_mut() {
+            if state.wants_probe(iter, trainer.iterations) || iter + 1 == WARMUP_ITERATIONS {
+                state.probe(
+                    ctx,
+                    &resolved,
+                    &owned,
+                    &lookup_matrices,
+                    world,
+                    rank,
+                    dim,
+                    iter,
+                    &mut scratch.compress,
+                    &mut ledger,
+                    profile,
+                    codec_throughput_c,
+                );
+                let a = note_alloc(
+                    &mut ledger,
+                    phases::CONTROLLER,
+                    ctx,
+                    &scratch,
+                    &mut marks,
+                    0,
+                );
+                steady_allocated += if counting { a } else { 0 };
+            }
+        }
 
         // Reclaim the float storage of this iteration's matrices for reuse.
         for m in lookup_matrices.drain(..) {
@@ -1723,6 +2448,14 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     (0..6 * world).map(|_| ctx.take_buf(bundle_cap)).collect();
                 drop(spares);
             }
+            if let Some(state) = &controller {
+                // The window-boundary observation exchange takes one
+                // blob-sized lease per peer; park two sets so a boundary
+                // racing peers' in-flight returns never allocates.
+                let cap = state.blob_capacity(owned.len()).max(64);
+                let spares: Vec<PooledBuf> = (0..2 * world).map(|_| ctx.take_buf(cap)).collect();
+                drop(spares);
+            }
             // Parking is warm-up work; exclude it from the steady counters.
             marks.pool = ctx.pool().stats();
         }
@@ -1740,6 +2473,10 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         dense_residual_norm: dense.as_ref().map_or(0.0, GradCompressor::residual_norm),
         tier_bytes,
         tier_seconds,
+        reselections: controller
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.ctl.log().to_vec()),
+        window_traffic: controller.map_or_else(Vec::new, |s| s.window_traffic),
     }
 }
 
@@ -1786,11 +2523,15 @@ mod tests {
     #[test]
     fn charge_codec_uses_override_when_present() {
         let mut ledger = TimingLedger::new();
-        charge_codec(&mut ledger, "x", 0.5, 1_000_000, None);
+        charge_codec(&mut ledger, "x", 0.5, 1_000_000, None, None);
         assert!((ledger.seconds("x") - 0.5).abs() < 1e-12);
         let mut ledger = TimingLedger::new();
-        charge_codec(&mut ledger, "x", 0.5, 1_000_000, Some(1e9));
+        charge_codec(&mut ledger, "x", 0.5, 1_000_000, Some(1e9), None);
         assert!((ledger.seconds("x") - 1e-3).abs() < 1e-12);
+        // A per-codec analytic sum takes precedence over both.
+        let mut ledger = TimingLedger::new();
+        charge_codec(&mut ledger, "x", 0.5, 1_000_000, Some(1e9), Some(2e-3));
+        assert!((ledger.seconds("x") - 2e-3).abs() < 1e-12);
     }
 
     #[test]
@@ -1845,12 +2586,18 @@ mod tests {
     #[test]
     fn chunk_codec_seconds_mirrors_charge_codec() {
         // Raw payloads are never charged.
-        assert_eq!(chunk_codec_seconds(true, 0.5, 1_000_000, Some(1e9)), 0.0);
+        assert_eq!(
+            chunk_codec_seconds(true, 0.5, 1_000_000, Some(1e9), None),
+            0.0
+        );
         // Measured seconds without an override.
-        assert_eq!(chunk_codec_seconds(false, 0.5, 1_000_000, None), 0.5);
+        assert_eq!(chunk_codec_seconds(false, 0.5, 1_000_000, None, None), 0.5);
         // Analytic bytes/throughput with one.
-        let s = chunk_codec_seconds(false, 0.5, 1_000_000, Some(1e9));
+        let s = chunk_codec_seconds(false, 0.5, 1_000_000, Some(1e9), None);
         assert!((s - 1e-3).abs() < 1e-12);
+        // The per-codec profile sum wins over the flat override.
+        let s = chunk_codec_seconds(false, 0.5, 1_000_000, Some(1e9), Some(4e-3));
+        assert!((s - 4e-3).abs() < 1e-12);
     }
 
     #[test]

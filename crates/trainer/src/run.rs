@@ -4,6 +4,7 @@
 use crate::config::{OverlapSetting, TrainerConfig};
 use crate::partition::TablePartition;
 use crate::pipeline::{self, RankOutcome, RankSetup};
+use dlrm_adaptive::Reselection;
 use dlrm_comm::{SimCluster, TimingLedger};
 use dlrm_data::DatasetConfig;
 use dlrm_model::EvalMetrics;
@@ -108,6 +109,21 @@ pub struct TrainingReport {
     /// across ranks.
     #[serde(default)]
     pub inter_tier_seconds: f64,
+    /// Label of the adaptive setting the run used (`"static"` or
+    /// `"runtime-w<window>-h<hysteresis>"`).
+    #[serde(default)]
+    pub adaptive: String,
+    /// The runtime controller's reselection log: one entry per window
+    /// boundary, recording the observed bandwidth, the loss-plateau signal,
+    /// the error-bound scale and every codec switch. Empty under the static
+    /// setting. Identical on every rank (asserted by the merger) — the SPMD
+    /// consistency that keeps mid-run codec switches coherent.
+    #[serde(default)]
+    pub reselections: Vec<Reselection>,
+    /// Overall forward-payload compression ratio per controller window
+    /// (summed across ranks). Empty under the static setting.
+    #[serde(default)]
+    pub window_ratios: Vec<f64>,
     /// Bytes of fresh buffer capacity the compress/send path allocated after
     /// the warm-up iterations, summed across ranks. Zero when the buffer
     /// pool, compression scratch and float recycler are fully reused.
@@ -133,6 +149,18 @@ impl TrainingReport {
     /// Accuracy of the final quarter of training (convenience accessor).
     pub fn final_accuracy(&self) -> f64 {
         self.final_metrics.accuracy
+    }
+
+    /// Total number of per-table codec switches the runtime controller made
+    /// (0 under the static setting).
+    pub fn total_reselections(&self) -> usize {
+        self.reselections.iter().map(|r| r.switches.len()).sum()
+    }
+
+    /// The error-bound scale in effect at the end of the run (1.0 without
+    /// runtime eb control).
+    pub fn final_eb_scale(&self) -> f32 {
+        self.reselections.last().map_or(1.0, |r| r.eb_scale)
     }
 }
 
@@ -233,6 +261,37 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
         .fold(0.0, f64::max);
     let buffer_reused_bytes: u64 = outcomes.iter().map(|o| o.ledger.total_reused_bytes()).sum();
 
+    // The controller's decisions must be identical on every rank — they were
+    // made from the same all-gathered observations. A divergence here means
+    // ranks disagreed about which codec a table runs, which would corrupt
+    // payloads; fail loudly instead.
+    let reselections = outcomes[0].reselections.clone();
+    for o in &outcomes[1..] {
+        assert_eq!(
+            o.reselections, reselections,
+            "rank {} diverged from rank 0's reselection log",
+            o.rank
+        );
+    }
+    let windows = outcomes
+        .iter()
+        .map(|o| o.window_traffic.len())
+        .max()
+        .unwrap_or(0);
+    let window_ratios: Vec<f64> = (0..windows)
+        .map(|w| {
+            let (orig, comp) = outcomes.iter().fold((0u64, 0u64), |acc, o| {
+                let &(wo, wc) = o.window_traffic.get(w).unwrap_or(&(0, 0));
+                (acc.0 + wo, acc.1 + wc)
+            });
+            if comp == 0 {
+                1.0
+            } else {
+                orig as f64 / comp as f64
+            }
+        })
+        .collect();
+
     let total_orig: u64 = per_table.iter().map(|t| t.original_bytes).sum();
     let total_comp: u64 = per_table.iter().map(|t| t.compressed_bytes).sum();
     let overall_ratio = if total_comp == 0 {
@@ -259,6 +318,9 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
         dense_saved_seconds,
         dense_residual_norm,
         topology: setup.trainer.topology.label(),
+        adaptive: setup.trainer.adaptive.label(),
+        reselections,
+        window_ratios,
         intra_tier_bytes,
         inter_tier_bytes,
         intra_tier_seconds,

@@ -147,6 +147,9 @@ fn timing_config(compression: CompressionSetting) -> TrainerConfig {
         dense_compression: Default::default(),
         network: NetworkConfig::alltoall_bound(5e7),
         topology: Default::default(),
+        adaptive: Default::default(),
+        bandwidth_trace: None,
+        codec_profile: None,
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
         compute_time_scale: 1.0 / 5000.0,
