@@ -8,6 +8,7 @@ pub mod buffer_opt;
 pub mod compressors;
 pub mod decay;
 pub mod dense;
+pub mod exec;
 pub mod meta;
 pub mod overlap;
 pub mod topology;
@@ -139,6 +140,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "ovl1",
             title: "Sequential vs overlapped (double-buffered) chunked all-to-all breakdown",
             run: overlap::ovl1,
+        },
+        Experiment {
+            id: "exec1",
+            title: "Real-time executor: sequential vs thread-per-rank wall time, paced wire",
+            run: exec::exec1,
         },
         Experiment {
             id: "dense1",

@@ -7,8 +7,8 @@ use dlrm_comm::{BandwidthTrace, NetworkConfig, Topology};
 use dlrm_compress::CompressorKind;
 use dlrm_data::{presets, DatasetConfig, EmbeddingTrafficGenerator};
 use dlrm_trainer::{
-    plan, AdaptiveSetting, CompressionSetting, DenseCompression, OverlapSetting, TopologySetting,
-    TrainerConfig,
+    plan, AdaptiveSetting, CompressionSetting, DenseCompression, ExecutorSetting, OverlapSetting,
+    TopologySetting, TrainerConfig,
 };
 
 /// The all-to-all bandwidth the paper's Figure 11 speedup analysis assumes.
@@ -86,6 +86,8 @@ pub fn accuracy_trainer(
         adaptive: Default::default(),
         bandwidth_trace: None,
         codec_profile: None,
+        executor: ExecutorSetting::Threaded,
+        realtime_wire: false,
         seed: 20_240_614,
         device_throughput: None,
         compute_time_scale: 1.0,
@@ -129,6 +131,8 @@ pub fn breakdown_trainer(
         adaptive: Default::default(),
         bandwidth_trace: None,
         codec_profile: None,
+        executor: ExecutorSetting::Threaded,
+        realtime_wire: false,
         seed: 20_240_614,
         device_throughput,
         compute_time_scale: BREAKDOWN_COMPUTE_SCALE,
@@ -157,6 +161,47 @@ pub fn overlap_trainer(compression: CompressionSetting, scale: Scale) -> Trainer
         adaptive: Default::default(),
         bandwidth_trace: None,
         codec_profile: None,
+        executor: ExecutorSetting::Threaded,
+        realtime_wire: false,
+        seed: 20_240_614,
+        device_throughput: Some((0.5e9, 2e9)),
+        compute_time_scale: 1.0 / 5000.0,
+    }
+}
+
+/// The wire the real-time executor experiment (`exec1`) paces against: an
+/// all-to-all link slow enough that modeled per-message wire time dominates
+/// an iteration, so hiding it (or failing to) moves real wall-clock time.
+pub fn exec_link() -> NetworkConfig {
+    NetworkConfig::alltoall_bound(1e5)
+}
+
+/// The trainer configuration the real-time executor experiment (`exec1`)
+/// uses: overlap on, `realtime_wire` on (wire pacing costs real wall time),
+/// and the executor under test. Under [`ExecutorSetting::Sequential`] ranks
+/// take turns and every paced sleep is exposed; under
+/// [`ExecutorSetting::Threaded`] one rank's in-flight payloads hide behind
+/// the other ranks' work even on a single core.
+pub fn exec_trainer(executor: ExecutorSetting, scale: Scale) -> TrainerConfig {
+    let (world, iterations) = match scale {
+        Scale::Quick => (4, 4),
+        Scale::Full => (8, 4),
+    };
+    TrainerConfig {
+        world,
+        global_batch: world * 64,
+        iterations,
+        learning_rate: 0.05,
+        compression: CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+        overlap: OverlapSetting::DoubleBuffered,
+        dense_compression: Default::default(),
+        network: exec_link(),
+        topology: Default::default(),
+        adaptive: Default::default(),
+        bandwidth_trace: None,
+        codec_profile: None,
+        executor,
+        realtime_wire: true,
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
         compute_time_scale: 1.0 / 5000.0,
@@ -185,6 +230,8 @@ pub fn dense_trainer(dense: DenseCompression, scale: Scale) -> TrainerConfig {
         adaptive: Default::default(),
         bandwidth_trace: None,
         codec_profile: None,
+        executor: ExecutorSetting::Threaded,
+        realtime_wire: false,
         seed: 20_240_614,
         device_throughput: None,
         compute_time_scale: 1.0 / 5000.0,
@@ -245,6 +292,8 @@ pub fn topology_trainer(ranks_per_node: usize, scale: Scale) -> TrainerConfig {
         adaptive: Default::default(),
         bandwidth_trace: None,
         codec_profile: None,
+        executor: ExecutorSetting::Threaded,
+        realtime_wire: false,
         seed: 20_240_614,
         device_throughput: Some(PAPER_HYBRID_THROUGHPUT),
         compute_time_scale: 1.0 / 5000.0,
@@ -328,6 +377,8 @@ pub fn adapt_trainer(
         adaptive,
         bandwidth_trace: Some(adapt_drift_trace(scale)),
         codec_profile: Some(adapt_profile()),
+        executor: ExecutorSetting::Threaded,
+        realtime_wire: false,
         seed: 20_240_614,
         device_throughput: None,
         // Deep scale-down: the arms are compared on their deterministic

@@ -18,15 +18,13 @@
 //! classic `Vec<u8>`-based entry points remain as thin wrappers.
 
 use crate::cost::{CostModel, NetworkConfig};
+use crate::fabric::{run_on_mesh, Fabric, GatePolicy, WirePolicy};
 use crate::pool::{BufferPool, PooledBuf};
 use crate::reduce::{
     shard_range, RawF32Codec, ReduceCodec, ReduceScratch, ReduceStats, TieredReduceStats,
 };
 use crate::topology::{HierExchangeBytes, Topology};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cell::RefCell;
-use std::sync::{Arc, Barrier};
-use std::thread;
 
 /// Bytes of metadata exchanged per peer in the metadata phase of a
 /// variable-size all-to-all (compressed size + compressor id + flags).
@@ -68,6 +66,12 @@ impl SimCluster {
     /// Run `f` on every rank concurrently and collect the per-rank results in
     /// rank order.
     ///
+    /// Runs free-running threads over an instant wire — the
+    /// correctness-oriented defaults. Experiments that need serialized
+    /// scheduling or a wall-clock-paced wire drive
+    /// [`run_on_mesh`] (or `dlrm-exec`'s
+    /// executor) directly.
+    ///
     /// # Panics
     /// Panics if any rank's closure panics (the panic is propagated).
     pub fn run<T, F>(&self, f: F) -> Vec<T>
@@ -75,65 +79,13 @@ impl SimCluster {
         T: Send + 'static,
         F: Fn(RankCtx) -> T + Send + Sync + 'static,
     {
-        let world = self.world;
-        // channels[src][dst]: matrix of FIFO links.
-        let mut senders: Vec<Vec<Option<Sender<PooledBuf>>>> = (0..world)
-            .map(|_| (0..world).map(|_| None).collect())
-            .collect();
-        let mut receivers: Vec<Vec<Option<Receiver<PooledBuf>>>> = (0..world)
-            .map(|_| (0..world).map(|_| None).collect())
-            .collect();
-        for (src, sender_row) in senders.iter_mut().enumerate() {
-            for (dst, sender_slot) in sender_row.iter_mut().enumerate() {
-                let (tx, rx) = unbounded();
-                *sender_slot = Some(tx);
-                receivers[dst][src] = Some(rx);
-            }
-        }
-
-        let barrier = Arc::new(Barrier::new(world));
-        let f = Arc::new(f);
-        let mut handles = Vec::with_capacity(world);
-        for rank in 0..world {
-            // One pool per rank. A lease remembers its origin pool, so a
-            // buffer sent to a peer returns to the *sender's* pool when the
-            // receiver drops it — the sender reuses it next iteration, and
-            // per-rank pool statistics stay attributable to that rank.
-            let pool = BufferPool::new();
-            let my_senders: Vec<Sender<PooledBuf>> = senders[rank]
-                .iter_mut()
-                .map(|s| s.take().expect("sender present"))
-                .collect();
-            let my_receivers: Vec<Receiver<PooledBuf>> = receivers[rank]
-                .iter_mut()
-                .map(|r| r.take().expect("receiver present"))
-                .collect();
-            let barrier = Arc::clone(&barrier);
-            let f = Arc::clone(&f);
-            let network = self.network;
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("rank-{rank}"))
-                    .spawn(move || {
-                        let ctx = RankCtx {
-                            rank,
-                            world,
-                            senders: my_senders,
-                            receivers: my_receivers,
-                            barrier,
-                            pool,
-                            cost: CostModel::new(network),
-                            scratch: RefCell::new(CollectiveScratch::default()),
-                        };
-                        f(ctx)
-                    })
-                    .expect("spawn rank thread"),
-            );
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
-            .collect()
+        run_on_mesh(
+            self.world,
+            self.network,
+            GatePolicy::FreeRunning,
+            WirePolicy::Instant,
+            f,
+        )
     }
 }
 
@@ -171,18 +123,30 @@ struct CollectiveScratch {
 pub struct RankCtx {
     rank: usize,
     world: usize,
-    /// senders[dst] — channel to each destination (index `rank` is a self-loop
-    /// that is never used; local chunks are moved without a channel).
-    senders: Vec<Sender<PooledBuf>>,
-    /// receivers[src] — channel from each source.
-    receivers: Vec<Receiver<PooledBuf>>,
-    barrier: Arc<Barrier>,
+    /// The wire every collective moves bytes over. See
+    /// [`crate::fabric::ChannelFabric`] for the one backend.
+    fabric: Box<dyn Fabric>,
     pool: BufferPool,
     cost: CostModel,
     scratch: RefCell<CollectiveScratch>,
 }
 
 impl RankCtx {
+    /// Build a rank context over an existing fabric endpoint — the
+    /// constructor `dlrm-exec`'s executor (and any future backend) uses.
+    /// `network` drives the α–β cost model the collectives charge virtual
+    /// time against; `pool` backs every buffer this rank leases.
+    pub fn from_fabric(fabric: Box<dyn Fabric>, network: NetworkConfig, pool: BufferPool) -> Self {
+        Self {
+            rank: fabric.rank(),
+            world: fabric.world(),
+            fabric,
+            pool,
+            cost: CostModel::new(network),
+            scratch: RefCell::new(CollectiveScratch::default()),
+        }
+    }
+
     /// This rank's id, in `[0, world)`.
     pub fn rank(&self) -> usize {
         self.rank
@@ -198,6 +162,11 @@ impl RankCtx {
         self.cost
     }
 
+    /// The point-to-point fabric under this rank's collectives.
+    pub fn fabric(&self) -> &dyn Fabric {
+        self.fabric.as_ref()
+    }
+
     /// This rank's buffer pool backing every collective it initiates.
     pub fn pool(&self) -> &BufferPool {
         &self.pool
@@ -211,7 +180,7 @@ impl RankCtx {
 
     /// Synchronise all ranks.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.fabric.barrier();
     }
 
     /// Zero-allocation all-to-all: drains the `send` container (entry `d`
@@ -240,7 +209,7 @@ impl RankCtx {
                 local = Some(chunk);
             } else {
                 stats.sent += chunk.len();
-                self.senders[dst].send(chunk).expect("peer rank hung up");
+                self.fabric.send(dst, chunk);
             }
         }
         recv.clear();
@@ -249,7 +218,7 @@ impl RankCtx {
             if src == self.rank {
                 recv.push(local.take().expect("local chunk present"));
             } else {
-                let chunk = self.receivers[src].recv().expect("peer rank hung up");
+                let chunk = self.fabric.recv(src);
                 stats.received += chunk.len();
                 recv.push(chunk);
             }
@@ -534,7 +503,7 @@ impl RankCtx {
                             slots[dst] = Some(chunk);
                         } else {
                             bytes.gather.sent += chunk.len();
-                            self.senders[dst].send(chunk).expect("peer rank hung up");
+                            self.fabric.send(dst, chunk);
                         }
                     }
                 } else if am_leader {
@@ -554,9 +523,7 @@ impl RankCtx {
                         write_hier_entry(&mut bundle, rank, dst, &chunk);
                     }
                     bytes.gather.sent += bundle.len();
-                    self.senders[leader]
-                        .send(bundle)
-                        .expect("peer rank hung up");
+                    self.fabric.send(leader, bundle);
                 }
             }
         }
@@ -571,7 +538,7 @@ impl RankCtx {
             for dst_node in 0..nodes {
                 if dst_node == my_node {
                     for src in node_first + 1..node_first + rpn {
-                        let chunk = self.receivers[src].recv().expect("peer rank hung up");
+                        let chunk = self.fabric.recv(src);
                         bytes.gather.received += chunk.len();
                         slots[src] = Some(chunk);
                     }
@@ -579,7 +546,7 @@ impl RankCtx {
                 }
                 bufs_a.clear();
                 for src in node_first + 1..node_first + rpn {
-                    let seg = self.receivers[src].recv().expect("peer rank hung up");
+                    let seg = self.fabric.recv(src);
                     bytes.gather.received += seg.len();
                     bufs_a.push(seg);
                 }
@@ -598,9 +565,7 @@ impl RankCtx {
                 }
                 bufs_a.clear(); // recycle member segments to their pools
                 bytes.exchange.sent += bundle.len();
-                self.senders[topo.leader_of_node(dst_node)]
-                    .send(bundle)
-                    .expect("peer rank hung up");
+                self.fabric.send(topo.leader_of_node(dst_node), bundle);
                 remote_idx += 1;
             }
             bufs_b.clear(); // own inter chunks were copied into bundles
@@ -612,9 +577,7 @@ impl RankCtx {
             // neither phase.
             if nodes > 1 {
                 for src_node in (0..nodes).filter(|&n| n != my_node) {
-                    let bundle = self.receivers[topo.leader_of_node(src_node)]
-                        .recv()
-                        .expect("peer rank hung up");
+                    let bundle = self.fabric.recv(topo.leader_of_node(src_node));
                     bytes.exchange.received += bundle.len();
                     bufs_a.push(bundle);
                 }
@@ -652,9 +615,7 @@ impl RankCtx {
                 bufs_a.clear(); // recycle the inbound bundles to their leaders
                 for (local, bundle) in (1..rpn).zip(bufs_b.drain(..)) {
                     bytes.scatter.sent += bundle.len();
-                    self.senders[node_first + local]
-                        .send(bundle)
-                        .expect("peer rank hung up");
+                    self.fabric.send(node_first + local, bundle);
                 }
             }
         } else {
@@ -666,12 +627,12 @@ impl RankCtx {
                 if src == rank {
                     continue;
                 }
-                let chunk = self.receivers[src].recv().expect("peer rank hung up");
+                let chunk = self.fabric.recv(src);
                 bytes.gather.received += chunk.len();
                 slots[src] = Some(chunk);
             }
             if nodes > 1 {
-                let bundle = self.receivers[leader].recv().expect("peer rank hung up");
+                let bundle = self.fabric.recv(leader);
                 bytes.scatter.received += bundle.len();
                 let count = u32::from_le_bytes(bundle[0..4].try_into().expect("4 bytes")) as usize;
                 assert_eq!(count, world - rpn, "scatter bundle with wrong entry count");
@@ -809,7 +770,7 @@ impl RankCtx {
             codec.encode_into(range.start, shard, &mut buf);
             out.record_sent(tier_of(dst), buf.len());
             out.stats.raw.sent += shard.len() * 4;
-            self.senders[dst].send(buf).expect("peer rank hung up");
+            self.fabric.send(dst, buf);
         }
 
         // Own shard: accumulate every rank's contribution in rank order
@@ -823,7 +784,7 @@ impl RankCtx {
                     *a += v;
                 }
             } else {
-                let chunk = self.receivers[src].recv().expect("peer rank hung up");
+                let chunk = self.fabric.recv(src);
                 out.record_received(tier_of(src), chunk.len());
                 out.stats.raw.received += own.len() * 4;
                 scratch.decode.clear();
@@ -851,7 +812,7 @@ impl RankCtx {
             buf.extend_from_slice(&scratch.encoded);
             out.record_sent(tier_of(dst), buf.len());
             out.stats.raw.sent += own.len() * 4;
-            self.senders[dst].send(buf).expect("peer rank hung up");
+            self.fabric.send(dst, buf);
         }
         // Round-trip the own shard through the codec so this rank holds the
         // same (possibly lossy) values its peers will decode.
@@ -863,7 +824,7 @@ impl RankCtx {
             if src == self.rank {
                 continue;
             }
-            let chunk = self.receivers[src].recv().expect("peer rank hung up");
+            let chunk = self.fabric.recv(src);
             out.record_received(tier_of(src), chunk.len());
             let range = shard_range(data.len(), world, src);
             out.stats.raw.received += range.len() * 4;
@@ -892,12 +853,12 @@ impl RankCtx {
                     let mut b = self.pool.take(buffer.len());
                     b.extend_from_slice(&buffer);
                     stats.sent += b.len();
-                    self.senders[dst].send(b).expect("peer rank hung up");
+                    self.fabric.send(dst, b);
                 }
             }
             (buffer, stats)
         } else {
-            let received = self.receivers[root].recv().expect("root rank hung up");
+            let received = self.fabric.recv(root);
             stats.received += received.len();
             (received.into_vec(), stats)
         }
@@ -981,9 +942,7 @@ impl ChunkedAllToAll<'_> {
             self.local = Some(chunk);
         } else {
             self.stats.sent += chunk.len();
-            self.ctx.senders[dst]
-                .send(chunk)
-                .expect("peer rank hung up");
+            self.ctx.fabric.send(dst, chunk);
         }
     }
 
@@ -1003,7 +962,7 @@ impl ChunkedAllToAll<'_> {
         let chunk = if src == self.ctx.rank {
             self.local.take()?
         } else {
-            self.ctx.receivers[src].try_recv()?
+            self.ctx.fabric.try_recv(src)?
         };
         Some(self.complete_recv(src, chunk))
     }
@@ -1020,7 +979,7 @@ impl ChunkedAllToAll<'_> {
         let chunk = if src == self.ctx.rank {
             self.local.take().expect("local chunk was never sent")
         } else {
-            self.ctx.receivers[src].recv().expect("peer rank hung up")
+            self.ctx.fabric.recv(src)
         };
         self.complete_recv(src, chunk)
     }

@@ -70,6 +70,20 @@
 //! twin ([`cluster::RankCtx::all_reduce_compressed_tiered`]) that buckets
 //! its wire bytes by tier for the same charging.
 
+//! ## The fabric and real-time execution policies
+//!
+//! Underneath the collectives sits the [`fabric::Fabric`] trait — the four
+//! primitives (`send`, `recv`, `try_recv`, `barrier`) every collective is
+//! built from — with [`fabric::ChannelFabric`] as the crossbeam-channel
+//! backend. A mesh can run **free-running** (one OS thread per rank, real
+//! concurrency) or **serialized** under a [`fabric::SerialGate`] (at most
+//! one rank progresses at a time — the single-core wall-clock baseline),
+//! and its wire can deliver **instantly** or **paced** by the α–β model
+//! with real sleeps ([`fabric::WirePolicy::Modeled`]), which is what lets
+//! `dlrm-exec` cross-validate modeled seconds against wall-clock seconds.
+//! [`fabric::run_on_mesh`] is the one thread-spawn loop behind both
+//! [`cluster::SimCluster::run`] and `dlrm-exec`'s executor.
+
 //! ## Drifting networks
 //!
 //! A [`trace::BandwidthTrace`] makes the modeled fabric a function of the
@@ -84,6 +98,7 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod fabric;
 pub mod ledger;
 pub mod overlap;
 pub mod pool;
@@ -96,6 +111,7 @@ pub use cluster::{
     HIER_ENTRY_HEADER_BYTES,
 };
 pub use cost::{CostModel, NetworkConfig};
+pub use fabric::{ChannelFabric, Fabric, GatePolicy, SerialGate, WirePolicy};
 pub use ledger::TimingLedger;
 pub use overlap::OverlapTimeline;
 pub use pool::{BufferPool, PoolStats, PooledBuf};

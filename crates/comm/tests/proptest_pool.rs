@@ -147,3 +147,70 @@ proptest! {
         prop_assert_eq!(delta.reuses, na as u64);
     }
 }
+
+/// The executor shares one pool across every rank thread: the pool hands
+/// out leases from any thread and takes returns from any thread, so both
+/// the pool and its leases must be `Send`, and the pool `Sync`. Compile-time
+/// audit — if a `Cell` or `Rc` ever sneaks into the pool internals, this
+/// stops building.
+#[test]
+fn pool_and_leases_are_send_and_sync() {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<BufferPool>();
+    assert_sync::<BufferPool>();
+    assert_send::<PooledBuf>();
+    // `PooledBuf` is deliberately handed between threads (cross-thread
+    // returns); shared references to it are read-only byte views.
+    assert_sync::<PooledBuf>();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Many-threads stress: every rank thread of the executor hammers the
+    /// one shared pool concurrently — take, fill, drop, repeat — while
+    /// other threads do the same. No buffer is ever lost, the allocation
+    /// counters account for every lease, and the pool ends fully parked.
+    #[test]
+    fn concurrent_take_return_conserves_buffers(
+        per_thread_caps in prop::collection::vec(
+            prop::collection::vec(1usize..4096, 1..16),
+            2..9,
+        ),
+    ) {
+        let pool = std::sync::Arc::new(BufferPool::new());
+        let total: usize = per_thread_caps.iter().map(Vec::len).sum();
+        let handles: Vec<_> = per_thread_caps
+            .into_iter()
+            .map(|caps| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for cap in caps {
+                        let mut lease = pool.take(cap);
+                        assert!(lease.is_empty(), "lease arrived dirty");
+                        assert!(lease.capacity() >= cap);
+                        lease.extend(std::iter::repeat_n(0xA5u8, cap));
+                        drop(lease);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress thread panicked");
+        }
+        let stats = pool.stats();
+        // Every take either allocated or reused — nothing vanished.
+        prop_assert_eq!(stats.allocations + stats.reuses, total as u64);
+        // All leases were dropped, so every distinct buffer is parked again.
+        // (Growing an undersized parked buffer counts as an allocation
+        // without minting a new buffer, so parked ≤ allocations.)
+        prop_assert!(pool.idle_buffers() >= 1);
+        prop_assert!(pool.idle_buffers() as u64 <= stats.allocations);
+        // The parked capacity now serves this workload allocation-free.
+        let before = pool.stats();
+        let replay: Vec<PooledBuf> = (0..pool.idle_buffers()).map(|_| pool.take(1)).collect();
+        drop(replay);
+        prop_assert_eq!(pool.stats().since(&before).allocations, 0);
+    }
+}

@@ -48,11 +48,38 @@ pub fn quantize(data: &[f32], eb: f32) -> Result<Quantized> {
 
 /// Allocation-free [`quantize`]: clears `codes` and fills it with one signed
 /// bin index per input value, reusing its capacity.
+///
+/// The hot loop runs in fixed-width chunks of 16: each chunk converts into a
+/// stack array under a branch-free validity accumulator and is appended in
+/// one pass — no per-element early return to block vectorization. A chunk
+/// containing a non-finite or overflowing value re-runs the scalar loop, so
+/// the error reported is the first offender's, exactly as before.
 pub fn quantize_into(data: &[f32], eb: f32, codes: &mut Vec<i32>) -> Result<()> {
     validate_error_bound(eb)?;
     codes.clear();
     codes.reserve(data.len());
     let step = 2.0f64 * eb as f64;
+    let mut chunks = data.chunks_exact(16);
+    for chunk in &mut chunks {
+        let mut stage = [0i32; 16];
+        let mut valid = true;
+        for (slot, &x) in stage.iter_mut().zip(chunk) {
+            let code = (x as f64 / step).round();
+            valid &= x.is_finite() & (code.abs() <= MAX_CODE_MAGNITUDE as f64);
+            *slot = code as i32;
+        }
+        if valid {
+            codes.extend_from_slice(&stage);
+        } else {
+            return quantize_scalar(chunk, step, codes);
+        }
+    }
+    quantize_scalar(chunks.remainder(), step, codes)
+}
+
+/// Scalar tail/fallback of [`quantize_into`]: per-element validation with
+/// the original first-offender error semantics.
+fn quantize_scalar(data: &[f32], step: f64, codes: &mut Vec<i32>) -> Result<()> {
     for &x in data {
         if !x.is_finite() {
             return Err(CompressError::NonFiniteInput);

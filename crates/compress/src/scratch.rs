@@ -124,6 +124,17 @@ pub(crate) fn decompress_f32_staged(
 mod tests {
     use super::*;
 
+    /// Every rank thread of the executor owns one scratch; they migrate
+    /// with their rank closure between threads, so the scratch must stay
+    /// `Send` (and `Sync` for shared read-only views). Compile-time audit.
+    #[test]
+    fn scratch_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<CompressScratch>();
+        assert_sync::<CompressScratch>();
+    }
+
     #[test]
     fn capacity_is_zero_when_fresh_and_grows_with_use() {
         let mut s = CompressScratch::new();

@@ -128,8 +128,28 @@ pub fn compress_into(
             }
             None => {
                 // Literal: token 0 followed by the zigzag-coded values.
+                // Quantized embedding codes concentrate near zero, so most
+                // chunks of 8 zigzags fit a single varint byte each — those
+                // are emitted as one fixed-width append (the bound is the OR
+                // of the chunk, one branch) instead of eight tokenized
+                // writes. The stream is byte-identical either way.
                 varint::write_u64(out, 0);
-                for &c in codes {
+                let mut chunks = codes.chunks_exact(8);
+                for chunk in &mut chunks {
+                    let mut z = [0u64; 8];
+                    for (slot, &c) in z.iter_mut().zip(chunk) {
+                        *slot = varint::zigzag(c as i64);
+                    }
+                    if z.iter().fold(0, |acc, &v| acc | v) < 0x80 {
+                        let bytes = z.map(|v| v as u8);
+                        out.extend_from_slice(&bytes);
+                    } else {
+                        for &v in &z {
+                            varint::write_u64(out, v);
+                        }
+                    }
+                }
+                for &c in chunks.remainder() {
                     varint::write_i64(out, c as i64);
                 }
             }
@@ -183,12 +203,24 @@ pub fn decompress_into(
     for v in 0..n_vectors {
         let token = varint::read_u64(bytes, &mut pos)? as usize;
         if token == 0 {
-            for _ in 0..dim {
-                let c = varint::read_i64(bytes, &mut pos)?;
-                codes.push(
-                    i32::try_from(c)
-                        .map_err(|_| CompressError::Corrupt("literal code overflow"))?,
-                );
+            // Fast path: when every one of the next `dim` bytes is a
+            // terminal varint byte, the literal is a run of single-byte
+            // zigzags — decode it as one fixed-width pass (the all-terminal
+            // scan vectorizes; each decoded value fits i32 by construction).
+            match bytes.get(pos..pos + dim) {
+                Some(run) if run.iter().all(|&b| b < 0x80) => {
+                    codes.extend(run.iter().map(|&b| varint::unzigzag(u64::from(b)) as i32));
+                    pos += dim;
+                }
+                _ => {
+                    for _ in 0..dim {
+                        let c = varint::read_i64(bytes, &mut pos)?;
+                        codes.push(
+                            i32::try_from(c)
+                                .map_err(|_| CompressError::Corrupt("literal code overflow"))?,
+                        );
+                    }
+                }
             }
         } else {
             if token > v {
@@ -197,12 +229,7 @@ pub fn decompress_into(
                 ));
             }
             let src = (v - token) * dim;
-            // Copy within the same Vec: split via an index loop to satisfy the
-            // borrow checker without an extra allocation.
-            for i in 0..dim {
-                let value = codes[src + i];
-                codes.push(value);
-            }
+            codes.extend_from_within(src..src + dim);
         }
     }
     quant::dequantize_into(codes, eb, out)

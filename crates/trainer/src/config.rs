@@ -188,6 +188,42 @@ impl OverlapSetting {
     }
 }
 
+/// Which `dlrm-exec` scheduling mode runs the rank pipelines.
+///
+/// The executor never changes numerics — per-pair FIFO channels, fixed
+/// rotation schedules and rank-order reductions make the result a function
+/// of the data alone (asserted across the executor test matrix). What
+/// changes is *wall-clock* behaviour: `Threaded` free-runs one OS thread
+/// per rank, so codec work genuinely overlaps in-flight payloads;
+/// `Sequential` serializes the ranks under a turn-taking gate, the honest
+/// single-core baseline the `exec1` experiment measures speedups against.
+///
+/// One caveat: under [`AdaptiveSetting::Runtime`] with **no**
+/// [`TrainerConfig::codec_profile`] and no
+/// [`TrainerConfig::device_throughput`], the controller feeds *measured*
+/// codec throughput into its Equation-2 reselections, and measured time is
+/// executor- (and machine-) dependent. Configure a codec profile when
+/// reselections must be reproducible across executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecutorSetting {
+    /// Ranks take turns under a serial gate (single-core baseline).
+    Sequential,
+    /// One free-running OS thread per rank (the default, and the behaviour
+    /// the trainer always had).
+    #[default]
+    Threaded,
+}
+
+impl ExecutorSetting {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutorSetting::Sequential => "sequential",
+            ExecutorSetting::Threaded => "threaded",
+        }
+    }
+}
+
 /// How the cluster's interconnect is shaped: one flat tier (every rank pair
 /// identical — today's model and the default) or a node-aware hierarchy.
 ///
@@ -346,6 +382,18 @@ pub struct TrainerConfig {
     /// precedence over `device_throughput` for the embedding payloads.
     #[serde(default)]
     pub codec_profile: Option<CodecProfile>,
+    /// Which `dlrm-exec` scheduling mode runs the rank pipelines (defaults
+    /// to [`ExecutorSetting::Threaded`], the free-running thread-per-rank
+    /// executor). Numerics are identical either way.
+    #[serde(default)]
+    pub executor: ExecutorSetting,
+    /// When `true`, message delivery is paced by the α–β model with real
+    /// sleeps (`dlrm-comm`'s `WirePolicy::Modeled`), making the wall-clock
+    /// phase timings in the report meaningful against the modeled ledger.
+    /// Defaults to `false`: instant delivery, wall timings then measure
+    /// compute and synchronisation only.
+    #[serde(default)]
+    pub realtime_wire: bool,
     /// Seed for data generation and model initialisation.
     pub seed: u64,
     /// If set, compression and decompression time is *charged analytically*
@@ -383,6 +431,8 @@ impl TrainerConfig {
             adaptive: AdaptiveSetting::Static,
             bandwidth_trace: None,
             codec_profile: None,
+            executor: ExecutorSetting::Threaded,
+            realtime_wire: false,
             seed: 20_240_614,
             device_throughput: None,
             compute_time_scale: 1.0,
@@ -428,6 +478,21 @@ impl TrainerConfig {
     /// The same configuration with per-codec analytic throughputs.
     pub fn with_codec_profile(mut self, profile: CodecProfile) -> Self {
         self.codec_profile = Some(profile);
+        self
+    }
+
+    /// The same configuration under the given execution mode
+    /// (builder-style convenience for the executor test matrix and the
+    /// `exec1` experiment).
+    pub fn with_executor(mut self, executor: ExecutorSetting) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The same configuration with α–β-paced (real-sleep) message delivery
+    /// switched on or off.
+    pub fn with_realtime_wire(mut self, realtime_wire: bool) -> Self {
+        self.realtime_wire = realtime_wire;
         self
     }
 

@@ -285,6 +285,50 @@ impl ResolvedCompression {
     }
 }
 
+/// Wall-clock stopwatch for the training loop: every elapsed instant is
+/// attributed to exactly one pipeline phase, so the per-phase wall seconds
+/// always sum to the loop's total wall time. Work the cost model does not
+/// charge (batch synthesis, lease bookkeeping, warm-up parking) lands in the
+/// bucket whose mark closes next — the wall ledger partitions real time, it
+/// does not re-model it.
+struct WallClock {
+    ledger: TimingLedger,
+    last: Instant,
+}
+
+impl WallClock {
+    fn new() -> Self {
+        Self {
+            ledger: TimingLedger::new(),
+            last: Instant::now(),
+        }
+    }
+
+    /// Charge everything since the previous mark to `phase`.
+    fn mark(&mut self, phase: &'static str) {
+        let now = Instant::now();
+        self.ledger
+            .add_time(phase, now.duration_since(self.last).as_secs_f64());
+        self.last = now;
+    }
+
+    /// Close an overlapped exchange region where codec work interleaves with
+    /// waiting on the wire: `codec_s` measured codec seconds go to
+    /// `codec_phase`, the remainder of the region to `rest_phase`.
+    fn mark_split(&mut self, codec_phase: &'static str, codec_s: f64, rest_phase: &'static str) {
+        let now = Instant::now();
+        let total = now.duration_since(self.last).as_secs_f64();
+        let codec = codec_s.clamp(0.0, total);
+        self.ledger.add_time(codec_phase, codec);
+        self.ledger.add_time(rest_phase, total - codec);
+        self.last = now;
+    }
+
+    fn into_ledger(self) -> TimingLedger {
+        self.ledger
+    }
+}
+
 /// Everything a rank needs to run; shared read-only across rank threads.
 pub struct RankSetup {
     /// Dataset preset being trained on.
@@ -307,6 +351,11 @@ pub struct RankOutcome {
     /// measured compute seconds), including per-phase buffer
     /// allocated/reused byte counters.
     pub ledger: TimingLedger,
+    /// Wall-clock seconds per pipeline phase of this rank's training loop —
+    /// the measured counterpart of [`RankOutcome::ledger`]'s modeled times.
+    /// The buckets partition the loop's real elapsed time, so their sum is
+    /// the loop's wall time on this rank.
+    pub wall: TimingLedger,
     /// Per-table `(original bytes, compressed bytes)` of the forward
     /// all-to-all payloads this rank produced as a table owner.
     pub fwd_traffic: Vec<(u64, u64)>,
@@ -1208,6 +1257,9 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         compress_capacity: scratch.compress.capacity_bytes(),
         float: scratch.float_counters(),
     };
+    // Wall-clock phase accounting starts when the loop does: setup cost is
+    // not training time.
+    let mut wall = WallClock::new();
 
     for iter in 0..trainer.iterations {
         let counting = iter >= WARMUP_ITERATIONS;
@@ -1254,6 +1306,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     0,
                 );
                 steady_allocated += if counting { a } else { 0 };
+                wall.mark(phases::CONTROLLER);
             }
         }
         let global_batch = generator.next_batch(trainer.global_batch);
@@ -1274,6 +1327,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // compress phase that happens to run the next accounting mark.
         let a = note_alloc(&mut ledger, phases::LOOKUP, ctx, &scratch, &mut marks, 0);
         steady_allocated += if counting { a } else { 0 };
+        wall.mark(phases::LOOKUP);
 
         // ── Stages 2–4: compress per-destination chunks, move them through
         // the all-to-all, decompress the lookups for my shard. With overlap
@@ -1355,6 +1409,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::FWD_COMPRESS);
 
             let hier_bytes = ctx.all_to_all_hier_pooled(topo, &mut scratch.send, &mut scratch.recv);
             let (ti, te) = charge_hier_a2a(
@@ -1380,6 +1435,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::FWD_A2A);
 
             let t0 = Instant::now();
             let mut decompressed_bytes = 0u64;
@@ -1431,6 +1487,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 0,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::FWD_DECOMPRESS);
         } else if overlapped {
             // Chunk k goes to destination (rank+k) and arrives from source
             // (rank−k); each chunk is begin-sent the moment its compression
@@ -1508,6 +1565,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::FWD_COMPRESS);
 
             // Retire chunks in matching rotation, decompressing each as it
             // completes; the lease drops back to its sender's pool at once.
@@ -1586,6 +1644,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            wall.mark_split(phases::FWD_DECOMPRESS, decompress_measured, phases::FWD_A2A);
         } else {
             // ── Stage 2: compress per-destination chunks *directly into*
             // pooled send leases ([count][table][len][payload]… blocks).
@@ -1653,6 +1712,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::FWD_COMPRESS);
 
             // ── Stage 3: metadata + payload all-to-all over pooled buffers.
             let stats = ctx.all_to_all_var_pooled(
@@ -1681,6 +1741,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::FWD_A2A);
 
             // ── Stage 4: decompress the lookups for my shard (recv leases
             // are walked in place; float storage comes from the recycler).
@@ -1734,6 +1795,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 0,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::FWD_DECOMPRESS);
         }
         my_lookups.clear();
         my_lookups.extend(
@@ -1752,10 +1814,12 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             state.loss_sum += per_iteration.last().expect("just pushed").loss;
             state.loss_n += 1;
         }
+        wall.mark(phases::MLP_FWD);
 
         let t0 = Instant::now();
         let grads = model.backward_dense(&cache, &my_shard.labels);
         ledger.add_time(phases::MLP_BWD, t0.elapsed().as_secs_f64() * compute_scale);
+        wall.mark(phases::MLP_BWD);
 
         // ── Stages 6–7a: compress embedding gradients, send them home, and
         // decompress them on the owning rank — the backward mirror of
@@ -1827,6 +1891,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::BWD_COMPRESS);
 
             let hier_bytes = ctx.all_to_all_hier_pooled(topo, &mut scratch.send, &mut scratch.recv);
             let (ti, te) = charge_hier_a2a(
@@ -1852,6 +1917,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::BWD_A2A);
 
             let t0 = Instant::now();
             let mut bwd_decompressed = 0u64;
@@ -1903,6 +1969,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 0,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::BWD_DECOMPRESS);
         } else if overlapped {
             scratch.chunk_codec_s.clear();
             scratch.chunk_sent.clear();
@@ -1975,6 +2042,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::BWD_COMPRESS);
 
             let mut bwd_decompressed = 0u64;
             let mut profile_d_s = 0.0f64;
@@ -2051,6 +2119,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            wall.mark_split(phases::BWD_DECOMPRESS, decompress_measured, phases::BWD_A2A);
         } else {
             // ── Stage 6: compress embedding gradients and send them home,
             // again straight into pooled send leases.
@@ -2107,6 +2176,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::BWD_COMPRESS);
 
             let stats = ctx.all_to_all_var_pooled(
                 &mut scratch.send,
@@ -2133,6 +2203,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::BWD_A2A);
 
             // ── Stage 7: decompress gradients for the owned tables.
             let t0 = Instant::now();
@@ -2185,6 +2256,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 0,
             );
             steady_allocated += if counting { a } else { 0 };
+            wall.mark(phases::BWD_DECOMPRESS);
         }
 
         let t0 = Instant::now();
@@ -2204,6 +2276,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             phases::EMB_UPDATE,
             t0.elapsed().as_secs_f64() * compute_scale,
         );
+        wall.mark(phases::EMB_UPDATE);
 
         // ── Stage 8: all-reduce MLP gradients and update the replicas.
         model.flatten_mlp_grads_into(&grads, &mut scratch.flat_grads);
@@ -2334,6 +2407,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             dense_extra_alloc,
         );
         steady_allocated += if counting { a } else { 0 };
+        wall.mark(phases::ALLREDUCE);
         let t0 = Instant::now();
         let scale = 1.0 / world as f32;
         for g in scratch.flat_grads.iter_mut() {
@@ -2344,6 +2418,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             phases::OPTIMIZER,
             t0.elapsed().as_secs_f64() * compute_scale,
         );
+        wall.mark(phases::OPTIMIZER);
 
         // ── Probe the candidate codecs on live payloads when the next
         // iteration is a reselection point — and once at the end of warm-up,
@@ -2374,6 +2449,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     0,
                 );
                 steady_allocated += if counting { a } else { 0 };
+                wall.mark(phases::CONTROLLER);
             }
         }
 
@@ -2465,6 +2541,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         rank,
         per_iteration,
         ledger,
+        wall: wall.into_ledger(),
         fwd_traffic,
         pool_stats: ctx.pool().stats(),
         steady_state_allocated_bytes: steady_allocated,

@@ -1,12 +1,13 @@
 //! Driver that runs the per-rank pipeline on the simulated cluster and merges
 //! the per-rank outcomes into one [`TrainingReport`].
 
-use crate::config::{OverlapSetting, TrainerConfig};
+use crate::config::{ExecutorSetting, OverlapSetting, TrainerConfig};
 use crate::partition::TablePartition;
 use crate::pipeline::{self, RankOutcome, RankSetup};
 use dlrm_adaptive::Reselection;
-use dlrm_comm::{SimCluster, TimingLedger};
+use dlrm_comm::{TimingLedger, WirePolicy};
 use dlrm_data::DatasetConfig;
+use dlrm_exec::{ExecMode, Executor};
 use dlrm_model::EvalMetrics;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -70,6 +71,26 @@ pub struct TrainingReport {
     /// over both all-to-all phases. Zero for sequential runs.
     #[serde(default)]
     pub overlap_saved_seconds: f64,
+    /// Executor label the run used (`"sequential"` or `"threaded"`).
+    #[serde(default)]
+    pub executor: String,
+    /// Real wall-clock seconds of the whole execution, spawn to join.
+    #[serde(default)]
+    pub wall_seconds: f64,
+    /// Per-phase wall-clock seconds, max-merged across ranks (the slowest
+    /// rank bounds each bulk-synchronous phase). Each rank's buckets
+    /// partition its training-loop wall time; the merged buckets need not
+    /// sum to [`TrainingReport::wall_seconds`], which also covers setup and
+    /// thread spawn/join.
+    #[serde(default)]
+    pub wall_phase_seconds: TimingLedger,
+    /// Total modeled seconds over measured wall seconds (0 when wall is 0).
+    /// Meaningful under [`crate::config::TrainerConfig::realtime_wire`],
+    /// where modeled wire time costs real sleeps and the ratio
+    /// cross-validates the cost model against the clock; with an instant
+    /// wire it merely reports virtual seconds charged per real second.
+    #[serde(default)]
+    pub modeled_vs_wall_ratio: f64,
     /// Label of the dense-gradient (Stage 8) compression setting.
     #[serde(default)]
     pub dense_compression: String,
@@ -184,15 +205,29 @@ pub fn run_training(dataset: &DatasetConfig, config: &TrainerConfig) -> Training
         partition,
     });
 
-    let cluster = SimCluster::new(config.world, config.network);
+    let mode = match config.executor {
+        ExecutorSetting::Sequential => ExecMode::Sequential,
+        ExecutorSetting::Threaded => ExecMode::Threaded,
+    };
+    let wire = if config.realtime_wire {
+        WirePolicy::Modeled
+    } else {
+        WirePolicy::Instant
+    };
+    let executor = Executor::new(config.world, config.network)
+        .with_mode(mode)
+        .with_wire(wire);
     let setup_for_ranks = Arc::clone(&setup);
-    let outcomes: Vec<RankOutcome> =
-        cluster.run(move |ctx| pipeline::run_rank(&ctx, &setup_for_ranks));
+    let run = executor.run(move |ctx| pipeline::run_rank(&ctx, &setup_for_ranks));
 
-    merge_outcomes(&setup, outcomes)
+    merge_outcomes(&setup, run.results, run.wall_seconds)
 }
 
-fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> TrainingReport {
+fn merge_outcomes(
+    setup: &RankSetup,
+    mut outcomes: Vec<RankOutcome>,
+    wall_seconds: f64,
+) -> TrainingReport {
     outcomes.sort_by_key(|o| o.rank);
     let iterations = setup.trainer.iterations;
     let num_tables = setup.dataset.num_tables();
@@ -215,6 +250,13 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
     let breakdown = TimingLedger::merge_max(&ledgers);
     let total_seconds = breakdown.total_seconds();
     let overlap_saved_seconds = breakdown.total_overlap_saved();
+    let walls: Vec<TimingLedger> = outcomes.iter().map(|o| o.wall.clone()).collect();
+    let wall_phase_seconds = TimingLedger::merge_max(&walls);
+    let modeled_vs_wall_ratio = if wall_seconds > 0.0 {
+        total_seconds / wall_seconds
+    } else {
+        0.0
+    };
 
     // Per-table traffic, summed across owning ranks.
     let mut per_table: Vec<TableCompressionStats> = (0..num_tables)
@@ -313,6 +355,10 @@ fn merge_outcomes(setup: &RankSetup, mut outcomes: Vec<RankOutcome>) -> Training
         overall_ratio,
         total_seconds,
         overlap_saved_seconds,
+        executor: setup.trainer.executor.label().to_string(),
+        wall_seconds,
+        wall_phase_seconds,
+        modeled_vs_wall_ratio,
         dense_compression: setup.trainer.dense_compression.label(),
         dense_ratio,
         dense_saved_seconds,

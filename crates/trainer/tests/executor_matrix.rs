@@ -1,0 +1,183 @@
+//! Executor determinism matrix: the thread-per-rank executor must be a pure
+//! rescheduling of the sequential baseline. For every combination of
+//! compression × overlap × topology × adaptive control (including the
+//! runtime closed-loop controller under a drifting bandwidth trace), the
+//! same seed must produce **bit-identical** numerics under
+//! `ExecutorSetting::Sequential` and `ExecutorSetting::Threaded` — loss,
+//! accuracy and AUC bits, per-table compression stats, reselection
+//! decisions, window ratios, dense-path stats and tier byte counts. Only
+//! wall-clock fields may differ between executors.
+
+use dlrm_adaptive::CodecProfile;
+use dlrm_comm::{BandwidthTrace, NetworkConfig, Topology};
+use dlrm_compress::CompressorKind;
+use dlrm_data::presets;
+use dlrm_trainer::{
+    plan, run_training, AdaptiveSetting, CompressionSetting, ExecutorSetting, OverlapSetting,
+    TopologySetting, TrainerConfig, TrainingReport,
+};
+
+fn tiny_config(compression: CompressionSetting, iterations: usize) -> TrainerConfig {
+    let mut cfg = TrainerConfig::small_test(compression);
+    cfg.iterations = iterations;
+    cfg
+}
+
+fn hier(nodes: usize, rpn: usize) -> TopologySetting {
+    TopologySetting::Hierarchical(Topology::new(
+        nodes,
+        rpn,
+        NetworkConfig::nvlink_intra_node(),
+        NetworkConfig::paper_figure11(),
+    ))
+}
+
+/// Everything in a report that must not depend on how ranks were scheduled.
+/// Floats are compared by bit pattern; modeled and wall timing fields are
+/// deliberately excluded (wall time is real time and differs per run).
+fn numeric_fingerprint(report: &TrainingReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        report
+            .accuracy_curve
+            .iter()
+            .map(|m| {
+                (
+                    m.loss.to_bits(),
+                    m.accuracy.to_bits(),
+                    m.auc.to_bits(),
+                    m.samples,
+                )
+            })
+            .collect::<Vec<_>>(),
+        report.per_table.clone(),
+        report.overall_ratio.to_bits(),
+        report.reselections.clone(),
+        report
+            .window_ratios
+            .iter()
+            .map(|r| r.to_bits())
+            .collect::<Vec<_>>(),
+        (
+            report.dense_ratio.to_bits(),
+            report.dense_residual_norm.to_bits(),
+        ),
+        (report.intra_tier_bytes, report.inter_tier_bytes),
+    )
+}
+
+/// Run the same configuration under both executors and assert bit-identity.
+fn assert_executor_invariant(dataset_tag: &str, cfg: TrainerConfig) {
+    let dataset = presets::tiny();
+    let seq = run_training(
+        &dataset,
+        &cfg.clone().with_executor(ExecutorSetting::Sequential),
+    );
+    let thr = run_training(&dataset, &cfg.with_executor(ExecutorSetting::Threaded));
+    assert_eq!(seq.executor, "sequential", "{dataset_tag}");
+    assert_eq!(thr.executor, "threaded", "{dataset_tag}");
+    assert_eq!(
+        numeric_fingerprint(&seq),
+        numeric_fingerprint(&thr),
+        "{dataset_tag}: executors disagree on numerics"
+    );
+}
+
+#[test]
+fn executors_agree_across_compression_and_overlap() {
+    let iterations = 12;
+    let dataset = presets::tiny();
+    let adaptive_plan = plan::paper_default_plan(&dataset, 6, 6, 4e9, 7)
+        .expect("offline analysis succeeds on synthetic traffic");
+    let settings = vec![
+        CompressionSetting::None,
+        CompressionSetting::Fp16,
+        CompressionSetting::Fp8,
+        CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+        CompressionSetting::Adaptive(adaptive_plan),
+    ];
+    for setting in settings {
+        for overlap in [OverlapSetting::Off, OverlapSetting::DoubleBuffered] {
+            let cfg = tiny_config(setting.clone(), iterations).with_overlap(overlap);
+            let tag = format!("{} / {}", setting.label(), overlap.label());
+            assert_executor_invariant(&tag, cfg);
+        }
+    }
+}
+
+#[test]
+fn executors_agree_on_hierarchical_topology() {
+    for (nodes, rpn) in [(2, 2), (4, 1)] {
+        let cfg = tiny_config(
+            CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+            10,
+        )
+        .with_topology(hier(nodes, rpn))
+        .with_overlap(OverlapSetting::DoubleBuffered);
+        assert_executor_invariant(&format!("hier {nodes}x{rpn}"), cfg);
+    }
+}
+
+#[test]
+fn executors_agree_with_runtime_controller_under_drift() {
+    // The runtime controller reselects plans from measured window state; a
+    // pinned codec profile keeps those measurements scheduling-independent,
+    // so the decision sequence itself must be bit-identical too.
+    let iterations = 16;
+    let cfg = tiny_config(
+        CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+        iterations,
+    )
+    .with_adaptive(AdaptiveSetting::runtime(4, 0.1))
+    .with_bandwidth_trace(BandwidthTrace::step(
+        NetworkConfig::alltoall_bound(60e9),
+        NetworkConfig::alltoall_bound(5e8),
+        iterations / 2,
+    ))
+    .with_codec_profile(CodecProfile::paper_reference());
+    assert_executor_invariant("runtime controller + drift", cfg);
+}
+
+#[test]
+fn executors_agree_under_realtime_wire() {
+    // Wire pacing moves wall time, never numerics: even with real sleeps in
+    // the exchange path the two executors must agree bit for bit, and both
+    // must report a positive wall measurement.
+    let dataset = presets::tiny();
+    let mut cfg = tiny_config(
+        CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
+        6,
+    )
+    .with_overlap(OverlapSetting::DoubleBuffered)
+    .with_realtime_wire(true);
+    cfg.network = NetworkConfig::alltoall_bound(5e6);
+    let seq = run_training(
+        &dataset,
+        &cfg.clone().with_executor(ExecutorSetting::Sequential),
+    );
+    let thr = run_training(&dataset, &cfg.with_executor(ExecutorSetting::Threaded));
+    assert_eq!(numeric_fingerprint(&seq), numeric_fingerprint(&thr));
+    for r in [&seq, &thr] {
+        assert!(
+            r.wall_seconds > 0.0 && r.wall_seconds.is_finite(),
+            "{}",
+            r.executor
+        );
+        assert!(r.modeled_vs_wall_ratio > 0.0, "{}", r.executor);
+        // The wall phase buckets must account for some real time.
+        let bucket_sum: f64 = r.wall_phase_seconds.phases().iter().map(|(_, s)| s).sum();
+        assert!(bucket_sum > 0.0, "{}: empty wall buckets", r.executor);
+    }
+}
+
+#[test]
+fn threaded_is_the_default_and_reports_zero_wall_ratio_without_pacing() {
+    // Instant wire: wall time is measured but the modeled/wall ratio is
+    // only meaningful under pacing — it must still be finite and the
+    // executor label must reflect the default.
+    let dataset = presets::tiny();
+    let cfg = tiny_config(CompressionSetting::None, 4);
+    let report = run_training(&dataset, &cfg);
+    assert_eq!(report.executor, "threaded");
+    assert!(report.wall_seconds > 0.0);
+    assert!(report.modeled_vs_wall_ratio.is_finite());
+}

@@ -10,7 +10,8 @@ use dlrm_compress::CompressorKind;
 use dlrm_data::presets;
 use dlrm_trainer::pipeline::phases;
 use dlrm_trainer::{
-    plan, run_training, CompressionSetting, OverlapSetting, TrainerConfig, TrainingReport,
+    plan, run_training, CompressionSetting, ExecutorSetting, OverlapSetting, TrainerConfig,
+    TrainingReport,
 };
 
 /// Every compression mode the pipeline supports, Adaptive included.
@@ -150,6 +151,8 @@ fn timing_config(compression: CompressionSetting) -> TrainerConfig {
         adaptive: Default::default(),
         bandwidth_trace: None,
         codec_profile: None,
+        executor: ExecutorSetting::Threaded,
+        realtime_wire: false,
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
         compute_time_scale: 1.0 / 5000.0,

@@ -51,6 +51,32 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    /// Error returned by [`Receiver::try_recv`]: the channel is currently
+    /// empty, or empty *and* disconnected. The earlier shim returned
+    /// `Option<T>`, which conflated the two — a poller whose peer thread had
+    /// died would spin on `None` forever instead of failing fast. Real
+    /// threads need the distinction, so this matches crossbeam's API.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now, but senders remain.
+        Empty,
+        /// No message available and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -119,14 +145,16 @@ pub mod channel {
             }
         }
 
-        /// Non-blocking receive (`None` when currently empty).
-        pub fn try_recv(&self) -> Option<T> {
-            self.shared
-                .queue
-                .lock()
-                .expect("channel poisoned")
-                .items
-                .pop_front()
+        /// Non-blocking receive: `Err(TryRecvError::Empty)` when the channel
+        /// is empty but senders remain, `Err(TryRecvError::Disconnected)`
+        /// when it is empty and every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().expect("channel poisoned");
+            match q.items.pop_front() {
+                Some(v) => Ok(v),
+                None if q.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
     }
 
@@ -184,5 +212,15 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 }

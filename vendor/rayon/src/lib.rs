@@ -1,12 +1,27 @@
 //! Sequential shim for the rayon parallel-iterator surface.
 //!
-//! Every `par_*` entry point maps to the corresponding std sequential
-//! iterator, so downstream code written against `rayon::prelude::*` compiles
-//! and runs unchanged (just without the parallelism). The workspace's "fused
-//! vs naive" benchmarks still measure the *algorithmic* difference (single
+//! **This shim is sequential by design and will stay that way.** Every
+//! `par_*` entry point maps to the corresponding std sequential iterator, so
+//! downstream code written against `rayon::prelude::*` compiles and runs
+//! unchanged (just without the parallelism). The workspace's "fused vs
+//! naive" benchmarks still measure the *algorithmic* difference (single
 //! shared output buffer vs per-chunk gather), which does not depend on
 //! thread-level parallelism.
+//!
+//! Do **not** route hot paths through this crate expecting a speedup: real
+//! thread-level parallelism in this workspace lives in `dlrm-exec`, whose
+//! thread-per-rank executor runs each rank's pipeline on its own OS thread
+//! over `crossbeam` channels (see `dlrm_comm::fabric`). Data-parallel inner
+//! loops should instead be written as fixed-width chunked passes that the
+//! compiler can autovectorize (see `dlrm-compress`'s codec hot loops).
 
+// Compile-time steer for anyone tempted to parallelise via this shim: the
+// deny(missing_docs) below keeps the surface documented, and the note above
+// is the contract — `dlrm-exec` is the parallel execution backend.
+#![deny(missing_docs)]
+
+/// Sequential stand-ins for `rayon::prelude` — see the crate-level note:
+/// for actual parallelism use `dlrm-exec`, not this shim.
 pub mod prelude {
     use std::ops::Range;
 
