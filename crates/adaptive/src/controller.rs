@@ -363,6 +363,11 @@ pub struct Reselection {
     pub switches: Vec<TableRevision>,
     /// Per-tier advice, when an intra-node bandwidth was observed.
     pub tier_advice: Option<TierAdvice>,
+    /// Whether the window ran in degraded mode (a fault-plan straggler was
+    /// active), which drops the hysteresis guard — see
+    /// [`RuntimeController::observe_degraded`].
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// The closed-loop controller. See the [module docs](self) for the design
@@ -476,6 +481,22 @@ impl RuntimeController {
     /// Panics if a table id is out of range or a candidate-ratio list does
     /// not match the configured candidate count.
     pub fn observe(&mut self, obs: &WindowObservation) -> Reselection {
+        self.observe_degraded(obs, false)
+    }
+
+    /// [`RuntimeController::observe`] with a degraded-mode flag. While a
+    /// fault-plan straggler is slowing the collective, waiting out the
+    /// hysteresis band just prolongs the pain — the bandwidth drop is known
+    /// to be real (scheduled), not noise. Degraded windows therefore rank
+    /// candidates with the hysteresis guard dropped to zero, shifting to
+    /// heavier compression the moment Equation 2 favours it; healthy
+    /// windows behave exactly as [`RuntimeController::observe`].
+    pub fn observe_degraded(&mut self, obs: &WindowObservation, degraded: bool) -> Reselection {
+        let hysteresis = if degraded {
+            0.0
+        } else {
+            self.config.hysteresis
+        };
         let calibration = self.calibration(obs);
         let bw = obs.effective_bandwidth;
         let mut switches = Vec::new();
@@ -503,7 +524,7 @@ impl RuntimeController {
                 .map(|(&kind, &ratio)| (kind, self.speedup(ratio, kind, bw, calibration)))
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .expect("at least one candidate");
-            if best.0 != incumbent && best.1 > incumbent_speedup * (1.0 + self.config.hysteresis) {
+            if best.0 != incumbent && best.1 > incumbent_speedup * (1.0 + hysteresis) {
                 switches.push(TableRevision {
                     table_id: t.table_id,
                     from: incumbent,
@@ -572,6 +593,7 @@ impl RuntimeController {
             eb_scale: self.eb_scale,
             switches,
             tier_advice,
+            degraded,
         };
         self.log.push(entry.clone());
         entry
@@ -644,6 +666,22 @@ mod tests {
         let mut guarded = RuntimeController::new(two_codec_config(0.1), vec![CompressorKind::Fp16]);
         let r_guarded = guarded.observe(&obs(4, bw, 0.5, vec![table(0, &[2.0, 12.0])]));
         assert!(r_guarded.switches.is_empty());
+    }
+
+    #[test]
+    fn degraded_mode_drops_the_hysteresis_guard() {
+        // Same marginal-advantage bandwidth as the hysteresis test: a
+        // healthy window holds the incumbent, a degraded window switches
+        // immediately (and records that it ran degraded).
+        let bw = 17e9;
+        let mut ctl = RuntimeController::new(two_codec_config(0.1), vec![CompressorKind::Fp16]);
+        let healthy = ctl.observe_degraded(&obs(4, bw, 0.5, vec![table(0, &[2.0, 12.0])]), false);
+        assert!(healthy.switches.is_empty());
+        assert!(!healthy.degraded);
+        let degraded = ctl.observe_degraded(&obs(8, bw, 0.5, vec![table(0, &[2.0, 12.0])]), true);
+        assert_eq!(degraded.switches.len(), 1);
+        assert_eq!(degraded.switches[0].to, CompressorKind::OursHybrid);
+        assert!(degraded.degraded);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Checkpoint-path benchmarks: `CkptCodec` encode/decode throughput per
+//! codec kind on an embedding-shard-sized payload, and one full elastic
+//! recovery (rank loss mid-run, compressed restore, replay) end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_bench::workloads::{self, sampled_traffic, Scale};
+use dlrm_ckpt::CkptCodec;
+use dlrm_compress::CompressorKind;
+use dlrm_data::presets;
+use dlrm_grad::GradCodecKind;
+use dlrm_trainer::{run_training, AdaptiveSetting};
+
+fn bench_ckpt_codec(c: &mut Criterion) {
+    let dataset = presets::criteo_kaggle_like();
+    let samples = sampled_traffic(&dataset, Scale::Quick, 11);
+    let shard: Vec<f32> = samples[8]
+        .iter()
+        .chain(samples[2].iter())
+        .copied()
+        .collect();
+    let bytes = (shard.len() * 4) as u64;
+
+    let kinds = [
+        GradCodecKind::Fp16,
+        GradCodecKind::ErrorBounded {
+            compressor: CompressorKind::OursHybrid,
+            error_bound: 1e-3,
+        },
+    ];
+    let mut group = c.benchmark_group("ckpt-codec");
+    group.throughput(Throughput::Bytes(bytes));
+    for kind in kinds {
+        let mut codec = CkptCodec::new(&kind);
+        group.bench_with_input(
+            BenchmarkId::new("encode", kind.label()),
+            &shard,
+            |b, data| {
+                b.iter(|| codec.encode(data).encoded_bytes());
+            },
+        );
+        let section = codec.encode(&shard);
+        let mut out = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new("decode", kind.label()),
+            &section,
+            |b, section| {
+                b.iter(|| {
+                    codec.decode_into(section, &mut out);
+                    out.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_elastic_recovery(c: &mut Criterion) {
+    // One full rank-loss run: checkpoint cadence, rollback, re-shard,
+    // replay — the end-to-end cost of elasticity at quick scale.
+    let dataset = presets::tiny();
+    let mut cfg = workloads::fault_trainer(
+        CompressorKind::OursHybrid,
+        AdaptiveSetting::Static,
+        Scale::Quick,
+    );
+    cfg.fault = Some(workloads::fault_setting(workloads::fault_loss_plan(
+        Scale::Quick,
+    )));
+    let mut group = c.benchmark_group("elastic-recovery");
+    group.sample_size(10);
+    group.bench_function("rank-loss-replay", |b| {
+        b.iter(|| run_training(&dataset, &cfg).recovery_iterations);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ckpt_codec, bench_elastic_recovery);
+criterion_main!(benches);

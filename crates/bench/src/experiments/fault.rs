@@ -1,0 +1,304 @@
+//! Elastic fault tolerance: stragglers, rank loss with compressed-checkpoint
+//! recovery, and live scale-out.
+//!
+//! Real training jobs do not run on healthy, constant-size clusters. This
+//! experiment injects the three failure shapes the fault subsystem models
+//! and checks the run survives each with its accuracy intact:
+//!
+//! * **Straggler** — one rank's links degrade 10x mid-run. The modeled
+//!   collective slows exactly as the tiered cost model predicts, and the
+//!   runtime controller (whose hysteresis guard drops while the fault-plan
+//!   window is active) re-runs Equation-2 selection and flips to the heavy
+//!   codec that the degraded wire now wants.
+//! * **Rank loss** — a rank dies at the midpoint. Training rolls back to the
+//!   last compressed checkpoint (error-bounded hybrid sections), re-shards
+//!   the lost rank's tables over the survivors with the minimal-move
+//!   repartition, replays the lost iterations on the shrunk world, and
+//!   converges within tolerance of the no-fault run.
+//! * **Scale-out** — the world grows 4 -> 6 behind a boundary checkpoint:
+//!   no lost work, just a re-shard onto the new ranks.
+//!
+//! The `FaultPlan::none()` arm is the control: scheduling *nothing* must be
+//! bit-for-bit identical to running without a fault plan at all.
+
+use super::ExpOptions;
+use crate::format::{f4, TextTable};
+use crate::workloads;
+use dlrm_comm::FaultPlan;
+use dlrm_compress::CompressorKind;
+use dlrm_trainer::{run_training, AdaptiveSetting, FaultSetting, TrainingReport};
+
+/// The static codec of the non-straggler arms.
+pub const FAULT_CODEC: CompressorKind = CompressorKind::OursHybrid;
+
+/// The no-fault control arm every scenario is compared against.
+pub fn baseline_arm(opts: &ExpOptions) -> TrainingReport {
+    let dataset = dlrm_data::presets::tiny();
+    let cfg = workloads::fault_trainer(FAULT_CODEC, AdaptiveSetting::Static, opts.scale);
+    run_training(&dataset, &cfg)
+}
+
+/// The empty-plan arm: a `FaultPlan::none()` setting attached — must be
+/// bit-identical to [`baseline_arm`].
+pub fn none_plan_arm(opts: &ExpOptions) -> TrainingReport {
+    let dataset = dlrm_data::presets::tiny();
+    let mut cfg = workloads::fault_trainer(FAULT_CODEC, AdaptiveSetting::Static, opts.scale);
+    cfg.fault = Some(FaultSetting::new(FaultPlan::none()));
+    run_training(&dataset, &cfg)
+}
+
+/// The straggler arm: runtime controller starting on the cheap cast the
+/// healthy fabric wants; the mid-run straggler must flip it to the heavy
+/// codec.
+pub fn straggler_arm(opts: &ExpOptions) -> TrainingReport {
+    let dataset = dlrm_data::presets::tiny();
+    let mut cfg = workloads::fault_trainer(
+        CompressorKind::Fp16,
+        AdaptiveSetting::runtime(workloads::ADAPT_WINDOW, 0.1),
+        opts.scale,
+    );
+    cfg.fault = Some(FaultSetting::new(workloads::fault_straggler_plan(
+        opts.scale,
+    )));
+    run_training(&dataset, &cfg)
+}
+
+/// The rank-loss arm: recovery from the last compressed checkpoint.
+pub fn loss_arm(opts: &ExpOptions) -> TrainingReport {
+    let dataset = dlrm_data::presets::tiny();
+    let mut cfg = workloads::fault_trainer(FAULT_CODEC, AdaptiveSetting::Static, opts.scale);
+    cfg.fault = Some(workloads::fault_setting(workloads::fault_loss_plan(
+        opts.scale,
+    )));
+    run_training(&dataset, &cfg)
+}
+
+/// The scale-out arm: live resize 4 -> 6 behind a boundary checkpoint.
+pub fn resize_arm(opts: &ExpOptions) -> TrainingReport {
+    let dataset = dlrm_data::presets::tiny();
+    let mut cfg = workloads::fault_trainer(FAULT_CODEC, AdaptiveSetting::Static, opts.scale);
+    cfg.fault = Some(workloads::fault_setting(workloads::fault_resize_plan(
+        opts.scale,
+    )));
+    run_training(&dataset, &cfg)
+}
+
+/// Bit-exact view of a report's numeric outcome (everything that must not
+/// depend on timing or thread scheduling).
+fn metric_bits(report: &TrainingReport) -> Vec<(u64, u64, u64, usize)> {
+    report
+        .accuracy_curve
+        .iter()
+        .map(|m| {
+            (
+                m.loss.to_bits(),
+                m.accuracy.to_bits(),
+                m.auc.to_bits(),
+                m.samples,
+            )
+        })
+        .collect()
+}
+
+/// Elastic fault-tolerance sweep: no-fault control, empty plan, straggler,
+/// rank loss with compressed-checkpoint recovery, and live scale-out.
+pub fn fault1(opts: &ExpOptions) -> String {
+    let iters = workloads::fault_iterations(opts.scale);
+    let spec = workloads::fault_ckpt_spec();
+    let mut out = format!(
+        "Elastic fault tolerance — stragglers, rank loss and live scale-out\n\
+         (tiny preset, world {}, {} iterations, {} GB/s fabric; compressed checkpoints\n\
+         ({}) on the faulted arms; straggler 10x on rank 1 over [{}, {}); rank loss and\n\
+         resize at iteration {})\n\n",
+        workloads::FAULT_WORLD,
+        iters,
+        workloads::fault_link().alltoall_bandwidth / 1e9,
+        spec.label(),
+        iters / 3,
+        2 * iters / 3,
+        iters / 2,
+    );
+
+    let baseline = baseline_arm(opts);
+    let none_plan = none_plan_arm(opts);
+    let straggler = straggler_arm(opts);
+    let loss = loss_arm(opts);
+    let resize = resize_arm(opts);
+
+    let mut table = TextTable::new(vec![
+        "arm",
+        "fault",
+        "final loss",
+        "world",
+        "ckpts",
+        "ckpt ratio",
+        "write s",
+        "recovery s",
+        "replayed",
+        "switches",
+    ]);
+    for (label, report) in [
+        ("no-fault", &baseline),
+        ("none-plan", &none_plan),
+        ("straggler", &straggler),
+        ("rank-loss", &loss),
+        ("scale-out", &resize),
+    ] {
+        table.row(vec![
+            label.to_string(),
+            report.fault.clone(),
+            f4(report.final_metrics.loss),
+            format!("{}->{}", report.world, report.final_world),
+            format!("{}", report.checkpoints_taken),
+            f4(report.checkpoint_ratio),
+            format!("{:.6}", report.checkpoint_write_seconds),
+            format!("{:.6}", report.recovery_seconds),
+            format!("{}", report.recovery_iterations),
+            format!("{}", report.total_reselections()),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    // ── Acceptance: the empty plan is bit-for-bit the no-fault run.
+    out.push_str(&format!(
+        "\nFaultPlan::none() {} the no-fault run bit for bit.\n",
+        if metric_bits(&baseline) == metric_bits(&none_plan) {
+            "matches"
+        } else {
+            "DOES NOT match (unexpected)"
+        }
+    ));
+
+    // ── Acceptance: the controller reselects while the straggler is active.
+    let degraded_switch = straggler
+        .reselections
+        .iter()
+        .any(|r| r.degraded && !r.switches.is_empty());
+    out.push_str(&format!(
+        "The controller {} while the straggler was active.\n",
+        if degraded_switch {
+            "switched codecs"
+        } else {
+            "DID NOT switch codecs (unexpected)"
+        }
+    ));
+
+    // ── Acceptance: recovery converges next to the no-fault run.
+    let drift = (loss.final_metrics.loss - baseline.final_metrics.loss).abs();
+    out.push_str(&format!(
+        "Rank-loss recovery final loss {} vs no-fault {} (|drift| {}, {}); checkpoints\n\
+         compressed {} ({} taken), recovery replayed {} iteration(s) in {:.6} modeled s.\n",
+        f4(loss.final_metrics.loss),
+        f4(baseline.final_metrics.loss),
+        f4(drift),
+        if drift <= LOSS_TOLERANCE * baseline.final_metrics.loss.abs() {
+            "within tolerance"
+        } else {
+            "OUT OF tolerance (unexpected)"
+        },
+        f4(loss.checkpoint_ratio),
+        loss.checkpoints_taken,
+        loss.recovery_iterations,
+        loss.recovery_seconds,
+    ));
+
+    for report in [&straggler, &loss, &resize] {
+        if !report.world_events.is_empty() {
+            out.push_str(&format!(
+                "\nWorld events of the {} arm:\n",
+                report.fault.clone()
+            ));
+            for e in &report.world_events {
+                out.push_str(&format!("  {e}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Relative tolerance on the final loss of a recovered run vs the no-fault
+/// control: the restore is lossy (error-bounded sections) and the replay
+/// runs on a re-sharded world, so the trajectories are close but not equal.
+pub const LOSS_TOLERANCE: f64 = 0.1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        let opts = ExpOptions::quick();
+        let baseline = baseline_arm(&opts);
+        let none_plan = none_plan_arm(&opts);
+        assert_eq!(
+            metric_bits(&baseline),
+            metric_bits(&none_plan),
+            "FaultPlan::none() changed the numerics"
+        );
+        assert_eq!(baseline.per_table, none_plan.per_table);
+        assert_eq!(
+            baseline.overall_ratio.to_bits(),
+            none_plan.overall_ratio.to_bits()
+        );
+        assert_eq!(none_plan.checkpoints_taken, 0);
+        assert_eq!(none_plan.recovery_iterations, 0);
+    }
+
+    #[test]
+    fn controller_reselects_while_straggler_is_active() {
+        let report = straggler_arm(&ExpOptions::quick());
+        assert!(
+            report
+                .reselections
+                .iter()
+                .any(|r| r.degraded && !r.switches.is_empty()),
+            "no degraded-window codec switch: {:?}",
+            report.reselections
+        );
+    }
+
+    #[test]
+    fn rank_loss_recovers_from_compressed_checkpoint_within_tolerance() {
+        let opts = ExpOptions::quick();
+        let baseline = baseline_arm(&opts);
+        let loss = loss_arm(&opts);
+        assert_eq!(loss.final_world, workloads::FAULT_WORLD - 1);
+        assert!(loss.checkpoints_taken > 0, "no checkpoints were taken");
+        assert!(
+            loss.checkpoint_ratio > 1.0,
+            "checkpoint sections did not compress: ratio {}",
+            loss.checkpoint_ratio
+        );
+        assert!(loss.recovery_iterations > 0, "nothing was replayed");
+        assert!(loss.recovery_seconds > 0.0);
+        // It learns, and lands next to the no-fault run.
+        assert!(loss.final_metrics.loss < loss.initial_metrics.loss);
+        let drift = (loss.final_metrics.loss - baseline.final_metrics.loss).abs();
+        assert!(
+            drift <= LOSS_TOLERANCE * baseline.final_metrics.loss.abs(),
+            "recovered run drifted from the no-fault run: {} vs {}",
+            loss.final_metrics.loss,
+            baseline.final_metrics.loss
+        );
+    }
+
+    #[test]
+    fn resize_scales_out_with_no_lost_work() {
+        let report = resize_arm(&ExpOptions::quick());
+        assert_eq!(report.final_world, workloads::FAULT_WORLD + 2);
+        assert_eq!(
+            report.recovery_iterations, 0,
+            "a planned resize must not replay work"
+        );
+        assert!(report.final_metrics.loss < report.initial_metrics.loss);
+    }
+
+    #[test]
+    fn fault1_quick_reports_all_acceptance_lines() {
+        let report = fault1(&ExpOptions::quick());
+        assert!(report.contains("matches"), "{report}");
+        assert!(report.contains("switched codecs"), "{report}");
+        assert!(report.contains("within tolerance"), "{report}");
+        assert!(!report.contains("unexpected"), "{report}");
+    }
+}

@@ -9,6 +9,7 @@ pub mod compressors;
 pub mod decay;
 pub mod dense;
 pub mod exec;
+pub mod fault;
 pub mod meta;
 pub mod overlap;
 pub mod topology;
@@ -160,6 +161,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "adapt1",
             title: "Runtime adaptivity: static plans vs the closed-loop controller under drift",
             run: adapt::adapt1,
+        },
+        Experiment {
+            id: "fault1",
+            title: "Elastic fault tolerance: stragglers, checkpointed rank loss, live scale-out",
+            run: fault::fault1,
         },
         Experiment {
             id: "abl2",

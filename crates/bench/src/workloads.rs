@@ -3,12 +3,14 @@
 //! the paper's evaluation assumes.
 
 use dlrm_adaptive::{CodecProfile, EbConfig, EbSchedule, Thresholds, TrainingPhases};
-use dlrm_comm::{BandwidthTrace, NetworkConfig, Topology};
+use dlrm_ckpt::CheckpointSpec;
+use dlrm_comm::{BandwidthTrace, FaultPlan, NetworkConfig, Topology};
 use dlrm_compress::CompressorKind;
 use dlrm_data::{presets, DatasetConfig, EmbeddingTrafficGenerator};
+use dlrm_grad::GradCodecKind;
 use dlrm_trainer::{
-    plan, AdaptiveSetting, CompressionSetting, DenseCompression, ExecutorSetting, OverlapSetting,
-    TopologySetting, TrainerConfig,
+    plan, AdaptiveSetting, CompressionSetting, DenseCompression, ExecutorSetting, FaultSetting,
+    OverlapSetting, TopologySetting, TrainerConfig,
 };
 
 /// The all-to-all bandwidth the paper's Figure 11 speedup analysis assumes.
@@ -85,6 +87,7 @@ pub fn accuracy_trainer(
         topology: Default::default(),
         adaptive: Default::default(),
         bandwidth_trace: None,
+        fault: None,
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
@@ -130,6 +133,7 @@ pub fn breakdown_trainer(
         topology: Default::default(),
         adaptive: Default::default(),
         bandwidth_trace: None,
+        fault: None,
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
@@ -160,6 +164,7 @@ pub fn overlap_trainer(compression: CompressionSetting, scale: Scale) -> Trainer
         topology: Default::default(),
         adaptive: Default::default(),
         bandwidth_trace: None,
+        fault: None,
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
@@ -199,6 +204,7 @@ pub fn exec_trainer(executor: ExecutorSetting, scale: Scale) -> TrainerConfig {
         topology: Default::default(),
         adaptive: Default::default(),
         bandwidth_trace: None,
+        fault: None,
         codec_profile: None,
         executor,
         realtime_wire: true,
@@ -229,6 +235,7 @@ pub fn dense_trainer(dense: DenseCompression, scale: Scale) -> TrainerConfig {
         topology: Default::default(),
         adaptive: Default::default(),
         bandwidth_trace: None,
+        fault: None,
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
@@ -291,6 +298,7 @@ pub fn topology_trainer(ranks_per_node: usize, scale: Scale) -> TrainerConfig {
         topology: TopologySetting::Hierarchical(topology_shape(ranks_per_node)),
         adaptive: Default::default(),
         bandwidth_trace: None,
+        fault: None,
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
@@ -376,6 +384,7 @@ pub fn adapt_trainer(
         topology: Default::default(),
         adaptive,
         bandwidth_trace: Some(adapt_drift_trace(scale)),
+        fault: None,
         codec_profile: Some(adapt_profile()),
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
@@ -386,6 +395,98 @@ pub fn adapt_trainer(
         // able to blur a percent-level margin.
         compute_time_scale: 1.0 / 50_000.0,
     }
+}
+
+/// World size the `fault1` elasticity sweep starts from.
+pub const FAULT_WORLD: usize = 4;
+
+/// Checkpoint cadence of the `fault1` sweep (iterations between snapshots).
+pub const FAULT_CKPT_EVERY: usize = 4;
+
+/// Iterations of the `fault1` sweep at a given scale. World events land at
+/// the midpoint, the straggler window covers the middle third.
+pub fn fault_iterations(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 24,
+        Scale::Full => 48,
+    }
+}
+
+/// The healthy fabric of the `fault1` sweep: fast enough that the cheap cast
+/// wins Equation 2 — until a straggler drags the effective link down 10x.
+pub fn fault_link() -> NetworkConfig {
+    NetworkConfig::alltoall_bound(2e9)
+}
+
+/// Compressed-checkpoint policy of the `fault1` sweep: error-bounded hybrid
+/// sections at a bound tight enough that a restored run stays on the
+/// no-fault trajectory, every [`FAULT_CKPT_EVERY`] iterations.
+pub fn fault_ckpt_spec() -> CheckpointSpec {
+    CheckpointSpec::new(
+        FAULT_CKPT_EVERY,
+        GradCodecKind::ErrorBounded {
+            compressor: CompressorKind::OursHybrid,
+            error_bound: 1e-3,
+        },
+    )
+}
+
+/// Base trainer of the `fault1` sweep: the `adapt1` shape (same profile,
+/// deep compute scale-down so the deterministic wire + codec schedule
+/// dominates) on a steady healthy fabric, with the fault plan left to the
+/// scenario builders.
+pub fn fault_trainer(
+    codec: CompressorKind,
+    adaptive: AdaptiveSetting,
+    scale: Scale,
+) -> TrainerConfig {
+    TrainerConfig {
+        world: FAULT_WORLD,
+        global_batch: FAULT_WORLD * 32,
+        iterations: fault_iterations(scale),
+        learning_rate: 0.05,
+        compression: CompressionSetting::fixed(ADAPT_EB, codec),
+        overlap: OverlapSetting::Off,
+        dense_compression: Default::default(),
+        network: fault_link(),
+        topology: Default::default(),
+        adaptive,
+        bandwidth_trace: None,
+        fault: None,
+        codec_profile: Some(adapt_profile()),
+        executor: ExecutorSetting::Threaded,
+        realtime_wire: false,
+        seed: 20_240_614,
+        device_throughput: None,
+        compute_time_scale: 1.0 / 50_000.0,
+    }
+}
+
+/// The straggler scenario: rank 1's links run 10x slower over the middle
+/// third of the run. On the healthy fabric Equation 2 wants the cheap cast;
+/// behind the straggler it flips to the heavy codec — the reselection the
+/// acceptance test asserts.
+pub fn fault_straggler_plan(scale: Scale) -> FaultPlan {
+    let iters = fault_iterations(scale);
+    FaultPlan::none().with_straggler(1, iters / 3, 2 * iters / 3, 10.0)
+}
+
+/// The rank-loss scenario: the last rank dies at the midpoint; training
+/// rolls back to the last compressed checkpoint, re-shards the lost rank's
+/// tables over the survivors and replays.
+pub fn fault_loss_plan(scale: Scale) -> FaultPlan {
+    FaultPlan::none().with_rank_loss(fault_iterations(scale) / 2, FAULT_WORLD - 1)
+}
+
+/// The scale-out scenario: the world grows 4 -> 6 at the midpoint behind a
+/// boundary checkpoint — no lost work, just a re-shard onto the new ranks.
+pub fn fault_resize_plan(scale: Scale) -> FaultPlan {
+    FaultPlan::none().with_resize(fault_iterations(scale) / 2, FAULT_WORLD + 2)
+}
+
+/// A fault setting with the sweep's compressed-checkpoint policy attached.
+pub fn fault_setting(plan: FaultPlan) -> FaultSetting {
+    FaultSetting::new(plan).with_checkpoint(fault_ckpt_spec())
 }
 
 /// The paper-default adaptive compression setting for a dataset (offline

@@ -96,9 +96,22 @@
 //! the runtime adaptive controller (`dlrm-adaptive`) re-runs compressor
 //! selection against the bandwidth it actually observes.
 
+//! ## Fault and elasticity scenarios
+//!
+//! A [`fault::FaultPlan`] is the third scenario axis: **clusters that
+//! break**. It deterministically schedules per-rank straggler windows
+//! (throughput multipliers charged by degrading the collective's
+//! [`cost::NetworkConfig`] via [`cost::NetworkConfig::degraded`] — a
+//! bulk-synchronous collective moves at its slowest member's pace), rank
+//! loss at an iteration, and mid-run world resizes. Like a trace, a plan is
+//! pure data shared by every rank, so an SPMD trainer derives identical
+//! fault decisions everywhere; the trainer's checkpoint/re-shard machinery
+//! (`dlrm-ckpt`, `dlrm-trainer`) turns the world events into recovery.
+
 pub mod cluster;
 pub mod cost;
 pub mod fabric;
+pub mod fault;
 pub mod ledger;
 pub mod overlap;
 pub mod pool;
@@ -112,6 +125,7 @@ pub use cluster::{
 };
 pub use cost::{CostModel, NetworkConfig};
 pub use fabric::{ChannelFabric, Fabric, GatePolicy, SerialGate, WirePolicy};
+pub use fault::{FaultPlan, StragglerWindow, WorldEvent};
 pub use ledger::TimingLedger;
 pub use overlap::OverlapTimeline;
 pub use pool::{BufferPool, PoolStats, PooledBuf};

@@ -84,9 +84,26 @@ impl ErrorFeedback {
         (self.residual.capacity() * 4) as u64
     }
 
-    /// Read-only view of the residual (diagnostics and tests).
+    /// Read-only view of the residual (diagnostics, tests, and the residual
+    /// section of a checkpoint).
     pub fn residual(&self) -> &[f32] {
         &self.residual
+    }
+
+    /// Overwrite the residual from a checkpointed copy (sizing the buffer if
+    /// it has not been used yet) — restore after a rank failure, so the
+    /// error-feedback loop resumes with what compression had discarded up to
+    /// the checkpoint instead of silently forgetting it.
+    pub fn load(&mut self, data: &[f32]) {
+        if self.residual.is_empty() {
+            self.residual.resize(data.len(), 0.0);
+        }
+        assert_eq!(
+            self.residual.len(),
+            data.len(),
+            "restored residual length mismatch"
+        );
+        self.residual.copy_from_slice(data);
     }
 }
 

@@ -104,6 +104,24 @@ impl GradCompressor {
         self.ef.as_ref().map_or(0.0, ErrorFeedback::l2_norm)
     }
 
+    /// The error-feedback residual, if one is maintained and sized — the
+    /// residual section of a checkpoint. `None` without error feedback or
+    /// before the first compensate.
+    pub fn residual(&self) -> Option<&[f32]> {
+        self.ef
+            .as_ref()
+            .map(ErrorFeedback::residual)
+            .filter(|r| !r.is_empty())
+    }
+
+    /// Restore a checkpointed residual (no-op without error feedback) — see
+    /// [`ErrorFeedback::load`].
+    pub fn load_residual(&mut self, data: &[f32]) {
+        if let Some(ef) = &mut self.ef {
+            ef.load(data);
+        }
+    }
+
     /// Total heap capacity held (codec scratch + residual + staging) —
     /// stable once warmed up; the trainer's allocation ledger samples it to
     /// prove the dense path's zero-allocation steady state.

@@ -282,6 +282,28 @@ impl Dlrm {
         Mlp::flatten_grads_into(&grads.top, out);
     }
 
+    /// Flatten both MLPs' *parameters* into one vector, in the layout of
+    /// [`Dlrm::flatten_mlp_grads`] (bottom first) — the MLP section of a
+    /// checkpoint. *Appends* to `out`.
+    pub fn flatten_mlp_params_into(&self, out: &mut Vec<f32>) {
+        out.reserve(self.mlp_param_count());
+        self.bottom.flatten_params_into(out);
+        self.top.flatten_params_into(out);
+    }
+
+    /// Overwrite both MLPs' parameters from a flat vector laid out as
+    /// [`Dlrm::flatten_mlp_params_into`] produces — checkpoint restore.
+    pub fn load_flat_mlp_params(&mut self, flat: &[f32]) {
+        let split = self.bottom.num_params();
+        assert_eq!(
+            flat.len(),
+            self.mlp_param_count(),
+            "flat parameter size mismatch"
+        );
+        self.bottom.load_flat_params(&flat[..split]);
+        self.top.load_flat_params(&flat[split..]);
+    }
+
     /// Apply a flat gradient vector produced by [`Dlrm::flatten_mlp_grads`]
     /// (possibly averaged across ranks) with SGD.
     pub fn apply_flat_mlp_grads(&mut self, flat: &[f32], lr: f32) {
@@ -437,6 +459,23 @@ mod tests {
         let grads = model.backward_dense(&cache, &batch.labels);
         let flat = model.flatten_mlp_grads(&grads);
         assert_eq!(flat.len(), counts.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn mlp_param_checkpoint_roundtrip() {
+        let (mut model, mut gen) = tiny_model(21);
+        let mut flat = Vec::new();
+        model.flatten_mlp_params_into(&mut flat);
+        assert_eq!(flat.len(), model.mlp_param_count());
+        let batch = gen.next_batch(16);
+        model.train_step(&batch, 0.1);
+        let mut after = Vec::new();
+        model.flatten_mlp_params_into(&mut after);
+        assert_ne!(flat, after, "training did not change the parameters");
+        model.load_flat_mlp_params(&flat);
+        let mut restored = Vec::new();
+        model.flatten_mlp_params_into(&mut restored);
+        assert_eq!(restored, flat);
     }
 
     #[test]

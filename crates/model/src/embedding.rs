@@ -37,6 +37,12 @@ impl EmbeddingTable {
         &self.weights
     }
 
+    /// Mutably borrow the raw weight matrix (used by checkpoint restore,
+    /// which overwrites the rows in place).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
     /// Look up a batch of category indices, producing a `batch x dim` matrix.
     ///
     /// # Panics

@@ -158,6 +158,37 @@ impl Mlp {
         }
     }
 
+    /// Flatten the *parameters* into one vector, in the same layout as
+    /// [`Mlp::flatten_grads`] (weights then bias, layer by layer) — the
+    /// payload of a checkpoint. *Appends* to `out`, reusing its capacity.
+    pub fn flatten_params_into(&self, out: &mut Vec<f32>) {
+        for layer in &self.layers {
+            out.extend_from_slice(layer.w.as_slice());
+            out.extend_from_slice(&layer.b);
+        }
+    }
+
+    /// Overwrite the parameters from a flat vector laid out as
+    /// [`Mlp::flatten_params_into`] produces — checkpoint restore.
+    ///
+    /// # Panics
+    /// Panics unless `flat.len() == self.num_params()`.
+    pub fn load_flat_params(&mut self, flat: &[f32]) {
+        let mut pos = 0usize;
+        for layer in &mut self.layers {
+            let wlen = layer.w.len();
+            layer
+                .w
+                .as_mut_slice()
+                .copy_from_slice(&flat[pos..pos + wlen]);
+            pos += wlen;
+            let blen = layer.b.len();
+            layer.b.copy_from_slice(&flat[pos..pos + blen]);
+            pos += blen;
+        }
+        assert_eq!(pos, flat.len(), "flat parameter length mismatch");
+    }
+
     /// Rebuild structured gradients from a flat vector produced by
     /// [`Mlp::flatten_grads`] (shapes come from this MLP).
     pub fn unflatten_grads(&self, flat: &[f32]) -> MlpGrads {
@@ -284,6 +315,19 @@ mod tests {
         assert_eq!(flat.len(), mlp.num_params());
         let rebuilt = mlp.unflatten_grads(&flat);
         assert_eq!(rebuilt, grads);
+    }
+
+    #[test]
+    fn param_flatten_load_roundtrip() {
+        let mlp = tiny_mlp();
+        let mut flat = Vec::new();
+        mlp.flatten_params_into(&mut flat);
+        assert_eq!(flat.len(), mlp.num_params());
+        let mut rng = SeededRng::new(99);
+        let mut other = Mlp::new(&[4, 8, 2], &mut rng);
+        assert_ne!(other, mlp);
+        other.load_flat_params(&flat);
+        assert_eq!(other, mlp);
     }
 
     #[test]

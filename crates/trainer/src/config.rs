@@ -2,7 +2,8 @@
 
 use dlrm_adaptive::controller::PlateauEbControl;
 use dlrm_adaptive::{CodecProfile, CompressionPlan, DecaySchedule, EbSchedule, TrainingPhases};
-use dlrm_comm::{BandwidthTrace, NetworkConfig, Topology};
+use dlrm_ckpt::CheckpointSpec;
+use dlrm_comm::{BandwidthTrace, FaultPlan, NetworkConfig, Topology, WorldEvent};
 use dlrm_compress::CompressorKind;
 use dlrm_grad::GradCodecKind;
 use serde::{Deserialize, Serialize};
@@ -333,6 +334,59 @@ impl AdaptiveSetting {
     }
 }
 
+/// Deterministic fault/elasticity scenario for a run: a
+/// [`FaultPlan`] scheduling stragglers and world events, plus the
+/// checkpoint policy that makes the world events recoverable.
+///
+/// Stragglers need no checkpoint — they only degrade the modeled network
+/// while active. Rank-loss and resize events *do* require a
+/// [`CheckpointSpec`]: the driver replays from the last checkpoint at or
+/// before the event, re-sharding the embedding tables onto the new world
+/// (see `trainer::partition`), so validation rejects a plan with world
+/// events but no checkpoint policy.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSetting {
+    /// The scheduled stragglers and world events.
+    pub plan: FaultPlan,
+    /// Checkpoint cadence/codec; required when the plan has world events.
+    #[serde(default)]
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+impl FaultSetting {
+    /// A fault setting over `plan` with no checkpointing.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            checkpoint: None,
+        }
+    }
+
+    /// Builder: checkpoint with the given policy.
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
+        self
+    }
+
+    /// Short label used in reports, e.g. `s1e2+ckpt@4/fp16` (1 straggler
+    /// window, 2 world events) or `none`.
+    pub fn label(&self) -> String {
+        if self.plan.is_none() && self.checkpoint.is_none() {
+            return "none".to_string();
+        }
+        let mut label = format!(
+            "s{}e{}",
+            self.plan.stragglers().len(),
+            self.plan.events().len()
+        );
+        if let Some(spec) = &self.checkpoint {
+            label.push('+');
+            label.push_str(&spec.label());
+        }
+        label
+    }
+}
+
 /// Full configuration of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainerConfig {
@@ -373,6 +427,14 @@ pub struct TrainerConfig {
     /// **inter-node** tier).
     #[serde(default)]
     pub bandwidth_trace: Option<BandwidthTrace>,
+    /// Optional fault/elasticity scenario. `None` — and a setting whose
+    /// plan is [`FaultPlan::none`] — run today's healthy path **bit for
+    /// bit**; a non-trivial plan degrades the modeled network while a
+    /// straggler window is active and splits the run into segments around
+    /// each world event, with checkpoint/re-shard/replay recovery between
+    /// them.
+    #[serde(default)]
+    pub fault: Option<FaultSetting>,
     /// Optional per-codec analytic throughput model: when set, compression
     /// and decompression time of the all-to-all payloads is charged as
     /// `bytes / throughput(kind)` per codec instead of a single flat
@@ -430,6 +492,7 @@ impl TrainerConfig {
             topology: TopologySetting::Flat,
             adaptive: AdaptiveSetting::Static,
             bandwidth_trace: None,
+            fault: None,
             codec_profile: None,
             executor: ExecutorSetting::Threaded,
             realtime_wire: false,
@@ -472,6 +535,12 @@ impl TrainerConfig {
     /// The same configuration over the given bandwidth trace.
     pub fn with_bandwidth_trace(mut self, trace: BandwidthTrace) -> Self {
         self.bandwidth_trace = Some(trace);
+        self
+    }
+
+    /// The same configuration under the given fault/elasticity scenario.
+    pub fn with_fault(mut self, fault: FaultSetting) -> Self {
+        self.fault = Some(fault);
         self
     }
 
@@ -558,6 +627,63 @@ impl TrainerConfig {
         }
         if let Some(trace) = &self.bandwidth_trace {
             trace.validate()?;
+        }
+        if let Some(fault) = &self.fault {
+            fault.plan.validate()?;
+            if let Some(spec) = &fault.checkpoint {
+                spec.validate()?;
+            }
+            for w in fault.plan.stragglers() {
+                if w.rank >= self.world {
+                    return Err(format!(
+                        "straggler rank {} out of range for world {}",
+                        w.rank, self.world
+                    ));
+                }
+            }
+            if !fault.plan.events().is_empty() {
+                if fault.checkpoint.is_none() {
+                    return Err(
+                        "world events (rank loss / resize) need a checkpoint spec to recover from"
+                            .into(),
+                    );
+                }
+                if self.topology.is_hierarchical() {
+                    return Err(
+                        "world events need a flat topology (a node grid cannot tile a changed \
+                         world mid-run); stragglers are fine either way"
+                            .into(),
+                    );
+                }
+                let mut world = self.world;
+                for event in fault.plan.events() {
+                    if event.iter() >= self.iterations {
+                        return Err(format!(
+                            "world event at iteration {} is outside the run ({} iterations)",
+                            event.iter(),
+                            self.iterations
+                        ));
+                    }
+                    if let WorldEvent::RankLoss { rank, .. } = event {
+                        if *rank >= world {
+                            return Err(format!(
+                                "rank-loss event names rank {rank} but the world is {world}"
+                            ));
+                        }
+                    }
+                    world = event.world_after(world);
+                    if world == 0 {
+                        return Err("a world event leaves zero ranks".into());
+                    }
+                    if world > self.global_batch {
+                        return Err(format!(
+                            "world event grows the world to {world}, beyond one sample per rank \
+                             of the global batch ({})",
+                            self.global_batch
+                        ));
+                    }
+                }
+            }
         }
         if let DenseCompression::Compressed { codec, .. } = &self.dense_compression {
             match codec {
@@ -741,6 +867,79 @@ mod tests {
             ),
         );
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_setting_validates_and_labels() {
+        use dlrm_ckpt::CheckpointSpec;
+        use dlrm_grad::GradCodecKind;
+
+        assert_eq!(FaultSetting::default().label(), "none");
+        let base = TrainerConfig::small_test(CompressionSetting::None);
+
+        // A healthy plan validates without a checkpoint.
+        let healthy = base
+            .clone()
+            .with_fault(FaultSetting::new(FaultPlan::none()));
+        assert!(healthy.validate().is_ok());
+
+        // Stragglers alone validate; out-of-range rank is rejected.
+        let strag = base.clone().with_fault(FaultSetting::new(
+            FaultPlan::none().with_straggler(1, 2, 6, 8.0),
+        ));
+        assert!(strag.validate().is_ok());
+        let bad_rank = base.clone().with_fault(FaultSetting::new(
+            FaultPlan::none().with_straggler(9, 2, 6, 8.0),
+        ));
+        assert!(bad_rank.validate().is_err());
+
+        // World events need a checkpoint spec…
+        let loss_plan = FaultPlan::none().with_rank_loss(4, 1);
+        let no_ckpt = base
+            .clone()
+            .with_fault(FaultSetting::new(loss_plan.clone()));
+        assert!(no_ckpt.validate().is_err());
+        // …and validate with one.
+        let spec = CheckpointSpec::new(2, GradCodecKind::Fp16);
+        let with_ckpt = base
+            .clone()
+            .with_fault(FaultSetting::new(loss_plan.clone()).with_checkpoint(spec.clone()));
+        assert!(with_ckpt.validate().is_ok());
+        assert_eq!(
+            with_ckpt.fault.as_ref().unwrap().label(),
+            "s0e1+ckpt@2/fp16"
+        );
+
+        // A world event outside the run, a lost rank out of range, and a
+        // hierarchical topology are all rejected.
+        let late = base.clone().with_fault(
+            FaultSetting::new(FaultPlan::none().with_rank_loss(999, 1))
+                .with_checkpoint(spec.clone()),
+        );
+        assert!(late.validate().is_err());
+        let ghost = base.clone().with_fault(
+            FaultSetting::new(FaultPlan::none().with_rank_loss(4, 7)).with_checkpoint(spec.clone()),
+        );
+        assert!(ghost.validate().is_err());
+        let hier = base
+            .clone()
+            .with_topology(TopologySetting::Hierarchical(Topology::new(
+                2,
+                2,
+                NetworkConfig::nvlink_intra_node(),
+                NetworkConfig::paper_figure11(),
+            )))
+            .with_fault(FaultSetting::new(loss_plan).with_checkpoint(spec.clone()));
+        assert!(hier.validate().is_err());
+
+        // Growing beyond one sample per rank is rejected.
+        let mut huge = base.clone();
+        huge.global_batch = 6;
+        huge.world = 4;
+        let huge = huge.with_fault(
+            FaultSetting::new(FaultPlan::none().with_resize(4, 7)).with_checkpoint(spec),
+        );
+        assert!(huge.validate().is_err());
     }
 
     #[test]

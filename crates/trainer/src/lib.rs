@@ -117,8 +117,8 @@ pub mod plan;
 pub mod run;
 
 pub use config::{
-    AdaptiveSetting, CompressionSetting, DenseCompression, ExecutorSetting, OverlapSetting,
-    TopologySetting, TrainerConfig,
+    AdaptiveSetting, CompressionSetting, DenseCompression, ExecutorSetting, FaultSetting,
+    OverlapSetting, TopologySetting, TrainerConfig,
 };
 pub use partition::TablePartition;
 pub use run::{run_training, TableCompressionStats, TrainingReport};

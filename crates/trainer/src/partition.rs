@@ -54,6 +54,134 @@ impl TablePartition {
         self.owner[table]
     }
 
+    /// Per-rank loads under the same weighting [`TablePartition::greedy`]
+    /// packs with (`cardinality.max(1)`).
+    fn loads(&self, cardinalities: &[usize]) -> Vec<usize> {
+        self.owned
+            .iter()
+            .map(|ts| ts.iter().map(|&t| cardinalities[t].max(1)).sum())
+            .collect()
+    }
+
+    /// Place `orphans` (already sorted) greedily largest-first onto the
+    /// least-loaded ranks of `self`, in place.
+    fn place_orphans(&mut self, cardinalities: &[usize], orphans: &[usize]) {
+        let mut load = self.loads(cardinalities);
+        let mut order: Vec<usize> = orphans.to_vec();
+        order.sort_by_key(|&t| std::cmp::Reverse(cardinalities[t]));
+        for t in order {
+            let r = (0..self.owned.len())
+                .min_by_key(|&r| (load[r], r))
+                .expect("world > 0");
+            self.owned[r].push(t);
+            self.owner[t] = r;
+            load[r] += cardinalities[t].max(1);
+        }
+        for tables in self.owned.iter_mut() {
+            tables.sort_unstable();
+        }
+    }
+
+    /// The partition after rank `lost` dies: survivors keep every table
+    /// they already own (ranks above `lost` shift down by one), and only
+    /// the lost rank's tables move — placed greedily largest-first on the
+    /// least-loaded survivors. Returns the new partition and the moved
+    /// table ids (exactly the lost rank's former tables, ascending) — the
+    /// minimal set any remap must move.
+    pub fn after_loss(&self, cardinalities: &[usize], lost: usize) -> (Self, Vec<usize>) {
+        assert!(lost < self.owned.len(), "lost rank out of range");
+        assert!(self.owned.len() > 1, "cannot lose the only rank");
+        let orphans = self.owned[lost].clone();
+        let mut owned = self.owned.clone();
+        owned.remove(lost);
+        let mut next = Self {
+            owner: vec![0; self.owner.len()],
+            owned,
+        };
+        for (r, tables) in next.owned.iter().enumerate() {
+            for &t in tables {
+                next.owner[t] = r;
+            }
+        }
+        next.place_orphans(cardinalities, &orphans);
+        (next, orphans)
+    }
+
+    /// The partition after an elastic resize to `new_world` ranks.
+    ///
+    /// Shrinking orphans only the dropped top ranks' tables (placed
+    /// greedily largest-first on the survivors); growing adds empty ranks
+    /// and then moves tables one at a time — always the largest table on
+    /// the most-loaded rank whose move strictly reduces the donor/recipient
+    /// gap — until no such move exists. Both directions move a minimal set:
+    /// the returned table ids are exactly the tables whose owner changed,
+    /// ascending.
+    pub fn resized(&self, cardinalities: &[usize], new_world: usize) -> (Self, Vec<usize>) {
+        assert!(new_world > 0, "need at least one rank");
+        let old_world = self.owned.len();
+        if new_world == old_world {
+            return (self.clone(), Vec::new());
+        }
+        if new_world < old_world {
+            let mut orphans: Vec<usize> = self.owned[new_world..].concat();
+            orphans.sort_unstable();
+            let mut next = Self {
+                owned: self.owned[..new_world].to_vec(),
+                owner: vec![0; self.owner.len()],
+            };
+            for (r, tables) in next.owned.iter().enumerate() {
+                for &t in tables {
+                    next.owner[t] = r;
+                }
+            }
+            next.place_orphans(cardinalities, &orphans);
+            return (next, orphans);
+        }
+        // Growing: rebalance onto the empty newcomers by repeated
+        // largest-table moves from the most- to the least-loaded rank.
+        // Every move strictly shrinks the donor/recipient load gap, so the
+        // loop terminates; the final spread is within one table of even.
+        let mut next = self.clone();
+        next.owned.resize(new_world, Vec::new());
+        let mut load = next.loads(cardinalities);
+        loop {
+            let donor = (0..new_world)
+                .max_by_key(|&r| (load[r], std::cmp::Reverse(r)))
+                .expect("world > 0");
+            let recipient = (0..new_world)
+                .min_by_key(|&r| (load[r], r))
+                .expect("world > 0");
+            let gap = load[donor] - load[recipient];
+            // Largest table on the donor that still shrinks the gap when
+            // moved (its weight must be under the gap, not just half of it,
+            // to keep strictly descending total spread).
+            let candidate = next.owned[donor]
+                .iter()
+                .copied()
+                .filter(|&t| cardinalities[t].max(1) < gap)
+                .max_by_key(|&t| (cardinalities[t].max(1), t));
+            let Some(t) = candidate else {
+                break;
+            };
+            next.owned[donor].retain(|&x| x != t);
+            next.owned[recipient].push(t);
+            next.owner[t] = recipient;
+            let w = cardinalities[t].max(1);
+            load[donor] -= w;
+            load[recipient] += w;
+        }
+        for tables in next.owned.iter_mut() {
+            tables.sort_unstable();
+        }
+        // Report the tables whose owner actually changed (a table bounced
+        // through an intermediate rank counts once; one returned home not
+        // at all).
+        let moved = (0..self.owner.len())
+            .filter(|&t| next.owner[t] != self.owner[t])
+            .collect();
+        (next, moved)
+    }
+
     /// Parameter-count imbalance: max rank load / mean rank load (1.0 is
     /// perfectly balanced). Ranks with zero load are counted.
     pub fn imbalance(&self, cardinalities: &[usize]) -> f64 {
@@ -124,6 +252,96 @@ mod tests {
         assert_eq!(
             TablePartition::greedy(&cards, 2),
             TablePartition::greedy(&cards, 2)
+        );
+    }
+
+    /// Every table owned exactly once and owner/owned agree.
+    fn assert_consistent(p: &TablePartition, num_tables: usize) {
+        assert_eq!(p.owner.len(), num_tables);
+        let mut seen = vec![false; num_tables];
+        for (r, tables) in p.owned.iter().enumerate() {
+            assert!(tables.windows(2).all(|w| w[0] < w[1]), "unsorted rank list");
+            for &t in tables {
+                assert!(!seen[t], "table {t} owned twice");
+                seen[t] = true;
+                assert_eq!(p.owner[t], r);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "a table lost its owner");
+    }
+
+    #[test]
+    fn after_loss_moves_only_the_lost_ranks_tables() {
+        let cards = vec![100, 5, 2000, 300, 7, 900, 50, 4];
+        let p = TablePartition::greedy(&cards, 4);
+        let lost = 1usize;
+        let orphans = p.tables_of(lost).to_vec();
+        let (q, moved) = p.after_loss(&cards, lost);
+        assert_eq!(q.world(), 3);
+        assert_consistent(&q, cards.len());
+        assert_eq!(moved, orphans, "remap moved a survivor's table");
+        // Survivors keep their tables (ranks above the lost one shift down).
+        for old_r in 0..4 {
+            if old_r == lost {
+                continue;
+            }
+            let new_r = old_r - usize::from(old_r > lost);
+            for &t in p.tables_of(old_r) {
+                assert_eq!(q.owner_of(t), new_r, "table {t} moved off its survivor");
+            }
+        }
+    }
+
+    #[test]
+    fn resized_same_world_is_identity() {
+        let cards = vec![10, 40, 5, 25];
+        let p = TablePartition::greedy(&cards, 3);
+        let (q, moved) = p.resized(&cards, 3);
+        assert_eq!(q, p);
+        assert!(moved.is_empty());
+    }
+
+    #[test]
+    fn resized_shrink_orphans_only_dropped_ranks() {
+        let cards: Vec<usize> = (1..=12).map(|i| i * 37 % 90 + 1).collect();
+        let p = TablePartition::greedy(&cards, 5);
+        let mut orphans: Vec<usize> = p.owned[3..].concat();
+        orphans.sort_unstable();
+        let (q, moved) = p.resized(&cards, 3);
+        assert_eq!(q.world(), 3);
+        assert_consistent(&q, cards.len());
+        assert_eq!(moved, orphans);
+        for r in 0..3 {
+            for &t in p.tables_of(r) {
+                assert_eq!(q.owner_of(t), r, "surviving rank lost table {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn resized_grow_balances_within_the_largest_table() {
+        let cards: Vec<usize> = (1..=26).map(|i| i * i * 10).collect();
+        let p = TablePartition::greedy(&cards, 4);
+        let (q, moved) = p.resized(&cards, 6);
+        assert_eq!(q.world(), 6);
+        assert_consistent(&q, cards.len());
+        assert!(!moved.is_empty(), "growing 4->6 must move something");
+        for &t in &moved {
+            assert_ne!(q.owner_of(t), p.owner_of(t), "unmoved table reported");
+        }
+        for t in 0..cards.len() {
+            if !moved.contains(&t) {
+                assert_eq!(q.owner_of(t), p.owner_of(t), "gratuitous move of {t}");
+            }
+        }
+        // Balance: max load within one largest-table of the min load.
+        let loads: Vec<usize> = (0..6)
+            .map(|r| q.tables_of(r).iter().map(|&t| cards[t]).sum())
+            .collect();
+        let max_card = *cards.iter().max().unwrap();
+        assert!(
+            loads.iter().max().unwrap() - loads.iter().min().unwrap() <= max_card,
+            "loads {loads:?} spread beyond the largest table {max_card}"
         );
     }
 }

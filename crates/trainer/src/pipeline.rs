@@ -15,6 +15,7 @@ use dlrm_adaptive::controller::{
     ControllerConfig, Reselection, RuntimeController, TableObservation, WindowObservation,
 };
 use dlrm_adaptive::{CodecProfile, EbSchedule};
+use dlrm_ckpt::{Checkpoint, CheckpointSpec, CkptCodec, RankCheckpoint};
 use dlrm_comm::cluster::{
     RankCtx, CHUNK_HEADER_BYTES, HIER_ENTRY_HEADER_BYTES, METADATA_RECORD_BYTES,
 };
@@ -30,6 +31,7 @@ use dlrm_data::{DatasetConfig, SyntheticCriteo};
 use dlrm_grad::GradCompressor;
 use dlrm_model::{Dlrm, DlrmConfig, EvalMetrics};
 use dlrm_tensor::Matrix;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Iterations before the steady-state allocation counter starts: the first
@@ -68,6 +70,10 @@ pub mod phases {
     /// window-boundary observation exchange (zero under
     /// [`AdaptiveSetting::Static`](crate::config::AdaptiveSetting)).
     pub const CONTROLLER: &str = "runtime controller";
+    /// Checkpoint encode plus the modeled store write (and, in a recovery
+    /// segment, the modeled restore read). Zero without a
+    /// [`CheckpointSpec`](dlrm_ckpt::CheckpointSpec).
+    pub const CHECKPOINT: &str = "checkpoint";
 
     /// All phases, in pipeline order.
     pub const ALL: &[&str] = &[
@@ -84,6 +90,7 @@ pub mod phases {
         ALLREDUCE,
         OPTIMIZER,
         CONTROLLER,
+        CHECKPOINT,
     ];
 }
 
@@ -329,6 +336,41 @@ impl WallClock {
     }
 }
 
+/// One contiguous run of global iterations executed on a fixed world — the
+/// unit the fault-tolerant driver schedules. A fault-free run is a single
+/// full segment; every scheduled [`WorldEvent`](dlrm_comm::WorldEvent) cuts
+/// a new segment whose world, partition and restore point the driver picks.
+#[derive(Clone)]
+pub struct SegmentSpec {
+    /// First global iteration this segment executes.
+    pub start: usize,
+    /// One past the last global iteration this segment executes.
+    pub end: usize,
+    /// True when the leading iterations replay work lost to a rank failure.
+    pub recovery: bool,
+    /// Checkpoint to restore model/shards/residuals from before iterating.
+    pub restore: Option<Arc<Checkpoint>>,
+    /// Checkpoint cadence and codec in effect during this segment.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Force a checkpoint of the final state at `end` (a planned resize
+    /// hands the grown/shrunk world its restore point this way).
+    pub checkpoint_at_end: bool,
+}
+
+impl SegmentSpec {
+    /// The whole run as one segment — the fault-free path.
+    pub fn full(iterations: usize) -> Self {
+        Self {
+            start: 0,
+            end: iterations,
+            recovery: false,
+            restore: None,
+            checkpoint: None,
+            checkpoint_at_end: false,
+        }
+    }
+}
+
 /// Everything a rank needs to run; shared read-only across rank threads.
 pub struct RankSetup {
     /// Dataset preset being trained on.
@@ -337,6 +379,8 @@ pub struct RankSetup {
     pub trainer: TrainerConfig,
     /// Table-to-rank assignment.
     pub partition: TablePartition,
+    /// The slice of global iterations this execution covers.
+    pub segment: SegmentSpec,
 }
 
 /// Per-rank result of a training run.
@@ -388,6 +432,18 @@ pub struct RankOutcome {
     /// `(original, compressed)` forward-payload bytes of this rank's owned
     /// tables per completed controller window (empty under `Static`).
     pub window_traffic: Vec<(u64, u64)>,
+    /// The last checkpoint part this rank produced in its segment (`None`
+    /// without a [`CheckpointSpec`]); the driver assembles the per-rank
+    /// parts into the global restore point for the next segment.
+    pub last_checkpoint: Option<RankCheckpoint>,
+    /// Checkpoints this rank took during the segment.
+    pub checkpoints_taken: usize,
+    /// Raw bytes across all sections of all checkpoints taken.
+    pub checkpoint_original_bytes: u64,
+    /// Encoded bytes across all sections of all checkpoints taken.
+    pub checkpoint_encoded_bytes: u64,
+    /// Modeled store-write seconds across all checkpoints taken.
+    pub checkpoint_write_seconds: f64,
 }
 
 /// Per-rank reusable state threaded through every pipeline stage so the
@@ -784,6 +840,37 @@ fn note_alloc(
     allocated
 }
 
+/// Snapshot one rank's share of a global checkpoint: the MLP replica (rank 0
+/// only — every rank holds identical dense parameters, so one copy
+/// suffices), the embedding shards this rank owns, and the dense
+/// error-feedback residual, each encoded through the checkpoint codec.
+fn take_checkpoint(
+    iteration: usize,
+    rank: usize,
+    model: &Dlrm,
+    owned: &[usize],
+    dense: Option<&GradCompressor>,
+    codec: &mut CkptCodec,
+    flat: &mut Vec<f32>,
+) -> RankCheckpoint {
+    let t0 = Instant::now();
+    let mut part = RankCheckpoint::new(iteration, rank);
+    if rank == 0 {
+        flat.clear();
+        model.flatten_mlp_params_into(flat);
+        part.mlp = Some(codec.encode(flat));
+    }
+    for &t in owned {
+        let w = model.embedding(t).weights();
+        part.push_table(t, w.rows(), w.cols(), codec.encode(w.as_slice()));
+    }
+    if let Some(residual) = dense.and_then(GradCompressor::residual) {
+        part.residual = Some(codec.encode(residual));
+    }
+    part.encode_seconds = t0.elapsed().as_secs_f64();
+    part
+}
+
 /// Per-rank state of the closed-loop runtime controller
 /// ([`AdaptiveSetting::Runtime`]); `None` under the bit-exact
 /// [`AdaptiveSetting::Static`] path.
@@ -985,6 +1072,7 @@ impl ControllerState {
         send: &mut Vec<PooledBuf>,
         recv: &mut Vec<PooledBuf>,
         hierarchical: bool,
+        degraded: bool,
     ) {
         let world = ctx.world();
         // Codec throughput over the window, from the ledger's compress
@@ -1132,8 +1220,9 @@ impl ControllerState {
             tables,
         };
 
-        // ── Decide and apply.
-        let reselection = self.ctl.observe(&obs);
+        // ── Decide and apply. A fault-degraded network drops the
+        // hysteresis guard so the controller reacts within one window.
+        let reselection = self.ctl.observe_degraded(&obs, degraded);
         for rev in &reselection.switches {
             resolved.set_compressor(rev.table_id, rev.to.build());
         }
@@ -1175,6 +1264,17 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
     // both `None` on the bit-exact default path.
     let trace = trainer.bandwidth_trace.as_ref();
     let profile = trainer.codec_profile.as_ref();
+    // Fault plan and the segment of global iterations this execution covers
+    // (the full run unless the driver scheduled world events).
+    let seg = &setup.segment;
+    assert!(
+        seg.start <= seg.end && seg.end <= trainer.iterations,
+        "segment [{}, {}) out of range for {} iterations",
+        seg.start,
+        seg.end,
+        trainer.iterations
+    );
+    let plan = trainer.fault.as_ref().map(|f| &f.plan);
 
     let mut resolved = ResolvedCompression::from_setting(&trainer.compression, num_tables);
     let overlapped = matches!(trainer.overlap, OverlapSetting::DoubleBuffered);
@@ -1232,7 +1332,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
     let mut generator = SyntheticCriteo::new(dataset.clone(), trainer.seed.wrapping_add(1));
 
     let mut ledger = TimingLedger::new();
-    let mut per_iteration = Vec::with_capacity(trainer.iterations);
+    let mut per_iteration = Vec::with_capacity(seg.end - seg.start);
     let mut fwd_traffic = vec![(0u64, 0u64); num_tables];
     let codec_throughput_c = trainer.device_throughput.map(|(c, _)| c);
     let codec_throughput_d = trainer.device_throughput.map(|(_, d)| d);
@@ -1257,25 +1357,131 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         compress_capacity: scratch.compress.capacity_bytes(),
         float: scratch.float_counters(),
     };
+
+    // ── Segment entry: fast-forward the shared batch stream so global
+    // iteration k draws the same batch no matter how many segments precede
+    // it, then restore from the checkpoint this segment resumes from
+    // (recovery after a rank loss, or re-sharding onto a resized world).
+    // Sections are keyed by table id, so the restore works for any
+    // partition of the surviving world.
+    for _ in 0..seg.start {
+        let _ = generator.next_batch(trainer.global_batch);
+    }
+    let mut ckpt_codec: Option<CkptCodec> =
+        seg.checkpoint.as_ref().map(|s| CkptCodec::new(&s.codec));
+    let mut ckpt_flat: Vec<f32> = Vec::new();
+    let mut checkpoints_taken = 0usize;
+    let mut checkpoint_original_bytes = 0u64;
+    let mut checkpoint_encoded_bytes = 0u64;
+    let mut checkpoint_write_seconds = 0.0f64;
+    let mut last_checkpoint: Option<RankCheckpoint> = None;
+    if let Some(ckpt) = seg.restore.as_deref() {
+        let mut codec = CkptCodec::new(&ckpt.codec);
+        codec.decode_into(&ckpt.mlp, &mut ckpt_flat);
+        model.load_flat_mlp_params(&ckpt_flat);
+        for &t in &owned {
+            let section = ckpt
+                .table(t)
+                .unwrap_or_else(|| panic!("checkpoint is missing table {t}"));
+            codec.decode_into(&section.section, &mut ckpt_flat);
+            let w = model.embedding_mut(t).weights_mut();
+            assert_eq!(
+                (section.rows, section.cols),
+                (w.rows(), w.cols()),
+                "table {t}: checkpoint shape mismatch"
+            );
+            w.as_mut_slice().copy_from_slice(&ckpt_flat);
+        }
+        if let Some(section) = ckpt.residual_for(rank) {
+            if let Some(state) = dense.as_mut() {
+                codec.decode_into(section, &mut ckpt_flat);
+                state.load_residual(&ckpt_flat);
+            }
+        }
+        // The restore read is charged at the store bandwidth; every rank
+        // reads the full checkpoint's bytes (MLP + all shards stream past).
+        let read_bandwidth = seg
+            .checkpoint
+            .as_ref()
+            .map_or(CheckpointSpec::DEFAULT_WRITE_BANDWIDTH, |s| {
+                s.write_bandwidth
+            });
+        ledger.add_time(phases::CHECKPOINT, ckpt.read_seconds(read_bandwidth));
+        ledger.add_bytes(phases::CHECKPOINT, ckpt.encoded_bytes);
+    }
+
     // Wall-clock phase accounting starts when the loop does: setup cost is
     // not training time.
     let mut wall = WallClock::new();
 
-    for iter in 0..trainer.iterations {
-        let counting = iter >= WARMUP_ITERATIONS;
+    for iter in seg.start..seg.end {
+        // Warm-up is per segment: a fresh executor (and so fresh pools)
+        // backs every segment, so the allocation amnesty restarts with it.
+        let local = iter - seg.start;
+        let counting = local >= WARMUP_ITERATIONS;
+        // ── Checkpoint cadence: snapshot the state this iteration *starts*
+        // with (model replica, owned shards, EF residual), encoded through
+        // the checkpoint codec, with the store write charged at its modeled
+        // bandwidth.
+        if let Some(spec) = seg.checkpoint.as_ref() {
+            if iter.is_multiple_of(spec.every) {
+                let codec = ckpt_codec.as_mut().expect("codec built with the spec");
+                let part = take_checkpoint(
+                    iter,
+                    rank,
+                    &model,
+                    &owned,
+                    dense.as_ref(),
+                    codec,
+                    &mut ckpt_flat,
+                );
+                let write_s = part.write_seconds(spec.write_bandwidth);
+                checkpoints_taken += 1;
+                checkpoint_original_bytes += part.original_bytes();
+                checkpoint_encoded_bytes += part.encoded_bytes();
+                checkpoint_write_seconds += write_s;
+                ledger.add_time(
+                    phases::CHECKPOINT,
+                    part.encode_seconds * compute_scale + write_s,
+                );
+                ledger.add_bytes(phases::CHECKPOINT, part.encoded_bytes());
+                last_checkpoint = Some(part);
+                wall.mark(phases::CHECKPOINT);
+            }
+        }
         // The link (and therefore every network charge) in effect this
         // iteration: the static network without a trace — bit for bit the
-        // pre-trace path — or whatever the trace says right now.
-        let cost = match trace {
-            None => base_cost,
-            Some(t) => t.cost_model_at(iter),
+        // pre-trace path — or whatever the trace says right now. An active
+        // straggler window further divides the bandwidths by its multiplier
+        // (the slowest rank's link bounds every bulk-synchronous
+        // collective); factor 1.0 skips the rebuild entirely, keeping the
+        // no-fault path bit-identical.
+        let straggler = plan.map_or(1.0, |p| p.straggler_factor(iter));
+        let cost = {
+            let c = match trace {
+                None => base_cost,
+                Some(t) => t.cost_model_at(iter),
+            };
+            if straggler > 1.0 {
+                c.config().degraded(straggler).cost_model()
+            } else {
+                c
+            }
         };
         let hier_iter: Option<(Topology, TieredCostModel)> = match (&hier, trace) {
             (None, _) => None,
-            (Some(pair), None) => Some(*pair),
-            (Some((topo, _)), Some(t)) => {
-                let drifted = t.topology_at(topo, iter);
-                Some((drifted, drifted.cost_model()))
+            (Some(pair), None) if straggler <= 1.0 => Some(*pair),
+            (Some((topo, _)), t) => {
+                let mut topo_iter = match t {
+                    None => *topo,
+                    Some(tr) => tr.topology_at(topo, iter),
+                };
+                if straggler > 1.0 {
+                    // A straggler drags the node fabric: the inter tier is
+                    // where a slow rank's link sits in the two-level model.
+                    topo_iter = topo_iter.with_inter(topo_iter.inter().degraded(straggler));
+                }
+                Some((topo_iter, topo_iter.cost_model()))
             }
         };
         // ── Reselection point: close the previous window, exchange
@@ -1296,6 +1502,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     &mut scratch.send,
                     &mut scratch.recv,
                     hier_iter.is_some(),
+                    plan.is_some_and(|p| p.degraded_at(iter)),
                 );
                 let a = note_alloc(
                     &mut ledger,
@@ -2425,7 +2632,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // so every candidate's scratch demand and the probe lease class
         // reach working size before the steady-state counters arm.
         if let Some(state) = controller.as_mut() {
-            if state.wants_probe(iter, trainer.iterations) || iter + 1 == WARMUP_ITERATIONS {
+            if state.wants_probe(iter, trainer.iterations) || local + 1 == WARMUP_ITERATIONS {
                 state.probe(
                     ctx,
                     &resolved,
@@ -2467,7 +2674,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // collectives), and the in-flight amount is bounded by one
         // iteration's working set — so a second set makes the steady state
         // deterministically allocation-free regardless of thread timing.
-        if iter + 1 == WARMUP_ITERATIONS {
+        if local + 1 == WARMUP_ITERATIONS {
             // Spares come in three size classes matching the three kinds of
             // lease an iteration takes (payload chunks, 16-byte metadata
             // records, the all-reduce flat buffer). The pool's best-fit
@@ -2537,6 +2744,37 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         }
     }
 
+    // ── Segment exit: a planned resize checkpoints the final state so the
+    // regrown world has an exact restore point at the boundary.
+    if seg.checkpoint_at_end {
+        let spec = seg
+            .checkpoint
+            .as_ref()
+            .expect("validated: a forced end checkpoint requires a spec");
+        let codec = ckpt_codec.as_mut().expect("codec built with the spec");
+        let part = take_checkpoint(
+            seg.end,
+            rank,
+            &model,
+            &owned,
+            dense.as_ref(),
+            codec,
+            &mut ckpt_flat,
+        );
+        let write_s = part.write_seconds(spec.write_bandwidth);
+        checkpoints_taken += 1;
+        checkpoint_original_bytes += part.original_bytes();
+        checkpoint_encoded_bytes += part.encoded_bytes();
+        checkpoint_write_seconds += write_s;
+        ledger.add_time(
+            phases::CHECKPOINT,
+            part.encode_seconds * compute_scale + write_s,
+        );
+        ledger.add_bytes(phases::CHECKPOINT, part.encoded_bytes());
+        last_checkpoint = Some(part);
+        wall.mark(phases::CHECKPOINT);
+    }
+
     RankOutcome {
         rank,
         per_iteration,
@@ -2554,6 +2792,11 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             .as_ref()
             .map_or_else(Vec::new, |s| s.ctl.log().to_vec()),
         window_traffic: controller.map_or_else(Vec::new, |s| s.window_traffic),
+        last_checkpoint,
+        checkpoints_taken,
+        checkpoint_original_bytes,
+        checkpoint_encoded_bytes,
+        checkpoint_write_seconds,
     }
 }
 

@@ -3,9 +3,10 @@
 
 use crate::config::{ExecutorSetting, OverlapSetting, TrainerConfig};
 use crate::partition::TablePartition;
-use crate::pipeline::{self, RankOutcome, RankSetup};
+use crate::pipeline::{self, RankOutcome, RankSetup, SegmentSpec};
 use dlrm_adaptive::Reselection;
-use dlrm_comm::{TimingLedger, WirePolicy};
+use dlrm_ckpt::{Checkpoint, RankCheckpoint};
+use dlrm_comm::{TimingLedger, WirePolicy, WorldEvent};
 use dlrm_data::DatasetConfig;
 use dlrm_exec::{ExecMode, Executor};
 use dlrm_model::EvalMetrics;
@@ -152,6 +153,37 @@ pub struct TrainingReport {
     /// Bytes of buffer capacity served from recycled pool leases and scratch
     /// buffers over the whole run, summed across ranks.
     pub buffer_reused_bytes: u64,
+    /// Label of the fault/elasticity setting (`"none"` without one).
+    #[serde(default)]
+    pub fault: String,
+    /// Human-readable log of the world events the run went through (rank
+    /// losses, resizes), in schedule order. Empty for fault-free runs.
+    #[serde(default)]
+    pub world_events: Vec<String>,
+    /// World size after the last scheduled event (equals
+    /// [`TrainingReport::world`] when nothing changed it).
+    #[serde(default)]
+    pub final_world: usize,
+    /// Global checkpoints taken across the run (every rank contributes its
+    /// part to each).
+    #[serde(default)]
+    pub checkpoints_taken: usize,
+    /// Raw over encoded bytes across every checkpoint section (1.0 when no
+    /// checkpoint was taken).
+    #[serde(default)]
+    pub checkpoint_ratio: f64,
+    /// Modeled store-write seconds, bounded per checkpoint by the slowest
+    /// rank's part and summed over checkpoints.
+    #[serde(default)]
+    pub checkpoint_write_seconds: f64,
+    /// Modeled seconds lost to recovery: restore reads plus the re-executed
+    /// iterations' share of their segments' modeled time.
+    #[serde(default)]
+    pub recovery_seconds: f64,
+    /// Iterations re-executed because a rank loss rolled back to the last
+    /// checkpoint.
+    #[serde(default)]
+    pub recovery_iterations: usize,
 }
 
 impl TrainingReport {
@@ -185,144 +217,294 @@ impl TrainingReport {
     }
 }
 
-/// Run hybrid-parallel training of `dataset` under `config` on the simulated
-/// cluster and merge the per-rank outcomes.
-pub fn run_training(dataset: &DatasetConfig, config: &TrainerConfig) -> TrainingReport {
-    config.validate().expect("invalid trainer config");
-    dataset.validate().expect("invalid dataset config");
+/// One executed segment: the iteration span it covered, the world it ran on,
+/// and the per-rank outcomes it produced.
+struct SegmentRun {
+    start: usize,
+    end: usize,
+    outcomes: Vec<RankOutcome>,
+    wall_seconds: f64,
+}
 
-    let partition = TablePartition::greedy(
-        &dataset
-            .tables
-            .iter()
-            .map(|t| t.cardinality)
-            .collect::<Vec<_>>(),
-        config.world,
-    );
-    let setup = Arc::new(RankSetup {
-        dataset: dataset.clone(),
-        trainer: config.clone(),
-        partition,
-    });
-
-    let mode = match config.executor {
+/// Spawn a fresh simulated cluster sized to the segment's world and run the
+/// per-rank pipeline over the segment.
+fn execute_segment(setup: Arc<RankSetup>) -> (Vec<RankOutcome>, f64) {
+    let cfg = &setup.trainer;
+    let mode = match cfg.executor {
         ExecutorSetting::Sequential => ExecMode::Sequential,
         ExecutorSetting::Threaded => ExecMode::Threaded,
     };
-    let wire = if config.realtime_wire {
+    let wire = if cfg.realtime_wire {
         WirePolicy::Modeled
     } else {
         WirePolicy::Instant
     };
-    let executor = Executor::new(config.world, config.network)
+    let executor = Executor::new(cfg.world, cfg.network)
         .with_mode(mode)
         .with_wire(wire);
     let setup_for_ranks = Arc::clone(&setup);
     let run = executor.run(move |ctx| pipeline::run_rank(&ctx, &setup_for_ranks));
-
-    merge_outcomes(&setup, run.results, run.wall_seconds)
+    (run.results, run.wall_seconds)
 }
 
-fn merge_outcomes(
-    setup: &RankSetup,
-    mut outcomes: Vec<RankOutcome>,
-    wall_seconds: f64,
-) -> TrainingReport {
-    outcomes.sort_by_key(|o| o.rank);
-    let iterations = setup.trainer.iterations;
-    let num_tables = setup.dataset.num_tables();
-
-    // Combine per-iteration shard metrics across ranks.
-    let mut accuracy_curve = Vec::with_capacity(iterations);
-    for iter in 0..iterations {
-        let parts: Vec<EvalMetrics> = outcomes
-            .iter()
-            .filter_map(|o| o.per_iteration.get(iter).copied())
-            .collect();
-        accuracy_curve.push(EvalMetrics::combine(&parts));
+/// Assemble the global checkpoint from the per-rank parts a segment produced
+/// (every rank takes its part at the same cadence iteration, so either all
+/// ranks carry one or none do).
+fn assemble_last_checkpoint(
+    spec: Option<&dlrm_ckpt::CheckpointSpec>,
+    outcomes: &mut [RankOutcome],
+) -> Option<Arc<Checkpoint>> {
+    let parts: Vec<RankCheckpoint> = outcomes
+        .iter_mut()
+        .filter_map(|o| o.last_checkpoint.take())
+        .collect();
+    if parts.is_empty() {
+        return None;
     }
+    let spec = spec.expect("checkpoints were taken, so a spec exists");
+    Some(Arc::new(Checkpoint::assemble(spec.codec.clone(), parts)))
+}
+
+/// Run hybrid-parallel training of `dataset` under `config` on the simulated
+/// cluster and merge the per-rank outcomes.
+///
+/// Without scheduled world events this is one execution of the full
+/// iteration range — bit for bit the pre-fault behaviour. A
+/// [`FaultPlan`](dlrm_comm::FaultPlan) with events cuts the run into
+/// segments: a rank loss rolls back to the last compressed checkpoint,
+/// re-shards the lost rank's tables over the survivors and replays from
+/// there on the shrunk world; a resize checkpoints at the boundary and
+/// re-shards onto the new world with no lost work.
+pub fn run_training(dataset: &DatasetConfig, config: &TrainerConfig) -> TrainingReport {
+    config.validate().expect("invalid trainer config");
+    dataset.validate().expect("invalid dataset config");
+
+    let cards: Vec<usize> = dataset.tables.iter().map(|t| t.cardinality).collect();
+    let spec = config.fault.as_ref().and_then(|f| f.checkpoint.clone());
+    let events: Vec<WorldEvent> = config
+        .fault
+        .as_ref()
+        .map_or_else(Vec::new, |f| f.plan.events().to_vec());
+
+    let mut world = config.world;
+    let mut partition = TablePartition::greedy(&cards, world);
+    let mut cursor = 0usize;
+    let mut restore: Option<Arc<Checkpoint>> = None;
+    let mut last_ckpt: Option<Arc<Checkpoint>> = None;
+    let mut world_events: Vec<String> = Vec::new();
+    let mut recovery_seconds = 0.0f64;
+    let mut recovery_iterations = 0usize;
+    // Replay bookkeeping settled after the segment runs: the iteration the
+    // current replay reaches, and the restore read already charged for it.
+    let mut replay_to: Option<usize> = None;
+    let mut pending_read_seconds = 0.0f64;
+    let mut segments: Vec<SegmentRun> = Vec::new();
+    let mut next_event = 0usize;
+
+    while cursor < config.iterations {
+        let end = events
+            .get(next_event)
+            .map_or(config.iterations, WorldEvent::iter);
+        let segment = SegmentSpec {
+            start: cursor,
+            end,
+            recovery: replay_to.is_some(),
+            restore: restore.take(),
+            checkpoint: spec.clone(),
+            // A planned resize gets its exact restore point at the boundary.
+            checkpoint_at_end: matches!(events.get(next_event), Some(WorldEvent::Resize { .. })),
+        };
+        let mut trainer = config.clone();
+        trainer.world = world;
+        let setup = Arc::new(RankSetup {
+            dataset: dataset.clone(),
+            trainer,
+            partition: partition.clone(),
+            segment,
+        });
+        let (mut outcomes, wall_seconds) = execute_segment(setup);
+        outcomes.sort_by_key(|o| o.rank);
+
+        // Settle the replay accounting: the re-executed iterations' share of
+        // this segment's modeled time, plus the restore read.
+        if let Some(k) = replay_to.take() {
+            let ledgers: Vec<TimingLedger> = outcomes.iter().map(|o| o.ledger.clone()).collect();
+            let modeled = TimingLedger::merge_max(&ledgers).total_seconds();
+            recovery_iterations += k - cursor;
+            recovery_seconds +=
+                pending_read_seconds + modeled * (k - cursor) as f64 / (end - cursor) as f64;
+            pending_read_seconds = 0.0;
+        }
+        if let Some(ckpt) = assemble_last_checkpoint(spec.as_ref(), &mut outcomes) {
+            last_ckpt = Some(ckpt);
+        }
+        segments.push(SegmentRun {
+            start: cursor,
+            end,
+            outcomes,
+            wall_seconds,
+        });
+        cursor = end;
+
+        if let Some(&event) = events.get(next_event) {
+            next_event += 1;
+            let ckpt = last_ckpt
+                .clone()
+                .expect("validated: world events require a checkpoint spec");
+            match event {
+                WorldEvent::RankLoss { iter, rank } => {
+                    let from = ckpt.iteration;
+                    assert!(from <= iter, "restore point is ahead of the failure");
+                    let (next, _moved) = partition.after_loss(&cards, rank);
+                    partition = next;
+                    world -= 1;
+                    world_events.push(format!(
+                        "iter {iter}: rank {rank} lost (world {}->{world}, replay from {from})",
+                        world + 1
+                    ));
+                    pending_read_seconds = ckpt.read_seconds(
+                        spec.as_ref()
+                            .expect("validated: world events require a checkpoint spec")
+                            .write_bandwidth,
+                    );
+                    restore = Some(ckpt);
+                    replay_to = Some(iter);
+                    cursor = from;
+                }
+                WorldEvent::Resize { iter, new_world } => {
+                    assert_eq!(
+                        ckpt.iteration, iter,
+                        "resize restore point must be the boundary checkpoint"
+                    );
+                    let (next, _moved) = partition.resized(&cards, new_world);
+                    partition = next;
+                    world_events.push(format!("iter {iter}: resize {world}->{new_world}"));
+                    world = new_world;
+                    restore = Some(ckpt);
+                }
+            }
+        }
+    }
+
+    merge_segments(
+        dataset,
+        config,
+        &segments,
+        FaultSummary {
+            world_events,
+            final_world: world,
+            recovery_seconds,
+            recovery_iterations,
+        },
+    )
+}
+
+/// Driver-level fault bookkeeping folded into the report.
+struct FaultSummary {
+    world_events: Vec<String>,
+    final_world: usize,
+    recovery_seconds: f64,
+    recovery_iterations: usize,
+}
+
+fn merge_segments(
+    dataset: &DatasetConfig,
+    config: &TrainerConfig,
+    segments: &[SegmentRun],
+    fault: FaultSummary,
+) -> TrainingReport {
+    let iterations = config.iterations;
+    let num_tables = dataset.num_tables();
+
+    // Combine per-iteration shard metrics across ranks; a replayed iteration
+    // overwrites its slot in run order, so the curve reflects the work that
+    // actually produced the final model.
+    let mut slots: Vec<Option<EvalMetrics>> = vec![None; iterations];
+    for seg in segments {
+        for (offset, slot) in slots[seg.start..seg.end].iter_mut().enumerate() {
+            let parts: Vec<EvalMetrics> = seg
+                .outcomes
+                .iter()
+                .filter_map(|o| o.per_iteration.get(offset).copied())
+                .collect();
+            *slot = Some(EvalMetrics::combine(&parts));
+        }
+    }
+    let accuracy_curve: Vec<EvalMetrics> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| m.unwrap_or_else(|| panic!("iteration {i} not covered by any segment")))
+        .collect();
     let tail = (iterations / 4).max(1).min(iterations);
     let initial_metrics = EvalMetrics::combine(&accuracy_curve[..tail]);
     let final_metrics = EvalMetrics::combine(&accuracy_curve[iterations - tail..]);
 
-    // Slowest rank bounds every bulk-synchronous phase.
-    let ledgers: Vec<TimingLedger> = outcomes.iter().map(|o| o.ledger.clone()).collect();
-    let breakdown = TimingLedger::merge_max(&ledgers);
-    let total_seconds = breakdown.total_seconds();
-    let overlap_saved_seconds = breakdown.total_overlap_saved();
-    let walls: Vec<TimingLedger> = outcomes.iter().map(|o| o.wall.clone()).collect();
-    let wall_phase_seconds = TimingLedger::merge_max(&walls);
-    let modeled_vs_wall_ratio = if wall_seconds > 0.0 {
-        total_seconds / wall_seconds
-    } else {
-        0.0
-    };
-
-    // Per-table traffic, summed across owning ranks.
-    let mut per_table: Vec<TableCompressionStats> = (0..num_tables)
-        .map(|table_id| TableCompressionStats {
-            table_id,
-            original_bytes: 0,
-            compressed_bytes: 0,
-        })
-        .collect();
-    for o in &outcomes {
-        for (t, &(orig, comp)) in o.fwd_traffic.iter().enumerate() {
-            per_table[t].original_bytes += orig;
-            per_table[t].compressed_bytes += comp;
+    // Within a segment the slowest rank bounds every bulk-synchronous phase
+    // (max); segments execute back to back (sum).
+    let mut breakdown = TimingLedger::new();
+    let mut wall_phase_seconds = TimingLedger::new();
+    let mut wall_seconds = 0.0f64;
+    let mut dense_saved_seconds = 0.0f64;
+    let mut intra_tier_seconds = 0.0f64;
+    let mut inter_tier_seconds = 0.0f64;
+    let mut checkpoint_write_seconds = 0.0f64;
+    let mut checkpoints_taken = 0usize;
+    let mut reselections: Vec<Reselection> = Vec::new();
+    let mut window_ratios: Vec<f64> = Vec::new();
+    for seg in segments {
+        let ledgers: Vec<TimingLedger> = seg.outcomes.iter().map(|o| o.ledger.clone()).collect();
+        breakdown.merge_sum(&TimingLedger::merge_max(&ledgers));
+        let walls: Vec<TimingLedger> = seg.outcomes.iter().map(|o| o.wall.clone()).collect();
+        wall_phase_seconds.merge_sum(&TimingLedger::merge_max(&walls));
+        wall_seconds += seg.wall_seconds;
+        dense_saved_seconds += seg
+            .outcomes
+            .iter()
+            .map(|o| o.dense_saved_seconds)
+            .fold(0.0, f64::max);
+        intra_tier_seconds += seg
+            .outcomes
+            .iter()
+            .map(|o| o.tier_seconds.0)
+            .fold(0.0, f64::max);
+        inter_tier_seconds += seg
+            .outcomes
+            .iter()
+            .map(|o| o.tier_seconds.1)
+            .fold(0.0, f64::max);
+        // Ranks checkpoint in lockstep: the slowest part bounds each write.
+        checkpoint_write_seconds += seg
+            .outcomes
+            .iter()
+            .map(|o| o.checkpoint_write_seconds)
+            .fold(0.0, f64::max);
+        checkpoints_taken += seg
+            .outcomes
+            .iter()
+            .map(|o| o.checkpoints_taken)
+            .max()
+            .unwrap_or(0);
+        // The controller's decisions must be identical on every rank — they
+        // were made from the same all-gathered observations. A divergence
+        // here means ranks disagreed about which codec a table runs, which
+        // would corrupt payloads; fail loudly instead.
+        let seg_reselections = &seg.outcomes[0].reselections;
+        for o in &seg.outcomes[1..] {
+            assert_eq!(
+                &o.reselections, seg_reselections,
+                "rank {} diverged from rank 0's reselection log",
+                o.rank
+            );
         }
-    }
-    let steady_state_allocated_bytes: u64 = outcomes
-        .iter()
-        .map(|o| o.steady_state_allocated_bytes)
-        .sum();
-    let dense_raw: u64 = outcomes.iter().map(|o| o.dense_traffic.0).sum();
-    let dense_wire: u64 = outcomes.iter().map(|o| o.dense_traffic.1).sum();
-    let dense_ratio = if dense_wire == 0 {
-        1.0
-    } else {
-        dense_raw as f64 / dense_wire as f64
-    };
-    let dense_saved_seconds = outcomes
-        .iter()
-        .map(|o| o.dense_saved_seconds)
-        .fold(0.0, f64::max);
-    let dense_residual_norm = outcomes
-        .iter()
-        .map(|o| o.dense_residual_norm)
-        .fold(0.0, f64::max);
-    let intra_tier_bytes: u64 = outcomes.iter().map(|o| o.tier_bytes.0).sum();
-    let inter_tier_bytes: u64 = outcomes.iter().map(|o| o.tier_bytes.1).sum();
-    let intra_tier_seconds = outcomes
-        .iter()
-        .map(|o| o.tier_seconds.0)
-        .fold(0.0, f64::max);
-    let inter_tier_seconds = outcomes
-        .iter()
-        .map(|o| o.tier_seconds.1)
-        .fold(0.0, f64::max);
-    let buffer_reused_bytes: u64 = outcomes.iter().map(|o| o.ledger.total_reused_bytes()).sum();
-
-    // The controller's decisions must be identical on every rank — they were
-    // made from the same all-gathered observations. A divergence here means
-    // ranks disagreed about which codec a table runs, which would corrupt
-    // payloads; fail loudly instead.
-    let reselections = outcomes[0].reselections.clone();
-    for o in &outcomes[1..] {
-        assert_eq!(
-            o.reselections, reselections,
-            "rank {} diverged from rank 0's reselection log",
-            o.rank
-        );
-    }
-    let windows = outcomes
-        .iter()
-        .map(|o| o.window_traffic.len())
-        .max()
-        .unwrap_or(0);
-    let window_ratios: Vec<f64> = (0..windows)
-        .map(|w| {
-            let (orig, comp) = outcomes.iter().fold((0u64, 0u64), |acc, o| {
+        reselections.extend_from_slice(seg_reselections);
+        let windows = seg
+            .outcomes
+            .iter()
+            .map(|o| o.window_traffic.len())
+            .max()
+            .unwrap_or(0);
+        window_ratios.extend((0..windows).map(|w| {
+            let (orig, comp) = seg.outcomes.iter().fold((0u64, 0u64), |acc, o| {
                 let &(wo, wc) = o.window_traffic.get(w).unwrap_or(&(0, 0));
                 (acc.0 + wo, acc.1 + wc)
             });
@@ -331,8 +513,56 @@ fn merge_outcomes(
             } else {
                 orig as f64 / comp as f64
             }
+        }));
+    }
+    let total_seconds = breakdown.total_seconds();
+    let overlap_saved_seconds = breakdown.total_overlap_saved();
+    let modeled_vs_wall_ratio = if wall_seconds > 0.0 {
+        total_seconds / wall_seconds
+    } else {
+        0.0
+    };
+
+    // Everything below sums plain counters across every rank of every
+    // segment (replayed work counts — those bytes really moved twice).
+    let all = || segments.iter().flat_map(|s| s.outcomes.iter());
+    let mut per_table: Vec<TableCompressionStats> = (0..num_tables)
+        .map(|table_id| TableCompressionStats {
+            table_id,
+            original_bytes: 0,
+            compressed_bytes: 0,
         })
         .collect();
+    for o in all() {
+        for (t, &(orig, comp)) in o.fwd_traffic.iter().enumerate() {
+            per_table[t].original_bytes += orig;
+            per_table[t].compressed_bytes += comp;
+        }
+    }
+    let steady_state_allocated_bytes: u64 = all().map(|o| o.steady_state_allocated_bytes).sum();
+    let dense_raw: u64 = all().map(|o| o.dense_traffic.0).sum();
+    let dense_wire: u64 = all().map(|o| o.dense_traffic.1).sum();
+    let dense_ratio = if dense_wire == 0 {
+        1.0
+    } else {
+        dense_raw as f64 / dense_wire as f64
+    };
+    let dense_residual_norm = segments.last().map_or(0.0, |s| {
+        s.outcomes
+            .iter()
+            .map(|o| o.dense_residual_norm)
+            .fold(0.0, f64::max)
+    });
+    let intra_tier_bytes: u64 = all().map(|o| o.tier_bytes.0).sum();
+    let inter_tier_bytes: u64 = all().map(|o| o.tier_bytes.1).sum();
+    let buffer_reused_bytes: u64 = all().map(|o| o.ledger.total_reused_bytes()).sum();
+    let ckpt_orig: u64 = all().map(|o| o.checkpoint_original_bytes).sum();
+    let ckpt_enc: u64 = all().map(|o| o.checkpoint_encoded_bytes).sum();
+    let checkpoint_ratio = if ckpt_enc == 0 {
+        1.0
+    } else {
+        ckpt_orig as f64 / ckpt_enc as f64
+    };
 
     let total_orig: u64 = per_table.iter().map(|t| t.original_bytes).sum();
     let total_comp: u64 = per_table.iter().map(|t| t.compressed_bytes).sum();
@@ -343,9 +573,9 @@ fn merge_outcomes(
     };
 
     TrainingReport {
-        label: setup.trainer.compression.label(),
-        overlap: setup.trainer.overlap,
-        world: setup.trainer.world,
+        label: config.compression.label(),
+        overlap: config.overlap,
+        world: config.world,
         iterations,
         accuracy_curve,
         initial_metrics,
@@ -355,16 +585,16 @@ fn merge_outcomes(
         overall_ratio,
         total_seconds,
         overlap_saved_seconds,
-        executor: setup.trainer.executor.label().to_string(),
+        executor: config.executor.label().to_string(),
         wall_seconds,
         wall_phase_seconds,
         modeled_vs_wall_ratio,
-        dense_compression: setup.trainer.dense_compression.label(),
+        dense_compression: config.dense_compression.label(),
         dense_ratio,
         dense_saved_seconds,
         dense_residual_norm,
-        topology: setup.trainer.topology.label(),
-        adaptive: setup.trainer.adaptive.label(),
+        topology: config.topology.label(),
+        adaptive: config.adaptive.label(),
         reselections,
         window_ratios,
         intra_tier_bytes,
@@ -373,6 +603,17 @@ fn merge_outcomes(
         inter_tier_seconds,
         steady_state_allocated_bytes,
         buffer_reused_bytes,
+        fault: config
+            .fault
+            .as_ref()
+            .map_or_else(|| "none".to_string(), |f| f.label()),
+        world_events: fault.world_events,
+        final_world: fault.final_world,
+        checkpoints_taken,
+        checkpoint_ratio,
+        checkpoint_write_seconds,
+        recovery_seconds: fault.recovery_seconds,
+        recovery_iterations: fault.recovery_iterations,
     }
 }
 

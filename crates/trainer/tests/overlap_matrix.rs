@@ -150,6 +150,7 @@ fn timing_config(compression: CompressionSetting) -> TrainerConfig {
         topology: Default::default(),
         adaptive: Default::default(),
         bandwidth_trace: None,
+        fault: None,
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
