@@ -1,0 +1,93 @@
+//! Observability overhead benchmarks: the recorder's per-mark cost in
+//! isolation (mark, mark_split, instant, push_row against a no-op
+//! baseline), and one full training run with tracing on vs off — the
+//! end-to-end number that justifies `ObsSetting::On` being cheap enough to
+//! leave on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlrm_bench::workloads;
+use dlrm_obs::{ClockDomain, MetricsRow, MetricsSeries, RecordKind, SpanRecorder};
+use dlrm_trainer::{run_training, CompressionSetting, ExecutorSetting, ObsSetting};
+
+fn bench_recorder_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs-recorder");
+
+    // The no-op floor: what the pipeline pays per phase boundary with
+    // tracing off is a branch on an `Option` that is `None`.
+    group.bench_function("off-branch", |b| {
+        let obs: Option<SpanRecorder> = None;
+        let mut sink = 0u64;
+        b.iter(|| {
+            if let Some(_o) = black_box(&obs) {
+                sink += 1;
+            }
+            black_box(sink)
+        });
+    });
+
+    let mut rec = SpanRecorder::new(0, ClockDomain::Modeled, SpanRecorder::capacity_for(1024));
+    let mut now = 0.0f64;
+    group.bench_function("mark", |b| {
+        b.iter(|| {
+            now += 0.001;
+            rec.mark(black_box("fwd all-to-all"), now);
+        });
+    });
+    group.bench_function("mark-split", |b| {
+        b.iter(|| {
+            now += 0.001;
+            rec.mark_split(black_box("fwd compression"), 0.0004, "fwd all-to-all", now);
+        });
+    });
+    group.bench_function("instant", |b| {
+        b.iter(|| {
+            rec.instant(RecordKind::CodecReselection, now, black_box(3), 0.0);
+        });
+    });
+
+    let mut metrics = MetricsSeries::with_capacity(1 << 16, 4);
+    let ratios = [2.0f64, 3.0, 4.0, 5.0];
+    let mut iter = 0u64;
+    group.bench_function("push-row", |b| {
+        b.iter(|| {
+            if metrics.len() == 1 << 16 {
+                metrics = MetricsSeries::with_capacity(1 << 16, 4);
+            }
+            iter += 1;
+            metrics.push_row(
+                MetricsRow {
+                    iteration: iter,
+                    wire_bytes: 4096,
+                    ..Default::default()
+                },
+                black_box(&ratios),
+            );
+        });
+    });
+    group.finish();
+}
+
+fn bench_traced_training(c: &mut Criterion) {
+    let dataset = dlrm_data::presets::tiny();
+    let mut group = c.benchmark_group("obs-training");
+    group.sample_size(10);
+    for obs in [ObsSetting::Off, ObsSetting::On] {
+        let mut cfg = workloads::adapt_trainer(
+            dlrm_compress::CompressorKind::OursHybrid,
+            Default::default(),
+            workloads::Scale::Quick,
+        );
+        cfg.iterations = 6;
+        cfg.executor = ExecutorSetting::Sequential;
+        cfg.obs = obs;
+        cfg.compression =
+            CompressionSetting::fixed(0.02, dlrm_compress::CompressorKind::OursHybrid);
+        group.bench_with_input(BenchmarkId::new("train", obs.label()), &cfg, |b, cfg| {
+            b.iter(|| run_training(&dataset, cfg).total_seconds);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder_hot_path, bench_traced_training);
+criterion_main!(benches);

@@ -21,9 +21,9 @@
 use super::ExpOptions;
 use crate::format::{f4, TextTable};
 use crate::workloads;
+use dlrm_comm::phase as phases;
 use dlrm_compress::CompressorKind;
 use dlrm_data::TrafficDrift;
-use dlrm_trainer::pipeline::phases;
 use dlrm_trainer::{run_training, AdaptiveSetting, TrainingReport};
 
 /// The static arms the runtime controller must beat: one per candidate

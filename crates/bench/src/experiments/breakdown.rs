@@ -4,7 +4,7 @@
 use super::ExpOptions;
 use crate::format::{pct, ratio, TextTable};
 use crate::workloads::{self, Scale};
-use dlrm_trainer::pipeline::phases;
+use dlrm_comm::phase as phases;
 use dlrm_trainer::{run_training, CompressionSetting, TrainingReport};
 
 fn dataset_for(opts: &ExpOptions, name: &str) -> dlrm_data::DatasetConfig {

@@ -10,9 +10,9 @@
 use super::ExpOptions;
 use crate::format::{f4, ratio, TextTable};
 use crate::workloads;
+use dlrm_comm::phase as phases;
 use dlrm_compress::CompressorKind;
 use dlrm_grad::GradCodecKind;
-use dlrm_trainer::pipeline::phases;
 use dlrm_trainer::{run_training, DenseCompression};
 
 /// Dense-path breakdown: fp32 vs fp16 vs EF-compressed gradient all-reduce.

@@ -13,7 +13,7 @@
 use super::ExpOptions;
 use crate::format::{ratio, TextTable};
 use crate::workloads;
-use dlrm_trainer::pipeline::phases;
+use dlrm_comm::phase as phases;
 use dlrm_trainer::{run_training, ExecutorSetting};
 
 /// Phases worth a row in the per-phase table: the exchange-heavy ones the

@@ -13,6 +13,7 @@ pub mod fault;
 pub mod meta;
 pub mod overlap;
 pub mod topology;
+pub mod trace;
 
 use crate::workloads::Scale;
 
@@ -166,6 +167,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "fault1",
             title: "Elastic fault tolerance: stragglers, checkpointed rank loss, live scale-out",
             run: fault::fault1,
+        },
+        Experiment {
+            id: "trace1",
+            title: "Structured tracing: per-rank spans, Perfetto trace export, metrics series",
+            run: trace::trace1,
         },
         Experiment {
             id: "abl2",

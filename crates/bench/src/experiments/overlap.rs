@@ -9,8 +9,8 @@
 use super::ExpOptions;
 use crate::format::{ratio, TextTable};
 use crate::workloads;
+use dlrm_comm::phase as phases;
 use dlrm_compress::CompressorKind;
-use dlrm_trainer::pipeline::phases;
 use dlrm_trainer::{run_training, CompressionSetting, OverlapSetting, TrainingReport};
 
 fn codec_seconds(report: &TrainingReport) -> f64 {

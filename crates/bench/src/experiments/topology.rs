@@ -14,8 +14,8 @@ use super::ExpOptions;
 use crate::format::{bytes, f4, TextTable};
 use crate::workloads;
 use dlrm_adaptive::speedup::select_compressor_per_tier;
+use dlrm_comm::phase as phases;
 use dlrm_compress::{measure_roundtrip, CompressorKind};
-use dlrm_trainer::pipeline::phases;
 use dlrm_trainer::run_training;
 
 /// The `ranks_per_node` values swept at fixed world size.

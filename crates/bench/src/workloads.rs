@@ -10,7 +10,7 @@ use dlrm_data::{presets, DatasetConfig, EmbeddingTrafficGenerator};
 use dlrm_grad::GradCodecKind;
 use dlrm_trainer::{
     plan, AdaptiveSetting, CompressionSetting, DenseCompression, ExecutorSetting, FaultSetting,
-    OverlapSetting, TopologySetting, TrainerConfig,
+    ObsSetting, OverlapSetting, TopologySetting, TrainerConfig,
 };
 
 /// The all-to-all bandwidth the paper's Figure 11 speedup analysis assumes.
@@ -91,6 +91,7 @@ pub fn accuracy_trainer(
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
+        obs: ObsSetting::Off,
         seed: 20_240_614,
         device_throughput: None,
         compute_time_scale: 1.0,
@@ -137,6 +138,7 @@ pub fn breakdown_trainer(
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
+        obs: ObsSetting::Off,
         seed: 20_240_614,
         device_throughput,
         compute_time_scale: BREAKDOWN_COMPUTE_SCALE,
@@ -168,6 +170,7 @@ pub fn overlap_trainer(compression: CompressionSetting, scale: Scale) -> Trainer
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
+        obs: ObsSetting::Off,
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
         compute_time_scale: 1.0 / 5000.0,
@@ -208,6 +211,7 @@ pub fn exec_trainer(executor: ExecutorSetting, scale: Scale) -> TrainerConfig {
         codec_profile: None,
         executor,
         realtime_wire: true,
+        obs: ObsSetting::Off,
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
         compute_time_scale: 1.0 / 5000.0,
@@ -239,6 +243,7 @@ pub fn dense_trainer(dense: DenseCompression, scale: Scale) -> TrainerConfig {
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
+        obs: ObsSetting::Off,
         seed: 20_240_614,
         device_throughput: None,
         compute_time_scale: 1.0 / 5000.0,
@@ -302,6 +307,7 @@ pub fn topology_trainer(ranks_per_node: usize, scale: Scale) -> TrainerConfig {
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
+        obs: ObsSetting::Off,
         seed: 20_240_614,
         device_throughput: Some(PAPER_HYBRID_THROUGHPUT),
         compute_time_scale: 1.0 / 5000.0,
@@ -388,6 +394,7 @@ pub fn adapt_trainer(
         codec_profile: Some(adapt_profile()),
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
+        obs: ObsSetting::Off,
         seed: 20_240_614,
         device_throughput: None,
         // Deep scale-down: the arms are compared on their deterministic
@@ -456,6 +463,7 @@ pub fn fault_trainer(
         codec_profile: Some(adapt_profile()),
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
+        obs: ObsSetting::Off,
         seed: 20_240_614,
         device_throughput: None,
         compute_time_scale: 1.0 / 50_000.0,

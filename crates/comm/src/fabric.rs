@@ -141,6 +141,14 @@ pub trait Fabric: Send {
     fn try_recv(&self, src: usize) -> Option<PooledBuf>;
     /// Synchronise all ranks on the fabric.
     fn barrier(&self);
+    /// Number of messages addressed to this rank that are posted but not
+    /// yet consumed — queued in channels plus staged parcels still inside
+    /// their modeled flight time. A racy snapshot meant for observability
+    /// sampling at exchange boundaries, not for control flow. Backends
+    /// without queue introspection may report 0.
+    fn pending_depth(&self) -> usize {
+        0
+    }
 }
 
 /// Crossbeam-channel backend of [`Fabric`]: a matrix of per-`(src, dst)`
@@ -321,6 +329,16 @@ impl Fabric for ChannelFabric {
             self.barrier.wait();
         }
     }
+
+    fn pending_depth(&self) -> usize {
+        let staged = self.staged.borrow();
+        self.receivers
+            .iter()
+            .enumerate()
+            .filter(|(src, _)| *src != self.rank)
+            .map(|(src, rx)| rx.len() + usize::from(staged[src].is_some()))
+            .sum()
+    }
 }
 
 /// Spawn one named OS thread per rank over a fresh [`ChannelFabric`] mesh,
@@ -406,6 +424,38 @@ mod tests {
             },
         );
         assert_eq!(results[1], vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn pending_depth_counts_posted_but_unconsumed_messages() {
+        let depths = run_on_mesh(
+            2,
+            NetworkConfig::infinite(),
+            GatePolicy::FreeRunning,
+            WirePolicy::Instant,
+            |ctx| {
+                if ctx.rank() == 0 {
+                    for _ in 0..3 {
+                        let b = fill(&ctx, 8);
+                        ctx.fabric().send(1, b);
+                    }
+                    ctx.barrier(); // messages are definitely posted now
+                    ctx.barrier(); // wait for rank 1 to sample
+                    0
+                } else {
+                    ctx.barrier();
+                    let before = ctx.fabric().pending_depth();
+                    ctx.barrier();
+                    for _ in 0..3 {
+                        ctx.fabric().recv(0);
+                    }
+                    let after = ctx.fabric().pending_depth();
+                    assert_eq!(after, 0);
+                    before
+                }
+            },
+        );
+        assert_eq!(depths[1], 3);
     }
 
     #[test]

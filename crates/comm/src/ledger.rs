@@ -229,6 +229,70 @@ mod tests {
     }
 
     #[test]
+    fn zero_total_fraction_is_zero_not_nan() {
+        // A ledger can be non-empty with zero accumulated seconds (phases
+        // touched with 0.0, or bytes-only accounting); fraction must stay a
+        // well-defined 0.0 rather than 0.0 / 0.0 = NaN.
+        let mut l = TimingLedger::new();
+        l.add_time("a2a", 0.0);
+        l.add_bytes("a2a", 4096);
+        assert_eq!(l.total_seconds(), 0.0);
+        let f = l.fraction("a2a");
+        assert!(
+            !f.is_nan(),
+            "fraction of a zero-total ledger must not be NaN"
+        );
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn merge_sum_adds_all_counter_maps() {
+        let mut a = TimingLedger::new();
+        a.add_bytes("a2a", 100);
+        a.add_allocated_bytes("a2a", 10);
+        a.add_reused_bytes("a2a", 1000);
+        a.add_overlap_saved("a2a", 0.5);
+        let mut b = TimingLedger::new();
+        b.add_bytes("a2a", 50);
+        b.add_bytes("ar", 7);
+        b.add_allocated_bytes("a2a", 4);
+        b.add_allocated_bytes("ar", 2);
+        b.add_reused_bytes("a2a", 500);
+        b.add_overlap_saved("a2a", 0.25);
+        a.merge_sum(&b);
+        assert_eq!(a.bytes("a2a"), 150);
+        assert_eq!(a.bytes("ar"), 7);
+        assert_eq!(a.allocated_bytes("a2a"), 14);
+        assert_eq!(a.allocated_bytes("ar"), 2);
+        assert_eq!(a.reused_bytes("a2a"), 1500);
+        assert!((a.overlap_saved("a2a") - 0.75).abs() < 1e-12);
+        assert_eq!(a.total_allocated_bytes(), 16);
+        assert_eq!(a.total_reused_bytes(), 1500);
+    }
+
+    #[test]
+    fn merge_max_takes_per_phase_max_of_all_counter_maps() {
+        let mut a = TimingLedger::new();
+        a.add_bytes("a2a", 100);
+        a.add_allocated_bytes("a2a", 10);
+        a.add_reused_bytes("a2a", 300);
+        a.add_overlap_saved("a2a", 0.5);
+        let mut b = TimingLedger::new();
+        b.add_bytes("a2a", 50);
+        b.add_allocated_bytes("a2a", 40);
+        b.add_allocated_bytes("ar", 8);
+        b.add_reused_bytes("a2a", 200);
+        b.add_overlap_saved("a2a", 0.75);
+        let merged = TimingLedger::merge_max(&[a, b]);
+        // Per phase, per map: the slowest/biggest rank wins independently.
+        assert_eq!(merged.bytes("a2a"), 100);
+        assert_eq!(merged.allocated_bytes("a2a"), 40);
+        assert_eq!(merged.allocated_bytes("ar"), 8);
+        assert_eq!(merged.reused_bytes("a2a"), 300);
+        assert!((merged.overlap_saved("a2a") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
     fn overlap_saved_accumulates_and_merges() {
         let mut a = TimingLedger::new();
         a.add_overlap_saved("a2a", 0.5);

@@ -114,6 +114,7 @@ pub mod fabric;
 pub mod fault;
 pub mod ledger;
 pub mod overlap;
+pub mod phase;
 pub mod pool;
 pub mod reduce;
 pub mod topology;

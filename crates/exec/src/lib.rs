@@ -63,6 +63,14 @@ impl ExecMode {
             ExecMode::Threaded => GatePolicy::FreeRunning,
         }
     }
+
+    /// Whether a trace recorded under this mode should use the deterministic
+    /// modeled clock. The serialized gate makes a rank's virtual-time ledger
+    /// a pure function of the data, so modeled timestamps reproduce run to
+    /// run; free-running threads are only meaningful against a real clock.
+    pub fn deterministic_clock(&self) -> bool {
+        matches!(self, ExecMode::Sequential)
+    }
 }
 
 /// A configured thread-per-rank executor: world size, network, scheduling

@@ -1,0 +1,37 @@
+//! # dlrm-obs
+//!
+//! Low-overhead structured observability for the simulated trainer: the
+//! time-resolved layer underneath the end-of-run aggregates that
+//! `TimingLedger` and `TrainingReport` already provide.
+//!
+//! Three pieces:
+//!
+//! * [`span::SpanRecorder`] — a per-rank, preallocated ring buffer of
+//!   [`span::SpanRecord`]s: one complete span per pipeline phase per
+//!   iteration, an enclosing span per iteration, and instant events for the
+//!   moments worth finding in a trace (codec reselection, error-bound scale
+//!   change, checkpoint write, rank loss, resize, straggler window edges).
+//!   Records are `Copy` and phase names are `&'static str`, so recording
+//!   never allocates once the ring exists — the trainer's zero-allocation
+//!   steady state survives with tracing on.
+//!
+//! * [`span::ClockDomain`] — the dual-clock rule. Under the sequential
+//!   executor the recorder stamps **modeled** time (the virtual-seconds
+//!   total of the rank's ledger), so traces are bit-reproducible run to
+//!   run; under the threaded executor it stamps **wall** time from a real
+//!   [`std::time::Instant`], so a trace shows where overlap actually
+//!   happened.
+//!
+//! * [`trace::TraceExport`] / [`metrics::MetricsSeries`] — the two export
+//!   surfaces: Chrome trace-event JSON (opens in Perfetto or
+//!   `chrome://tracing`, one track per rank, nested phase spans) and a
+//!   per-iteration time series with JSON + CSV encoders. Both encoders are
+//!   hand-rolled string builders; the crate has no dependencies.
+
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{MetricsEvent, MetricsRow, MetricsSeries};
+pub use span::{ClockDomain, RecordKind, SpanRecord, SpanRecorder};
+pub use trace::{RankTrack, TraceExport};

@@ -1,0 +1,345 @@
+//! Per-iteration metrics time series with JSON and CSV encoders.
+//!
+//! A [`MetricsSeries`] is a struct-of-arrays table: one row per training
+//! iteration, preallocated up front so the hot loop's `push_row` never
+//! reallocates (the zero-allocation steady state must survive with
+//! observability on). Per-table compression ratios are stored flattened,
+//! row-major, `num_tables` entries per row.
+//!
+//! Discrete happenings (codec reselections, error-bound scale changes,
+//! checkpoint writes) are carried as [`MetricsEvent`]s. Their `String`
+//! fields allocate, so the pipeline records them as instant spans in the
+//! ring recorder and the driver synthesizes the events *after* the run —
+//! never from the hot loop.
+
+/// A discrete event pinned to an iteration, synthesized post-run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsEvent {
+    /// The iteration the event occurred at.
+    pub iteration: u64,
+    /// Event kind label (e.g. `"codec reselection"`).
+    pub kind: String,
+    /// Free-form detail (e.g. `"table 2 -> FP16"`).
+    pub detail: String,
+}
+
+/// The fixed-size part of one row; per-table ratios ride alongside in
+/// [`MetricsSeries::push_row`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsRow {
+    /// Training iteration this row describes.
+    pub iteration: u64,
+    /// Modeled (virtual) seconds this iteration took.
+    pub modeled_seconds: f64,
+    /// Wall seconds this iteration took.
+    pub wall_seconds: f64,
+    /// Modeled seconds spent on the wire (all-to-alls + all-reduce).
+    pub comm_seconds: f64,
+    /// Total wire bytes this iteration (both all-to-alls + all-reduce).
+    pub wire_bytes: u64,
+    /// Wire bytes that stayed intra-node (0 on a flat topology).
+    pub intra_bytes: u64,
+    /// Wire bytes that crossed the inter-node tier (equals `wire_bytes` on
+    /// a flat topology).
+    pub inter_bytes: u64,
+    /// Uncompressed bytes of the forward-exchange payloads this iteration
+    /// (kept alongside the ratio so series from different ranks can be
+    /// merged by byte sums).
+    pub fwd_original_bytes: u64,
+    /// Encoded bytes of the forward-exchange payloads this iteration.
+    pub fwd_encoded_bytes: u64,
+    /// Overall forward-exchange compression ratio (original / encoded).
+    pub compression_ratio: f64,
+    /// Error-feedback residual norm of the dense gradient compressor.
+    pub ef_residual_norm: f64,
+    /// `wire_bytes / comm_seconds` — the bandwidth the iteration actually
+    /// achieved.
+    pub effective_bandwidth: f64,
+    /// Fabric channel depth sampled at exchange boundaries (max over the
+    /// iteration's samples).
+    pub channel_depth: u64,
+}
+
+/// Struct-of-arrays per-iteration series.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSeries {
+    /// Entries per row in `table_ratio`.
+    pub num_tables: usize,
+    /// The fixed-size row data, one entry per iteration.
+    pub rows: Vec<MetricsRow>,
+    /// Per-table compression ratios, row-major (`rows.len() × num_tables`).
+    pub table_ratio: Vec<f64>,
+    /// Discrete events, synthesized post-run.
+    pub events: Vec<MetricsEvent>,
+}
+
+impl MetricsSeries {
+    /// A series with room for `iterations` rows over `num_tables` tables —
+    /// pushes within that budget never reallocate.
+    pub fn with_capacity(iterations: usize, num_tables: usize) -> Self {
+        MetricsSeries {
+            num_tables,
+            rows: Vec::with_capacity(iterations),
+            table_ratio: Vec::with_capacity(iterations * num_tables),
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append one iteration's row. `table_ratios` must have `num_tables`
+    /// entries.
+    pub fn push_row(&mut self, row: MetricsRow, table_ratios: &[f64]) {
+        assert_eq!(
+            table_ratios.len(),
+            self.num_tables,
+            "per-table ratio count mismatch"
+        );
+        self.rows.push(row);
+        self.table_ratio.extend_from_slice(table_ratios);
+    }
+
+    /// Record a discrete event (post-run only: allocates).
+    pub fn push_event(&mut self, iteration: u64, kind: &str, detail: String) {
+        self.events.push(MetricsEvent {
+            iteration,
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// The per-table ratios of row `idx`.
+    pub fn table_ratios(&self, idx: usize) -> &[f64] {
+        &self.table_ratio[idx * self.num_tables..(idx + 1) * self.num_tables]
+    }
+
+    /// The row recorded for `iteration`, if any.
+    pub fn row_for_iteration(&self, iteration: u64) -> Option<&MetricsRow> {
+        self.rows.iter().find(|r| r.iteration == iteration)
+    }
+
+    /// Serialize the whole series as one JSON object:
+    /// `{"num_tables":…,"rows":[…],"events":[…]}` with per-row
+    /// `table_ratio` arrays inlined.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 256 * self.rows.len());
+        out.push_str(&format!("{{\"num_tables\":{},\"rows\":[", self.num_tables));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"iteration\":{},\"modeled_seconds\":{},\"wall_seconds\":{},\
+                 \"comm_seconds\":{},\"wire_bytes\":{},\"intra_bytes\":{},\
+                 \"inter_bytes\":{},\"fwd_original_bytes\":{},\"fwd_encoded_bytes\":{},\
+                 \"compression_ratio\":{},\"ef_residual_norm\":{},\
+                 \"effective_bandwidth\":{},\"channel_depth\":{},\"table_ratio\":[",
+                row.iteration,
+                num(row.modeled_seconds),
+                num(row.wall_seconds),
+                num(row.comm_seconds),
+                row.wire_bytes,
+                row.intra_bytes,
+                row.inter_bytes,
+                row.fwd_original_bytes,
+                row.fwd_encoded_bytes,
+                num(row.compression_ratio),
+                num(row.ef_residual_norm),
+                num(row.effective_bandwidth),
+                row.channel_depth,
+            ));
+            for (j, r) in self.table_ratios(i).iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&num(*r));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"events\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"iteration\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                ev.iteration,
+                escape(&ev.kind),
+                escape(&ev.detail),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serialize as CSV: one header row, then one line per iteration with
+    /// per-table ratio columns `table<N>_ratio`. Events are JSON-only.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 + 128 * self.rows.len());
+        out.push_str(
+            "iteration,modeled_seconds,wall_seconds,comm_seconds,wire_bytes,\
+             intra_bytes,inter_bytes,fwd_original_bytes,fwd_encoded_bytes,\
+             compression_ratio,ef_residual_norm,effective_bandwidth,channel_depth",
+        );
+        for t in 0..self.num_tables {
+            out.push_str(&format!(",table{t}_ratio"));
+        }
+        out.push('\n');
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                row.iteration,
+                num(row.modeled_seconds),
+                num(row.wall_seconds),
+                num(row.comm_seconds),
+                row.wire_bytes,
+                row.intra_bytes,
+                row.inter_bytes,
+                row.fwd_original_bytes,
+                row.fwd_encoded_bytes,
+                num(row.compression_ratio),
+                num(row.ef_residual_norm),
+                num(row.effective_bandwidth),
+                row.channel_depth,
+            ));
+            for r in self.table_ratios(i) {
+                out.push_str(&format!(",{}", num(*r)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float as a finite JSON/CSV number (NaN/∞ become 0).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSeries {
+        let mut s = MetricsSeries::with_capacity(2, 2);
+        s.push_row(
+            MetricsRow {
+                iteration: 0,
+                modeled_seconds: 0.5,
+                wall_seconds: 0.01,
+                comm_seconds: 0.25,
+                wire_bytes: 1000,
+                intra_bytes: 200,
+                inter_bytes: 800,
+                fwd_original_bytes: 4000,
+                fwd_encoded_bytes: 1000,
+                compression_ratio: 4.0,
+                ef_residual_norm: 0.1,
+                effective_bandwidth: 4000.0,
+                channel_depth: 3,
+            },
+            &[4.0, 3.5],
+        );
+        s.push_row(
+            MetricsRow {
+                iteration: 1,
+                modeled_seconds: 0.4,
+                ..Default::default()
+            },
+            &[2.0, 2.5],
+        );
+        s.push_event(1, "codec reselection", "table 0 -> FP16".to_string());
+        s
+    }
+
+    #[test]
+    fn rows_and_ratios_round_trip() {
+        let s = sample();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.table_ratios(0), &[4.0, 3.5]);
+        assert_eq!(s.table_ratios(1), &[2.0, 2.5]);
+        assert_eq!(s.row_for_iteration(1).unwrap().modeled_seconds, 0.4);
+        assert!(s.row_for_iteration(7).is_none());
+    }
+
+    #[test]
+    fn preallocated_pushes_do_not_reallocate() {
+        let mut s = MetricsSeries::with_capacity(8, 3);
+        let rows_cap = s.rows.capacity();
+        let ratio_cap = s.table_ratio.capacity();
+        for i in 0..8 {
+            s.push_row(
+                MetricsRow {
+                    iteration: i,
+                    ..Default::default()
+                },
+                &[1.0, 2.0, 3.0],
+            );
+        }
+        assert_eq!(s.rows.capacity(), rows_cap);
+        assert_eq!(s.table_ratio.capacity(), ratio_cap);
+    }
+
+    #[test]
+    fn json_contains_rows_and_events() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"num_tables\":2,"));
+        assert!(json.contains("\"iteration\":0"));
+        assert!(json.contains("\"table_ratio\":[4,3.5]"));
+        assert!(json.contains("\"fwd_original_bytes\":4000,\"fwd_encoded_bytes\":1000"));
+        assert!(json.contains("\"events\":[{\"iteration\":1,\"kind\":\"codec reselection\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_row() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("iteration,modeled_seconds"));
+        assert!(lines[0].ends_with("table0_ratio,table1_ratio"));
+        assert!(lines[1].starts_with("0,0.5,0.01,0.25,1000,200,800,4000,1000,4,0.1,4000,3,4,3.5"));
+    }
+
+    #[test]
+    fn non_finite_values_export_as_zero() {
+        let mut s = MetricsSeries::with_capacity(1, 0);
+        s.push_row(
+            MetricsRow {
+                iteration: 0,
+                effective_bandwidth: f64::NAN,
+                compression_ratio: f64::INFINITY,
+                ..Default::default()
+            },
+            &[],
+        );
+        let json = s.to_json();
+        assert!(!json.contains("NaN"));
+        assert!(!json.contains("inf"));
+    }
+}

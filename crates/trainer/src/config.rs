@@ -223,6 +223,62 @@ impl ExecutorSetting {
             ExecutorSetting::Threaded => "threaded",
         }
     }
+
+    /// The `dlrm-exec` scheduling mode this setting selects.
+    pub fn exec_mode(&self) -> dlrm_exec::ExecMode {
+        match self {
+            ExecutorSetting::Sequential => dlrm_exec::ExecMode::Sequential,
+            ExecutorSetting::Threaded => dlrm_exec::ExecMode::Threaded,
+        }
+    }
+
+    /// The clock domain a trace recorded under this executor lives in:
+    /// deterministic modeled time under the serialized gate, wall time under
+    /// free-running threads (see [`dlrm_exec::ExecMode::deterministic_clock`]).
+    pub fn clock_domain(&self) -> dlrm_obs::ClockDomain {
+        if self.exec_mode().deterministic_clock() {
+            dlrm_obs::ClockDomain::Modeled
+        } else {
+            dlrm_obs::ClockDomain::Wall
+        }
+    }
+}
+
+/// Whether the run records structured traces and per-iteration metrics
+/// (`dlrm-obs`).
+///
+/// `Off` takes exactly the code path the pre-observability trainer took —
+/// bit for bit, with no recorder allocated (asserted by the `trace1` test
+/// matrix). `On` attaches a preallocated per-rank span ring and metrics
+/// series; records are `Copy` and ring capacity is sized up front, so the
+/// zero-allocation steady state survives with tracing enabled. Timestamps
+/// follow the executor: modeled (deterministic) under
+/// [`ExecutorSetting::Sequential`], wall-clock under
+/// [`ExecutorSetting::Threaded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ObsSetting {
+    /// No recording — the default, and byte-identical to the trainer
+    /// without the observability layer.
+    #[default]
+    Off,
+    /// Record per-phase spans, instant events and the per-iteration
+    /// metrics series; the report carries a Chrome trace and time series.
+    On,
+}
+
+impl ObsSetting {
+    /// True when recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, ObsSetting::On)
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObsSetting::Off => "off",
+            ObsSetting::On => "on",
+        }
+    }
 }
 
 /// How the cluster's interconnect is shaped: one flat tier (every rank pair
@@ -456,6 +512,11 @@ pub struct TrainerConfig {
     /// compute and synchronisation only.
     #[serde(default)]
     pub realtime_wire: bool,
+    /// Whether the run records structured spans and per-iteration metrics
+    /// (defaults to [`ObsSetting::Off`], the bit-identical no-recorder
+    /// path).
+    #[serde(default)]
+    pub obs: ObsSetting,
     /// Seed for data generation and model initialisation.
     pub seed: u64,
     /// If set, compression and decompression time is *charged analytically*
@@ -496,6 +557,7 @@ impl TrainerConfig {
             codec_profile: None,
             executor: ExecutorSetting::Threaded,
             realtime_wire: false,
+            obs: ObsSetting::Off,
             seed: 20_240_614,
             device_throughput: None,
             compute_time_scale: 1.0,
@@ -562,6 +624,14 @@ impl TrainerConfig {
     /// switched on or off.
     pub fn with_realtime_wire(mut self, realtime_wire: bool) -> Self {
         self.realtime_wire = realtime_wire;
+        self
+    }
+
+    /// The same configuration with the given observability setting
+    /// (builder-style convenience for the trace test matrix and the
+    /// `trace1` experiment).
+    pub fn with_obs(mut self, obs: ObsSetting) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -745,6 +815,17 @@ mod tests {
         let cfg = TrainerConfig::small_test(CompressionSetting::None)
             .with_overlap(OverlapSetting::DoubleBuffered);
         assert!(cfg.overlap.is_enabled());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn obs_defaults_off_validates_and_labels() {
+        assert_eq!(ObsSetting::default(), ObsSetting::Off);
+        assert!(!ObsSetting::Off.is_enabled());
+        assert!(ObsSetting::On.is_enabled());
+        assert_ne!(ObsSetting::Off.label(), ObsSetting::On.label());
+        let cfg = TrainerConfig::small_test(CompressionSetting::None).with_obs(ObsSetting::On);
+        assert!(cfg.obs.is_enabled());
         assert!(cfg.validate().is_ok());
     }
 

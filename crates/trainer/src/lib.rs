@@ -118,7 +118,7 @@ pub mod run;
 
 pub use config::{
     AdaptiveSetting, CompressionSetting, DenseCompression, ExecutorSetting, FaultSetting,
-    OverlapSetting, TopologySetting, TrainerConfig,
+    ObsSetting, OverlapSetting, TopologySetting, TrainerConfig,
 };
 pub use partition::TablePartition;
 pub use run::{run_training, TableCompressionStats, TrainingReport};

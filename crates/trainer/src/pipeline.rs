@@ -30,6 +30,7 @@ use dlrm_compress::{CompressScratch, Compressor, CompressorKind};
 use dlrm_data::{DatasetConfig, SyntheticCriteo};
 use dlrm_grad::GradCompressor;
 use dlrm_model::{Dlrm, DlrmConfig, EvalMetrics};
+use dlrm_obs::{ClockDomain, MetricsRow, MetricsSeries, RankTrack, RecordKind, SpanRecorder};
 use dlrm_tensor::Matrix;
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,59 +41,10 @@ use std::time::Instant;
 pub const WARMUP_ITERATIONS: usize = 2;
 
 /// Ledger phase names, shared with the bench harness so breakdowns stay
-/// consistent across figures.
-pub mod phases {
-    /// Embedding-table lookups on the owning rank.
-    pub const LOOKUP: &str = "embedding lookup";
-    /// Compression of forward all-to-all payloads.
-    pub const FWD_COMPRESS: &str = "fwd compression";
-    /// Forward all-to-all (metadata + payload), virtual network time.
-    pub const FWD_A2A: &str = "fwd all-to-all";
-    /// Decompression of forward all-to-all payloads.
-    pub const FWD_DECOMPRESS: &str = "fwd decompression";
-    /// Bottom MLP + interaction + top MLP forward.
-    pub const MLP_FWD: &str = "mlp forward";
-    /// Dense backward pass.
-    pub const MLP_BWD: &str = "mlp backward";
-    /// Compression of backward all-to-all payloads.
-    pub const BWD_COMPRESS: &str = "bwd compression";
-    /// Backward all-to-all (metadata + payload), virtual network time.
-    pub const BWD_A2A: &str = "bwd all-to-all";
-    /// Decompression of backward all-to-all payloads.
-    pub const BWD_DECOMPRESS: &str = "bwd decompression";
-    /// Applying embedding gradients on the owning rank.
-    pub const EMB_UPDATE: &str = "embedding update";
-    /// All-reduce of the MLP gradients, virtual network time.
-    pub const ALLREDUCE: &str = "mlp all-reduce";
-    /// MLP parameter update.
-    pub const OPTIMIZER: &str = "optimizer";
-    /// Runtime adaptive controller: candidate-codec probing plus the
-    /// window-boundary observation exchange (zero under
-    /// [`AdaptiveSetting::Static`](crate::config::AdaptiveSetting)).
-    pub const CONTROLLER: &str = "runtime controller";
-    /// Checkpoint encode plus the modeled store write (and, in a recovery
-    /// segment, the modeled restore read). Zero without a
-    /// [`CheckpointSpec`](dlrm_ckpt::CheckpointSpec).
-    pub const CHECKPOINT: &str = "checkpoint";
-
-    /// All phases, in pipeline order.
-    pub const ALL: &[&str] = &[
-        LOOKUP,
-        FWD_COMPRESS,
-        FWD_A2A,
-        FWD_DECOMPRESS,
-        MLP_FWD,
-        MLP_BWD,
-        BWD_COMPRESS,
-        BWD_A2A,
-        BWD_DECOMPRESS,
-        EMB_UPDATE,
-        ALLREDUCE,
-        OPTIMIZER,
-        CONTROLLER,
-        CHECKPOINT,
-    ];
-}
+/// consistent across figures. The canonical constants live in
+/// [`dlrm_comm::phase`] (next to the stringly-keyed ledger they key); this
+/// alias keeps the trainer-side `pipeline::phases::*` spelling working.
+pub use dlrm_comm::phase as phases;
 
 /// The compression setting resolved to something the inner loop can use
 /// without matching on the config every time.
@@ -336,6 +288,240 @@ impl WallClock {
     }
 }
 
+/// Per-rank observability state ([`crate::config::ObsSetting::On`] only):
+/// the span ring, the per-iteration metrics series, and the ledger baselines
+/// each end-of-iteration row is computed against. Everything is preallocated
+/// at construction — ring capacity, row capacity and the ratio scratch — so
+/// the hot loop's recording path never allocates and the zero-allocation
+/// steady state survives with tracing enabled. `Off` never constructs one,
+/// keeping the default path bit-identical.
+struct ObsState {
+    rec: SpanRecorder,
+    metrics: MetricsSeries,
+    /// Scratch for one row's per-table ratios (capacity `num_tables`).
+    ratio_buf: Vec<f64>,
+    /// Ledger totals at iteration start, for per-iteration deltas.
+    modeled_mark: f64,
+    wall_mark: f64,
+    comm_seconds_mark: f64,
+    wire_bytes_mark: u64,
+    tier_bytes_mark: (u64, u64),
+    /// Per-table `(original, compressed)` forward bytes at iteration start.
+    fwd_mark: Vec<(u64, u64)>,
+    /// Decompress-phase seconds at iteration start, so the modeled clock can
+    /// split an overlapped exchange region without touching measured time.
+    fwd_dec_mark: f64,
+    bwd_dec_mark: f64,
+    /// Max fabric channel depth sampled at this iteration's exchange
+    /// boundaries.
+    depth_max: u64,
+    /// Straggler factor of the previous iteration (≤ 1.0 = healthy link).
+    prev_straggler: f64,
+    /// Error-bound scale last seen at a reselection boundary.
+    prev_eb_scale: f32,
+}
+
+impl ObsState {
+    fn new(rank: usize, clock: ClockDomain, iterations: usize, num_tables: usize) -> Self {
+        ObsState {
+            rec: SpanRecorder::new(rank, clock, SpanRecorder::capacity_for(iterations)),
+            metrics: MetricsSeries::with_capacity(iterations, num_tables),
+            ratio_buf: Vec::with_capacity(num_tables),
+            modeled_mark: 0.0,
+            wall_mark: 0.0,
+            comm_seconds_mark: 0.0,
+            wire_bytes_mark: 0,
+            tier_bytes_mark: (0, 0),
+            fwd_mark: vec![(0, 0); num_tables],
+            fwd_dec_mark: 0.0,
+            bwd_dec_mark: 0.0,
+            depth_max: 0,
+            prev_straggler: 1.0,
+            prev_eb_scale: 1.0,
+        }
+    }
+
+    /// Modeled seconds charged to the wire phases so far.
+    fn comm_seconds(ledger: &TimingLedger) -> f64 {
+        ledger.seconds(phases::FWD_A2A)
+            + ledger.seconds(phases::BWD_A2A)
+            + ledger.seconds(phases::ALLREDUCE)
+    }
+
+    /// Bytes moved through the wire phases so far.
+    fn wire_bytes(ledger: &TimingLedger) -> u64 {
+        ledger.bytes(phases::FWD_A2A)
+            + ledger.bytes(phases::BWD_A2A)
+            + ledger.bytes(phases::ALLREDUCE)
+    }
+
+    /// Open this iteration's span and snapshot the deltas' baselines.
+    fn begin_iteration(
+        &mut self,
+        iter: usize,
+        ledger: &TimingLedger,
+        wall: &WallClock,
+        fwd_traffic: &[(u64, u64)],
+        tier_bytes: (u64, u64),
+    ) {
+        self.modeled_mark = ledger.total_seconds();
+        self.wall_mark = wall.ledger.total_seconds();
+        self.comm_seconds_mark = Self::comm_seconds(ledger);
+        self.wire_bytes_mark = Self::wire_bytes(ledger);
+        self.tier_bytes_mark = tier_bytes;
+        self.fwd_mark.copy_from_slice(fwd_traffic);
+        self.fwd_dec_mark = ledger.seconds(phases::FWD_DECOMPRESS);
+        self.bwd_dec_mark = ledger.seconds(phases::BWD_DECOMPRESS);
+        self.depth_max = 0;
+        self.rec.begin_iteration(iter as u64, self.modeled_mark);
+    }
+
+    /// Close the span since the previous mark as `phase` (the recorder's
+    /// modeled twin of [`WallClock::mark`]).
+    fn mark(&mut self, phase: &'static str, ledger: &TimingLedger) {
+        self.rec.mark(phase, ledger.total_seconds());
+    }
+
+    /// Close an overlapped exchange region: codec time to `codec_phase`, the
+    /// rest to `rest_phase`. Under the wall clock the measured codec seconds
+    /// split the region; under the modeled clock the ledger's own charge
+    /// does, so the trace stays independent of measured time.
+    fn mark_split(
+        &mut self,
+        codec_phase: &'static str,
+        measured_s: f64,
+        rest_phase: &'static str,
+        ledger: &TimingLedger,
+    ) {
+        let codec_s = match self.rec.clock() {
+            ClockDomain::Wall => measured_s,
+            ClockDomain::Modeled => {
+                let mark = if codec_phase == phases::FWD_DECOMPRESS {
+                    self.fwd_dec_mark
+                } else {
+                    self.bwd_dec_mark
+                };
+                ledger.seconds(codec_phase) - mark
+            }
+        };
+        self.rec
+            .mark_split(codec_phase, codec_s, rest_phase, ledger.total_seconds());
+    }
+
+    /// Sample the fabric's pending message depth at an exchange boundary.
+    fn sample_depth(&mut self, ctx: &RankCtx) {
+        self.depth_max = self.depth_max.max(ctx.fabric().pending_depth() as u64);
+    }
+
+    /// Record straggler window edges by comparing against the previous
+    /// iteration's factor.
+    fn note_straggler(&mut self, factor: f64, ledger: &TimingLedger) {
+        if factor > 1.0 && self.prev_straggler <= 1.0 {
+            self.rec.instant(
+                RecordKind::StragglerStart,
+                ledger.total_seconds(),
+                0,
+                factor,
+            );
+        } else if factor <= 1.0 && self.prev_straggler > 1.0 {
+            self.rec.instant(
+                RecordKind::StragglerEnd,
+                ledger.total_seconds(),
+                0,
+                self.prev_straggler,
+            );
+        }
+        self.prev_straggler = factor;
+    }
+
+    /// Record the boundary's controller decisions: one instant per codec
+    /// switch, plus an instant when the error-bound scale moved.
+    fn note_reselection(&mut self, sel: &Reselection, ledger: &TimingLedger) {
+        let now = ledger.total_seconds();
+        for rev in &sel.switches {
+            self.rec
+                .instant(RecordKind::CodecReselection, now, rev.table_id as u64, 0.0);
+        }
+        if sel.eb_scale != self.prev_eb_scale {
+            self.rec
+                .instant(RecordKind::EbScaleChange, now, 0, f64::from(sel.eb_scale));
+            self.prev_eb_scale = sel.eb_scale;
+        }
+    }
+
+    /// Record a checkpoint write (`arg` = encoded bytes, `value` = modeled
+    /// store-write seconds).
+    fn note_checkpoint(&mut self, encoded_bytes: u64, write_s: f64, ledger: &TimingLedger) {
+        self.rec.instant(
+            RecordKind::CheckpointWrite,
+            ledger.total_seconds(),
+            encoded_bytes,
+            write_s,
+        );
+    }
+
+    /// Close this iteration's span and push its metrics row.
+    fn end_iteration(
+        &mut self,
+        iter: usize,
+        ledger: &TimingLedger,
+        wall: &WallClock,
+        fwd_traffic: &[(u64, u64)],
+        tier_bytes: (u64, u64),
+        ef_residual_norm: f64,
+    ) {
+        let now = ledger.total_seconds();
+        let comm = Self::comm_seconds(ledger) - self.comm_seconds_mark;
+        let wire = Self::wire_bytes(ledger) - self.wire_bytes_mark;
+        let mut fwd_orig = 0u64;
+        let mut fwd_enc = 0u64;
+        self.ratio_buf.clear();
+        for (t, &(orig, enc)) in fwd_traffic.iter().enumerate() {
+            let (o0, e0) = self.fwd_mark[t];
+            let (d_orig, d_enc) = (orig - o0, enc - e0);
+            fwd_orig += d_orig;
+            fwd_enc += d_enc;
+            self.ratio_buf.push(if d_enc == 0 {
+                0.0
+            } else {
+                d_orig as f64 / d_enc as f64
+            });
+        }
+        let row = MetricsRow {
+            iteration: iter as u64,
+            modeled_seconds: now - self.modeled_mark,
+            wall_seconds: wall.ledger.total_seconds() - self.wall_mark,
+            comm_seconds: comm,
+            wire_bytes: wire,
+            intra_bytes: tier_bytes.0 - self.tier_bytes_mark.0,
+            inter_bytes: tier_bytes.1 - self.tier_bytes_mark.1,
+            fwd_original_bytes: fwd_orig,
+            fwd_encoded_bytes: fwd_enc,
+            compression_ratio: if fwd_enc == 0 {
+                0.0
+            } else {
+                fwd_orig as f64 / fwd_enc as f64
+            },
+            ef_residual_norm,
+            effective_bandwidth: if comm > 0.0 { wire as f64 / comm } else { 0.0 },
+            channel_depth: self.depth_max,
+        };
+        self.metrics.push_row(row, &self.ratio_buf);
+        self.rec.end_iteration(now);
+    }
+}
+
+/// One-line hook beside each [`WallClock::mark`]: no-op with observability
+/// off. Exchange-closing marks also sample the fabric's channel depth.
+fn obs_mark(obs: &mut Option<ObsState>, phase: &'static str, ledger: &TimingLedger, ctx: &RankCtx) {
+    if let Some(o) = obs.as_mut() {
+        if matches!(phase, phases::FWD_A2A | phases::BWD_A2A | phases::ALLREDUCE) {
+            o.sample_depth(ctx);
+        }
+        o.mark(phase, ledger);
+    }
+}
+
 /// One contiguous run of global iterations executed on a fixed world — the
 /// unit the fault-tolerant driver schedules. A fault-free run is a single
 /// full segment; every scheduled [`WorldEvent`](dlrm_comm::WorldEvent) cuts
@@ -444,6 +630,12 @@ pub struct RankOutcome {
     pub checkpoint_encoded_bytes: u64,
     /// Modeled store-write seconds across all checkpoints taken.
     pub checkpoint_write_seconds: f64,
+    /// This rank's span-trace track (`None` with
+    /// [`crate::config::ObsSetting::Off`]).
+    pub obs_track: Option<RankTrack>,
+    /// This rank's per-iteration metrics series (`None` with
+    /// [`crate::config::ObsSetting::Off`]).
+    pub obs_metrics: Option<MetricsSeries>,
 }
 
 /// Per-rank reusable state threaded through every pipeline stage so the
@@ -1410,11 +1602,30 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         ledger.add_bytes(phases::CHECKPOINT, ckpt.encoded_bytes);
     }
 
+    // Observability (`ObsSetting::On` only): the span ring and metrics
+    // series are sized to the segment up front, so recording in the loop
+    // never allocates. The clock domain follows the executor — modeled
+    // (deterministic) timestamps under the sequential gate, wall timestamps
+    // under free-running threads.
+    let mut obs: Option<ObsState> = if trainer.obs.is_enabled() {
+        Some(ObsState::new(
+            rank,
+            trainer.executor.clock_domain(),
+            seg.end - seg.start,
+            num_tables,
+        ))
+    } else {
+        None
+    };
+
     // Wall-clock phase accounting starts when the loop does: setup cost is
     // not training time.
     let mut wall = WallClock::new();
 
     for iter in seg.start..seg.end {
+        if let Some(o) = obs.as_mut() {
+            o.begin_iteration(iter, &ledger, &wall, &fwd_traffic, tier_bytes);
+        }
         // Warm-up is per segment: a fresh executor (and so fresh pools)
         // backs every segment, so the allocation amnesty restarts with it.
         let local = iter - seg.start;
@@ -1445,7 +1656,11 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     part.encode_seconds * compute_scale + write_s,
                 );
                 ledger.add_bytes(phases::CHECKPOINT, part.encoded_bytes());
+                if let Some(o) = obs.as_mut() {
+                    o.note_checkpoint(part.encoded_bytes(), write_s, &ledger);
+                }
                 last_checkpoint = Some(part);
+                obs_mark(&mut obs, phases::CHECKPOINT, &ledger, ctx);
                 wall.mark(phases::CHECKPOINT);
             }
         }
@@ -1457,6 +1672,9 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // collective); factor 1.0 skips the rebuild entirely, keeping the
         // no-fault path bit-identical.
         let straggler = plan.map_or(1.0, |p| p.straggler_factor(iter));
+        if let Some(o) = obs.as_mut() {
+            o.note_straggler(straggler, &ledger);
+        }
         let cost = {
             let c = match trace {
                 None => base_cost,
@@ -1513,6 +1731,14 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     0,
                 );
                 steady_allocated += if counting { a } else { 0 };
+                if let Some(o) = obs.as_mut() {
+                    if let Some(sel) = state.ctl.log().last() {
+                        if sel.iteration == iter {
+                            o.note_reselection(sel, &ledger);
+                        }
+                    }
+                }
+                obs_mark(&mut obs, phases::CONTROLLER, &ledger, ctx);
                 wall.mark(phases::CONTROLLER);
             }
         }
@@ -1534,6 +1760,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // compress phase that happens to run the next accounting mark.
         let a = note_alloc(&mut ledger, phases::LOOKUP, ctx, &scratch, &mut marks, 0);
         steady_allocated += if counting { a } else { 0 };
+        obs_mark(&mut obs, phases::LOOKUP, &ledger, ctx);
         wall.mark(phases::LOOKUP);
 
         // ── Stages 2–4: compress per-destination chunks, move them through
@@ -1616,6 +1843,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::FWD_COMPRESS, &ledger, ctx);
             wall.mark(phases::FWD_COMPRESS);
 
             let hier_bytes = ctx.all_to_all_hier_pooled(topo, &mut scratch.send, &mut scratch.recv);
@@ -1642,6 +1870,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::FWD_A2A, &ledger, ctx);
             wall.mark(phases::FWD_A2A);
 
             let t0 = Instant::now();
@@ -1694,6 +1923,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 0,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::FWD_DECOMPRESS, &ledger, ctx);
             wall.mark(phases::FWD_DECOMPRESS);
         } else if overlapped {
             // Chunk k goes to destination (rank+k) and arrives from source
@@ -1772,6 +2002,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::FWD_COMPRESS, &ledger, ctx);
             wall.mark(phases::FWD_COMPRESS);
 
             // Retire chunks in matching rotation, decompressing each as it
@@ -1851,6 +2082,15 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            if let Some(o) = obs.as_mut() {
+                o.sample_depth(ctx);
+                o.mark_split(
+                    phases::FWD_DECOMPRESS,
+                    decompress_measured,
+                    phases::FWD_A2A,
+                    &ledger,
+                );
+            }
             wall.mark_split(phases::FWD_DECOMPRESS, decompress_measured, phases::FWD_A2A);
         } else {
             // ── Stage 2: compress per-destination chunks *directly into*
@@ -1919,6 +2159,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::FWD_COMPRESS, &ledger, ctx);
             wall.mark(phases::FWD_COMPRESS);
 
             // ── Stage 3: metadata + payload all-to-all over pooled buffers.
@@ -1948,6 +2189,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::FWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::FWD_A2A, &ledger, ctx);
             wall.mark(phases::FWD_A2A);
 
             // ── Stage 4: decompress the lookups for my shard (recv leases
@@ -2002,6 +2244,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 0,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::FWD_DECOMPRESS, &ledger, ctx);
             wall.mark(phases::FWD_DECOMPRESS);
         }
         my_lookups.clear();
@@ -2021,11 +2264,13 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             state.loss_sum += per_iteration.last().expect("just pushed").loss;
             state.loss_n += 1;
         }
+        obs_mark(&mut obs, phases::MLP_FWD, &ledger, ctx);
         wall.mark(phases::MLP_FWD);
 
         let t0 = Instant::now();
         let grads = model.backward_dense(&cache, &my_shard.labels);
         ledger.add_time(phases::MLP_BWD, t0.elapsed().as_secs_f64() * compute_scale);
+        obs_mark(&mut obs, phases::MLP_BWD, &ledger, ctx);
         wall.mark(phases::MLP_BWD);
 
         // ── Stages 6–7a: compress embedding gradients, send them home, and
@@ -2098,6 +2343,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::BWD_COMPRESS, &ledger, ctx);
             wall.mark(phases::BWD_COMPRESS);
 
             let hier_bytes = ctx.all_to_all_hier_pooled(topo, &mut scratch.send, &mut scratch.recv);
@@ -2124,6 +2370,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::BWD_A2A, &ledger, ctx);
             wall.mark(phases::BWD_A2A);
 
             let t0 = Instant::now();
@@ -2176,6 +2423,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 0,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::BWD_DECOMPRESS, &ledger, ctx);
             wall.mark(phases::BWD_DECOMPRESS);
         } else if overlapped {
             scratch.chunk_codec_s.clear();
@@ -2249,6 +2497,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::BWD_COMPRESS, &ledger, ctx);
             wall.mark(phases::BWD_COMPRESS);
 
             let mut bwd_decompressed = 0u64;
@@ -2326,6 +2575,15 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            if let Some(o) = obs.as_mut() {
+                o.sample_depth(ctx);
+                o.mark_split(
+                    phases::BWD_DECOMPRESS,
+                    decompress_measured,
+                    phases::BWD_A2A,
+                    &ledger,
+                );
+            }
             wall.mark_split(phases::BWD_DECOMPRESS, decompress_measured, phases::BWD_A2A);
         } else {
             // ── Stage 6: compress embedding gradients and send them home,
@@ -2383,6 +2641,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 lease_growth,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::BWD_COMPRESS, &ledger, ctx);
             wall.mark(phases::BWD_COMPRESS);
 
             let stats = ctx.all_to_all_var_pooled(
@@ -2410,6 +2669,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             }
             let a = note_alloc(&mut ledger, phases::BWD_A2A, ctx, &scratch, &mut marks, 0);
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::BWD_A2A, &ledger, ctx);
             wall.mark(phases::BWD_A2A);
 
             // ── Stage 7: decompress gradients for the owned tables.
@@ -2463,6 +2723,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                 0,
             );
             steady_allocated += if counting { a } else { 0 };
+            obs_mark(&mut obs, phases::BWD_DECOMPRESS, &ledger, ctx);
             wall.mark(phases::BWD_DECOMPRESS);
         }
 
@@ -2483,6 +2744,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             phases::EMB_UPDATE,
             t0.elapsed().as_secs_f64() * compute_scale,
         );
+        obs_mark(&mut obs, phases::EMB_UPDATE, &ledger, ctx);
         wall.mark(phases::EMB_UPDATE);
 
         // ── Stage 8: all-reduce MLP gradients and update the replicas.
@@ -2614,6 +2876,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             dense_extra_alloc,
         );
         steady_allocated += if counting { a } else { 0 };
+        obs_mark(&mut obs, phases::ALLREDUCE, &ledger, ctx);
         wall.mark(phases::ALLREDUCE);
         let t0 = Instant::now();
         let scale = 1.0 / world as f32;
@@ -2625,6 +2888,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             phases::OPTIMIZER,
             t0.elapsed().as_secs_f64() * compute_scale,
         );
+        obs_mark(&mut obs, phases::OPTIMIZER, &ledger, ctx);
         wall.mark(phases::OPTIMIZER);
 
         // ── Probe the candidate codecs on live payloads when the next
@@ -2656,6 +2920,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     0,
                 );
                 steady_allocated += if counting { a } else { 0 };
+                obs_mark(&mut obs, phases::CONTROLLER, &ledger, ctx);
                 wall.mark(phases::CONTROLLER);
             }
         }
@@ -2742,6 +3007,17 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             // Parking is warm-up work; exclude it from the steady counters.
             marks.pool = ctx.pool().stats();
         }
+
+        if let Some(o) = obs.as_mut() {
+            o.end_iteration(
+                iter,
+                &ledger,
+                &wall,
+                &fwd_traffic,
+                tier_bytes,
+                dense.as_ref().map_or(0.0, GradCompressor::residual_norm),
+            );
+        }
     }
 
     // ── Segment exit: a planned resize checkpoints the final state so the
@@ -2771,10 +3047,18 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
             part.encode_seconds * compute_scale + write_s,
         );
         ledger.add_bytes(phases::CHECKPOINT, part.encoded_bytes());
+        if let Some(o) = obs.as_mut() {
+            o.note_checkpoint(part.encoded_bytes(), write_s, &ledger);
+        }
         last_checkpoint = Some(part);
+        obs_mark(&mut obs, phases::CHECKPOINT, &ledger, ctx);
         wall.mark(phases::CHECKPOINT);
     }
 
+    let (obs_track, obs_metrics) = match obs {
+        None => (None, None),
+        Some(o) => (Some(RankTrack::from(o.rec)), Some(o.metrics)),
+    };
     RankOutcome {
         rank,
         per_iteration,
@@ -2797,6 +3081,8 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         checkpoint_original_bytes,
         checkpoint_encoded_bytes,
         checkpoint_write_seconds,
+        obs_track,
+        obs_metrics,
     }
 }
 

@@ -1,16 +1,18 @@
 //! Driver that runs the per-rank pipeline on the simulated cluster and merges
 //! the per-rank outcomes into one [`TrainingReport`].
 
-use crate::config::{ExecutorSetting, OverlapSetting, TrainerConfig};
+use crate::config::{OverlapSetting, TrainerConfig};
 use crate::partition::TablePartition;
 use crate::pipeline::{self, RankOutcome, RankSetup, SegmentSpec};
 use dlrm_adaptive::Reselection;
 use dlrm_ckpt::{Checkpoint, RankCheckpoint};
 use dlrm_comm::{TimingLedger, WirePolicy, WorldEvent};
 use dlrm_data::DatasetConfig;
-use dlrm_exec::{ExecMode, Executor};
+use dlrm_exec::Executor;
 use dlrm_model::EvalMetrics;
+use dlrm_obs::{MetricsRow, MetricsSeries, RankTrack, RecordKind, SpanRecord, TraceExport};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Per-table forward all-to-all compression statistics, summed over the whole
@@ -184,14 +186,24 @@ pub struct TrainingReport {
     /// checkpoint.
     #[serde(default)]
     pub recovery_iterations: usize,
+    /// Merged per-rank span trace (`None` with observability off). Segments
+    /// concatenate on the timeline, so replayed iterations appear again —
+    /// the trace shows the work that actually ran, in execution order.
+    #[serde(default)]
+    pub trace: Option<TraceExport>,
+    /// Merged per-iteration metrics series (`None` with observability off).
+    /// Rows key by iteration with replay overwriting its slot, matching the
+    /// accuracy-curve semantics.
+    #[serde(default)]
+    pub metrics: Option<MetricsSeries>,
 }
 
 impl TrainingReport {
     /// Fraction of total time spent in the two all-to-all phases — the number
     /// behind Figure 1's ">60% of training time" observation.
     pub fn alltoall_fraction(&self) -> f64 {
-        let a2a = self.breakdown.seconds(pipeline::phases::FWD_A2A)
-            + self.breakdown.seconds(pipeline::phases::BWD_A2A);
+        let a2a = self.breakdown.seconds(dlrm_comm::phase::FWD_A2A)
+            + self.breakdown.seconds(dlrm_comm::phase::BWD_A2A);
         if self.total_seconds <= 0.0 {
             0.0
         } else {
@@ -230,10 +242,7 @@ struct SegmentRun {
 /// per-rank pipeline over the segment.
 fn execute_segment(setup: Arc<RankSetup>) -> (Vec<RankOutcome>, f64) {
     let cfg = &setup.trainer;
-    let mode = match cfg.executor {
-        ExecutorSetting::Sequential => ExecMode::Sequential,
-        ExecutorSetting::Threaded => ExecMode::Threaded,
-    };
+    let mode = cfg.executor.exec_mode();
     let wire = if cfg.realtime_wire {
         WirePolicy::Modeled
     } else {
@@ -397,6 +406,170 @@ pub fn run_training(dataset: &DatasetConfig, config: &TrainerConfig) -> Training
             recovery_iterations,
         },
     )
+}
+
+/// Merge the per-rank observability artifacts into one trace and one
+/// metrics series (both `None` with observability off).
+///
+/// Tracks concatenate segment by segment: each segment's records shift by
+/// the running end time of the segments before it, so the timeline shows
+/// the work in execution order, replays included. Driver-level world events
+/// land on the global track at the boundary they occurred at. Metrics rows
+/// instead key by iteration — a replayed iteration overwrites its slot, the
+/// same semantics as the accuracy curve — and merge across ranks the way
+/// the report does: seconds by max (the slowest rank bounds each
+/// bulk-synchronous phase), bytes by sum, ratios from the summed bytes.
+fn merge_obs(
+    config: &TrainerConfig,
+    segments: &[SegmentRun],
+    num_tables: usize,
+) -> (Option<TraceExport>, Option<MetricsSeries>) {
+    if !config.obs.is_enabled() {
+        return (None, None);
+    }
+    let events: Vec<WorldEvent> = config
+        .fault
+        .as_ref()
+        .map_or_else(Vec::new, |f| f.plan.events().to_vec());
+
+    let mut tracks: BTreeMap<usize, RankTrack> = BTreeMap::new();
+    let mut global: Vec<SpanRecord> = Vec::new();
+    let mut offset = 0.0f64;
+    let mut next_event = 0usize;
+    for seg in segments {
+        let mut span = 0.0f64;
+        for o in &seg.outcomes {
+            let Some(track) = o.obs_track.as_ref() else {
+                continue;
+            };
+            for rec in &track.records {
+                span = span.max(rec.end);
+            }
+            let merged = tracks.entry(track.rank).or_insert_with(|| RankTrack {
+                rank: track.rank,
+                clock: track.clock,
+                dropped: 0,
+                records: Vec::new(),
+            });
+            merged.dropped += track.dropped;
+            merged
+                .records
+                .extend(track.records.iter().map(|r| SpanRecord {
+                    start: r.start + offset,
+                    end: r.end + offset,
+                    ..*r
+                }));
+        }
+        offset += span;
+        // A segment ends exactly where its scheduled event fires.
+        while next_event < events.len() && events[next_event].iter() == seg.end {
+            let ev = events[next_event];
+            next_event += 1;
+            let (kind, arg) = match ev {
+                WorldEvent::RankLoss { rank, .. } => (RecordKind::RankLoss, rank as u64),
+                WorldEvent::Resize { new_world, .. } => (RecordKind::Resize, new_world as u64),
+            };
+            global.push(SpanRecord {
+                kind,
+                name: kind.label(),
+                start: offset,
+                end: offset,
+                iteration: ev.iter() as u64,
+                arg,
+                value: 0.0,
+            });
+        }
+    }
+
+    let mut slots: Vec<Option<(MetricsRow, Vec<f64>)>> = vec![None; config.iterations];
+    for seg in segments {
+        for (iter, slot) in slots.iter_mut().enumerate().take(seg.end).skip(seg.start) {
+            let mut row = MetricsRow {
+                iteration: iter as u64,
+                ..Default::default()
+            };
+            let mut ratios = vec![0.0f64; num_tables];
+            let mut any = false;
+            for o in &seg.outcomes {
+                let Some(m) = o.obs_metrics.as_ref() else {
+                    continue;
+                };
+                let Some(idx) = m.rows.iter().position(|r| r.iteration == iter as u64) else {
+                    continue;
+                };
+                any = true;
+                let r = &m.rows[idx];
+                row.modeled_seconds = row.modeled_seconds.max(r.modeled_seconds);
+                row.wall_seconds = row.wall_seconds.max(r.wall_seconds);
+                row.comm_seconds = row.comm_seconds.max(r.comm_seconds);
+                row.wire_bytes += r.wire_bytes;
+                row.intra_bytes += r.intra_bytes;
+                row.inter_bytes += r.inter_bytes;
+                row.fwd_original_bytes += r.fwd_original_bytes;
+                row.fwd_encoded_bytes += r.fwd_encoded_bytes;
+                row.ef_residual_norm = row.ef_residual_norm.max(r.ef_residual_norm);
+                row.channel_depth = row.channel_depth.max(r.channel_depth);
+                // Each table has a single owner rank; the others report 0.
+                for (dst, &v) in ratios.iter_mut().zip(m.table_ratios(idx)) {
+                    *dst = (*dst).max(v);
+                }
+            }
+            if !any {
+                continue;
+            }
+            row.compression_ratio = if row.fwd_encoded_bytes == 0 {
+                0.0
+            } else {
+                row.fwd_original_bytes as f64 / row.fwd_encoded_bytes as f64
+            };
+            row.effective_bandwidth = if row.comm_seconds > 0.0 {
+                row.wire_bytes as f64 / row.comm_seconds
+            } else {
+                0.0
+            };
+            *slot = Some((row, ratios));
+        }
+    }
+    let mut metrics = MetricsSeries::with_capacity(config.iterations, num_tables);
+    for (row, ratios) in slots.into_iter().flatten() {
+        metrics.push_row(row, &ratios);
+    }
+    // Discrete events, synthesized post-run: controller/checkpoint instants
+    // from rank 0's track (reselections are identical on every rank), plus
+    // the driver-level world events.
+    if let Some(track0) = tracks.values().next() {
+        for rec in &track0.records {
+            match rec.kind {
+                RecordKind::CodecReselection => {
+                    metrics.push_event(rec.iteration, rec.name, format!("table {}", rec.arg));
+                }
+                RecordKind::EbScaleChange => {
+                    metrics.push_event(rec.iteration, rec.name, format!("scale {}", rec.value));
+                }
+                RecordKind::CheckpointWrite => {
+                    metrics.push_event(
+                        rec.iteration,
+                        rec.name,
+                        format!("{} encoded bytes", rec.arg),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    for rec in &global {
+        let detail = match rec.kind {
+            RecordKind::RankLoss => format!("rank {}", rec.arg),
+            _ => format!("world {}", rec.arg),
+        };
+        metrics.push_event(rec.iteration, rec.name, detail);
+    }
+
+    let trace = TraceExport {
+        tracks: tracks.into_values().collect(),
+        global,
+    };
+    (Some(trace), Some(metrics))
 }
 
 /// Driver-level fault bookkeeping folded into the report.
@@ -572,6 +745,8 @@ fn merge_segments(
         total_orig as f64 / total_comp as f64
     };
 
+    let (trace, metrics) = merge_obs(config, segments, num_tables);
+
     TrainingReport {
         label: config.compression.label(),
         overlap: config.overlap,
@@ -614,6 +789,8 @@ fn merge_segments(
         checkpoint_write_seconds,
         recovery_seconds: fault.recovery_seconds,
         recovery_iterations: fault.recovery_iterations,
+        trace,
+        metrics,
     }
 }
 
@@ -677,8 +854,8 @@ mod tests {
             ),
         );
         let a2a = |r: &TrainingReport| {
-            r.breakdown.seconds(pipeline::phases::FWD_A2A)
-                + r.breakdown.seconds(pipeline::phases::BWD_A2A)
+            r.breakdown.seconds(dlrm_comm::phase::FWD_A2A)
+                + r.breakdown.seconds(dlrm_comm::phase::BWD_A2A)
         };
         assert!(
             a2a(&lossy) < a2a(&baseline),

@@ -90,9 +90,9 @@ fn static_setting_is_bit_identical_across_the_matrix() {
         // seconds, so only the un-overlapped charge (exposed + saved) is
         // comparable there; sequential charges must match bitwise.
         for phase in [
-            dlrm_trainer::pipeline::phases::FWD_A2A,
-            dlrm_trainer::pipeline::phases::BWD_A2A,
-            dlrm_trainer::pipeline::phases::ALLREDUCE,
+            dlrm_comm::phase::FWD_A2A,
+            dlrm_comm::phase::BWD_A2A,
+            dlrm_comm::phase::ALLREDUCE,
         ] {
             assert_eq!(
                 baseline.breakdown.bytes(phase),
@@ -189,12 +189,7 @@ fn runtime_controller_keeps_the_zero_alloc_steady_state() {
     );
     assert!(report.buffer_reused_bytes > 0);
     // The controller's own phase must have been charged (probe + exchange).
-    assert!(
-        report
-            .breakdown
-            .seconds(dlrm_trainer::pipeline::phases::CONTROLLER)
-            > 0.0
-    );
+    assert!(report.breakdown.seconds(dlrm_comm::phase::CONTROLLER) > 0.0);
 }
 
 #[test]

@@ -233,7 +233,7 @@ fn analytic_codec_charge_counts_each_element_encoded_once() {
     // must match `flat_len / tc` plus the decode terms — not the wire
     // volume. With a slow analytic compressor the charge dominates, so the
     // total ALLREDUCE time pins the formula.
-    use dlrm_trainer::pipeline::phases;
+    use dlrm_comm::phase as phases;
     let dataset = presets::tiny();
     let mut base = tiny_config(DenseCompression::fp16_ef(), 4);
     // Infinitely fast network + decompression, slow compression: the

@@ -6,11 +6,11 @@
 //! and the zero-allocation steady state survives segmented runs.
 
 use dlrm_ckpt::CheckpointSpec;
+use dlrm_comm::phase as phases;
 use dlrm_comm::{FaultPlan, NetworkConfig, Topology};
 use dlrm_compress::CompressorKind;
 use dlrm_data::presets;
 use dlrm_grad::GradCodecKind;
-use dlrm_trainer::pipeline::phases;
 use dlrm_trainer::{
     run_training, CompressionSetting, ExecutorSetting, FaultSetting, TopologySetting,
     TrainerConfig, TrainingReport,

@@ -5,13 +5,13 @@
 //! work, the zero-allocation steady state survives the double-buffered
 //! pipeline, and the warm-up allocation counters are reproducible.
 
+use dlrm_comm::phase as phases;
 use dlrm_comm::NetworkConfig;
 use dlrm_compress::CompressorKind;
 use dlrm_data::presets;
-use dlrm_trainer::pipeline::phases;
 use dlrm_trainer::{
-    plan, run_training, CompressionSetting, ExecutorSetting, OverlapSetting, TrainerConfig,
-    TrainingReport,
+    plan, run_training, CompressionSetting, ExecutorSetting, ObsSetting, OverlapSetting,
+    TrainerConfig, TrainingReport,
 };
 
 /// Every compression mode the pipeline supports, Adaptive included.
@@ -154,6 +154,7 @@ fn timing_config(compression: CompressionSetting) -> TrainerConfig {
         codec_profile: None,
         executor: ExecutorSetting::Threaded,
         realtime_wire: false,
+        obs: ObsSetting::Off,
         seed: 20_240_614,
         device_throughput: Some((0.5e9, 2e9)),
         compute_time_scale: 1.0 / 5000.0,

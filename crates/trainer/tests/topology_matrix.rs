@@ -6,10 +6,10 @@
 //! configured, and the zero-allocation steady state survives the
 //! hierarchical route.
 
+use dlrm_comm::phase as phases;
 use dlrm_comm::{NetworkConfig, Topology};
 use dlrm_compress::CompressorKind;
 use dlrm_data::presets;
-use dlrm_trainer::pipeline::phases;
 use dlrm_trainer::{
     run_training, CompressionSetting, DenseCompression, OverlapSetting, TopologySetting,
     TrainerConfig, TrainingReport,

@@ -8,11 +8,11 @@
 //! cargo run --release --example dense_allreduce
 //! ```
 
+use dlrm_lossy_comm::comm::phase as phases;
 use dlrm_lossy_comm::comm::NetworkConfig;
 use dlrm_lossy_comm::data::{presets, SyntheticCriteo};
 use dlrm_lossy_comm::grad::{per_layer_stats, select_grad_codec, GradStats};
 use dlrm_lossy_comm::model::{Dlrm, DlrmConfig};
-use dlrm_lossy_comm::trainer::pipeline::phases;
 use dlrm_lossy_comm::trainer::{
     run_training, CompressionSetting, DenseCompression, TrainerConfig, TrainingReport,
 };

@@ -7,9 +7,9 @@
 //! cargo run --release --example train_compressed
 //! ```
 
+use dlrm_lossy_comm::comm::phase as phases;
 use dlrm_lossy_comm::compress::CompressorKind;
 use dlrm_lossy_comm::data::presets;
-use dlrm_lossy_comm::trainer::pipeline::phases;
 use dlrm_lossy_comm::trainer::{run_training, CompressionSetting, TrainerConfig, TrainingReport};
 
 fn print_report(report: &TrainingReport) {

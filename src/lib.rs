@@ -50,6 +50,7 @@ pub use dlrm_compress as compress;
 pub use dlrm_data as data;
 pub use dlrm_grad as grad;
 pub use dlrm_model as model;
+pub use dlrm_obs as obs;
 pub use dlrm_tensor as tensor;
 pub use dlrm_trainer as trainer;
 

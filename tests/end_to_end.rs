@@ -2,10 +2,10 @@
 //! through compression, the simulated cluster and distributed training.
 
 use dlrm_lossy_comm::adaptive::{EbConfig, Thresholds};
+use dlrm_lossy_comm::comm::phase as phases;
 use dlrm_lossy_comm::compress::{verify_error_bound, CompressorKind};
 use dlrm_lossy_comm::data::{presets, EmbeddingTrafficGenerator, SyntheticCriteo};
 use dlrm_lossy_comm::model::{Dlrm, DlrmConfig};
-use dlrm_lossy_comm::trainer::pipeline::phases;
 use dlrm_lossy_comm::trainer::{plan, run_training, CompressionSetting, TrainerConfig};
 
 fn tiny_trainer(compression: CompressionSetting, iterations: usize) -> TrainerConfig {

@@ -156,6 +156,22 @@ pub mod channel {
                 None => Err(TryRecvError::Empty),
             }
         }
+
+        /// Number of messages currently queued (a racy snapshot, like
+        /// crossbeam's).
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .items
+                .len()
+        }
+
+        /// Whether the channel is currently empty (a racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Receiver<T> {
