@@ -24,7 +24,10 @@
 //!   an allreduce-aware variant
 //!   ([`speedup::estimate_allreduce_speedup`]) for the dense-gradient
 //!   reduce-scatter + all-gather, so dense codec selection works like table
-//!   selection does.
+//!   selection does — and a **homomorphic** variant
+//!   ([`speedup::estimate_homomorphic_allreduce_speedup`]) that drops one of
+//!   the two decode terms and charges a compressed-domain combine term
+//!   instead, for codecs whose encoded shards add without decoding.
 
 pub mod analysis;
 pub mod classify;
@@ -36,13 +39,14 @@ pub mod speedup;
 pub use analysis::{analyze_tables, CompressionPlan, TablePlan};
 pub use classify::{EbClass, EbConfig, Thresholds};
 pub use controller::{
-    CodecProfile, ControllerConfig, PlateauEbControl, Reselection, RuntimeController,
-    TableObservation, TableRevision, TierAdvice, WindowObservation,
+    advise_dense_allreduce, CodecProfile, ControllerConfig, DenseAdvice, DenseCandidate,
+    PlateauEbControl, Reselection, RuntimeController, TableObservation, TableRevision, TierAdvice,
+    WindowObservation,
 };
 pub use decay::{DecaySchedule, EbSchedule, TrainingPhases};
 pub use homo::{homogenization_index, pattern_counts, HomoReport};
 pub use speedup::{
-    estimate_allreduce_speedup, estimate_hierarchical_speedup, estimate_speedup,
-    select_allreduce_compressor, select_compressor, select_compressor_per_tier, SpeedupInputs,
-    TierSelection,
+    estimate_allreduce_speedup, estimate_allreduce_speedup_auto, estimate_hierarchical_speedup,
+    estimate_homomorphic_allreduce_speedup, estimate_speedup, select_allreduce_compressor,
+    select_compressor, select_compressor_per_tier, SpeedupInputs, TierSelection,
 };

@@ -111,6 +111,61 @@ pub fn estimate_allreduce_speedup(inputs: SpeedupInputs, world: usize) -> f64 {
     r / (b / inputs.compress_throughput + r / inputs.ratio + 2.0 * b / inputs.decompress_throughput)
 }
 
+/// Equation 2 for a **homomorphic** all-reduce codec — one whose encoded
+/// shards add in the compressed domain (`dlrm_comm::ReduceCodec::combine`),
+/// letting owner shards skip the decode → reduce → re-encode round-trip:
+///
+/// ```text
+/// t_classic = V/Tc + r·(V/CR)/B + 2·V/Td
+/// t_homo    = V/Tc + r·(V/CR)/B + V/Td + (r/2)·V/(CR·Tm)
+/// speedup   = t_raw / t_homo = r / ( B/Tc + r/CR + B/Td + (r/2)·B/(CR·Tm) )
+/// ```
+///
+/// Relative to [`estimate_allreduce_speedup`], one of the two `V/Td` decode
+/// terms disappears (the `world − 1` peer contributions an owner no longer
+/// decodes, plus the reduced shard it no longer re-encodes, net out to about
+/// one vector's worth of codec work) and a combine term appears: each rank
+/// folds `(P−1)/P` of the vector's **encoded** bytes (`r/2 · V/CR`) at
+/// throughput `Tm`. A homomorphic codec therefore wins the selection
+/// exactly when its eliminated re-encode/decode cycles outweigh whatever
+/// ratio penalty its addable layout costs.
+pub fn estimate_homomorphic_allreduce_speedup(
+    inputs: SpeedupInputs,
+    combine_throughput: f64,
+    world: usize,
+) -> f64 {
+    validate(inputs);
+    assert!(
+        combine_throughput > 0.0,
+        "combine throughput must be positive"
+    );
+    if world <= 1 {
+        return 1.0;
+    }
+    let p = world as f64;
+    let r = 2.0 * (p - 1.0) / p;
+    let b = inputs.bandwidth;
+    r / (b / inputs.compress_throughput
+        + r / inputs.ratio
+        + b / inputs.decompress_throughput
+        + (r / 2.0) * b / (inputs.ratio * combine_throughput))
+}
+
+/// Rank one all-reduce codec by the right Equation-2 variant: codecs that
+/// advertise a combine throughput are scored with
+/// [`estimate_homomorphic_allreduce_speedup`], the rest with the classic
+/// [`estimate_allreduce_speedup`].
+pub fn estimate_allreduce_speedup_auto(
+    inputs: SpeedupInputs,
+    combine_throughput: Option<f64>,
+    world: usize,
+) -> f64 {
+    match combine_throughput {
+        Some(tm) => estimate_homomorphic_allreduce_speedup(inputs, tm, world),
+        None => estimate_allreduce_speedup(inputs, world),
+    }
+}
+
 /// Pick the gradient compressor with the best estimated **all-reduce**
 /// speedup from measured reports — the dense-path analogue of
 /// [`select_compressor`]. Returns `(kind, estimated speedup)`; `None` if
@@ -494,6 +549,38 @@ mod tests {
         let few = estimate_allreduce_speedup(inputs(4.0, 50e9, 50e9, 8e9), 2);
         let many = estimate_allreduce_speedup(inputs(4.0, 50e9, 50e9, 8e9), 32);
         assert!(many >= few, "{many} < {few}");
+    }
+
+    #[test]
+    fn homomorphic_estimate_beats_classic_when_combine_is_cheap() {
+        // Same ratio and codec speeds: skipping a full V/Td of decode work
+        // for a fast combine must strictly win.
+        let i = inputs(2.0, 150e9, 180e9, 8e9);
+        let classic = estimate_allreduce_speedup(i, 8);
+        let homo = estimate_homomorphic_allreduce_speedup(i, 250e9, 8);
+        assert!(homo > classic, "{homo} <= {classic}");
+        // An absurdly slow combine flips the comparison: the combine term
+        // outgrows the saved decode.
+        let slow = estimate_homomorphic_allreduce_speedup(i, 1e6, 8);
+        assert!(slow < classic, "{slow} >= {classic}");
+        // world == 1 degenerates like the classic estimate.
+        assert_eq!(estimate_homomorphic_allreduce_speedup(i, 250e9, 1), 1.0);
+        // Infinitely fast codec and combine: the ratio is the ceiling.
+        let s = estimate_homomorphic_allreduce_speedup(inputs(2.0, 1e15, 1e15, 8e9), 1e15, 8);
+        assert!((s - 2.0).abs() < 1e-2, "{s}");
+    }
+
+    #[test]
+    fn auto_estimate_dispatches_on_the_combine_capability() {
+        let i = inputs(4.0, 100e9, 140e9, 8e9);
+        assert_eq!(
+            estimate_allreduce_speedup_auto(i, None, 8),
+            estimate_allreduce_speedup(i, 8)
+        );
+        assert_eq!(
+            estimate_allreduce_speedup_auto(i, Some(120e9), 8),
+            estimate_homomorphic_allreduce_speedup(i, 120e9, 8)
+        );
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Micro-benchmark of homomorphic aggregation: the compressed-domain
+//! combine against the decode → reduce → re-encode cycle it replaces at the
+//! codec level, and the full compressed all-reduce with the owner-shard
+//! dataflow flipped either way — how much real (host) time the combine
+//! saves, independent of the α–β model's virtual seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_comm::{NetworkConfig, ReduceCodec, ReduceScratch, SimCluster};
+use dlrm_grad::{GradCodecKind, GradCompressor};
+
+fn shard(elements: usize, seed: usize) -> Vec<f32> {
+    (0..elements)
+        .map(|i| ((i + seed) as f32 * 0.001).sin() * 0.1)
+        .collect()
+}
+
+fn bench_combine_vs_roundtrip(c: &mut Criterion) {
+    let elements = 1 << 14;
+    let a = shard(elements, 0);
+    let b_data = shard(elements, 7);
+
+    let mut group = c.benchmark_group("homo_codec");
+    group.throughput(Throughput::Bytes((elements * 4) as u64));
+    for (label, kind) in [
+        ("lattice", GradCodecKind::Lattice { error_bound: 1e-4 }),
+        ("sumsketch", GradCodecKind::SumSketch),
+    ] {
+        let mut state = GradCompressor::new(&kind, false);
+        let mut enc_a = Vec::new();
+        let mut enc_b = Vec::new();
+        state.encode_into(0, &a, &mut enc_a);
+        state.encode_into(0, &b_data, &mut enc_b);
+
+        // The homomorphic owner-shard step: one compressed-domain add.
+        let mut acc = enc_a.clone();
+        group.bench_with_input(
+            BenchmarkId::new("combine", label),
+            &enc_b,
+            |bench, other| {
+                bench.iter(|| {
+                    acc.clear();
+                    acc.extend_from_slice(&enc_a);
+                    state.combine(0, &mut acc, other).expect("combines");
+                    acc.len()
+                })
+            },
+        );
+
+        // The classic owner-shard step it replaces: decode the incoming
+        // shard, add in f32, re-encode the running sum.
+        let mut decoded = Vec::new();
+        let mut sum = a.clone();
+        let mut reenc = Vec::new();
+        group.bench_with_input(
+            BenchmarkId::new("decode-add-reencode", label),
+            &enc_b,
+            |bench, other| {
+                bench.iter(|| {
+                    decoded.clear();
+                    state.decode_into(0, other, &mut decoded).expect("decodes");
+                    sum.copy_from_slice(&a);
+                    for (s, v) in sum.iter_mut().zip(decoded.iter()) {
+                        *s += v;
+                    }
+                    reenc.clear();
+                    state.encode_into(0, &sum, &mut reenc);
+                    reenc.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_homomorphic_allreduce(c: &mut Criterion) {
+    let elements = 1 << 16;
+    let world = 4usize;
+
+    let mut group = c.benchmark_group("homo_allreduce");
+    group.throughput(Throughput::Bytes((elements * 4 * world) as u64));
+    for (label, combine) in [("classic", false), ("homomorphic", true)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(move || {
+                let cluster = SimCluster::new(world, NetworkConfig::infinite());
+                cluster.run(move |ctx| {
+                    let mut state =
+                        GradCompressor::new(&GradCodecKind::Lattice { error_bound: 1e-4 }, false);
+                    state.set_allow_combine(combine);
+                    let mut scratch = ReduceScratch::new();
+                    let mut data = shard(elements, ctx.rank());
+                    let stats = ctx.all_reduce_compressed(&mut data, &mut state, &mut scratch);
+                    (data[0], stats.combines)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_combine_vs_roundtrip, bench_homomorphic_allreduce
+}
+criterion_main!(benches);

@@ -10,6 +10,7 @@ pub mod decay;
 pub mod dense;
 pub mod exec;
 pub mod fault;
+pub mod homo;
 pub mod meta;
 pub mod overlap;
 pub mod topology;
@@ -152,6 +153,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "dense1",
             title: "Dense path: fp32 vs fp16 vs error-feedback compressed gradient all-reduce",
             run: dense::dense1,
+        },
+        Experiment {
+            id: "homo1",
+            title: "Homomorphic aggregation: combine-in-compressed-domain vs classic all-reduce",
+            run: homo::homo1,
         },
         Experiment {
             id: "topo1",

@@ -250,6 +250,18 @@ pub fn dense_trainer(dense: DenseCompression, scale: Scale) -> TrainerConfig {
     }
 }
 
+/// The trainer configuration the homomorphic-aggregation experiment
+/// (`homo1`) uses: the `dense1` shape (allreduce-bound interconnect, deep
+/// compute scale-down) plus an analytic device-throughput override — the
+/// owner-shard codec work is exactly what the homomorphic schedule
+/// eliminates, so it must be on the bill for the comparison to mean
+/// anything.
+pub fn homo_trainer(dense: DenseCompression, scale: Scale) -> TrainerConfig {
+    let mut cfg = dense_trainer(dense, scale);
+    cfg.device_throughput = Some((0.5e9, 2e9));
+    cfg
+}
+
 /// World size of the `topo1` topology sweep (fixed while `ranks_per_node`
 /// varies).
 pub const TOPOLOGY_WORLD: usize = 8;

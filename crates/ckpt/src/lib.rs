@@ -347,7 +347,8 @@ impl CkptCodec {
     pub fn decode_into(&mut self, section: &EncodedSection, out: &mut Vec<f32>) {
         out.clear();
         self.codec
-            .decode_into(&section.bytes, &mut self.scratch, out);
+            .decode_into(&section.bytes, &mut self.scratch, out)
+            .expect("checkpoint section decodes");
         assert_eq!(
             out.len(),
             section.original_len,

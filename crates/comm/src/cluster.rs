@@ -23,7 +23,7 @@ use crate::pool::{BufferPool, PooledBuf};
 use crate::reduce::{
     shard_range, RawF32Codec, ReduceCodec, ReduceScratch, ReduceStats, TieredReduceStats,
 };
-use crate::topology::{HierExchangeBytes, Topology};
+use crate::topology::{HierExchangeBytes, Tier, Topology};
 use std::cell::RefCell;
 
 /// Bytes of metadata exchanged per peer in the metadata phase of a
@@ -707,6 +707,18 @@ impl RankCtx {
     /// lossless codec ([`RawF32Codec`]) the result is bit-identical to
     /// [`RankCtx::all_reduce_sum`] (rank-order summation per element).
     ///
+    /// When the codec advertises [`ReduceCodec::is_homomorphic`], the owner
+    /// instead **combines the encoded contributions in the compressed
+    /// domain** (in the same rank order) and forwards the combined encoding
+    /// during the all-gather: `world − 1` decodes and the re-encode vanish
+    /// from every owner's critical path, which the returned
+    /// [`ReduceStats::combines`]/[`ReduceStats::combined_bytes`] account
+    /// for. The owner's own contribution is then also routed through the
+    /// codec (it must enter the lattice like everyone else's), so a lossy
+    /// homomorphic codec quantizes `world` contributions where the classic
+    /// path quantizes `world − 1`; a lossless homomorphic codec still
+    /// reproduces [`RankCtx::all_reduce_sum`] bit for bit.
+    ///
     /// The codec's `offset` argument tells stateful codecs (error feedback)
     /// which elements of the full vector a shard covers. Returns wire bytes
     /// (encoded) alongside the raw bytes the same schedule would have moved
@@ -743,6 +755,409 @@ impl RankCtx {
         self.all_reduce_impl(data, codec, scratch, Some(topo))
     }
 
+    /// Leader-combined hierarchical all-reduce, for homomorphic codecs only:
+    /// the same sharded sum as [`RankCtx::all_reduce_compressed_tiered`],
+    /// but members hand their encoded contributions to their node leader,
+    /// which **combines them in the compressed domain** into one
+    /// node-aggregate per destination shard before the fabric hop — the
+    /// reduce-scatter crosses the fabric once per node pair instead of once
+    /// per rank pair (`ranks_per_node×` less inter-tier volume), and the
+    /// all-gather fans reduced shards back out through one leader bundle per
+    /// node pair.
+    ///
+    /// Contributions fold in a node-grouped order (within-node rank order,
+    /// then node aggregates in node order). For a codec whose combine is
+    /// associative and commutative — the integer-lattice codec — the result
+    /// is bit-identical to the flat combine schedule; for an order-sensitive
+    /// f32-summing combine it is the same sum under a different
+    /// parenthesisation, still within the codec's stated bound.
+    ///
+    /// Degenerate shapes (single node, or one rank per node) fall back to
+    /// the flat combine schedule, which they match hop for hop.
+    ///
+    /// # Panics
+    /// Panics if the topology's world disagrees with the cluster's or the
+    /// codec is not homomorphic.
+    pub fn all_reduce_homomorphic_hier<C: ReduceCodec + ?Sized>(
+        &self,
+        data: &mut [f32],
+        codec: &mut C,
+        scratch: &mut ReduceScratch,
+        topo: &Topology,
+    ) -> TieredReduceStats {
+        assert_eq!(
+            topo.world(),
+            self.world,
+            "topology does not match the cluster's world"
+        );
+        assert!(
+            codec.is_homomorphic(),
+            "leader-combined all-reduce requires a homomorphic codec"
+        );
+        if topo.is_single_tier() || topo.ranks_per_node() == 1 {
+            return self.all_reduce_impl(data, codec, scratch, Some(topo));
+        }
+        let world = self.world;
+        let rank = self.rank;
+        let nodes = topo.nodes();
+        let rpn = topo.ranks_per_node();
+        let my_node = topo.node_of(rank);
+        let leader = topo.leader_of(rank);
+        let am_leader = rank == leader;
+        let node_ranks = |n: usize| (n * rpn)..((n + 1) * rpn);
+        let mut out = TieredReduceStats::default();
+
+        // ── Reduce-scatter, phase 1: post contributions. Same-node shards go
+        // straight to their owner; remote-node shards go to the local leader
+        // as one bundle per remote node (leaders keep their own remote
+        // contributions for the combine below). Send order is dst-node
+        // ascending on every rank, so each FIFO channel drains in a globally
+        // agreed order.
+        for dst_node in 0..nodes {
+            if dst_node == my_node {
+                for dst in node_ranks(dst_node) {
+                    if dst == rank {
+                        continue;
+                    }
+                    let range = shard_range(data.len(), world, dst);
+                    let shard = &data[range.clone()];
+                    let mut buf = self.pool.take(codec.max_encoded_bytes(shard.len()));
+                    codec.encode_into(range.start, shard, &mut buf);
+                    out.stats.encoded_bytes += shard.len() * 4;
+                    out.record_sent(Some(Tier::Intra), buf.len());
+                    out.stats.raw.sent += shard.len() * 4;
+                    self.fabric.send(dst, buf);
+                }
+            } else if !am_leader {
+                let mut cap = 4 + rpn * HIER_ENTRY_HEADER_BYTES;
+                for dst in node_ranks(dst_node) {
+                    cap += codec.max_encoded_bytes(shard_range(data.len(), world, dst).len());
+                }
+                let mut bundle = self.pool.take(cap);
+                bundle.extend_from_slice(&(rpn as u32).to_le_bytes());
+                for dst in node_ranks(dst_node) {
+                    let range = shard_range(data.len(), world, dst);
+                    scratch.own_enc.clear();
+                    codec.encode_into(range.start, &data[range.clone()], &mut scratch.own_enc);
+                    out.stats.encoded_bytes += range.len() * 4;
+                    write_hier_entry(&mut bundle, rank, dst, &scratch.own_enc);
+                    out.stats.raw.sent += range.len() * 4;
+                }
+                out.record_sent(Some(Tier::Intra), bundle.len());
+                self.fabric.send(leader, bundle);
+            }
+        }
+
+        // Seed the own-shard accumulator with this rank's own encoded
+        // contribution (folded at its in-node rank position below).
+        let own = shard_range(data.len(), world, rank);
+        scratch.own_enc.clear();
+        codec.encode_into(own.start, &data[own.clone()], &mut scratch.own_enc);
+        out.stats.encoded_bytes += own.len() * 4;
+        scratch.encoded.clear();
+
+        // ── Reduce-scatter, phase 2: fold same-node contributions in
+        // in-node rank order. Leaders additionally combine each member
+        // bundle into per-destination node aggregates and exchange them
+        // leader-to-leader; members receive their shard's node aggregates
+        // from their leader.
+        if am_leader {
+            // Drain member channels in the members' send order (dst-node
+            // ascending): the direct chunk for this leader's own shard sits
+            // at the my-node position between the remote-node bundles.
+            for dst_node in 0..nodes {
+                if dst_node == my_node {
+                    // Own-shard contributions: self first (the leader is the
+                    // lowest in-node rank), then members in rank order.
+                    scratch.encoded.extend_from_slice(&scratch.own_enc);
+                    for src in node_ranks(my_node) {
+                        if src == rank {
+                            continue;
+                        }
+                        let chunk = self.fabric.recv(src);
+                        out.record_received(Some(Tier::Intra), chunk.len());
+                        out.stats.raw.received += own.len() * 4;
+                        out.stats.combines += 1;
+                        out.stats.combined_bytes += chunk.len();
+                        codec
+                            .combine(own.start, &mut scratch.encoded, &chunk)
+                            .unwrap_or_else(|e| {
+                                panic!("rank {rank}: combining own-shard chunk from {src}: {e}")
+                            });
+                    }
+                } else {
+                    // Node aggregates for dst_node's shards: seed each
+                    // accumulator with this leader's own contribution, fold
+                    // member bundles in rank order, ship one bundle to the
+                    // destination leader.
+                    scratch.accs.resize(rpn, Vec::new());
+                    for (slot, dst) in node_ranks(dst_node).enumerate() {
+                        let range = shard_range(data.len(), world, dst);
+                        let acc = &mut scratch.accs[slot];
+                        acc.clear();
+                        codec.encode_into(range.start, &data[range.clone()], acc);
+                        out.stats.encoded_bytes += range.len() * 4;
+                    }
+                    for src in node_ranks(my_node) {
+                        if src == rank {
+                            continue;
+                        }
+                        let bundle = self.fabric.recv(src);
+                        out.record_received(Some(Tier::Intra), bundle.len());
+                        for (entry_src, dst, payload) in hier_entries(&bundle) {
+                            let slot = dst as usize - dst_node * rpn;
+                            let range = shard_range(data.len(), world, dst as usize);
+                            out.stats.raw.received += range.len() * 4;
+                            out.stats.combines += 1;
+                            out.stats.combined_bytes += payload.len();
+                            codec
+                                .combine(range.start, &mut scratch.accs[slot], payload)
+                                .unwrap_or_else(|e| {
+                                    panic!(
+                                        "rank {rank}: combining contribution \
+                                         {entry_src}→{dst}: {e}"
+                                    )
+                                });
+                        }
+                    }
+                    // Worst-case lease: variable-size payloads (the sum
+                    // sketch) grow over training, and a current-length cap
+                    // would demand ever-larger pool classes after warm-up.
+                    let cap = 4 + node_ranks(dst_node)
+                        .map(|dst| {
+                            HIER_ENTRY_HEADER_BYTES
+                                + codec.max_encoded_bytes(shard_range(data.len(), world, dst).len())
+                        })
+                        .sum::<usize>();
+                    let mut bundle = self.pool.take(cap);
+                    bundle.extend_from_slice(&(rpn as u32).to_le_bytes());
+                    for (slot, dst) in node_ranks(dst_node).enumerate() {
+                        write_hier_entry(&mut bundle, rank, dst, &scratch.accs[slot]);
+                        out.stats.raw.sent += shard_range(data.len(), world, dst).len() * 4;
+                    }
+                    out.record_sent(Some(Tier::Inter), bundle.len());
+                    self.fabric.send(topo.leader_of_node(dst_node), bundle);
+                }
+            }
+            // Fold the remote node aggregates for this leader's own shard
+            // and forward members theirs.
+            for src_node in 0..nodes {
+                if src_node == my_node {
+                    continue;
+                }
+                let bundle = self.fabric.recv(topo.leader_of_node(src_node));
+                out.record_received(Some(Tier::Inter), bundle.len());
+                for (_, dst, payload) in hier_entries(&bundle) {
+                    let range = shard_range(data.len(), world, dst as usize);
+                    out.stats.raw.received += range.len() * 4;
+                    if dst as usize == rank {
+                        out.stats.combines += 1;
+                        out.stats.combined_bytes += payload.len();
+                        codec
+                            .combine(own.start, &mut scratch.encoded, payload)
+                            .unwrap_or_else(|e| {
+                                panic!("rank {rank}: combining node {src_node} aggregate: {e}")
+                            });
+                    } else {
+                        let mut buf = self.pool.take(codec.max_encoded_bytes(range.len()));
+                        buf.extend_from_slice(payload);
+                        out.record_sent(Some(Tier::Intra), buf.len());
+                        out.stats.raw.sent += range.len() * 4;
+                        self.fabric.send(dst as usize, buf);
+                    }
+                }
+            }
+        } else {
+            // Members: fold same-node direct contributions in in-node rank
+            // order, then the node aggregates their leader forwards.
+            for src in node_ranks(my_node) {
+                if src == rank {
+                    if scratch.encoded.is_empty() {
+                        scratch.encoded.extend_from_slice(&scratch.own_enc);
+                    } else {
+                        out.stats.combines += 1;
+                        out.stats.combined_bytes += scratch.own_enc.len();
+                        codec
+                            .combine(own.start, &mut scratch.encoded, &scratch.own_enc)
+                            .unwrap_or_else(|e| {
+                                panic!("rank {rank}: combining own contribution: {e}")
+                            });
+                    }
+                    continue;
+                }
+                let chunk = self.fabric.recv(src);
+                out.record_received(Some(Tier::Intra), chunk.len());
+                out.stats.raw.received += own.len() * 4;
+                if scratch.encoded.is_empty() {
+                    scratch.encoded.extend_from_slice(&chunk);
+                } else {
+                    out.stats.combines += 1;
+                    out.stats.combined_bytes += chunk.len();
+                    codec
+                        .combine(own.start, &mut scratch.encoded, &chunk)
+                        .unwrap_or_else(|e| {
+                            panic!("rank {rank}: combining own-shard chunk from {src}: {e}")
+                        });
+                }
+            }
+            for src_node in 0..nodes {
+                if src_node == my_node {
+                    continue;
+                }
+                let chunk = self.fabric.recv(leader);
+                out.record_received(Some(Tier::Intra), chunk.len());
+                out.stats.raw.received += own.len() * 4;
+                out.stats.combines += 1;
+                out.stats.combined_bytes += chunk.len();
+                codec
+                    .combine(own.start, &mut scratch.encoded, &chunk)
+                    .unwrap_or_else(|e| {
+                        panic!("rank {rank}: combining node {src_node} aggregate: {e}")
+                    });
+            }
+        }
+
+        // ── All-gather: the combined own shard goes to every same-node peer
+        // directly; across the fabric, each leader ships one bundle of its
+        // node's reduced shards per remote node and fans received bundles
+        // out to its members.
+        for dst in node_ranks(my_node) {
+            if dst == rank {
+                continue;
+            }
+            let mut buf = self.pool.take(codec.max_encoded_bytes(own.len()));
+            buf.extend_from_slice(&scratch.encoded);
+            out.record_sent(Some(Tier::Intra), buf.len());
+            out.stats.raw.sent += own.len() * 4;
+            self.fabric.send(dst, buf);
+        }
+        // Own shard round-trips through the codec like everyone else's copy.
+        scratch.decode.clear();
+        codec
+            .decode_into(own.start, &scratch.encoded, &mut scratch.decode)
+            .unwrap_or_else(|e| panic!("rank {rank}: decoding own reduced shard: {e}"));
+        out.stats.decoded_bytes += own.len() * 4;
+        assert_eq!(scratch.decode.len(), own.len(), "own shard round-trip size");
+        data[own.clone()].copy_from_slice(&scratch.decode);
+
+        // Lease size covering any rank's reduced encoded shard (rank 0 owns
+        // the largest shard), for the all-gather leader bundles.
+        let max_shard = shard_range(data.len(), world, 0).len();
+        let gather_bundle_cap =
+            4 + rpn * (HIER_ENTRY_HEADER_BYTES + codec.max_encoded_bytes(max_shard));
+
+        let mut decode_shard = |ctx_rank: usize,
+                                src: usize,
+                                payload: &[u8],
+                                data: &mut [f32],
+                                scratch_decode: &mut Vec<f32>,
+                                out: &mut TieredReduceStats| {
+            let range = shard_range(data.len(), world, src);
+            out.stats.raw.received += range.len() * 4;
+            scratch_decode.clear();
+            codec
+                .decode_into(range.start, payload, scratch_decode)
+                .unwrap_or_else(|e| {
+                    panic!("rank {ctx_rank}: decoding reduced shard from {src}: {e}")
+                });
+            out.stats.decoded_bytes += range.len() * 4;
+            assert_eq!(
+                scratch_decode.len(),
+                range.len(),
+                "rank {ctx_rank}: reduced shard from {src} decoded to the wrong size",
+            );
+            data[range].copy_from_slice(scratch_decode);
+        };
+
+        if am_leader {
+            // Gather the node's reduced shards (members' arrive on the same
+            // channels as their reduce-scatter traffic, fully drained
+            // above), bundling them for the remote leaders.
+            let mut bundle = self.pool.take(gather_bundle_cap);
+            bundle.extend_from_slice(&(rpn as u32).to_le_bytes());
+            write_hier_entry(&mut bundle, rank, rank, &scratch.encoded);
+            for src in node_ranks(my_node) {
+                if src == rank {
+                    continue;
+                }
+                let chunk = self.fabric.recv(src);
+                out.record_received(Some(Tier::Intra), chunk.len());
+                write_hier_entry(&mut bundle, src, src, &chunk);
+                decode_shard(rank, src, &chunk, data, &mut scratch.decode, &mut out);
+            }
+            for dst_node in 0..nodes {
+                if dst_node == my_node {
+                    continue;
+                }
+                let mut copy = self.pool.take(gather_bundle_cap);
+                copy.extend_from_slice(&bundle);
+                out.record_sent(Some(Tier::Inter), copy.len());
+                for src in node_ranks(my_node) {
+                    out.stats.raw.sent += shard_range(data.len(), world, src).len() * 4;
+                }
+                self.fabric.send(topo.leader_of_node(dst_node), copy);
+            }
+            for src_node in 0..nodes {
+                if src_node == my_node {
+                    continue;
+                }
+                let bundle = self.fabric.recv(topo.leader_of_node(src_node));
+                out.record_received(Some(Tier::Inter), bundle.len());
+                for dst in node_ranks(my_node) {
+                    if dst == rank {
+                        continue;
+                    }
+                    let mut copy = self.pool.take(gather_bundle_cap);
+                    copy.extend_from_slice(&bundle);
+                    out.record_sent(Some(Tier::Intra), copy.len());
+                    for src in node_ranks(src_node) {
+                        out.stats.raw.sent += shard_range(data.len(), world, src).len() * 4;
+                    }
+                    self.fabric.send(dst, copy);
+                }
+                for (src, _, payload) in hier_entries(&bundle) {
+                    decode_shard(
+                        rank,
+                        src as usize,
+                        payload,
+                        data,
+                        &mut scratch.decode,
+                        &mut out,
+                    );
+                }
+            }
+        } else {
+            // Members: same-node reduced shards arrive directly, remote ones
+            // as forwarded leader bundles in node order.
+            for src in node_ranks(my_node) {
+                if src == rank {
+                    continue;
+                }
+                let chunk = self.fabric.recv(src);
+                out.record_received(Some(Tier::Intra), chunk.len());
+                decode_shard(rank, src, &chunk, data, &mut scratch.decode, &mut out);
+            }
+            for src_node in 0..nodes {
+                if src_node == my_node {
+                    continue;
+                }
+                let bundle = self.fabric.recv(leader);
+                out.record_received(Some(Tier::Intra), bundle.len());
+                for (src, _, payload) in hier_entries(&bundle) {
+                    decode_shard(
+                        rank,
+                        src as usize,
+                        payload,
+                        data,
+                        &mut scratch.decode,
+                        &mut out,
+                    );
+                }
+            }
+        }
+        out
+    }
+
     fn all_reduce_impl<C: ReduceCodec + ?Sized>(
         &self,
         data: &mut [f32],
@@ -768,47 +1183,99 @@ impl RankCtx {
             let shard = &data[range.clone()];
             let mut buf = self.pool.take(codec.max_encoded_bytes(shard.len()));
             codec.encode_into(range.start, shard, &mut buf);
+            out.stats.encoded_bytes += shard.len() * 4;
             out.record_sent(tier_of(dst), buf.len());
             out.stats.raw.sent += shard.len() * 4;
             self.fabric.send(dst, buf);
         }
 
-        // Own shard: accumulate every rank's contribution in rank order
+        // Own shard: fold every rank's contribution in rank order
         // (bit-identity across ranks and with the uncompressed schedule).
+        // A homomorphic codec folds in the compressed domain — the encoded
+        // accumulator in `scratch.encoded` goes straight out in the
+        // all-gather, skipping `world − 1` decodes and the re-encode; the
+        // classic path decodes into `scratch.accum` and re-encodes once.
         let own = shard_range(data.len(), world, self.rank);
-        scratch.accum.clear();
-        scratch.accum.resize(own.len(), 0.0);
-        for src in 0..world {
-            if src == self.rank {
-                for (a, &v) in scratch.accum.iter_mut().zip(&data[own.clone()]) {
-                    *a += v;
-                }
-            } else {
-                let chunk = self.fabric.recv(src);
-                out.record_received(tier_of(src), chunk.len());
-                out.stats.raw.received += own.len() * 4;
-                scratch.decode.clear();
-                codec.decode_into(own.start, &chunk, &mut scratch.decode);
-                assert_eq!(
-                    scratch.decode.len(),
-                    own.len(),
-                    "rank {}: shard from {src} decoded to the wrong size",
-                    self.rank
-                );
-                for (a, &v) in scratch.accum.iter_mut().zip(scratch.decode.iter()) {
-                    *a += v;
+        if codec.is_homomorphic() {
+            scratch.own_enc.clear();
+            codec.encode_into(own.start, &data[own.clone()], &mut scratch.own_enc);
+            out.stats.encoded_bytes += own.len() * 4;
+            scratch.encoded.clear();
+            for src in 0..world {
+                if src == self.rank {
+                    if src == 0 {
+                        scratch.encoded.extend_from_slice(&scratch.own_enc);
+                    } else {
+                        out.stats.combines += 1;
+                        out.stats.combined_bytes += scratch.own_enc.len();
+                        codec
+                            .combine(own.start, &mut scratch.encoded, &scratch.own_enc)
+                            .unwrap_or_else(|e| {
+                                panic!("rank {}: combining own contribution: {e}", self.rank)
+                            });
+                    }
+                } else {
+                    let chunk = self.fabric.recv(src);
+                    out.record_received(tier_of(src), chunk.len());
+                    out.stats.raw.received += own.len() * 4;
+                    if src == 0 {
+                        scratch.encoded.extend_from_slice(&chunk);
+                    } else {
+                        out.stats.combines += 1;
+                        out.stats.combined_bytes += chunk.len();
+                        codec
+                            .combine(own.start, &mut scratch.encoded, &chunk)
+                            .unwrap_or_else(|e| {
+                                panic!("rank {}: combining shard from {src}: {e}", self.rank)
+                            });
+                    }
                 }
             }
+        } else {
+            scratch.accum.clear();
+            scratch.accum.resize(own.len(), 0.0);
+            for src in 0..world {
+                if src == self.rank {
+                    for (a, &v) in scratch.accum.iter_mut().zip(&data[own.clone()]) {
+                        *a += v;
+                    }
+                } else {
+                    let chunk = self.fabric.recv(src);
+                    out.record_received(tier_of(src), chunk.len());
+                    out.stats.raw.received += own.len() * 4;
+                    scratch.decode.clear();
+                    codec
+                        .decode_into(own.start, &chunk, &mut scratch.decode)
+                        .unwrap_or_else(|e| {
+                            panic!("rank {}: decoding shard from {src}: {e}", self.rank)
+                        });
+                    out.stats.decoded_bytes += own.len() * 4;
+                    assert_eq!(
+                        scratch.decode.len(),
+                        own.len(),
+                        "rank {}: shard from {src} decoded to the wrong size",
+                        self.rank
+                    );
+                    for (a, &v) in scratch.accum.iter_mut().zip(scratch.decode.iter()) {
+                        *a += v;
+                    }
+                }
+            }
+            // Re-encode the reduced shard once for the all-gather.
+            scratch.encoded.clear();
+            codec.encode_into(own.start, &scratch.accum, &mut scratch.encoded);
+            out.stats.encoded_bytes += own.len() * 4;
         }
 
-        // ── All-gather: encode the reduced shard once, send to every peer.
-        scratch.encoded.clear();
-        codec.encode_into(own.start, &scratch.accum, &mut scratch.encoded);
+        // ── All-gather: the reduced encoded shard goes to every peer.
         for dst in 0..world {
             if dst == self.rank {
                 continue;
             }
-            let mut buf = self.pool.take(scratch.encoded.len());
+            // Worst-case lease, not current-length: variable-size payloads
+            // (the sum sketch) grow over training, and a current-length cap
+            // would demand a fresh pool class after warm-up.
+            let mut buf = self.pool.take(codec.max_encoded_bytes(own.len()));
             buf.extend_from_slice(&scratch.encoded);
             out.record_sent(tier_of(dst), buf.len());
             out.stats.raw.sent += own.len() * 4;
@@ -817,7 +1284,10 @@ impl RankCtx {
         // Round-trip the own shard through the codec so this rank holds the
         // same (possibly lossy) values its peers will decode.
         scratch.decode.clear();
-        codec.decode_into(own.start, &scratch.encoded, &mut scratch.decode);
+        codec
+            .decode_into(own.start, &scratch.encoded, &mut scratch.decode)
+            .unwrap_or_else(|e| panic!("rank {}: decoding own reduced shard: {e}", self.rank));
+        out.stats.decoded_bytes += own.len() * 4;
         assert_eq!(scratch.decode.len(), own.len(), "own shard round-trip size");
         data[own].copy_from_slice(&scratch.decode);
         for src in 0..world {
@@ -829,7 +1299,12 @@ impl RankCtx {
             let range = shard_range(data.len(), world, src);
             out.stats.raw.received += range.len() * 4;
             scratch.decode.clear();
-            codec.decode_into(range.start, &chunk, &mut scratch.decode);
+            codec
+                .decode_into(range.start, &chunk, &mut scratch.decode)
+                .unwrap_or_else(|e| {
+                    panic!("rank {}: decoding reduced shard from {src}: {e}", self.rank)
+                });
+            out.stats.decoded_bytes += range.len() * 4;
             assert_eq!(
                 scratch.decode.len(),
                 range.len(),
@@ -1443,12 +1918,18 @@ mod tests {
                     out.extend_from_slice(&v.to_le_bytes()[2..4]);
                 }
             }
-            fn decode_into(&mut self, _o: usize, bytes: &[u8], out: &mut Vec<f32>) {
+            fn decode_into(
+                &mut self,
+                _o: usize,
+                bytes: &[u8],
+                out: &mut Vec<f32>,
+            ) -> Result<(), crate::reduce::ReduceError> {
                 out.extend(
                     bytes
                         .chunks_exact(2)
                         .map(|b| f32::from_le_bytes([0, 0, b[0], b[1]])),
                 );
+                Ok(())
             }
             fn max_encoded_bytes(&self, len: usize) -> usize {
                 len * 2
@@ -1643,6 +2124,308 @@ mod tests {
             let (intra, inter) = crate::reduce::allreduce_tier_bytes(len, &topo, rank);
             assert_eq!(stats.intra, intra, "rank {rank}");
             assert_eq!(stats.inter, inter, "rank {rank}");
+        }
+    }
+
+    /// Lossless homomorphic test codec: raw f32 stream whose combine sums
+    /// elementwise in the f32 domain. The flat owner fold runs in rank
+    /// order, so the result is bit-identical to [`RankCtx::all_reduce_sum`].
+    struct SumF32Codec;
+    impl crate::reduce::ReduceCodec for SumF32Codec {
+        fn encode_into(&mut self, _o: usize, data: &[f32], out: &mut Vec<u8>) {
+            for v in data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        fn decode_into(
+            &mut self,
+            _o: usize,
+            bytes: &[u8],
+            out: &mut Vec<f32>,
+        ) -> Result<(), crate::reduce::ReduceError> {
+            if !bytes.len().is_multiple_of(4) {
+                return Err(crate::reduce::ReduceError::Truncated {
+                    needed: bytes.len().div_ceil(4) * 4,
+                    got: bytes.len(),
+                });
+            }
+            out.extend(
+                bytes
+                    .chunks_exact(4)
+                    .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes"))),
+            );
+            Ok(())
+        }
+        fn max_encoded_bytes(&self, len: usize) -> usize {
+            len * 4
+        }
+        fn is_homomorphic(&self) -> bool {
+            true
+        }
+        fn combine(
+            &mut self,
+            _o: usize,
+            acc: &mut Vec<u8>,
+            other: &[u8],
+        ) -> Result<(), crate::reduce::ReduceError> {
+            if acc.len() != other.len() {
+                return Err(crate::reduce::ReduceError::ShardMismatch {
+                    expected: acc.len(),
+                    got: other.len(),
+                });
+            }
+            for (a, b) in acc.chunks_exact_mut(4).zip(other.chunks_exact(4)) {
+                let s = f32::from_le_bytes(a.try_into().expect("4 bytes"))
+                    + f32::from_le_bytes(b.try_into().expect("4 bytes"));
+                a.copy_from_slice(&s.to_le_bytes());
+            }
+            Ok(())
+        }
+    }
+
+    /// Integer-lattice test codec (the shape `dlrm-grad`'s lattice takes):
+    /// f32 → i32 at a fixed scale, combine adds codes. Integer addition is
+    /// associative and commutative, so every combine order — flat rank
+    /// order or the hierarchical node-grouped order — produces the same
+    /// stream bit for bit.
+    struct I32LatticeCodec;
+    const LATTICE_SCALE: f32 = 1024.0;
+    impl crate::reduce::ReduceCodec for I32LatticeCodec {
+        fn encode_into(&mut self, _o: usize, data: &[f32], out: &mut Vec<u8>) {
+            for v in data {
+                out.extend_from_slice(&((v * LATTICE_SCALE).round() as i32).to_le_bytes());
+            }
+        }
+        fn decode_into(
+            &mut self,
+            _o: usize,
+            bytes: &[u8],
+            out: &mut Vec<f32>,
+        ) -> Result<(), crate::reduce::ReduceError> {
+            if !bytes.len().is_multiple_of(4) {
+                return Err(crate::reduce::ReduceError::Truncated {
+                    needed: bytes.len().div_ceil(4) * 4,
+                    got: bytes.len(),
+                });
+            }
+            out.extend(bytes.chunks_exact(4).map(|b| {
+                i32::from_le_bytes(b.try_into().expect("4 bytes")) as f32 / LATTICE_SCALE
+            }));
+            Ok(())
+        }
+        fn max_encoded_bytes(&self, len: usize) -> usize {
+            len * 4
+        }
+        fn is_homomorphic(&self) -> bool {
+            true
+        }
+        fn combine(
+            &mut self,
+            _o: usize,
+            acc: &mut Vec<u8>,
+            other: &[u8],
+        ) -> Result<(), crate::reduce::ReduceError> {
+            if acc.len() != other.len() {
+                return Err(crate::reduce::ReduceError::ShardMismatch {
+                    expected: acc.len(),
+                    got: other.len(),
+                });
+            }
+            for (a, b) in acc.chunks_exact_mut(4).zip(other.chunks_exact(4)) {
+                let s = i32::from_le_bytes(a.try_into().expect("4 bytes"))
+                    .wrapping_add(i32::from_le_bytes(b.try_into().expect("4 bytes")));
+                a.copy_from_slice(&s.to_le_bytes());
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn homomorphic_all_reduce_matches_the_sum_and_skips_owner_decodes() {
+        let world = 5;
+        let len = 41;
+        let results = cluster(world).run(move |ctx| {
+            let contribution: Vec<f32> = (0..len)
+                .map(|i| ((ctx.rank() * len + i) as f32 * 0.37).sin())
+                .collect();
+            let mut plain = contribution.clone();
+            ctx.all_reduce_sum(&mut plain);
+            let mut homo = contribution;
+            let mut scratch = crate::reduce::ReduceScratch::new();
+            let stats = ctx.all_reduce_compressed(&mut homo, &mut SumF32Codec, &mut scratch);
+            (plain, homo, stats)
+        });
+        for (rank, (plain, homo, stats)) in results.iter().enumerate() {
+            // Lossless combine in rank order ⇒ bit-identical to the plain
+            // rank-order sum.
+            for (a, b) in plain.iter().zip(homo.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "rank {rank} diverged");
+            }
+            // The owner folded world − 1 contributions in the compressed
+            // domain instead of decoding them…
+            assert_eq!(stats.combines, world - 1, "rank {rank}");
+            let own = shard_range(len, world, rank).len();
+            assert_eq!(stats.combined_bytes, (world - 1) * own * 4, "rank {rank}");
+            // …so only the own-shard round-trip and the gathered shards are
+            // decoded: exactly the vector once, vs (world − 1)·own extra on
+            // the classic path.
+            assert_eq!(stats.decoded_bytes, len * 4, "rank {rank}");
+            assert_eq!(stats.encoded_bytes, len * 4, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_hier_matches_flat_bitwise_and_cuts_inter_volume() {
+        // 2 nodes × 3 ranks: leaders fold member contributions into one
+        // node aggregate per destination shard, so the fabric carries one
+        // combined payload per node pair instead of rpn per rank pair.
+        let topo = hier_topo(2, 3);
+        let world = topo.world();
+        let len = 300;
+        let results = cluster(world).run(move |ctx| {
+            let contribution: Vec<f32> = (0..len)
+                .map(|i| (((ctx.rank() * len + i) % 512) as f32 - 256.0) / LATTICE_SCALE)
+                .collect();
+            let mut flat = contribution.clone();
+            let mut scratch = crate::reduce::ReduceScratch::new();
+            ctx.all_reduce_compressed(&mut flat, &mut I32LatticeCodec, &mut scratch);
+            let mut hier = contribution.clone();
+            let mut scratch = crate::reduce::ReduceScratch::new();
+            let homo_stats = ctx.all_reduce_homomorphic_hier(
+                &mut hier,
+                &mut I32LatticeCodec,
+                &mut scratch,
+                &topo,
+            );
+            let mut classic = contribution;
+            let mut scratch = crate::reduce::ReduceScratch::new();
+            let classic_stats = ctx.all_reduce_compressed_tiered(
+                &mut classic,
+                &mut I32LatticeCodec,
+                &mut scratch,
+                &topo,
+            );
+            (flat, hier, classic, homo_stats, classic_stats)
+        });
+        let mut homo_inter = 0usize;
+        let mut classic_inter = 0usize;
+        for (rank, (flat, hier, classic, homo_stats, classic_stats)) in results.iter().enumerate() {
+            // The lattice combine is associative and commutative, so the
+            // node-grouped fold reproduces the flat fold bit for bit — and
+            // the classic decode → reduce → re-encode schedule too (exact
+            // integer arithmetic end to end on these inputs).
+            for ((a, b), c) in flat.iter().zip(hier.iter()).zip(classic.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "rank {rank}: hier diverged");
+                assert_eq!(a.to_bits(), c.to_bits(), "rank {rank}: classic diverged");
+            }
+            assert!(homo_stats.stats.combines > 0, "rank {rank}");
+            // Tier buckets still partition the wire bytes.
+            assert_eq!(
+                homo_stats.intra.sent + homo_stats.inter.sent,
+                homo_stats.stats.wire.sent,
+                "rank {rank}"
+            );
+            homo_inter += homo_stats.inter.sent;
+            classic_inter += classic_stats.inter.sent;
+        }
+        // Leader bundles collapse rpn contributions into one aggregate per
+        // node pair: the fabric volume drops by nearly rpn× (bundle headers
+        // cost a few bytes back).
+        assert!(
+            (homo_inter as f64) < classic_inter as f64 / 2.0,
+            "leader combine did not cut inter-tier volume: {homo_inter} vs {classic_inter}"
+        );
+    }
+
+    #[test]
+    fn homomorphic_hier_degenerate_shapes_match_flat() {
+        for (nodes, rpn) in [(1, 4), (4, 1)] {
+            let topo = hier_topo(nodes, rpn);
+            let world = topo.world();
+            let len = 23;
+            let results = cluster(world).run(move |ctx| {
+                let contribution: Vec<f32> = (0..len)
+                    .map(|i| (((ctx.rank() + 3) * (i + 7)) % 64) as f32 / LATTICE_SCALE)
+                    .collect();
+                let mut flat = contribution.clone();
+                let mut scratch = crate::reduce::ReduceScratch::new();
+                ctx.all_reduce_compressed(&mut flat, &mut I32LatticeCodec, &mut scratch);
+                let mut hier = contribution;
+                let mut scratch = crate::reduce::ReduceScratch::new();
+                ctx.all_reduce_homomorphic_hier(
+                    &mut hier,
+                    &mut I32LatticeCodec,
+                    &mut scratch,
+                    &topo,
+                );
+                (flat, hier)
+            });
+            for (rank, (flat, hier)) in results.iter().enumerate() {
+                for (a, b) in flat.iter().zip(hier.iter()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "rank {rank} diverged on {nodes}x{rpn}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn homomorphic_hier_rejects_non_homomorphic_codecs() {
+        let topo = hier_topo(2, 2);
+        cluster(topo.world()).run(move |ctx| {
+            let mut data = vec![1.0f32; 16];
+            let mut scratch = crate::reduce::ReduceScratch::new();
+            let _ = ctx.all_reduce_homomorphic_hier(
+                &mut data,
+                &mut crate::reduce::RawF32Codec,
+                &mut scratch,
+                &topo,
+            );
+        });
+    }
+
+    #[test]
+    fn homomorphic_hier_stops_allocating_after_warmup() {
+        let topo = hier_topo(2, 2);
+        let world = topo.world();
+        let len = 257;
+        let results = cluster(world).run(move |ctx| {
+            let mut scratch = crate::reduce::ReduceScratch::new();
+            let contribution: Vec<f32> =
+                (0..len).map(|i| (i % 96) as f32 / LATTICE_SCALE).collect();
+            let mut data = contribution.clone();
+            for _ in 0..3 {
+                data.copy_from_slice(&contribution);
+                ctx.all_reduce_homomorphic_hier(
+                    &mut data,
+                    &mut I32LatticeCodec,
+                    &mut scratch,
+                    &topo,
+                );
+            }
+            let spares: Vec<PooledBuf> = (0..6 * world).map(|_| ctx.take_buf(8192)).collect();
+            drop(spares);
+            ctx.barrier();
+            let warm = ctx.pool().stats();
+            for _ in 0..10 {
+                data.copy_from_slice(&contribution);
+                ctx.all_reduce_homomorphic_hier(
+                    &mut data,
+                    &mut I32LatticeCodec,
+                    &mut scratch,
+                    &topo,
+                );
+            }
+            ctx.barrier();
+            ctx.pool().stats().since(&warm)
+        });
+        for delta in results {
+            assert_eq!(delta.allocations, 0, "steady state allocated: {delta:?}");
+            assert!(delta.reuses > 0);
         }
     }
 

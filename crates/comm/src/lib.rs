@@ -53,6 +53,16 @@
 //! (`dlrm-grad`) shrinks the MLP all-reduce. With the lossless
 //! [`reduce::RawF32Codec`] the compressed collective is bit-identical to
 //! [`cluster::RankCtx::all_reduce_sum`].
+//!
+//! A codec advertising [`reduce::ReduceCodec::is_homomorphic`] supplies
+//! [`reduce::ReduceCodec::combine`] — summation **in the compressed
+//! domain** — and the collective then folds encoded contributions at each
+//! owner instead of decode → reduce → re-encode, eliminating `world − 1`
+//! decodes and the re-encode per shard. On a hierarchical topology,
+//! [`cluster::RankCtx::all_reduce_homomorphic_hier`] goes further: node
+//! leaders combine their members' encoded contributions into one aggregate
+//! per destination shard before the fabric hop, cutting inter-tier
+//! reduce-scatter volume by `ranks_per_node×`.
 
 //! ## Node-aware hierarchical topology
 //!
@@ -131,8 +141,8 @@ pub use ledger::TimingLedger;
 pub use overlap::OverlapTimeline;
 pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use reduce::{
-    allreduce_tier_bytes, shard_range, RawF32Codec, ReduceCodec, ReduceScratch, ReduceStats,
-    TieredReduceStats,
+    allreduce_tier_bytes, shard_range, RawF32Codec, ReduceCodec, ReduceError, ReduceScratch,
+    ReduceStats, TieredReduceStats,
 };
 pub use topology::{HierExchangeBytes, Tier, TieredCostModel, Topology};
 pub use trace::{BandwidthTrace, TraceSegment};

@@ -29,6 +29,10 @@ pub const BWD_DECOMPRESS: &str = "bwd decompression";
 pub const EMB_UPDATE: &str = "embedding update";
 /// All-reduce of the MLP gradients, virtual network time.
 pub const ALLREDUCE: &str = "mlp all-reduce";
+/// Compressed-domain combine cycles of a homomorphic dense codec at owner
+/// shards — the work that replaces the decode → reduce → re-encode
+/// round-trip (zero on the classic path and with dense compression off).
+pub const COMBINE: &str = "homomorphic combine";
 /// MLP parameter update.
 pub const OPTIMIZER: &str = "optimizer";
 /// Runtime adaptive controller: candidate-codec probing plus the
@@ -52,6 +56,7 @@ pub const ALL: &[&str] = &[
     BWD_DECOMPRESS,
     EMB_UPDATE,
     ALLREDUCE,
+    COMBINE,
     OPTIMIZER,
     CONTROLLER,
     CHECKPOINT,
@@ -67,6 +72,6 @@ mod tests {
         for name in ALL {
             assert!(seen.insert(*name), "duplicate phase name {name:?}");
         }
-        assert_eq!(ALL.len(), 14);
+        assert_eq!(ALL.len(), 15);
     }
 }

@@ -18,7 +18,62 @@
 
 use crate::cluster::ExchangeBytes;
 use crate::topology::{Tier, Topology};
+use std::fmt;
 use std::ops::Range;
+
+/// Why a [`ReduceCodec`] rejected an encoded reduce payload.
+///
+/// Decoding and combining are the two places the collective consumes bytes
+/// produced elsewhere, so both are fallible: a truncated or corrupted stream
+/// must surface as an `Err` the caller can attribute, never as an
+/// out-of-bounds panic inside the codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceError {
+    /// The stream ended before the content its header declared.
+    Truncated {
+        /// Bytes the stream claimed to need.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The stream is structurally invalid (bad tag, impossible header,
+    /// inner compressor rejection).
+    Corrupt(&'static str),
+    /// Two encodings that must describe the same shard disagree on its
+    /// element count — e.g. `combine` over mismatched shard lengths.
+    ShardMismatch {
+        /// Elements the accumulator describes.
+        expected: usize,
+        /// Elements the incoming payload describes.
+        got: usize,
+    },
+    /// [`ReduceCodec::combine`] was called on a codec without a
+    /// compressed-domain addition.
+    NotHomomorphic,
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, got } => {
+                write!(
+                    f,
+                    "encoded reduce payload truncated: needed {needed} bytes, got {got}"
+                )
+            }
+            Self::Corrupt(what) => write!(f, "encoded reduce payload corrupt: {what}"),
+            Self::ShardMismatch { expected, got } => {
+                write!(
+                    f,
+                    "combine over mismatched shards: {expected} vs {got} elements"
+                )
+            }
+            Self::NotHomomorphic => write!(f, "codec has no compressed-domain combine"),
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
 
 /// Encoder/decoder driving the hops of a compressed all-reduce.
 ///
@@ -31,19 +86,57 @@ use std::ops::Range;
 /// exactly `data.len()` values. The collective round-trips the owner's own
 /// reduced shard through the codec before use, so every rank — owner
 /// included — ends with bit-identical values.
+///
+/// # Homomorphic codecs
+///
+/// A codec may additionally support **reduction in the compressed domain**:
+/// [`ReduceCodec::combine`] sums two encoded shards without decoding either,
+/// such that `decode(combine(enc(a), enc(b))) ≈ a + b` within the codec's
+/// stated error bound (exactly, for a lossless codec). Codecs advertise the
+/// capability through [`ReduceCodec::is_homomorphic`]; the collective
+/// detects it and replaces the owner-shard decode → reduce → re-encode
+/// round-trip with a chain of combines, eliminating `world − 1` decodes and
+/// one re-encode per shard from the critical path.
 pub trait ReduceCodec {
     /// Append the encoded form of `data` (the shard starting at element
     /// `offset` of the full vector) to `out`.
     fn encode_into(&mut self, offset: usize, data: &[f32], out: &mut Vec<u8>);
 
     /// Append the decoded values of a shard produced by
-    /// [`ReduceCodec::encode_into`] to `out`.
-    fn decode_into(&mut self, offset: usize, bytes: &[u8], out: &mut Vec<f32>);
+    /// [`ReduceCodec::encode_into`] to `out`. Truncated or corrupted input
+    /// must return an error, not panic.
+    fn decode_into(
+        &mut self,
+        offset: usize,
+        bytes: &[u8],
+        out: &mut Vec<f32>,
+    ) -> Result<(), ReduceError>;
 
     /// Upper bound on the encoded size of a shard of `len` values; sizes the
     /// pool leases so a steady-state encode never grows its lease mid-fill.
     fn max_encoded_bytes(&self, len: usize) -> usize {
         len * 4 + 16
+    }
+
+    /// Whether [`ReduceCodec::combine`] is supported. The collective only
+    /// takes the combine path when this returns `true`.
+    fn is_homomorphic(&self) -> bool {
+        false
+    }
+
+    /// Sum the encoded shard `other` into the encoded accumulator `acc`, in
+    /// the compressed domain. Both must encode the same shard (same element
+    /// count, starting at `offset`); mismatched shards are a checked
+    /// [`ReduceError::ShardMismatch`]. The default implementation reports
+    /// the codec as non-homomorphic.
+    fn combine(
+        &mut self,
+        offset: usize,
+        acc: &mut Vec<u8>,
+        other: &[u8],
+    ) -> Result<(), ReduceError> {
+        let _ = (offset, acc, other);
+        Err(ReduceError::NotHomomorphic)
     }
 }
 
@@ -62,14 +155,25 @@ impl ReduceCodec for RawF32Codec {
         }
     }
 
-    fn decode_into(&mut self, _offset: usize, bytes: &[u8], out: &mut Vec<f32>) {
-        assert_eq!(bytes.len() % 4, 0, "raw f32 shard not a multiple of 4");
+    fn decode_into(
+        &mut self,
+        _offset: usize,
+        bytes: &[u8],
+        out: &mut Vec<f32>,
+    ) -> Result<(), ReduceError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(ReduceError::Truncated {
+                needed: bytes.len().next_multiple_of(4),
+                got: bytes.len(),
+            });
+        }
         out.reserve(bytes.len() / 4);
         out.extend(
             bytes
                 .chunks_exact(4)
                 .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
         );
+        Ok(())
     }
 
     fn max_encoded_bytes(&self, len: usize) -> usize {
@@ -86,8 +190,17 @@ pub struct ReduceScratch {
     pub(crate) accum: Vec<f32>,
     /// Decode staging for incoming shards.
     pub(crate) decode: Vec<f32>,
-    /// The reduced own shard, encoded once and copied to every peer lease.
+    /// The reduced own shard: re-encoded once on the classic path, or the
+    /// compressed-domain combine accumulator on the homomorphic path. Either
+    /// way it is copied to every peer lease during the all-gather.
     pub(crate) encoded: Vec<u8>,
+    /// This rank's own contribution to its own shard, encoded once per call
+    /// on the homomorphic path (the classic path adds it raw).
+    pub(crate) own_enc: Vec<u8>,
+    /// Leader-side per-destination combine accumulators of the
+    /// leader-combined hierarchical schedule (`ranks_per_node` of them,
+    /// reused across remote nodes and across calls).
+    pub(crate) accs: Vec<Vec<u8>>,
 }
 
 impl ReduceScratch {
@@ -99,7 +212,12 @@ impl ReduceScratch {
     /// Total bytes of heap capacity currently held — stable once warmed up,
     /// which the trainer's allocation ledger uses to prove the steady state.
     pub fn capacity_bytes(&self) -> u64 {
-        (self.accum.capacity() * 4 + self.decode.capacity() * 4 + self.encoded.capacity()) as u64
+        (self.accum.capacity() * 4
+            + self.decode.capacity() * 4
+            + self.encoded.capacity()
+            + self.own_enc.capacity()
+            + self.accs.iter().map(Vec::capacity).sum::<usize>()
+            + self.accs.capacity() * std::mem::size_of::<Vec<u8>>()) as u64
     }
 }
 
@@ -113,6 +231,20 @@ pub struct ReduceStats {
     /// the bytes [`CostModel::allreduce_time`](crate::cost::CostModel::allreduce_time)
     /// assumes.
     pub raw: ExchangeBytes,
+    /// Compressed-domain combines performed at owner shards (zero on the
+    /// decode → reduce → re-encode path).
+    pub combines: usize,
+    /// Encoded payload bytes folded into accumulators by those combines —
+    /// what the trainer charges combine cycles against.
+    pub combined_bytes: usize,
+    /// Raw f32 bytes actually pushed through `encode_into` over the whole
+    /// schedule — the homomorphic path skips the owner re-encode, so this
+    /// (not the wire accounting) is what codec encode cycles cost.
+    pub encoded_bytes: usize,
+    /// Raw f32 bytes actually produced by `decode_into` over the whole
+    /// schedule — the homomorphic path decodes each shard once instead of
+    /// once per contribution.
+    pub decoded_bytes: usize,
 }
 
 impl ReduceStats {
@@ -238,11 +370,40 @@ mod tests {
         assert_eq!(bytes.len(), data.len() * 4);
         assert!(bytes.len() <= codec.max_encoded_bytes(data.len()));
         let mut back = Vec::new();
-        codec.decode_into(5, &bytes, &mut back);
+        codec
+            .decode_into(5, &bytes, &mut back)
+            .expect("valid stream");
         assert_eq!(back.len(), data.len());
         for (a, b) in data.iter().zip(back.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn raw_codec_rejects_truncated_stream() {
+        let mut codec = RawF32Codec;
+        let mut bytes = Vec::new();
+        codec.encode_into(0, &[1.0, 2.0, 3.0], &mut bytes);
+        let mut back = Vec::new();
+        let err = codec.decode_into(0, &bytes[..10], &mut back).unwrap_err();
+        assert_eq!(
+            err,
+            ReduceError::Truncated {
+                needed: 12,
+                got: 10
+            }
+        );
+    }
+
+    #[test]
+    fn combine_defaults_to_not_homomorphic() {
+        let mut codec = RawF32Codec;
+        assert!(!codec.is_homomorphic());
+        let mut acc = vec![0u8; 4];
+        assert_eq!(
+            codec.combine(0, &mut acc, &[0u8; 4]),
+            Err(ReduceError::NotHomomorphic)
+        );
     }
 
     #[test]
@@ -256,6 +417,7 @@ mod tests {
                 sent: 1000,
                 received: 1000,
             },
+            ..Default::default()
         };
         assert!((stats.ratio() - 4.0).abs() < 1e-12);
         assert_eq!(ReduceStats::default().ratio(), 1.0);

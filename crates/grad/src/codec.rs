@@ -1,7 +1,7 @@
 //! Gradient codec adapters: how a shard of the flattened dense gradient
 //! becomes bytes on the all-reduce wire.
 //!
-//! Four families, all behind one [`GradCodec`] with reusable scratch:
+//! Six families, all behind one [`GradCodec`] with reusable scratch:
 //!
 //! * **Identity** — raw little-endian f32 (lossless; with it the compressed
 //!   all-reduce is bit-identical to the uncompressed one);
@@ -11,11 +11,20 @@
 //! * **TopK** — magnitude sparsification: only the `⌈fraction·n⌉` largest
 //!   |values| are sent as `(index, value)` pairs, kept values bit-exact.
 //!   Requires error feedback to converge (the unsent mass accumulates in
-//!   the residual until it earns a slot).
+//!   the residual until it earns a slot);
+//! * **Lattice / SumSketch** — the **homomorphic** pair
+//!   ([`homomorphic`](crate::homomorphic) module): encoded shards add
+//!   *without decoding* via [`GradCodec::combine_into`], which is what lets
+//!   the compressed all-reduce skip the decode → reduce → re-encode
+//!   round-trip at owner shards.
 //!
 //! Every stream opens with the element count, so decoding is
-//! self-describing: `[n u32 LE]` then a kind-specific payload.
+//! self-describing: `[n u32 LE]` then a kind-specific payload. Decoding and
+//! combining validate the stream and return a
+//! [`ReduceError`](dlrm_comm::ReduceError) on truncated or corrupted input.
 
+use crate::homomorphic;
+use dlrm_comm::ReduceError;
 use dlrm_compress::lowprec::{self, Precision};
 use dlrm_compress::{CompressScratch, Compressor, CompressorKind};
 use serde::{Deserialize, Serialize};
@@ -44,6 +53,19 @@ pub enum GradCodecKind {
         /// Fraction of elements kept per shard, in `(0, 1]`.
         fraction: f32,
     },
+    /// THC-style homomorphic uniform quantizer: values round to a shared
+    /// integer lattice (`step = 2·error_bound`) stored as i16 codes, ratio
+    /// ≈ 2. Encoded shards add by saturating integer lattice addition, so
+    /// owners combine in the compressed domain.
+    Lattice {
+        /// Absolute point-wise error bound (half the lattice step).
+        error_bound: f32,
+    },
+    /// Lossless homomorphic index–sum sketch: nonzero `(index, value)`
+    /// pairs with a dense-f32 fallback. Encoded shards add by sparse merge
+    /// or scatter-add, bit-identical to the rank-order raw sum on finite
+    /// data (`-0.0` canonicalises to `+0.0` at encode).
+    SumSketch,
 }
 
 impl GradCodecKind {
@@ -58,7 +80,18 @@ impl GradCodecKind {
                 error_bound,
             } => format!("{}-eb{}", compressor.label(), error_bound),
             GradCodecKind::TopK { fraction } => format!("top{}", fraction),
+            GradCodecKind::Lattice { error_bound } => format!("lattice-eb{}", error_bound),
+            GradCodecKind::SumSketch => "sumsketch".to_string(),
         }
+    }
+
+    /// True when encoded shards of this kind add in the compressed domain
+    /// (supports [`GradCodec::combine_into`]).
+    pub fn is_homomorphic(&self) -> bool {
+        matches!(
+            self,
+            GradCodecKind::Lattice { .. } | GradCodecKind::SumSketch
+        )
     }
 
     /// Build the runnable codec.
@@ -81,6 +114,12 @@ pub struct GradScratch {
     pub compress: CompressScratch,
     /// Index ordering buffer of the top-k selection.
     order: Vec<u32>,
+    /// Dense staging of the sum-sketch combine.
+    sketch_dense: Vec<f32>,
+    /// Accumulator-payload staging of the sum-sketch combine.
+    sketch_bytes: Vec<u8>,
+    /// Sparse-merge output staging of the sum-sketch combine.
+    sketch_merge: Vec<u8>,
 }
 
 impl GradScratch {
@@ -91,7 +130,10 @@ impl GradScratch {
 
     /// Total heap capacity currently held.
     pub fn capacity_bytes(&self) -> u64 {
-        self.compress.capacity_bytes() + (self.order.capacity() * 4) as u64
+        self.compress.capacity_bytes()
+            + (self.order.capacity() * 4) as u64
+            + (self.sketch_dense.capacity() * 4) as u64
+            + (self.sketch_bytes.capacity() + self.sketch_merge.capacity()) as u64
     }
 }
 
@@ -107,9 +149,21 @@ impl GradCodec {
         &self.kind
     }
 
-    /// True when decoding reproduces the input bit-exactly (Identity only).
+    /// True when decoding reproduces the input bit-exactly (Identity, and
+    /// SumSketch up to `-0.0 → +0.0` canonicalisation — which the
+    /// error-feedback residual treats as exact since `x − (+0.0) == x −
+    /// (−0.0)`).
     pub fn is_lossless(&self) -> bool {
-        matches!(self.kind, GradCodecKind::Identity)
+        matches!(
+            self.kind,
+            GradCodecKind::Identity | GradCodecKind::SumSketch
+        )
+    }
+
+    /// True when encoded shards add in the compressed domain (see
+    /// [`GradCodec::combine_into`]).
+    pub fn is_homomorphic(&self) -> bool {
+        self.kind.is_homomorphic()
     }
 
     /// Upper bound on the encoded size of a shard of `len` values.
@@ -122,6 +176,8 @@ impl GradCodec {
             // Same worst case the trainer assumes for the a2a codecs.
             GradCodecKind::ErrorBounded { .. } => len * 12 + 708,
             GradCodecKind::TopK { fraction } => 4 + top_k_count(len, fraction) * 8,
+            GradCodecKind::Lattice { .. } => homomorphic::lattice_max_bytes(len),
+            GradCodecKind::SumSketch => homomorphic::sketch_max_bytes(len),
         }
     }
 
@@ -178,20 +234,54 @@ impl GradCodec {
                     out.extend_from_slice(&data[i as usize].to_le_bytes());
                 }
             }
+            GradCodecKind::Lattice { error_bound } => {
+                homomorphic::lattice_encode(data, *error_bound, out)
+            }
+            GradCodecKind::SumSketch => homomorphic::sketch_encode(data, out),
         }
     }
 
     /// Append the decoded values of a stream produced by
     /// [`GradCodec::encode_into`] to `out`.
-    pub fn decode_into(&self, bytes: &[u8], scratch: &mut GradScratch, out: &mut Vec<f32>) {
+    ///
+    /// Returns `Err` (and leaves `out` in an unspecified but valid state)
+    /// when the stream is truncated or corrupted, instead of panicking —
+    /// malformed wire bytes must surface as a recoverable error at the
+    /// collective layer.
+    pub fn decode_into(
+        &self,
+        bytes: &[u8],
+        scratch: &mut GradScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), ReduceError> {
+        if bytes.len() < 4 {
+            return Err(ReduceError::Truncated {
+                needed: 4,
+                got: bytes.len(),
+            });
+        }
         let n = u32::from_le_bytes(bytes[0..4].try_into().expect("count header")) as usize;
         let payload = &bytes[4..];
         if n == 0 {
-            return;
+            return if payload.is_empty() {
+                Ok(())
+            } else {
+                Err(ReduceError::Corrupt("payload after empty-shard header"))
+            };
         }
+        let start = out.len();
         match &self.kind {
             GradCodecKind::Identity => {
-                assert_eq!(payload.len(), n * 4, "identity payload size");
+                if payload.len() != n * 4 {
+                    return Err(if payload.len() < n * 4 {
+                        ReduceError::Truncated {
+                            needed: 4 + n * 4,
+                            got: bytes.len(),
+                        }
+                    } else {
+                        ReduceError::Corrupt("identity payload longer than declared")
+                    });
+                }
                 out.reserve(n);
                 out.extend(
                     payload
@@ -200,18 +290,44 @@ impl GradCodec {
                 );
             }
             GradCodecKind::Fp16 | GradCodecKind::Fp8 => {
-                lowprec::decompress_into(payload, out).expect("well-formed lowprec stream")
+                lowprec::decompress_into(payload, out)
+                    .map_err(|_| ReduceError::Corrupt("malformed low-precision stream"))?;
             }
             GradCodecKind::ErrorBounded { .. } => {
                 let comp = self.compressor.as_ref().expect("built with a compressor");
                 comp.decompress_into(payload, &mut scratch.compress, out)
-                    .expect("well-formed gradient stream");
+                    .map_err(|_| ReduceError::Corrupt("malformed error-bounded stream"))?;
             }
             GradCodecKind::TopK { .. } => {
+                if payload.len() < 4 {
+                    return Err(ReduceError::Truncated {
+                        needed: 8,
+                        got: bytes.len(),
+                    });
+                }
                 let k = u32::from_le_bytes(payload[0..4].try_into().expect("k header")) as usize;
+                if k > n {
+                    return Err(ReduceError::Corrupt("top-k keeps more than n elements"));
+                }
+                let needed = 4 + k * 8;
+                if payload.len() != needed {
+                    return Err(if payload.len() < needed {
+                        ReduceError::Truncated {
+                            needed: 4 + needed,
+                            got: bytes.len(),
+                        }
+                    } else {
+                        ReduceError::Corrupt("top-k payload longer than declared")
+                    });
+                }
                 let idx = &payload[4..4 + k * 4];
                 let vals = &payload[4 + k * 4..4 + k * 8];
-                let start = out.len();
+                for ib in idx.chunks_exact(4) {
+                    let i = u32::from_le_bytes(ib.try_into().expect("index")) as usize;
+                    if i >= n {
+                        return Err(ReduceError::Corrupt("top-k index out of range"));
+                    }
+                }
                 out.resize(start + n, 0.0);
                 let dense = &mut out[start..];
                 for (ib, vb) in idx.chunks_exact(4).zip(vals.chunks_exact(4)) {
@@ -219,6 +335,80 @@ impl GradCodec {
                     dense[i] = f32::from_le_bytes(vb.try_into().expect("value"));
                 }
             }
+            GradCodecKind::Lattice { .. } => homomorphic::lattice_decode(payload, n, out)?,
+            GradCodecKind::SumSketch => homomorphic::sketch_decode(payload, n, out)?,
+        }
+        if out.len() - start != n {
+            out.truncate(start);
+            return Err(ReduceError::Corrupt("decoded count disagrees with header"));
+        }
+        Ok(())
+    }
+
+    /// Sum the encoded shard `other` into the encoded accumulator `acc`
+    /// **in the compressed domain** — only the homomorphic kinds support
+    /// this; the rest return [`ReduceError::NotHomomorphic`]. Both streams
+    /// must describe shards of the same length
+    /// ([`ReduceError::ShardMismatch`] otherwise). The accumulated value is
+    /// `acc + other` in that operand order, matching the collective's
+    /// rank-order fold.
+    pub fn combine_into(
+        &self,
+        acc: &mut Vec<u8>,
+        other: &[u8],
+        scratch: &mut GradScratch,
+    ) -> Result<(), ReduceError> {
+        if !self.is_homomorphic() {
+            return Err(ReduceError::NotHomomorphic);
+        }
+        for stream in [&acc[..], other] {
+            if stream.len() < 4 {
+                return Err(ReduceError::Truncated {
+                    needed: 4,
+                    got: stream.len(),
+                });
+            }
+        }
+        let n_acc = u32::from_le_bytes(acc[0..4].try_into().expect("count header")) as usize;
+        let n_other = u32::from_le_bytes(other[0..4].try_into().expect("count header")) as usize;
+        if n_acc != n_other {
+            return Err(ReduceError::ShardMismatch {
+                expected: n_acc,
+                got: n_other,
+            });
+        }
+        if n_acc == 0 {
+            return if acc.len() == 4 && other.len() == 4 {
+                Ok(())
+            } else {
+                Err(ReduceError::Corrupt("payload after empty-shard header"))
+            };
+        }
+        match &self.kind {
+            GradCodecKind::Lattice { .. } => {
+                homomorphic::lattice_combine(&mut acc[4..], &other[4..], n_acc)
+            }
+            GradCodecKind::SumSketch => {
+                // Rebuild [n][payload] through the staging buffer: the
+                // combine may rewrite the payload layout.
+                scratch.sketch_bytes.clear();
+                scratch.sketch_bytes.extend_from_slice(&acc[4..]);
+                homomorphic::sketch_combine(
+                    &mut scratch.sketch_bytes,
+                    &other[4..],
+                    n_acc,
+                    &mut scratch.sketch_dense,
+                    &mut scratch.sketch_merge,
+                )?;
+                acc.truncate(4);
+                // The rewritten payload may be the dense fallback even when
+                // the inputs were sparse; pin the accumulator at the worst
+                // case so steady-state combines never reallocate it.
+                acc.reserve(self.max_encoded_bytes(n_acc).saturating_sub(acc.len()));
+                acc.extend_from_slice(&scratch.sketch_bytes);
+                Ok(())
+            }
+            _ => unreachable!("is_homomorphic gated above"),
         }
     }
 }
@@ -263,7 +453,7 @@ mod tests {
         codec.encode_into(&data, &mut scratch, &mut bytes);
         assert!(bytes.len() <= codec.max_encoded_bytes(data.len()));
         let mut back = Vec::new();
-        codec.decode_into(&bytes, &mut scratch, &mut back);
+        codec.decode_into(&bytes, &mut scratch, &mut back).unwrap();
         assert_eq!(back.len(), data.len());
         for (a, b) in data.iter().zip(back.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -296,7 +486,7 @@ mod tests {
                 codec.max_encoded_bytes(data.len())
             );
             let mut back = Vec::new();
-            codec.decode_into(&bytes, &mut scratch, &mut back);
+            codec.decode_into(&bytes, &mut scratch, &mut back).unwrap();
             assert_eq!(back.len(), data.len(), "{}", kind.label());
             for (a, b) in data.iter().zip(back.iter()) {
                 assert!((a - b).abs() <= tol, "{}: {a} vs {b}", kind.label());
@@ -317,7 +507,7 @@ mod tests {
         // 4 count + 4 k + 3 * 8 bytes of pairs.
         assert_eq!(bytes.len(), 8 + 3 * 8);
         let mut back = Vec::new();
-        codec.decode_into(&bytes, &mut scratch, &mut back);
+        codec.decode_into(&bytes, &mut scratch, &mut back).unwrap();
         assert_eq!(back.len(), 100);
         assert_eq!(back[7], -5.0);
         assert_eq!(back[42], 3.0);
@@ -336,7 +526,7 @@ mod tests {
         codec.encode_into(&data, &mut scratch, &mut b);
         assert_eq!(a, b);
         let mut back = Vec::new();
-        codec.decode_into(&a, &mut scratch, &mut back);
+        codec.decode_into(&a, &mut scratch, &mut back).unwrap();
         // Ties break toward the lowest indices.
         assert_eq!(&back[..3], &[1.0, 1.0, 1.0]);
         assert!(back[3..].iter().all(|&v| v == 0.0));
@@ -359,7 +549,7 @@ mod tests {
             let mut bytes = Vec::new();
             codec.encode_into(&[], &mut scratch, &mut bytes);
             let mut back = Vec::new();
-            codec.decode_into(&bytes, &mut scratch, &mut back);
+            codec.decode_into(&bytes, &mut scratch, &mut back).unwrap();
             assert!(back.is_empty(), "{}", kind.label());
         }
     }

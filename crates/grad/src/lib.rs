@@ -44,13 +44,16 @@
 
 pub mod codec;
 pub mod ef;
+pub mod homomorphic;
 pub mod stats;
 
 pub use codec::{GradCodec, GradCodecKind, GradScratch};
 pub use ef::ErrorFeedback;
-pub use stats::{per_layer_stats, select_grad_codec, GradStats};
+pub use stats::{
+    dense_candidates, nominal_combine_throughput, per_layer_stats, select_grad_codec, GradStats,
+};
 
-use dlrm_comm::ReduceCodec;
+use dlrm_comm::{ReduceCodec, ReduceError};
 
 /// Codec + error feedback + scratch, ready to drive a compressed all-reduce.
 ///
@@ -67,17 +70,31 @@ pub struct GradCompressor {
     scratch: GradScratch,
     /// Decode-back staging for the residual rebuild.
     roundtrip: Vec<f32>,
+    /// When false, a homomorphic codec still encodes/decodes but hides its
+    /// combine capability, forcing the collective onto the classic decode →
+    /// reduce → re-encode path — the comparison arm of the homomorphic
+    /// experiments.
+    allow_combine: bool,
 }
 
 impl GradCompressor {
     /// Build a compressor for `kind`, with or without error feedback.
+    /// Homomorphic kinds advertise their combine capability; use
+    /// [`GradCompressor::set_allow_combine`] to suppress it.
     pub fn new(kind: &GradCodecKind, error_feedback: bool) -> Self {
         Self {
             codec: kind.build(),
             ef: error_feedback.then(ErrorFeedback::new),
             scratch: GradScratch::new(),
             roundtrip: Vec::new(),
+            allow_combine: true,
         }
+    }
+
+    /// Enable or suppress the homomorphic combine capability (no effect on
+    /// non-homomorphic kinds, which never advertise it).
+    pub fn set_allow_combine(&mut self, allow: bool) {
+        self.allow_combine = allow;
     }
 
     /// The codec this compressor runs.
@@ -143,18 +160,40 @@ impl ReduceCodec for GradCompressor {
             } else {
                 self.roundtrip.clear();
                 self.codec
-                    .decode_into(&out[start..], &mut self.scratch, &mut self.roundtrip);
+                    .decode_into(&out[start..], &mut self.scratch, &mut self.roundtrip)
+                    .expect("own freshly encoded stream decodes");
                 ef.record(offset, data, &self.roundtrip);
             }
         }
     }
 
-    fn decode_into(&mut self, _offset: usize, bytes: &[u8], out: &mut Vec<f32>) {
-        self.codec.decode_into(bytes, &mut self.scratch, out);
+    fn decode_into(
+        &mut self,
+        _offset: usize,
+        bytes: &[u8],
+        out: &mut Vec<f32>,
+    ) -> Result<(), ReduceError> {
+        self.codec.decode_into(bytes, &mut self.scratch, out)
     }
 
     fn max_encoded_bytes(&self, len: usize) -> usize {
         self.codec.max_encoded_bytes(len)
+    }
+
+    fn is_homomorphic(&self) -> bool {
+        self.allow_combine && self.codec.is_homomorphic()
+    }
+
+    fn combine(
+        &mut self,
+        _offset: usize,
+        acc: &mut Vec<u8>,
+        other: &[u8],
+    ) -> Result<(), ReduceError> {
+        if !self.is_homomorphic() {
+            return Err(ReduceError::NotHomomorphic);
+        }
+        self.codec.combine_into(acc, other, &mut self.scratch)
     }
 }
 
@@ -172,7 +211,7 @@ mod tests {
         let mut bytes = Vec::new();
         comp.encode_into(0, &grads, &mut bytes);
         let mut back = Vec::new();
-        comp.decode_into(0, &bytes, &mut back);
+        comp.decode_into(0, &bytes, &mut back).unwrap();
         assert_eq!(back.len(), data.len());
         // Residual now holds exactly the fp16 rounding error.
         assert!(comp.residual_norm() > 0.0);
@@ -193,7 +232,7 @@ mod tests {
         comp.encode_into(0, &grads, &mut bytes);
         assert_eq!(comp.residual_norm(), 0.0);
         let mut back = Vec::new();
-        comp.decode_into(0, &bytes, &mut back);
+        comp.decode_into(0, &bytes, &mut back).unwrap();
         for (a, b) in data.iter().zip(back.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }

@@ -10,7 +10,7 @@
 //! paper's per-table compressor selection.
 
 use crate::codec::GradCodecKind;
-use dlrm_adaptive::{estimate_allreduce_speedup, SpeedupInputs};
+use dlrm_adaptive::{estimate_allreduce_speedup_auto, SpeedupInputs};
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of one gradient slice (a layer, or the whole flat
@@ -93,6 +93,22 @@ fn nominal_throughput(kind: &GradCodecKind) -> (f64, f64) {
         GradCodecKind::Fp16 | GradCodecKind::Fp8 => (200e9, 200e9),
         GradCodecKind::ErrorBounded { .. } => (40e9, 100e9),
         GradCodecKind::TopK { .. } => (80e9, 150e9),
+        // Lattice quantization is a cast plus a round; the sketch is a scan
+        // with a branch per element.
+        GradCodecKind::Lattice { .. } => (150e9, 180e9),
+        GradCodecKind::SumSketch => (100e9, 140e9),
+    }
+}
+
+/// Nominal compressed-domain combine throughput (bytes of encoded payload
+/// folded per second) of the homomorphic kinds — `None` for codecs that
+/// cannot combine. Saturating i16 lattice adds stream at near-memcpy speed;
+/// sketch merges branch per entry.
+pub fn nominal_combine_throughput(kind: &GradCodecKind) -> Option<f64> {
+    match kind {
+        GradCodecKind::Lattice { .. } => Some(250e9),
+        GradCodecKind::SumSketch => Some(120e9),
+        _ => None,
     }
 }
 
@@ -109,6 +125,14 @@ fn expected_ratio(kind: &GradCodecKind, stats: &GradStats) -> f64 {
         GradCodecKind::ErrorBounded { .. } => 4.0 + 8.0 * stats.near_zero_fraction,
         // k values at 8 bytes each replace n values at 4.
         GradCodecKind::TopK { fraction } => 1.0 / (2.0 * *fraction as f64).min(1.0),
+        // i16 codes halve the f32 stream regardless of content.
+        GradCodecKind::Lattice { .. } => 2.0,
+        // Sparse pairs pay 8 bytes per surviving element, with the dense
+        // fallback capping the downside just below ratio 1.
+        GradCodecKind::SumSketch => {
+            let density = (1.0 - stats.near_zero_fraction).max(1.0 / 128.0);
+            (1.0 / (2.0 * density)).max(0.99)
+        }
     }
 }
 
@@ -117,17 +141,18 @@ fn expected_ratio(kind: &GradCodecKind, stats: &GradStats) -> f64 {
 /// paper's Algorithm-2 table selection, ranked by
 /// [`dlrm_adaptive::estimate_allreduce_speedup`].
 ///
-/// Candidates: fp16 and fp8 casts always; top-k (keeping roughly the
-/// non-near-zero fraction, floored at 5%) when the gradients are at least
-/// half near-zero. Falls back to [`GradCodecKind::Identity`] when no
+/// Candidates: fp16 and fp8 casts plus the homomorphic lattice (at a
+/// gradient-scaled error bound) and sum sketch always; top-k (keeping
+/// roughly the non-near-zero fraction, floored at 5%) when the gradients
+/// are at least half near-zero. Homomorphic candidates are ranked with the
+/// combine-aware Equation-2 variant
+/// ([`dlrm_adaptive::estimate_homomorphic_allreduce_speedup`]), so they win
+/// exactly when the eliminated owner-shard re-encode cycles beat their
+/// ratio penalty. Falls back to [`GradCodecKind::Identity`] when no
 /// candidate is estimated to beat the uncompressed exchange.
 pub fn select_grad_codec(stats: &GradStats, bandwidth: f64, world: usize) -> GradCodecKind {
-    let mut candidates = vec![GradCodecKind::Fp16, GradCodecKind::Fp8];
-    if stats.near_zero_fraction >= 0.5 {
-        let fraction = ((1.0 - stats.near_zero_fraction) as f32).max(0.05);
-        candidates.push(GradCodecKind::TopK { fraction });
-    }
     let mut best = GradCodecKind::Identity;
+    let candidates = candidate_kinds(stats);
     let mut best_speedup = 1.0f64;
     for kind in candidates {
         let (tc, td) = nominal_throughput(&kind);
@@ -137,13 +162,56 @@ pub fn select_grad_codec(stats: &GradStats, bandwidth: f64, world: usize) -> Gra
             decompress_throughput: td,
             bandwidth,
         };
-        let s = estimate_allreduce_speedup(inputs, world);
+        let s = estimate_allreduce_speedup_auto(inputs, nominal_combine_throughput(&kind), world);
         if s > best_speedup {
             best_speedup = s;
             best = kind;
         }
     }
     best
+}
+
+/// The candidate pool [`select_grad_codec`] ranks: fp16 and fp8 casts plus
+/// the homomorphic lattice (at a gradient-scaled error bound — ~0.1% of
+/// max |v| keeps quantization noise well under SGD noise while the i16
+/// range comfortably covers the world-size sum) and the sum sketch always;
+/// top-k when the gradients are at least half near-zero.
+fn candidate_kinds(stats: &GradStats) -> Vec<GradCodecKind> {
+    let lattice_eb = (stats.max_abs * 1e-3).max(1e-12);
+    let mut candidates = vec![
+        GradCodecKind::Fp16,
+        GradCodecKind::Fp8,
+        GradCodecKind::Lattice {
+            error_bound: lattice_eb,
+        },
+        GradCodecKind::SumSketch,
+    ];
+    if stats.near_zero_fraction >= 0.5 {
+        let fraction = ((1.0 - stats.near_zero_fraction) as f32).max(0.05);
+        candidates.push(GradCodecKind::TopK { fraction });
+    }
+    candidates
+}
+
+/// The same candidate pool as [`select_grad_codec`], shaped for the runtime
+/// controller's [`dlrm_adaptive::advise_dense_allreduce`]: one labeled
+/// [`dlrm_adaptive::DenseCandidate`] per kind, carrying the expected ratio,
+/// the nominal codec throughputs and — for the homomorphic kinds — the
+/// combine throughput that triggers the combine-aware Equation-2 variant.
+pub fn dense_candidates(stats: &GradStats) -> Vec<dlrm_adaptive::DenseCandidate> {
+    candidate_kinds(stats)
+        .into_iter()
+        .map(|kind| {
+            let (tc, td) = nominal_throughput(&kind);
+            dlrm_adaptive::DenseCandidate {
+                label: kind.label(),
+                ratio: expected_ratio(&kind, stats),
+                compress_throughput: tc,
+                decompress_throughput: td,
+                combine_throughput: nominal_combine_throughput(&kind),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -179,26 +247,65 @@ mod tests {
     }
 
     #[test]
-    fn selection_prefers_top_k_for_sparse_gradients() {
+    fn selection_exploits_sparsity_and_density() {
+        // Near-all-zero gradients: a sparsity codec must win — and with the
+        // lossless sum sketch in the pool (ratio ~ 1/(2·density), plus the
+        // homomorphic combine bonus) it outranks top-k's floored fraction.
         let mut sparse = vec![0.0f32; 1000];
         sparse[3] = 1.0;
         sparse[700] = -2.0;
         let stats = GradStats::from_slice(&sparse);
         let kind = select_grad_codec(&stats, 8e9, 8);
         assert!(
-            matches!(kind, GradCodecKind::TopK { .. }),
-            "sparse gradients should pick top-k, got {}",
+            matches!(kind, GradCodecKind::TopK { .. } | GradCodecKind::SumSketch),
+            "sparse gradients should pick a sparsity codec, got {}",
             kind.label()
         );
 
+        // Dense gradients: a fixed-ratio-2 codec; the homomorphic lattice
+        // edges out the fp16 cast by skipping the owner-shard re-encode.
         let dense: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin()).collect();
         let stats = GradStats::from_slice(&dense);
         let kind = select_grad_codec(&stats, 8e9, 8);
         assert!(
-            matches!(kind, GradCodecKind::Fp16 | GradCodecKind::Fp8),
-            "dense gradients should pick a cast, got {}",
+            matches!(
+                kind,
+                GradCodecKind::Fp16 | GradCodecKind::Fp8 | GradCodecKind::Lattice { .. }
+            ),
+            "dense gradients should pick a ratio-2-class codec, got {}",
             kind.label()
         );
+    }
+
+    #[test]
+    fn selection_ranks_homomorphic_kinds_with_the_combine_term() {
+        // The lattice and the fp16 cast share ratio 2, and the lattice's
+        // encode/decode throughputs are *lower* — yet the combine-aware
+        // estimate ranks it above fp16, because one full decode pass
+        // disappears and the saturating-add combine is nearly free. The
+        // selection pool ranks exactly these numbers.
+        let dense: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let stats = GradStats::from_slice(&dense);
+        let score = |kind: &GradCodecKind| {
+            let (tc, td) = nominal_throughput(kind);
+            estimate_allreduce_speedup_auto(
+                SpeedupInputs {
+                    ratio: expected_ratio(kind, &stats),
+                    compress_throughput: tc,
+                    decompress_throughput: td,
+                    bandwidth: 8e9,
+                },
+                nominal_combine_throughput(kind),
+                8,
+            )
+        };
+        let lattice = GradCodecKind::Lattice { error_bound: 1e-3 };
+        assert!(
+            score(&lattice) > score(&GradCodecKind::Fp16),
+            "combine-aware ranking must put the lattice above the equal-ratio cast"
+        );
+        assert!(nominal_combine_throughput(&lattice).is_some());
+        assert!(nominal_combine_throughput(&GradCodecKind::Fp16).is_none());
     }
 
     #[test]

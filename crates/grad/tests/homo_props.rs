@@ -1,0 +1,335 @@
+//! Algebraic property suite of the homomorphic gradient codecs: combining
+//! two encoded shards decodes to their elementwise sum within the codec's
+//! bound (bit-exactly for the lossless sum sketch), the combine is
+//! commutative (and associative for the integer lattice), a compressed-domain
+//! chain reproduces the rank-order raw sum, the homomorphic all-reduce is
+//! bit-for-bit the classic decode → reduce → re-encode schedule for the
+//! lossless codec, and every `ReduceCodec` instance survives truncated and
+//! corrupted payloads with an `Err` instead of a panic.
+
+use dlrm_comm::{NetworkConfig, ReduceError, ReduceScratch, SimCluster};
+use dlrm_compress::CompressorKind;
+use dlrm_grad::{GradCodecKind, GradCompressor, GradScratch};
+use proptest::prelude::*;
+
+const LATTICE_EB: f32 = 1e-3;
+
+fn lattice() -> GradCodecKind {
+    GradCodecKind::Lattice {
+        error_bound: LATTICE_EB,
+    }
+}
+
+/// The combine-capable kinds.
+fn homomorphic_kinds() -> Vec<GradCodecKind> {
+    vec![lattice(), GradCodecKind::SumSketch]
+}
+
+/// Every dense-gradient codec kind, for the robustness sweep.
+fn all_kinds() -> Vec<GradCodecKind> {
+    vec![
+        GradCodecKind::Identity,
+        GradCodecKind::Fp16,
+        GradCodecKind::Fp8,
+        GradCodecKind::ErrorBounded {
+            compressor: CompressorKind::SzLike,
+            error_bound: 1e-3,
+        },
+        GradCodecKind::TopK { fraction: 0.25 },
+        lattice(),
+        GradCodecKind::SumSketch,
+    ]
+}
+
+/// Encode a whole vector as one shard through the kind's codec.
+fn encode(kind: &GradCodecKind, data: &[f32], scratch: &mut GradScratch) -> Vec<u8> {
+    let codec = kind.build();
+    let mut out = Vec::new();
+    codec.encode_into(data, scratch, &mut out);
+    out
+}
+
+fn decode(kind: &GradCodecKind, bytes: &[u8], scratch: &mut GradScratch) -> Vec<f32> {
+    let codec = kind.build();
+    let mut out = Vec::new();
+    codec
+        .decode_into(bytes, scratch, &mut out)
+        .expect("valid stream decodes");
+    out
+}
+
+fn combine(
+    kind: &GradCodecKind,
+    acc: &mut Vec<u8>,
+    other: &[u8],
+    scratch: &mut GradScratch,
+) -> Result<(), ReduceError> {
+    kind.build().combine_into(acc, other, scratch)
+}
+
+/// The sum sketch canonicalizes `-0.0` to `+0.0` at encode, so its exact
+/// reference is the sum of canonicalized inputs.
+fn canon(v: f32) -> f32 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn combine_decodes_to_the_elementwise_sum(
+        pairs in prop::collection::vec((-8.0f32..8.0, -8.0f32..8.0), 0..160),
+    ) {
+        let a: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let mut scratch = GradScratch::new();
+        for kind in homomorphic_kinds() {
+            let mut acc = encode(&kind, &a, &mut scratch);
+            let other = encode(&kind, &b, &mut scratch);
+            combine(&kind, &mut acc, &other, &mut scratch).expect("well-formed shards combine");
+            let sum = decode(&kind, &acc, &mut scratch);
+            prop_assert_eq!(sum.len(), a.len());
+            for (i, s) in sum.iter().enumerate() {
+                match kind {
+                    // Each input is quantized within the bound, and the
+                    // integer-domain addition is exact.
+                    GradCodecKind::Lattice { .. } => prop_assert!(
+                        (s - (a[i] + b[i])).abs() <= 2.0 * LATTICE_EB + 1e-6,
+                        "lattice element {i}: {} vs {}", s, a[i] + b[i]
+                    ),
+                    // The sketch is lossless: bit-for-bit the f32 sum of the
+                    // canonicalized inputs.
+                    _ => prop_assert_eq!(
+                        s.to_bits(),
+                        (canon(a[i]) + canon(b[i])).to_bits(),
+                        "sketch element {i}: {} vs {}", s, a[i] + b[i]
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combine_is_commutative(
+        pairs in prop::collection::vec((-8.0f32..8.0, -8.0f32..8.0), 0..120),
+    ) {
+        let a: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let mut scratch = GradScratch::new();
+        for kind in homomorphic_kinds() {
+            let ea = encode(&kind, &a, &mut scratch);
+            let eb = encode(&kind, &b, &mut scratch);
+            let mut ab = ea.clone();
+            combine(&kind, &mut ab, &eb, &mut scratch).expect("a ⊕ b");
+            let mut ba = eb;
+            combine(&kind, &mut ba, &ea, &mut scratch).expect("b ⊕ a");
+            // Integer addition commutes exactly; IEEE f32 addition commutes
+            // bitwise too, and the sketch's representation choice (sparse vs
+            // dense) depends only on the union — the combined *streams* are
+            // identical, not just the decoded values.
+            prop_assert_eq!(&ab, &ba, "{} combine is not commutative", kind.label());
+        }
+    }
+
+    #[test]
+    fn lattice_combine_is_associative(
+        triples in prop::collection::vec((-8.0f32..8.0, -8.0f32..8.0, -8.0f32..8.0), 0..120),
+    ) {
+        // Integer-lattice addition is associative as long as no partial sum
+        // saturates the i16 range — guaranteed here (|v| < 8, eb 1e-3 ⇒
+        // |q| ≤ 4000, three contributors ≤ 12000 < 32767).
+        let a: Vec<f32> = triples.iter().map(|p| p.0).collect();
+        let b: Vec<f32> = triples.iter().map(|p| p.1).collect();
+        let c: Vec<f32> = triples.iter().map(|p| p.2).collect();
+        let kind = lattice();
+        let mut scratch = GradScratch::new();
+        let ea = encode(&kind, &a, &mut scratch);
+        let eb = encode(&kind, &b, &mut scratch);
+        let ec = encode(&kind, &c, &mut scratch);
+        // (a ⊕ b) ⊕ c
+        let mut left = ea.clone();
+        combine(&kind, &mut left, &eb, &mut scratch).expect("a ⊕ b");
+        combine(&kind, &mut left, &ec, &mut scratch).expect("(a ⊕ b) ⊕ c");
+        // a ⊕ (b ⊕ c)
+        let mut bc = eb;
+        combine(&kind, &mut bc, &ec, &mut scratch).expect("b ⊕ c");
+        let mut right = ea;
+        combine(&kind, &mut right, &bc, &mut scratch).expect("a ⊕ (b ⊕ c)");
+        prop_assert_eq!(&left, &right);
+    }
+
+    #[test]
+    fn lossless_chain_matches_the_rank_order_raw_sum(
+        values in prop::collection::vec(-8.0f32..8.0, 1..100),
+        contributors in 2usize..6,
+    ) {
+        // Folding encoded contributions left to right must reproduce the
+        // raw rank-order sum bit for bit — the invariant that lets the
+        // collective swap decode → reduce → re-encode for combine without
+        // moving a single bit.
+        let kind = GradCodecKind::SumSketch;
+        let mut scratch = GradScratch::new();
+        let len = values.len();
+        let contribution = |r: usize| -> Vec<f32> {
+            (0..len).map(|i| canon(values[(i + r) % len])).collect()
+        };
+        let mut acc = encode(&kind, &contribution(0), &mut scratch);
+        let mut reference = contribution(0);
+        for r in 1..contributors {
+            let c = contribution(r);
+            let enc = encode(&kind, &c, &mut scratch);
+            combine(&kind, &mut acc, &enc, &mut scratch).expect("chain combine");
+            for (a, v) in reference.iter_mut().zip(c.iter()) {
+                *a += v;
+            }
+        }
+        let decoded = decode(&kind, &acc, &mut scratch);
+        for (i, (d, r)) in decoded.iter().zip(reference.iter()).enumerate() {
+            prop_assert_eq!(d.to_bits(), r.to_bits(), "element {}: {} vs {}", i, d, r);
+        }
+    }
+
+    #[test]
+    fn homomorphic_all_reduce_matches_classic_bit_for_bit_for_the_lossless_codec(
+        world in 1usize..5,
+        values in prop::collection::vec(-8.0f32..8.0, 0..120),
+    ) {
+        // Same codec, same schedule, owner fold in the compressed domain vs
+        // decode → reduce → re-encode: for the lossless sketch the two paths
+        // must agree bit for bit — and with the plain rank-order sum.
+        let len = values.len();
+        let values = std::sync::Arc::new(values);
+        let cluster = SimCluster::new(world, NetworkConfig::infinite());
+        let vals = std::sync::Arc::clone(&values);
+        let results = cluster.run(move |ctx| {
+            let contribution: Vec<f32> = (0..len)
+                .map(|i| canon(vals[(i + ctx.rank()) % len.max(1)]))
+                .collect();
+            let mut plain = contribution.clone();
+            ctx.all_reduce_sum(&mut plain);
+            let mut homo = contribution.clone();
+            let mut codec = GradCompressor::new(&GradCodecKind::SumSketch, false);
+            let mut scratch = ReduceScratch::new();
+            let homo_stats = ctx.all_reduce_compressed(&mut homo, &mut codec, &mut scratch);
+            let mut classic = contribution;
+            let mut codec = GradCompressor::new(&GradCodecKind::SumSketch, false);
+            codec.set_allow_combine(false);
+            let mut scratch = ReduceScratch::new();
+            let classic_stats =
+                ctx.all_reduce_compressed(&mut classic, &mut codec, &mut scratch);
+            (plain, homo, classic, homo_stats, classic_stats)
+        });
+        for (rank, (plain, homo, classic, homo_stats, classic_stats)) in
+            results.iter().enumerate()
+        {
+            for ((a, b), c) in plain.iter().zip(homo.iter()).zip(classic.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "rank {}: homo diverged", rank);
+                prop_assert_eq!(a.to_bits(), c.to_bits(), "rank {}: classic diverged", rank);
+            }
+            if world > 1 && !homo.is_empty() {
+                prop_assert!(homo_stats.combines > 0, "rank {}: no combines", rank);
+            }
+            prop_assert_eq!(classic_stats.combines, 0, "rank {}: classic combined", rank);
+        }
+    }
+
+    #[test]
+    fn lattice_all_reduce_stays_within_the_bound(
+        world in 2usize..5,
+        values in prop::collection::vec(-4.0f32..4.0, 1..100),
+    ) {
+        // The homomorphic lattice quantizes every contribution once (the
+        // classic path quantizes world − 1 plus the reduced shard), so the
+        // end-to-end error is bounded by one bound per contributor.
+        let len = values.len();
+        let values = std::sync::Arc::new(values);
+        let cluster = SimCluster::new(world, NetworkConfig::infinite());
+        let vals = std::sync::Arc::clone(&values);
+        let results = cluster.run(move |ctx| {
+            let contribution: Vec<f32> =
+                (0..len).map(|i| vals[(i + ctx.rank()) % len]).collect();
+            let mut plain = contribution.clone();
+            ctx.all_reduce_sum(&mut plain);
+            let mut homo = contribution;
+            let mut codec = GradCompressor::new(&lattice(), false);
+            let mut scratch = ReduceScratch::new();
+            ctx.all_reduce_compressed(&mut homo, &mut codec, &mut scratch);
+            (plain, homo)
+        });
+        let reference = &results[0].1;
+        for (rank, (plain, homo)) in results.iter().enumerate() {
+            for (i, (p, h)) in plain.iter().zip(homo.iter()).enumerate() {
+                prop_assert!(
+                    (p - h).abs() <= (world as f32 + 1.0) * LATTICE_EB,
+                    "rank {} element {}: {} vs {}", rank, i, p, h
+                );
+            }
+            // Lossy, but still SPMD-consistent: every rank decodes the same
+            // combined stream to the same bits.
+            for (a, b) in homo.iter().zip(reference.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "rank {} diverged", rank);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupted_payloads_decode_to_err_not_panic(
+        values in prop::collection::vec(-8.0f32..8.0, 1..64),
+        flip_pos in any::<u16>(),
+        flip_bits in any::<u8>(),
+    ) {
+        let mut scratch = GradScratch::new();
+        for kind in all_kinds() {
+            let codec = kind.build();
+            let encoded = encode(&kind, &values, &mut scratch);
+            // Every strict prefix must fail loudly-but-cleanly.
+            for cut in 0..encoded.len() {
+                let mut out = Vec::new();
+                prop_assert!(
+                    codec.decode_into(&encoded[..cut], &mut scratch, &mut out).is_err(),
+                    "{}: truncation to {} of {} decoded",
+                    kind.label(), cut, encoded.len()
+                );
+            }
+            // A single flipped byte must never panic: either the corruption
+            // is detected (Err) or the stream still parses to *some* value.
+            let mut corrupt = encoded.clone();
+            let pos = flip_pos as usize % corrupt.len();
+            corrupt[pos] ^= flip_bits | 1;
+            let mut out = Vec::new();
+            let _ = codec.decode_into(&corrupt, &mut scratch, &mut out);
+        }
+    }
+
+    #[test]
+    fn combine_on_mismatched_shards_is_a_checked_error(
+        a in prop::collection::vec(-8.0f32..8.0, 1..64),
+        b in prop::collection::vec(-8.0f32..8.0, 65..96),
+    ) {
+        let mut scratch = GradScratch::new();
+        for kind in homomorphic_kinds() {
+            let mut acc = encode(&kind, &a, &mut scratch);
+            let other = encode(&kind, &b, &mut scratch);
+            match combine(&kind, &mut acc, &other, &mut scratch) {
+                Err(ReduceError::ShardMismatch { expected, got }) => {
+                    prop_assert_eq!(expected, a.len());
+                    prop_assert_eq!(got, b.len());
+                }
+                other => prop_assert!(false, "{}: expected ShardMismatch, got {:?}",
+                    kind.label(), other),
+            }
+        }
+        // Non-homomorphic kinds refuse outright.
+        let kind = GradCodecKind::Fp16;
+        let mut acc = encode(&kind, &a, &mut scratch);
+        let other = encode(&kind, &a, &mut scratch);
+        prop_assert_eq!(
+            combine(&kind, &mut acc, &other, &mut scratch),
+            Err(ReduceError::NotHomomorphic)
+        );
+    }
+}

@@ -97,6 +97,19 @@ pub enum DenseCompression {
         /// Maintain an error-feedback residual accumulator.
         error_feedback: bool,
     },
+    /// Compressed all-reduce hops through a **homomorphic** codec, with the
+    /// compressed-domain combine enabled: owner shards fold encoded
+    /// contributions (`ReduceCodec::combine`) instead of decode → reduce →
+    /// re-encode, charging combine cycles to the `homomorphic combine`
+    /// phase. The codec must advertise the capability
+    /// ([`GradCodecKind::is_homomorphic`]); the same codec under
+    /// `Compressed` runs the classic owner-shard path — the comparison arm.
+    Homomorphic {
+        /// Homomorphic codec applied to every shard on the wire.
+        codec: GradCodecKind,
+        /// Maintain an error-feedback residual accumulator.
+        error_feedback: bool,
+    },
 }
 
 impl DenseCompression {
@@ -134,9 +147,60 @@ impl DenseCompression {
         }
     }
 
+    /// The THC-style lattice quantizer with the compressed-domain combine
+    /// enabled (no error feedback; the bound is absolute and point-wise).
+    pub fn lattice(error_bound: f32) -> Self {
+        DenseCompression::Homomorphic {
+            codec: GradCodecKind::Lattice { error_bound },
+            error_feedback: false,
+        }
+    }
+
+    /// The lattice quantizer, combine enabled, with error feedback.
+    pub fn lattice_ef(error_bound: f32) -> Self {
+        DenseCompression::Homomorphic {
+            codec: GradCodecKind::Lattice { error_bound },
+            error_feedback: true,
+        }
+    }
+
+    /// The lattice quantizer through the **classic** owner-shard path
+    /// (decode → reduce → re-encode) — the equal-error-bound comparison arm
+    /// of the homomorphic experiments.
+    pub fn lattice_classic(error_bound: f32) -> Self {
+        DenseCompression::Compressed {
+            codec: GradCodecKind::Lattice { error_bound },
+            error_feedback: false,
+        }
+    }
+
+    /// The lossless index–sum sketch with the compressed-domain combine
+    /// enabled — exact recovery on the dense path, no error feedback
+    /// needed.
+    pub fn sum_sketch() -> Self {
+        DenseCompression::Homomorphic {
+            codec: GradCodecKind::SumSketch,
+            error_feedback: false,
+        }
+    }
+
     /// True if Stage 8 runs the compressed collective.
     pub fn is_compressed(&self) -> bool {
         !matches!(self, DenseCompression::Off)
+    }
+
+    /// True if Stage 8 folds encoded shards in the compressed domain.
+    pub fn is_homomorphic(&self) -> bool {
+        matches!(self, DenseCompression::Homomorphic { .. })
+    }
+
+    /// The configured codec kind, if any.
+    pub fn codec(&self) -> Option<&GradCodecKind> {
+        match self {
+            DenseCompression::Off => None,
+            DenseCompression::Compressed { codec, .. }
+            | DenseCompression::Homomorphic { codec, .. } => Some(codec),
+        }
     }
 
     /// Short label used in reports.
@@ -149,6 +213,13 @@ impl DenseCompression {
             } => {
                 let ef = if *error_feedback { "+ef" } else { "" };
                 format!("dense-{}{}", codec.label(), ef)
+            }
+            DenseCompression::Homomorphic {
+                codec,
+                error_feedback,
+            } => {
+                let ef = if *error_feedback { "+ef" } else { "" };
+                format!("dense-homo-{}{}", codec.label(), ef)
             }
         }
     }
@@ -755,17 +826,24 @@ impl TrainerConfig {
                 }
             }
         }
-        if let DenseCompression::Compressed { codec, .. } = &self.dense_compression {
+        if let Some(codec) = self.dense_compression.codec() {
             match codec {
                 GradCodecKind::TopK { fraction } if !(*fraction > 0.0 && *fraction <= 1.0) => {
                     return Err("top-k fraction must be in (0, 1]".into());
                 }
                 GradCodecKind::ErrorBounded { error_bound, .. }
+                | GradCodecKind::Lattice { error_bound }
                     if !(*error_bound > 0.0 && error_bound.is_finite()) =>
                 {
                     return Err("dense error bound must be positive".into());
                 }
                 _ => {}
+            }
+            if self.dense_compression.is_homomorphic() && !codec.is_homomorphic() {
+                return Err(format!(
+                    "dense codec {} does not support the homomorphic combine",
+                    codec.label()
+                ));
             }
         }
         Ok(())
@@ -839,12 +917,21 @@ mod tests {
             DenseCompression::fp16_ef(),
             DenseCompression::top_k_ef(0.1),
             DenseCompression::identity(),
+            DenseCompression::lattice(1e-3),
+            DenseCompression::lattice_ef(1e-3),
+            DenseCompression::lattice_classic(1e-3),
+            DenseCompression::sum_sketch(),
         ]
         .iter()
         .map(DenseCompression::label)
         .collect();
         let unique: std::collections::HashSet<&String> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());
+
+        assert!(DenseCompression::lattice(1e-3).is_homomorphic());
+        assert!(DenseCompression::sum_sketch().is_homomorphic());
+        assert!(!DenseCompression::lattice_classic(1e-3).is_homomorphic());
+        assert!(!DenseCompression::Off.is_homomorphic());
 
         let good = TrainerConfig::small_test(CompressionSetting::None)
             .with_dense_compression(DenseCompression::top_k_ef(0.25));
@@ -862,6 +949,21 @@ mod tests {
             },
         );
         assert!(bad_eb.validate().is_err());
+        // A negative lattice bound and a non-homomorphic codec under the
+        // Homomorphic setting are both rejected.
+        let bad_lattice = TrainerConfig::small_test(CompressionSetting::None)
+            .with_dense_compression(DenseCompression::lattice(-1.0));
+        assert!(bad_lattice.validate().is_err());
+        let not_homo = TrainerConfig::small_test(CompressionSetting::None).with_dense_compression(
+            DenseCompression::Homomorphic {
+                codec: dlrm_grad::GradCodecKind::Fp16,
+                error_feedback: false,
+            },
+        );
+        assert!(not_homo.validate().is_err());
+        let good_homo = TrainerConfig::small_test(CompressionSetting::None)
+            .with_dense_compression(DenseCompression::sum_sketch());
+        assert!(good_homo.validate().is_ok());
     }
 
     #[test]

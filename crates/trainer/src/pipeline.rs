@@ -14,7 +14,7 @@ use crate::partition::TablePartition;
 use dlrm_adaptive::controller::{
     ControllerConfig, Reselection, RuntimeController, TableObservation, WindowObservation,
 };
-use dlrm_adaptive::{CodecProfile, EbSchedule};
+use dlrm_adaptive::{advise_dense_allreduce, CodecProfile, DenseAdvice, EbSchedule};
 use dlrm_ckpt::{Checkpoint, CheckpointSpec, CkptCodec, RankCheckpoint};
 use dlrm_comm::cluster::{
     RankCtx, CHUNK_HEADER_BYTES, HIER_ENTRY_HEADER_BYTES, METADATA_RECORD_BYTES,
@@ -604,6 +604,23 @@ pub struct RankOutcome {
     pub dense_saved_seconds: f64,
     /// Final L2 norm of the error-feedback residual (0 without EF).
     pub dense_residual_norm: f64,
+    /// Compressed-domain combines this rank's owner shards performed across
+    /// the segment (zero on the classic decode → reduce → re-encode path).
+    pub homo_combines: u64,
+    /// Virtual seconds charged to [`phases::COMBINE`] for those combines
+    /// (zero without a device-throughput override).
+    pub homo_combine_seconds: f64,
+    /// Virtual codec seconds the homomorphic path saved vs the classic
+    /// counterpart of the same schedule — the eliminated owner-shard decodes
+    /// and re-encodes, minus the combine charge (zero without a
+    /// device-throughput override; can go negative if combining were slower
+    /// than the decodes it replaces).
+    pub homo_saved_seconds: f64,
+    /// Combine-aware Equation-2 advice over the dense candidate pool,
+    /// evaluated on the last post-all-reduce gradient (`None` when the
+    /// segment ran no iterations; identical on every rank — asserted by the
+    /// report merger).
+    pub dense_advice: Option<DenseAdvice>,
     /// `(intra, inter)` tier bytes this rank moved (both directions, all
     /// network phases) under a hierarchical topology; zeros when flat.
     pub tier_bytes: (u64, u64),
@@ -1503,10 +1520,23 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         DenseCompression::Compressed {
             codec,
             error_feedback,
+        } => {
+            // The classic comparison arm: combine suppressed even for kinds
+            // that could, so owner shards always decode → reduce → re-encode.
+            let mut state = GradCompressor::new(codec, *error_feedback);
+            state.set_allow_combine(false);
+            Some(state)
+        }
+        DenseCompression::Homomorphic {
+            codec,
+            error_feedback,
         } => Some(GradCompressor::new(codec, *error_feedback)),
     };
     let mut dense_traffic = (0u64, 0u64);
     let mut dense_saved_seconds = 0.0f64;
+    let mut homo_combines = 0u64;
+    let mut homo_combine_seconds = 0.0f64;
+    let mut homo_saved_seconds = 0.0f64;
     // Capacity mark of the dense state (codec scratch + residual +
     // reduce staging), so its warm-up growth is charged to the ALLREDUCE
     // phase and steady-state growth would break the zero-allocation test.
@@ -2813,12 +2843,26 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                         None,
                     ),
                     Some((topo, _)) => {
-                        let tiered_stats = ctx.all_reduce_compressed_tiered(
-                            &mut scratch.flat_grads,
-                            state,
-                            &mut scratch.dense_reduce,
-                            topo,
-                        );
+                        // A combine-capable codec takes the leader-combined
+                        // hierarchical schedule: members bundle encoded
+                        // shards to their node leader, which folds them in
+                        // the compressed domain and sends one aggregate per
+                        // node pair over the inter tier.
+                        let tiered_stats = if ReduceCodec::is_homomorphic(state) {
+                            ctx.all_reduce_homomorphic_hier(
+                                &mut scratch.flat_grads,
+                                state,
+                                &mut scratch.dense_reduce,
+                                topo,
+                            )
+                        } else {
+                            ctx.all_reduce_compressed_tiered(
+                                &mut scratch.flat_grads,
+                                state,
+                                &mut scratch.dense_reduce,
+                                topo,
+                            )
+                        };
                         (
                             tiered_stats.stats,
                             Some((tiered_stats.intra, tiered_stats.inter)),
@@ -2836,24 +2880,45 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
                     }
                     _ => cost.allreduce_wire_time(stats.wire.sent, stats.wire.received, world),
                 };
-                // Codec time: charged analytically under a device-throughput
-                // override (the same convention the a2a codecs use for the
-                // breakdown experiments); without one the codec is treated
-                // as hidden behind the reduction arithmetic. The charge
-                // follows the work actually performed — every element is
-                // *encoded* exactly once per rank (the peer shards in the
-                // reduce-scatter plus the reduced own shard once, however
-                // many peers its copy then fans out to), and decodes cover
-                // the received contributions plus the own-shard round-trip —
-                // matching `estimate_allreduce_speedup`'s V/Tc + ~2V/Td
-                // model so selection and charging agree.
+                // Codec time: charged under a device-throughput override
+                // (the same convention the a2a codecs use for the breakdown
+                // experiments); without one the codec is treated as hidden
+                // behind the reduction arithmetic. The charge follows the
+                // work the collective actually performed — the stats carry
+                // the raw f32 bytes pushed through encode and decode, so the
+                // classic schedule charges V/Tc + ((P−1)·own + V)/Td exactly
+                // as `estimate_allreduce_speedup` models it, while the
+                // homomorphic schedule's eliminated owner-shard decodes
+                // vanish from the bill and a compressed-domain combine term
+                // (encoded bytes folded, at the codec's nominal combine
+                // throughput) appears in its place under
+                // [`phases::COMBINE`].
+                let mut combine_seconds = 0.0f64;
                 if let Some((tc, td)) = trainer.device_throughput {
-                    let encoded = (scratch.flat_grads.len() * 4) as f64;
-                    let own_shard = shard_range(scratch.flat_grads.len(), world, rank).len() * 4;
-                    let decoded = (stats.raw.received + own_shard) as f64;
-                    ar_time += encoded / tc + decoded / td;
+                    ar_time += stats.encoded_bytes as f64 / tc + stats.decoded_bytes as f64 / td;
+                    if stats.combines > 0 {
+                        let tm = dlrm_grad::stats::nominal_combine_throughput(state.codec().kind())
+                            .unwrap_or(td);
+                        combine_seconds = stats.combined_bytes as f64 / tm;
+                        // What the classic counterpart of this schedule
+                        // would have charged: every element encoded once
+                        // (V), plus P−1 own-shard contribution decodes, the
+                        // own-shard round-trip and the gathered shards
+                        // ((P−1)·own + V).
+                        let volume = (scratch.flat_grads.len() * 4) as f64;
+                        let own_shard =
+                            (shard_range(scratch.flat_grads.len(), world, rank).len() * 4) as f64;
+                        let classic_decoded = (world as f64 - 1.0) * own_shard + volume;
+                        homo_saved_seconds += (volume - stats.encoded_bytes as f64) / tc
+                            + (classic_decoded - stats.decoded_bytes as f64) / td
+                            - combine_seconds;
+                        homo_combine_seconds += combine_seconds;
+                        ledger.add_time(phases::COMBINE, combine_seconds);
+                        ledger.add_bytes(phases::COMBINE, stats.combined_bytes as u64);
+                    }
                 }
-                dense_saved_seconds += (raw_time - ar_time).max(0.0);
+                homo_combines += stats.combines as u64;
+                dense_saved_seconds += (raw_time - ar_time - combine_seconds).max(0.0);
                 dense_traffic.0 += (stats.raw.sent + stats.raw.received) as u64;
                 dense_traffic.1 += (stats.wire.sent + stats.wire.received) as u64;
                 ledger.add_time(phases::ALLREDUCE, ar_time);
@@ -3059,6 +3124,20 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         None => (None, None),
         Some(o) => (Some(RankTrack::from(o.rec)), Some(o.metrics)),
     };
+    // Combine-aware Equation-2 advice on the last post-all-reduce gradient:
+    // every rank holds the identical vector (the all-gather distributed the
+    // same reduced shards), so the advice is deterministic across ranks.
+    let dense_advice = if scratch.flat_grads.is_empty() {
+        None
+    } else {
+        let gstats = dlrm_grad::GradStats::from_slice(&scratch.flat_grads);
+        advise_dense_allreduce(
+            &dlrm_grad::dense_candidates(&gstats),
+            base_cost.config().allreduce_bandwidth,
+            world,
+        )
+    };
+
     RankOutcome {
         rank,
         per_iteration,
@@ -3070,6 +3149,10 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         dense_traffic,
         dense_saved_seconds,
         dense_residual_norm: dense.as_ref().map_or(0.0, GradCompressor::residual_norm),
+        homo_combines,
+        homo_combine_seconds,
+        homo_saved_seconds,
+        dense_advice,
         tier_bytes,
         tier_seconds,
         reselections: controller

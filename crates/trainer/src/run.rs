@@ -4,7 +4,7 @@
 use crate::config::{OverlapSetting, TrainerConfig};
 use crate::partition::TablePartition;
 use crate::pipeline::{self, RankOutcome, RankSetup, SegmentSpec};
-use dlrm_adaptive::Reselection;
+use dlrm_adaptive::{DenseAdvice, Reselection};
 use dlrm_ckpt::{Checkpoint, RankCheckpoint};
 use dlrm_comm::{TimingLedger, WirePolicy, WorldEvent};
 use dlrm_data::DatasetConfig;
@@ -111,6 +111,26 @@ pub struct TrainingReport {
     /// without EF) — bounded residuals are the EF convergence invariant.
     #[serde(default)]
     pub dense_residual_norm: f64,
+    /// Compressed-domain combines performed at owner shards, summed across
+    /// ranks and iterations. Zero on the classic decode → reduce → re-encode
+    /// path and when dense compression is off.
+    #[serde(default)]
+    pub homo_combines: u64,
+    /// Virtual seconds charged to the homomorphic-combine phase, max-merged
+    /// across ranks per segment (zero without a device-throughput override).
+    #[serde(default)]
+    pub homo_combine_seconds: f64,
+    /// Virtual codec seconds the homomorphic path saved vs the classic
+    /// counterpart of the same schedule (eliminated owner-shard decodes and
+    /// re-encodes minus the combine charge), max-merged across ranks per
+    /// segment. Zero without a device-throughput override.
+    #[serde(default)]
+    pub homo_saved_seconds: f64,
+    /// Combine-aware Equation-2 advice over the dense candidate pool on the
+    /// final post-all-reduce gradient (`None` for zero-iteration runs).
+    /// Identical on every rank — asserted by the merger.
+    #[serde(default)]
+    pub dense_advice: Option<DenseAdvice>,
     /// Label of the cluster topology the run used (`"flat"` or
     /// `"<nodes>x<ranks_per_node>"`).
     #[serde(default)]
@@ -618,6 +638,8 @@ fn merge_segments(
     let mut wall_phase_seconds = TimingLedger::new();
     let mut wall_seconds = 0.0f64;
     let mut dense_saved_seconds = 0.0f64;
+    let mut homo_combine_seconds = 0.0f64;
+    let mut homo_saved_seconds = 0.0f64;
     let mut intra_tier_seconds = 0.0f64;
     let mut inter_tier_seconds = 0.0f64;
     let mut checkpoint_write_seconds = 0.0f64;
@@ -634,6 +656,16 @@ fn merge_segments(
             .outcomes
             .iter()
             .map(|o| o.dense_saved_seconds)
+            .fold(0.0, f64::max);
+        homo_combine_seconds += seg
+            .outcomes
+            .iter()
+            .map(|o| o.homo_combine_seconds)
+            .fold(0.0, f64::max);
+        homo_saved_seconds += seg
+            .outcomes
+            .iter()
+            .map(|o| o.homo_saved_seconds)
             .fold(0.0, f64::max);
         intra_tier_seconds += seg
             .outcomes
@@ -726,6 +758,21 @@ fn merge_segments(
             .map(|o| o.dense_residual_norm)
             .fold(0.0, f64::max)
     });
+    let homo_combines: u64 = all().map(|o| o.homo_combines).sum();
+    // The advice is computed from the post-all-gather gradient every rank
+    // holds identically; a divergence means ranks decoded different values
+    // from the same reduced shards — fail loudly.
+    let dense_advice = segments.last().and_then(|s| {
+        let advice = s.outcomes[0].dense_advice.clone();
+        for o in &s.outcomes[1..] {
+            assert_eq!(
+                o.dense_advice, advice,
+                "rank {} diverged from rank 0's dense advice",
+                o.rank
+            );
+        }
+        advice
+    });
     let intra_tier_bytes: u64 = all().map(|o| o.tier_bytes.0).sum();
     let inter_tier_bytes: u64 = all().map(|o| o.tier_bytes.1).sum();
     let buffer_reused_bytes: u64 = all().map(|o| o.ledger.total_reused_bytes()).sum();
@@ -768,6 +815,10 @@ fn merge_segments(
         dense_ratio,
         dense_saved_seconds,
         dense_residual_norm,
+        homo_combines,
+        homo_combine_seconds,
+        homo_saved_seconds,
+        dense_advice,
         topology: config.topology.label(),
         adaptive: config.adaptive.label(),
         reselections,

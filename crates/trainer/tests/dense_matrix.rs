@@ -33,6 +33,11 @@ fn all_dense_settings() -> Vec<DenseCompression> {
             error_feedback: true,
         },
         DenseCompression::top_k_ef(0.25),
+        // Homomorphic kinds run both ways: combine suppressed (classic
+        // owner-shard decode → reduce → re-encode) and combine enabled.
+        DenseCompression::lattice_classic(1e-4),
+        DenseCompression::lattice_ef(1e-4),
+        DenseCompression::sum_sketch(),
     ]
 }
 
@@ -106,6 +111,19 @@ fn every_dense_setting_trains_with_and_without_overlap() {
                         assert!(
                             report.dense_saved_seconds > 0.0,
                             "{tag}: nothing saved on the dense wire"
+                        );
+                    }
+                    // The classic arm never combines, even for kinds that
+                    // could.
+                    assert_eq!(report.homo_combines, 0, "{tag}");
+                }
+                DenseCompression::Homomorphic { codec, .. } => {
+                    assert!(report.homo_combines > 0, "{tag}: no combines recorded");
+                    if matches!(codec, GradCodecKind::Lattice { .. }) {
+                        assert!(
+                            report.dense_ratio > 1.5,
+                            "{tag}: dense ratio {}",
+                            report.dense_ratio
                         );
                     }
                 }
