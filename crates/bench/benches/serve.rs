@@ -1,0 +1,132 @@
+//! Micro-benchmarks of the serving hot path: LRU probe/insert at capacity,
+//! per-window miss coalescing, the fetch-codec row round-trip, and one full
+//! quick serving run for an end-to-end wall number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlrm_comm::ReduceCodec;
+use dlrm_grad::{GradCodecKind, GradCompressor};
+use dlrm_serve::{run_serving, BatchCoalescer, HotRowCache, ServeConfig};
+
+const DIM: usize = 16;
+
+fn bench_hot_row_cache(c: &mut Criterion) {
+    let capacity = 4096;
+    let row = vec![0.5f32; DIM];
+    let mut group = c.benchmark_group("serve_cache");
+    group.throughput(Throughput::Elements(1));
+
+    // Probe a full cache: half the keys hit, half miss (the steady state of
+    // Zipf traffic against a capacity-bound cache).
+    let mut cache = HotRowCache::new(capacity, DIM);
+    for r in 0..capacity as u32 {
+        cache.insert(0, r, &row);
+    }
+    let mut key = 0u32;
+    group.bench_function("probe_50pct_hit", |b| {
+        b.iter(|| {
+            key = (key + 1) % (2 * capacity as u32);
+            cache.get(0, key).map_or(0.0, |v| v[0])
+        })
+    });
+
+    // Insert into a full cache: every insert recycles the LRU slot in place.
+    let mut full = HotRowCache::new(capacity, DIM);
+    for r in 0..capacity as u32 {
+        full.insert(0, r, &row);
+    }
+    let mut next = capacity as u32;
+    group.bench_function("insert_evicting", |b| {
+        b.iter(|| {
+            next = next.wrapping_add(1);
+            full.insert(0, next, &row);
+            full.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let owners = 8;
+    let misses = 4096;
+    // Hot-skewed synthetic misses: many duplicates per window, like Zipf
+    // traffic after the cache absorbed the head.
+    let keys: Vec<(usize, u32, u32)> = (0..misses)
+        .map(|i| {
+            let owner = i % owners;
+            let row = ((i * i) % 257) as u32;
+            (owner, (i % 4) as u32, row)
+        })
+        .collect();
+    let mut coalescer = BatchCoalescer::new(owners);
+    coalescer.reserve(misses / owners + 1);
+    let mut group = c.benchmark_group("serve_coalesce");
+    group.throughput(Throughput::Elements(misses as u64));
+    group.bench_function("note_finish_window", |b| {
+        b.iter(|| {
+            coalescer.clear();
+            for &(owner, table, row) in &keys {
+                coalescer.note(owner, table, row);
+            }
+            coalescer.finish();
+            coalescer.total_unique()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fetch_codec_roundtrip(c: &mut Criterion) {
+    let rows = 512;
+    let values: Vec<f32> = (0..rows * DIM)
+        .map(|i| (i as f32 * 0.037).sin() * 0.2)
+        .collect();
+    let mut group = c.benchmark_group("serve_fetch_codec");
+    group.throughput(Throughput::Bytes((values.len() * 4) as u64));
+    for (label, kind) in [
+        ("identity", GradCodecKind::Identity),
+        (
+            "hybrid_eb0.05",
+            GradCodecKind::ErrorBounded {
+                compressor: dlrm_compress::CompressorKind::OursHybrid,
+                error_bound: 0.05,
+            },
+        ),
+        (
+            "lattice_eb0.02",
+            GradCodecKind::Lattice { error_bound: 0.02 },
+        ),
+    ] {
+        let mut codec = GradCompressor::new(&kind, false);
+        let mut enc = Vec::new();
+        let mut dec = Vec::new();
+        group.bench_with_input(BenchmarkId::new("roundtrip", label), &values, |b, vals| {
+            b.iter(|| {
+                enc.clear();
+                codec.encode_into(0, vals, &mut enc);
+                dec.clear();
+                codec.decode_into(0, &enc, &mut dec).expect("decodes");
+                (enc.len(), dec.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serving_run(c: &mut Criterion) {
+    let dataset = dlrm_data::presets::tiny();
+    let mut cfg = ServeConfig::small_test();
+    cfg.requests = 512;
+    let mut group = c.benchmark_group("serve_run");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cfg.requests as u64));
+    group.bench_function("quick_512req", |b| {
+        b.iter(|| run_serving(&dataset, &cfg).modeled_qps)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hot_row_cache, bench_coalescer, bench_fetch_codec_roundtrip, bench_serving_run
+}
+criterion_main!(benches);

@@ -13,6 +13,7 @@ pub mod fault;
 pub mod homo;
 pub mod meta;
 pub mod overlap;
+pub mod serve;
 pub mod topology;
 pub mod trace;
 
@@ -178,6 +179,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "trace1",
             title: "Structured tracing: per-rank spans, Perfetto trace export, metrics series",
             run: trace::trace1,
+        },
+        Experiment {
+            id: "serve1",
+            title: "Sharded online inference: hot-row caching and compressed cross-rank fetches",
+            run: serve::serve1,
         },
         Experiment {
             id: "abl2",

@@ -83,6 +83,7 @@ pub fn accuracy_trainer(
         compression,
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
+        grad_push: Default::default(),
         network: NetworkConfig::default(),
         topology: Default::default(),
         adaptive: Default::default(),
@@ -130,6 +131,7 @@ pub fn breakdown_trainer(
         compression,
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
+        grad_push: Default::default(),
         network: NetworkConfig::paper_figure11(),
         topology: Default::default(),
         adaptive: Default::default(),
@@ -162,6 +164,7 @@ pub fn overlap_trainer(compression: CompressionSetting, scale: Scale) -> Trainer
         compression,
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
+        grad_push: Default::default(),
         network: NetworkConfig::alltoall_bound(5e7),
         topology: Default::default(),
         adaptive: Default::default(),
@@ -203,6 +206,7 @@ pub fn exec_trainer(executor: ExecutorSetting, scale: Scale) -> TrainerConfig {
         compression: CompressionSetting::fixed(0.02, CompressorKind::OursHybrid),
         overlap: OverlapSetting::DoubleBuffered,
         dense_compression: Default::default(),
+        grad_push: Default::default(),
         network: exec_link(),
         topology: Default::default(),
         adaptive: Default::default(),
@@ -235,6 +239,7 @@ pub fn dense_trainer(dense: DenseCompression, scale: Scale) -> TrainerConfig {
         compression: CompressionSetting::None,
         overlap: OverlapSetting::Off,
         dense_compression: dense,
+        grad_push: Default::default(),
         network: NetworkConfig::allreduce_bound(5e7),
         topology: Default::default(),
         adaptive: Default::default(),
@@ -311,6 +316,7 @@ pub fn topology_trainer(ranks_per_node: usize, scale: Scale) -> TrainerConfig {
         compression: fixed_lossy_setting(),
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
+        grad_push: Default::default(),
         network: topology_inter_link(),
         topology: TopologySetting::Hierarchical(topology_shape(ranks_per_node)),
         adaptive: Default::default(),
@@ -398,6 +404,7 @@ pub fn adapt_trainer(
         compression: CompressionSetting::fixed(ADAPT_EB, codec),
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
+        grad_push: Default::default(),
         network: adapt_slow_link(),
         topology: Default::default(),
         adaptive,
@@ -467,6 +474,7 @@ pub fn fault_trainer(
         compression: CompressionSetting::fixed(ADAPT_EB, codec),
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
+        grad_push: Default::default(),
         network: fault_link(),
         topology: Default::default(),
         adaptive,
@@ -551,9 +559,46 @@ pub fn decay_schedule(
     }
 }
 
+/// The serving workload of the `serve1` experiment: the paper's Figure-11
+/// network carrying a sharded online-inference tier under peak (queueing)
+/// load — hybrid compressed cross-rank fetches, per-frontend hot-row
+/// caching. Quick runs keep the tiny preset and the `small_test` shape so
+/// CI stays fast; full runs serve the Kaggle-like preset on 8 ranks.
+pub fn serve_workload(scale: Scale) -> (dlrm_data::DatasetConfig, dlrm_serve::ServeConfig) {
+    let mut cfg = dlrm_serve::ServeConfig::small_test();
+    match scale {
+        Scale::Quick => {
+            // Push arrivals well past the service rate: under overload the
+            // queue integrates every window's processing time, so the tail
+            // and throughput comparisons between arms are strict.
+            cfg.arrival_qps = 20_000_000.0;
+            (presets::tiny(), cfg)
+        }
+        Scale::Full => {
+            cfg.world = 8;
+            cfg.requests = 32_768;
+            cfg.window = 256;
+            cfg.warmup_windows = 4;
+            cfg.cache_rows = 8_192;
+            cfg.arrival_qps = 20_000_000.0;
+            cfg.executor = ExecutorSetting::Threaded;
+            (presets::criteo_kaggle_like(), cfg)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serve_configs_validate() {
+        for scale in [Scale::Quick, Scale::Full] {
+            let (dataset, cfg) = serve_workload(scale);
+            assert!(cfg.validate().is_ok(), "{scale:?}");
+            assert!(dataset.num_tables() > 0);
+        }
+    }
 
     #[test]
     fn sampled_traffic_has_one_batch_per_table() {

@@ -13,7 +13,7 @@
 //!   Requires error feedback to converge (the unsent mass accumulates in
 //!   the residual until it earns a slot);
 //! * **Lattice / SumSketch** — the **homomorphic** pair
-//!   ([`homomorphic`](crate::homomorphic) module): encoded shards add
+//!   ([`homomorphic`] module): encoded shards add
 //!   *without decoding* via [`GradCodec::combine_into`], which is what lets
 //!   the compressed all-reduce skip the decode → reduce → re-encode
 //!   round-trip at owner shards.
@@ -21,7 +21,7 @@
 //! Every stream opens with the element count, so decoding is
 //! self-describing: `[n u32 LE]` then a kind-specific payload. Decoding and
 //! combining validate the stream and return a
-//! [`ReduceError`](dlrm_comm::ReduceError) on truncated or corrupted input.
+//! [`ReduceError`] on truncated or corrupted input.
 
 use crate::homomorphic;
 use dlrm_comm::ReduceError;

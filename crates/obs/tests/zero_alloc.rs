@@ -7,20 +7,34 @@
 //! `end_iteration`, `push_row` — far past the ring capacity, asserting the
 //! allocation counter does not move after construction.
 //!
-//! One test per binary: a concurrently running test would allocate on its
-//! own thread and poison the counter.
+//! The counter is armed per thread: the libtest harness keeps helper
+//! threads of its own alive during the run, and a stray allocation on one
+//! of them must not be charged to the recorder hot path under test.
 
 use dlrm_obs::{ClockDomain, MetricsRow, MetricsSeries, RecordKind, SpanRecorder};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True only on a thread that armed the counter (`try_with`: TLS may be
+/// gone during thread teardown, and the allocator runs there too).
+fn armed() -> bool {
+    ARMED.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if armed() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -29,7 +43,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if armed() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -49,6 +65,7 @@ fn recorder_hot_path_never_allocates() {
     ratios.resize(TABLES, 0.0f64);
 
     let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
     let mut now = 0.0f64;
     for iter in 0..ITERS {
         rec.begin_iteration(iter, now);
@@ -73,6 +90,7 @@ fn recorder_hot_path_never_allocates() {
             &ratios,
         );
     }
+    ARMED.with(|a| a.set(false));
     let after = ALLOC_CALLS.load(Ordering::SeqCst);
 
     assert_eq!(

@@ -1,0 +1,267 @@
+//! Per-rank hot-row LRU cache.
+//!
+//! A frontend rank keeps the decoded embedding rows it fetched from remote
+//! owners in a fixed-capacity slab: a flat `f32` store of `capacity × dim`
+//! values, a doubly-linked recency list threaded through slot indices, and a
+//! pre-reserved map from `(table, row)` to slot. Nothing is allocated after
+//! construction — inserting into a full cache recycles the least-recently-used
+//! slot in place — which is what lets the serving steady state stay
+//! allocation-free.
+//!
+//! The cache stores the **decoded** row bytes (the codec round-trip of the
+//! owner's weights), never the raw weights, so a response assembled from a
+//! cache hit is bit-identical to one assembled from a fresh fetch: both are
+//! the same pure function of `(row values, codec, error bound)`. That
+//! invariant is what `serve_matrix.rs` pins with the cache-on ≡ cache-off
+//! bitwise test.
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: (u32, u32),
+    prev: u32,
+    next: u32,
+}
+
+/// Fixed-capacity LRU cache of embedding rows keyed by `(table, row)`.
+#[derive(Debug)]
+pub struct HotRowCache {
+    capacity: usize,
+    dim: usize,
+    map: HashMap<(u32, u32), u32>,
+    slots: Vec<Slot>,
+    values: Vec<f32>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot (the eviction victim).
+    tail: u32,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl HotRowCache {
+    /// A cache holding up to `capacity` rows of `dim` floats. `capacity == 0`
+    /// disables the cache: every probe misses and inserts are dropped.
+    pub fn new(capacity: usize, dim: usize) -> Self {
+        assert!(dim > 0, "row dimension must be positive");
+        let mut map = HashMap::new();
+        // Twice the headroom, not `capacity`: every eviction removes a key,
+        // and the removal tombstones eventually saturate the table. At that
+        // point hashbrown rehashes in place (no allocation) only while the
+        // live count stays within half the table's full capacity — any less
+        // slack and an unlucky per-process hash seed makes the saturation
+        // land as an allocating resize mid-run.
+        map.reserve(capacity * 2);
+        Self {
+            capacity,
+            dim,
+            map,
+            slots: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity * dim),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Maximum number of rows the cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently cached. Never exceeds [`Self::capacity`].
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no rows are cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Probe hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probe misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Rows evicted to make room so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up `(table, row)`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, table: u32, row: u32) -> Option<&[f32]> {
+        match self.map.get(&(table, row)).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                self.promote(slot);
+                let at = slot as usize * self.dim;
+                Some(&self.values[at..at + self.dim])
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Membership test without touching recency or the hit/miss counters.
+    pub fn contains(&self, table: u32, row: u32) -> bool {
+        self.map.contains_key(&(table, row))
+    }
+
+    /// Insert (or refresh) `(table, row)`, evicting the least-recently-used
+    /// row when full. The inserted row becomes most-recently-used.
+    ///
+    /// # Panics
+    /// Panics if `row_values.len() != dim`.
+    pub fn insert(&mut self, table: u32, row: u32, row_values: &[f32]) {
+        assert_eq!(row_values.len(), self.dim, "row dimension mismatch");
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (table, row);
+        if let Some(&slot) = self.map.get(&key) {
+            let at = slot as usize * self.dim;
+            self.values[at..at + self.dim].copy_from_slice(row_values);
+            self.promote(slot);
+            return;
+        }
+        let slot = if self.slots.len() < self.capacity {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            self.values.extend_from_slice(row_values);
+            slot
+        } else {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = self.slots[victim as usize].key;
+            self.map.remove(&old_key);
+            self.evictions += 1;
+            self.slots[victim as usize].key = key;
+            let at = victim as usize * self.dim;
+            self.values[at..at + self.dim].copy_from_slice(row_values);
+            victim
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    /// Drop every cached row, keeping capacity and the cumulative counters.
+    /// The engine flushes on a codec switch so a hit never replays a row
+    /// decoded under a codec the wire no longer runs.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.values.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys ordered most-recently-used first (the reverse of eviction order).
+    /// Test/diagnostic helper; allocates.
+    pub fn keys_mru_to_lru(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slots[cur as usize].key);
+            cur = self.slots[cur as usize].next;
+        }
+        out
+    }
+
+    fn promote(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let s = &self.slots[slot as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[slot as usize].prev = NIL;
+        self.slots[slot as usize].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        self.slots[slot as usize].prev = NIL;
+        self.slots[slot as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f32, dim: usize) -> Vec<f32> {
+        vec![v; dim]
+    }
+
+    #[test]
+    fn hit_returns_inserted_values_and_promotes() {
+        let mut c = HotRowCache::new(2, 4);
+        c.insert(0, 1, &row(1.0, 4));
+        c.insert(0, 2, &row(2.0, 4));
+        assert_eq!(c.get(0, 1), Some(&row(1.0, 4)[..]));
+        // (0,2) is now LRU; inserting a third row evicts it.
+        c.insert(0, 3, &row(3.0, 4));
+        assert!(c.contains(0, 1));
+        assert!(!c.contains(0, 2));
+        assert!(c.contains(0, 3));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = HotRowCache::new(0, 4);
+        c.insert(0, 1, &row(1.0, 4));
+        assert_eq!(c.get(0, 1), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn refresh_updates_in_place() {
+        let mut c = HotRowCache::new(2, 2);
+        c.insert(1, 7, &[1.0, 2.0]);
+        c.insert(1, 7, &[3.0, 4.0]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1, 7), Some(&[3.0f32, 4.0][..]));
+    }
+}

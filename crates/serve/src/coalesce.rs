@@ -1,0 +1,94 @@
+//! Per-window request coalescing.
+//!
+//! Within one batch window a frontend may miss the same remote row many
+//! times (hot Zipf traffic) and rows owned by several different ranks. The
+//! coalescer buckets every miss by owner rank and collapses each bucket to
+//! the **sorted set of unique `(table, row)` keys** — one compressed gather
+//! per owner per window, never a duplicate row on the wire. The sorted order
+//! doubles as the payload row order, so the frontend can re-associate decoded
+//! rows with keys without any per-row framing.
+//!
+//! Buckets reuse their capacity across windows; after warm-up the coalescer
+//! allocates nothing.
+
+/// Buckets `(table, row)` misses by owner and dedups each bucket.
+#[derive(Debug)]
+pub struct BatchCoalescer {
+    pending: Vec<Vec<(u32, u32)>>,
+}
+
+impl BatchCoalescer {
+    /// A coalescer for `owners` destination ranks.
+    pub fn new(owners: usize) -> Self {
+        Self {
+            pending: (0..owners).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of owner buckets.
+    pub fn owners(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Pre-reserve every bucket (steady-state allocation avoidance).
+    pub fn reserve(&mut self, per_owner: usize) {
+        for bucket in &mut self.pending {
+            bucket.reserve(per_owner);
+        }
+    }
+
+    /// Drop all pending keys, keeping capacity.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.pending {
+            bucket.clear();
+        }
+    }
+
+    /// Record a miss of `(table, row)` owned by `owner`.
+    pub fn note(&mut self, owner: usize, table: u32, row: u32) {
+        self.pending[owner].push((table, row));
+    }
+
+    /// Collapse every bucket to its sorted unique key set.
+    pub fn finish(&mut self) {
+        for bucket in &mut self.pending {
+            bucket.sort_unstable();
+            bucket.dedup();
+        }
+    }
+
+    /// The coalesced keys for `owner` (sorted unique after [`Self::finish`]).
+    pub fn rows(&self, owner: usize) -> &[(u32, u32)] {
+        &self.pending[owner]
+    }
+
+    /// Unique keys across all owners (valid after [`Self::finish`]).
+    pub fn total_unique(&self) -> usize {
+        self.pending.iter().map(Vec::len).sum()
+    }
+
+    /// Total reserved entries across buckets (steady-state accounting).
+    pub fn capacity_entries(&self) -> usize {
+        self.pending.iter().map(Vec::capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_sorts_per_owner() {
+        let mut c = BatchCoalescer::new(2);
+        c.note(1, 3, 9);
+        c.note(1, 0, 5);
+        c.note(1, 3, 9);
+        c.note(0, 2, 2);
+        c.finish();
+        assert_eq!(c.rows(1), &[(0, 5), (3, 9)]);
+        assert_eq!(c.rows(0), &[(2, 2)]);
+        assert_eq!(c.total_unique(), 3);
+        c.clear();
+        assert_eq!(c.total_unique(), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Fetch codec bank and wire framing for the compressed cross-rank gather.
+//!
+//! Every embedding table carries its own fetch codec (so the runtime
+//! controller can retune tables independently), and both wire directions use
+//! tiny self-describing frames:
+//!
+//! * **request chunk** (frontend → owner): `[groups u32]` then per group
+//!   `[table u32][count u32][row u32 × count]` — rows sorted ascending, the
+//!   coalescer's output order;
+//! * **payload chunk** (owner → frontend): `[groups u32]` then per group
+//!   `[table u32][count u32][len u32][codec stream]` — rows encoded in the
+//!   request order, so the frontend re-associates decoded rows with keys
+//!   positionally, without per-row framing.
+
+use dlrm_adaptive::CodecProfile;
+use dlrm_compress::CompressorKind;
+use dlrm_grad::{GradCodec, GradCodecKind, GradScratch};
+
+/// Modeled `(encode, decode)` throughput of the integer-lattice codec, in
+/// bytes/s (shared-scale quantization, no entropy stage).
+pub const LATTICE_THROUGHPUT: (f64, f64) = (150e9, 200e9);
+/// Modeled `(encode, decode)` throughput of the index–sum sketch.
+pub const SKETCH_THROUGHPUT: (f64, f64) = (120e9, 160e9);
+
+/// Deterministic `(encode, decode)` throughput of a fetch codec under
+/// `profile`. The identity codec charges nothing (raw memcpy rides the wire
+/// charge, not a codec charge).
+pub fn codec_throughput(kind: &GradCodecKind, profile: &CodecProfile) -> (f64, f64) {
+    match kind {
+        GradCodecKind::Identity => (f64::INFINITY, f64::INFINITY),
+        GradCodecKind::Fp16 => profile.throughput(CompressorKind::Fp16),
+        GradCodecKind::Fp8 => profile.throughput(CompressorKind::Fp8),
+        GradCodecKind::ErrorBounded { compressor, .. } => profile.throughput(*compressor),
+        GradCodecKind::Lattice { .. } => LATTICE_THROUGHPUT,
+        GradCodecKind::SumSketch => SKETCH_THROUGHPUT,
+        GradCodecKind::TopK { .. } => (40e9, 200e9),
+    }
+}
+
+/// One codec per table, rebuildable per table when the controller switches.
+pub struct FetchCodecs {
+    kinds: Vec<GradCodecKind>,
+    codecs: Vec<GradCodec>,
+}
+
+impl FetchCodecs {
+    /// Every table starts on `kind`.
+    pub fn new(tables: usize, kind: GradCodecKind) -> Self {
+        Self {
+            kinds: vec![kind.clone(); tables],
+            codecs: (0..tables).map(|_| kind.build()).collect(),
+        }
+    }
+
+    /// The codec kind table `t` currently runs.
+    pub fn kind(&self, t: usize) -> &GradCodecKind {
+        &self.kinds[t]
+    }
+
+    /// The built codec of table `t`.
+    pub fn codec(&self, t: usize) -> &GradCodec {
+        &self.codecs[t]
+    }
+
+    /// Switch table `t` to an error-bounded codec over `compressor` at `eb`.
+    pub fn set_compressor(&mut self, t: usize, compressor: CompressorKind, eb: f32) {
+        let kind = GradCodecKind::ErrorBounded {
+            compressor,
+            error_bound: eb,
+        };
+        self.codecs[t] = kind.build();
+        self.kinds[t] = kind;
+    }
+
+    /// Worst-case encoded bytes for `len` floats of table `t`.
+    pub fn max_encoded_bytes(&self, t: usize, len: usize) -> usize {
+        self.codecs[t].max_encoded_bytes(len)
+    }
+}
+
+/// Append one request group to `out`.
+pub fn write_request_group(out: &mut Vec<u8>, table: u32, rows: &[u32]) {
+    out.extend_from_slice(&table.to_le_bytes());
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for &r in rows {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+}
+
+/// Iterate the `(table, rows)` groups of a request chunk.
+pub fn request_groups(bytes: &[u8]) -> RequestGroups<'_> {
+    let groups = u32::from_le_bytes(bytes[0..4].try_into().expect("group count"));
+    RequestGroups {
+        bytes,
+        at: 4,
+        remaining: groups,
+    }
+}
+
+/// Iterator over request groups (see [`request_groups`]).
+pub struct RequestGroups<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    remaining: u32,
+}
+
+impl<'a> Iterator for RequestGroups<'a> {
+    type Item = (u32, RequestRows<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let table = u32::from_le_bytes(self.bytes[self.at..self.at + 4].try_into().expect("table"));
+        let count = u32::from_le_bytes(
+            self.bytes[self.at + 4..self.at + 8]
+                .try_into()
+                .expect("count"),
+        ) as usize;
+        let start = self.at + 8;
+        let end = start + count * 4;
+        self.at = end;
+        Some((
+            table,
+            RequestRows {
+                bytes: &self.bytes[start..end],
+            },
+        ))
+    }
+}
+
+/// The row ids of one request group, decoded lazily.
+pub struct RequestRows<'a> {
+    bytes: &'a [u8],
+}
+
+impl RequestRows<'_> {
+    /// Number of rows in the group.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 4
+    }
+
+    /// True when the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Iterate the row ids.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("row id")))
+    }
+}
+
+/// Append one payload group (already-encoded stream) to `out`.
+pub fn write_payload_group(out: &mut Vec<u8>, table: u32, rows: u32, encoded: &[u8]) {
+    out.extend_from_slice(&table.to_le_bytes());
+    out.extend_from_slice(&rows.to_le_bytes());
+    out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+    out.extend_from_slice(encoded);
+}
+
+/// Iterate the `(table, rows, stream)` groups of a payload chunk.
+pub fn payload_groups(bytes: &[u8]) -> PayloadGroups<'_> {
+    let groups = u32::from_le_bytes(bytes[0..4].try_into().expect("group count"));
+    PayloadGroups {
+        bytes,
+        at: 4,
+        remaining: groups,
+    }
+}
+
+/// Iterator over payload groups (see [`payload_groups`]).
+pub struct PayloadGroups<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    remaining: u32,
+}
+
+impl<'a> Iterator for PayloadGroups<'a> {
+    type Item = (u32, u32, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let table = u32::from_le_bytes(self.bytes[self.at..self.at + 4].try_into().expect("table"));
+        let rows = u32::from_le_bytes(
+            self.bytes[self.at + 4..self.at + 8]
+                .try_into()
+                .expect("rows"),
+        );
+        let len = u32::from_le_bytes(
+            self.bytes[self.at + 8..self.at + 12]
+                .try_into()
+                .expect("len"),
+        ) as usize;
+        let start = self.at + 12;
+        let end = start + len;
+        self.at = end;
+        Some((table, rows, &self.bytes[start..end]))
+    }
+}
+
+/// Round-trip `values` through `codec` — the pure function a cached row must
+/// equal. Test helper; allocates.
+pub fn roundtrip(codec: &GradCodec, values: &[f32]) -> Vec<f32> {
+    let mut scratch = GradScratch::new();
+    let mut bytes = Vec::new();
+    codec.encode_into(values, &mut scratch, &mut bytes);
+    let mut out = Vec::new();
+    codec
+        .decode_into(&bytes, &mut scratch, &mut out)
+        .expect("fetch codec decodes");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_roundtrip() {
+        let mut chunk = vec![];
+        chunk.extend_from_slice(&2u32.to_le_bytes());
+        write_request_group(&mut chunk, 3, &[1, 5, 9]);
+        write_request_group(&mut chunk, 7, &[0]);
+        let groups: Vec<(u32, Vec<u32>)> = request_groups(&chunk)
+            .map(|(t, rows)| (t, rows.iter().collect()))
+            .collect();
+        assert_eq!(groups, vec![(3, vec![1, 5, 9]), (7, vec![0])]);
+    }
+
+    #[test]
+    fn payload_frames_roundtrip() {
+        let mut chunk = vec![];
+        chunk.extend_from_slice(&1u32.to_le_bytes());
+        write_payload_group(&mut chunk, 2, 4, &[9, 9, 9]);
+        let groups: Vec<(u32, u32, Vec<u8>)> = payload_groups(&chunk)
+            .map(|(t, n, s)| (t, n, s.to_vec()))
+            .collect();
+        assert_eq!(groups, vec![(2, 4, vec![9, 9, 9])]);
+    }
+
+    #[test]
+    fn pointwise_codecs_decode_rows_independently_of_composition() {
+        // The cache-transparency invariant: a row's round-trip through the
+        // fetch codec must not depend on which other rows share the stream.
+        let dim = 8;
+        let rows: Vec<Vec<f32>> = (0..6)
+            .map(|r| {
+                (0..dim)
+                    .map(|c| ((r * dim + c) as f32).sin() * 0.3)
+                    .collect()
+            })
+            .collect();
+        for kind in [
+            GradCodecKind::Identity,
+            GradCodecKind::Fp16,
+            GradCodecKind::Fp8,
+            GradCodecKind::ErrorBounded {
+                compressor: CompressorKind::OursHybrid,
+                error_bound: 0.01,
+            },
+            GradCodecKind::ErrorBounded {
+                compressor: CompressorKind::FzLike,
+                error_bound: 0.01,
+            },
+            GradCodecKind::Lattice { error_bound: 0.01 },
+            GradCodecKind::SumSketch,
+        ] {
+            let codec = kind.build();
+            // Batch round-trip of all rows in one stream.
+            let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+            let batch = roundtrip(&codec, &flat);
+            // Each row round-tripped alone.
+            for (r, row) in rows.iter().enumerate() {
+                let solo = roundtrip(&codec, row);
+                let from_batch = &batch[r * dim..(r + 1) * dim];
+                assert_eq!(
+                    solo.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    from_batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{}: row {r} decode depends on stream composition",
+                    kind.label()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Tail-latency methodology: deterministic arrivals, bulk-synchronous batch
+//! windows, one serving lane.
+//!
+//! Request `i` arrives at `i / arrival_qps` modeled seconds. Consecutive
+//! requests form windows of `window` requests (the final window may be
+//! partial); a window closes when its last request arrives, and processing
+//! starts at `max(close, previous window's finish)` — windows queue behind
+//! one another, which is how a slow window inflates the tail of every
+//! request that arrives behind it. A request's latency is its window's
+//! finish time minus its own arrival.
+//!
+//! Percentiles are computed from the **sorted per-request latency vector**
+//! (nearest-rank), never from averages — the acceptance criterion of the
+//! serving benchmark.
+
+/// Per-window and per-request timing of one serving run.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// When each window's processing started (modeled seconds).
+    pub starts: Vec<f64>,
+    /// When each window's responses left (modeled seconds).
+    pub finishes: Vec<f64>,
+    /// Per-request latency in modeled seconds, request order.
+    pub latencies: Vec<f64>,
+    /// Finish time of the last window.
+    pub makespan: f64,
+}
+
+/// Build the timeline for `requests` requests in windows of `window`, with
+/// per-window processing times `proc`.
+pub fn timeline(requests: usize, window: usize, arrival_qps: f64, proc: &[f64]) -> Timeline {
+    assert!(requests > 0 && window > 0);
+    assert!(arrival_qps > 0.0 && arrival_qps.is_finite());
+    let windows = requests.div_ceil(window);
+    assert_eq!(proc.len(), windows, "one processing time per window");
+    let arrival = |i: usize| i as f64 / arrival_qps;
+    let mut starts = Vec::with_capacity(windows);
+    let mut finishes = Vec::with_capacity(windows);
+    let mut prev_finish = 0.0f64;
+    for (w, &proc_w) in proc.iter().enumerate() {
+        let last = ((w + 1) * window).min(requests) - 1;
+        let close = arrival(last);
+        let start = close.max(prev_finish);
+        let finish = start + proc_w;
+        starts.push(start);
+        finishes.push(finish);
+        prev_finish = finish;
+    }
+    let mut latencies = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let w = i / window;
+        latencies.push(finishes[w] - arrival(i));
+    }
+    Timeline {
+        starts,
+        finishes,
+        latencies,
+        makespan: prev_finish,
+    }
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice; `q` in `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_queue_behind_slow_predecessors() {
+        // 4 requests, windows of 2, arrivals at 0,1,2,3 s. Window 0 closes at
+        // t=1 and takes 5 s; window 1 closes at t=3 but must wait until t=6.
+        let t = timeline(4, 2, 1.0, &[5.0, 1.0]);
+        assert_eq!(t.starts, vec![1.0, 6.0]);
+        assert_eq!(t.finishes, vec![6.0, 7.0]);
+        assert_eq!(t.latencies, vec![6.0, 5.0, 5.0, 4.0]);
+        assert_eq!(t.makespan, 7.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.99), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Determinism regressions for the serving engine.
+//!
+//! The deterministic half of a [`ServingReport`](dlrm_serve::ServingReport)
+//! must be a pure function of `(dataset, partition, seeds, config)`:
+//! repeated runs, drifting traffic, adaptive codec switching, and executor
+//! world sizes sharing a partition must all reproduce it bitwise.
+
+use dlrm_data::{presets, TrafficDrift};
+use dlrm_serve::{run_serving, ServeAdaptive, ServeConfig};
+
+#[test]
+fn same_seed_same_drift_same_report() {
+    let dataset = presets::tiny().with_drift(TrafficDrift::exponent_shift(8, 0.4));
+    let cfg = ServeConfig::small_test();
+    let a = run_serving(&dataset, &cfg);
+    let b = run_serving(&dataset, &cfg);
+    assert_eq!(a.fingerprint(), b.fingerprint(), "re-run diverged");
+    assert_eq!(a.response_bits(), b.response_bits());
+    assert_eq!(a, {
+        let mut b = b;
+        // Only the wall-clock fields may differ between runs.
+        b.wall_seconds = a.wall_seconds;
+        b.wall_qps = a.wall_qps;
+        b
+    });
+}
+
+#[test]
+fn adaptive_runs_are_deterministic_too() {
+    let dataset = presets::tiny().with_drift(TrafficDrift::hot_rotation(4, 7));
+    let mut cfg = ServeConfig::small_test();
+    cfg.adaptive = Some(ServeAdaptive::new(4, 0.02));
+    let a = run_serving(&dataset, &cfg);
+    let b = run_serving(&dataset, &cfg);
+    assert_eq!(a.fingerprint(), b.fingerprint(), "adaptive re-run diverged");
+    assert_eq!(a.reselections, b.reselections);
+    assert_eq!(a.final_codecs, b.final_codecs);
+}
+
+#[test]
+fn extra_ranks_beyond_the_partition_change_nothing() {
+    // world=4 serving on 4 frontends vs world=7 serving on the same 4
+    // frontends: the three idle ranks route nothing, so every modeled
+    // number — latencies included — is identical bitwise.
+    let dataset = presets::tiny().with_drift(TrafficDrift::exponent_shift(8, 0.3));
+    let four = ServeConfig::small_test();
+    let mut seven = four.clone();
+    seven.world = 7;
+    seven.frontends = Some(4);
+    let a = run_serving(&dataset, &four);
+    let b = run_serving(&dataset, &seven);
+    assert_eq!(b.world, 7);
+    assert_eq!(b.frontends, 4);
+    assert_eq!(a.response_bits(), b.response_bits());
+    assert_eq!(a.p99_ms.to_bits(), b.p99_ms.to_bits());
+    assert_eq!(a.p50_ms.to_bits(), b.p50_ms.to_bits());
+    assert_eq!(a.modeled_qps.to_bits(), b.modeled_qps.to_bits());
+    assert_eq!(a.cache_hits, b.cache_hits);
+    assert_eq!(a.fetch_wire_bytes, b.fetch_wire_bytes);
+}

@@ -1,0 +1,113 @@
+//! The serving equivalence matrix.
+//!
+//! Four invariants the engine is built around, asserted bitwise:
+//!
+//! 1. **cache-on ≡ cache-off** — the hot-row cache stores codec-decoded
+//!    bytes, so caching changes *when* a row crosses the wire but never a
+//!    response bit;
+//! 2. **sequential ≡ threaded** — all modeled numbers are analytic, so the
+//!    executor mode never changes the deterministic report;
+//! 3. **compressed fetch at eb = 0 ≡ raw** — a zero error bound resolves to
+//!    the identity codec;
+//! 4. **zero-alloc steady state** — after the warm-up windows, pools and
+//!    engine scratch stop allocating.
+
+use dlrm_data::presets;
+use dlrm_grad::GradCodecKind;
+use dlrm_serve::{run_serving, FetchSetting, ServeConfig};
+use dlrm_trainer::ExecutorSetting;
+
+#[test]
+fn cache_on_equals_cache_off_bitwise() {
+    let dataset = presets::tiny();
+    let on = ServeConfig::small_test();
+    let mut off = on.clone();
+    off.cache_rows = 0;
+    let r_on = run_serving(&dataset, &on);
+    let r_off = run_serving(&dataset, &off);
+    assert_eq!(
+        r_on.response_bits(),
+        r_off.response_bits(),
+        "hot-row caching changed a response bit"
+    );
+    // The comparison is only meaningful if the cache actually absorbed
+    // traffic and the workload actually crossed ranks.
+    assert!(r_on.hit_rate > 0.3, "hit rate {} too low", r_on.hit_rate);
+    assert!(r_on.fetched_rows < r_off.fetched_rows);
+    assert!(r_on.fetched_rows > 0 && r_on.local_rows > 0);
+    assert_eq!(r_off.cache_hits, 0);
+}
+
+#[test]
+fn sequential_equals_threaded_bitwise() {
+    let dataset = presets::tiny();
+    let seq = ServeConfig::small_test();
+    let mut thr = seq.clone();
+    thr.executor = ExecutorSetting::Threaded;
+    let r_seq = run_serving(&dataset, &seq);
+    let r_thr = run_serving(&dataset, &thr);
+    assert_eq!(
+        r_seq.fingerprint(),
+        r_thr.fingerprint(),
+        "executor mode leaked into the deterministic report"
+    );
+    assert_eq!(r_seq.response_bits(), r_thr.response_bits());
+    assert_eq!(r_seq.p99_ms.to_bits(), r_thr.p99_ms.to_bits());
+    assert_eq!(r_seq.modeled_qps.to_bits(), r_thr.modeled_qps.to_bits());
+}
+
+#[test]
+fn compressed_fetch_at_zero_bound_equals_raw_bitwise() {
+    let dataset = presets::tiny();
+    let mut raw = ServeConfig::small_test();
+    raw.fetch = FetchSetting::Raw;
+    let mut eb0 = raw.clone();
+    eb0.fetch = FetchSetting::hybrid(0.0);
+    let r_raw = run_serving(&dataset, &raw);
+    let r_eb0 = run_serving(&dataset, &eb0);
+    assert_eq!(
+        r_raw.fingerprint(),
+        r_eb0.fingerprint(),
+        "eb=0 compressed fetch is not the raw wire"
+    );
+    assert_eq!(r_raw.fetch_wire_bytes, r_eb0.fetch_wire_bytes);
+
+    // Sanity: an actually-lossy bound does change bits (so test 1 and this
+    // test are not vacuous).
+    let lossy = ServeConfig::small_test();
+    let r_lossy = run_serving(&dataset, &lossy);
+    assert_ne!(r_raw.response_bits(), r_lossy.response_bits());
+    assert!(r_lossy.fetch_ratio > r_raw.fetch_ratio);
+}
+
+#[test]
+fn lattice_fetch_is_cache_transparent_too() {
+    // The non-default pointwise codec family follows the same invariant.
+    let dataset = presets::tiny();
+    let mut on = ServeConfig::small_test();
+    on.fetch = FetchSetting::Compressed {
+        codec: GradCodecKind::Lattice { error_bound: 0.02 },
+    };
+    let mut off = on.clone();
+    off.cache_rows = 0;
+    let r_on = run_serving(&dataset, &on);
+    let r_off = run_serving(&dataset, &off);
+    assert_eq!(r_on.response_bits(), r_off.response_bits());
+    assert!(r_on.cache_hits > 0);
+}
+
+#[test]
+fn steady_state_allocates_nothing() {
+    let dataset = presets::tiny();
+    let cfg = ServeConfig::small_test();
+    let report = run_serving(&dataset, &cfg);
+    assert_eq!(
+        report.steady_state_allocated_bytes, 0,
+        "pool/scratch allocated after warm-up"
+    );
+    // And with the cache off (different code path through the store).
+    let mut off = cfg.clone();
+    off.cache_rows = 0;
+    let report = run_serving(&dataset, &off);
+    assert_eq!(report.steady_state_allocated_bytes, 0);
+}

@@ -1,0 +1,130 @@
+//! Property tests for the serving data structures.
+//!
+//! The LRU cache is checked against a naive recency-list model over
+//! arbitrary op sequences; the coalescer is checked to deliver exactly the
+//! union of requested keys — per owner, sorted, no duplicates — under
+//! arbitrary interleavings.
+
+use proptest::prelude::*;
+
+use dlrm_serve::{BatchCoalescer, HotRowCache};
+
+/// Naive reference model: a vector of keys ordered most-recently-used first.
+struct ModelLru {
+    capacity: usize,
+    entries: Vec<((u32, u32), Vec<f32>)>,
+    evictions: u64,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: (u32, u32)) -> Option<Vec<f32>> {
+        let at = self.entries.iter().position(|(k, _)| *k == key)?;
+        let hit = self.entries.remove(at);
+        let vals = hit.1.clone();
+        self.entries.insert(0, hit);
+        Some(vals)
+    }
+
+    fn insert(&mut self, key: (u32, u32), vals: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(at) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(at);
+        } else if self.entries.len() == self.capacity {
+            self.entries.pop();
+            self.evictions += 1;
+        }
+        self.entries.insert(0, (key, vals));
+    }
+
+    fn keys_mru_to_lru(&self) -> Vec<(u32, u32)> {
+        self.entries.iter().map(|(k, _)| *k).collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u32, u32),
+    Insert(u32, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..4, 0u32..12).prop_map(|(t, r)| Op::Get(t, r)),
+        (0u32..4, 0u32..12).prop_map(|(t, r)| Op::Insert(t, r)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_matches_naive_model(
+        capacity in 0usize..9,
+        ops in prop::collection::vec(op_strategy(), 0..200),
+    ) {
+        const DIM: usize = 3;
+        let mut cache = HotRowCache::new(capacity, DIM);
+        let mut model = ModelLru::new(capacity);
+        for op in &ops {
+            match *op {
+                Op::Get(t, r) => {
+                    let got = cache.get(t, r).map(<[f32]>::to_vec);
+                    prop_assert_eq!(got, model.get((t, r)));
+                }
+                Op::Insert(t, r) => {
+                    // Value derived from the key so refreshed inserts are
+                    // distinguishable from stale slots.
+                    let vals = vec![(t * 100 + r) as f32; DIM];
+                    cache.insert(t, r, &vals);
+                    model.insert((t, r), vals);
+                }
+            }
+            // Capacity is never exceeded and the recency (= reverse
+            // eviction) order matches the model exactly.
+            prop_assert!(cache.len() <= capacity);
+            prop_assert_eq!(cache.keys_mru_to_lru(), model.keys_mru_to_lru());
+        }
+        prop_assert_eq!(cache.evictions(), model.evictions);
+    }
+
+    #[test]
+    fn coalescer_delivers_exactly_the_union(
+        owners in 1usize..6,
+        notes in prop::collection::vec((0u32..5, 0u32..40), 0..300),
+    ) {
+        let mut c = BatchCoalescer::new(owners);
+        for &(t, r) in &notes {
+            // Owner derived from the table, as the engine does.
+            c.note(t as usize % owners, t, r);
+        }
+        c.finish();
+        // Expected: per owner, the sorted set of unique keys noted to it.
+        for owner in 0..owners {
+            let mut expect: Vec<(u32, u32)> = notes
+                .iter()
+                .copied()
+                .filter(|&(t, _)| t as usize % owners == owner)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(c.rows(owner), &expect[..]);
+            // No duplicates and sorted (the wire-framing contract).
+            let rows = c.rows(owner);
+            for w in rows.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+        let unique: usize = (0..owners).map(|o| c.rows(o).len()).sum();
+        prop_assert_eq!(c.total_unique(), unique);
+    }
+}

@@ -111,6 +111,7 @@
 //! See `docs/ADAPTIVITY.md` for the end-to-end walkthrough.
 
 pub mod config;
+pub mod grad_push;
 pub mod partition;
 pub mod pipeline;
 pub mod plan;
@@ -118,7 +119,7 @@ pub mod run;
 
 pub use config::{
     AdaptiveSetting, CompressionSetting, DenseCompression, ExecutorSetting, FaultSetting,
-    ObsSetting, OverlapSetting, TopologySetting, TrainerConfig,
+    GradPushSetting, ObsSetting, OverlapSetting, TopologySetting, TrainerConfig,
 };
 pub use partition::TablePartition;
 pub use run::{run_training, TableCompressionStats, TrainingReport};

@@ -10,6 +10,7 @@ use crate::config::{
     AdaptiveSetting, CompressionSetting, DenseCompression, OverlapSetting, TopologySetting,
     TrainerConfig,
 };
+use crate::grad_push::GradPushState;
 use crate::partition::TablePartition;
 use dlrm_adaptive::controller::{
     ControllerConfig, Reselection, RuntimeController, TableObservation, WindowObservation,
@@ -616,6 +617,9 @@ pub struct RankOutcome {
     /// device-throughput override; can go negative if combining were slower
     /// than the decodes it replaces).
     pub homo_saved_seconds: f64,
+    /// Compressed-domain combines of the backward embedding-gradient push
+    /// (leader + owner roles; zero on the per-sample default path).
+    pub grad_push_combines: u64,
     /// Combine-aware Equation-2 advice over the dense candidate pool,
     /// evaluated on the last post-all-reduce gradient (`None` when the
     /// segment ran no iterations; identical on every rank — asserted by the
@@ -1564,6 +1568,9 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
     let mut tags: Vec<u32> = (0..world)
         .map(|_| owned.first().map_or(0, |&t| resolved.tag(t)))
         .collect();
+    // Combined backward push (None on the bit-exact per-sample default).
+    let mut grad_push = GradPushState::from_setting(&trainer.grad_push);
+    let push_cards: Vec<usize> = dataset.tables.iter().map(|t| t.cardinality).collect();
 
     // Reusable per-rank state: everything the steady-state loop touches.
     let mut scratch = PipelineScratch::new(world);
@@ -2306,8 +2313,30 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         // ── Stages 6–7a: compress embedding gradients, send them home, and
         // decompress them on the owning rank — the backward mirror of
         // stages 2–4, double-buffered under the same overlap setting and
-        // hierarchical under the same topology setting.
-        if let Some((topo, tiered)) = &hier_iter {
+        // hierarchical under the same topology setting. The combined push
+        // replaces the whole block (including the owner-side apply): dense
+        // per-table accumulators added in the compressed domain — at node
+        // leaders when hierarchical — so owners decode one stream per table.
+        if let Some(push) = grad_push.as_mut() {
+            push.run(
+                ctx,
+                partition,
+                &mut model,
+                &grads,
+                &my_shard.sparse,
+                &push_cards,
+                dim,
+                trainer.learning_rate,
+                &cost,
+                hier_iter.as_ref(),
+                &mut scratch,
+                &tags,
+                &mut ledger,
+                compute_scale,
+            );
+            obs_mark(&mut obs, phases::EMB_UPDATE, &ledger, ctx);
+            wall.mark(phases::EMB_UPDATE);
+        } else if let Some((topo, tiered)) = &hier_iter {
             scratch.chunk_codec_s.clear();
             scratch.chunk_sent.clear();
             scratch.send.clear();
@@ -3152,6 +3181,7 @@ pub fn run_rank(ctx: &RankCtx, setup: &RankSetup) -> RankOutcome {
         homo_combines,
         homo_combine_seconds,
         homo_saved_seconds,
+        grad_push_combines: grad_push.map_or(0, |p| p.combines),
         dense_advice,
         tier_bytes,
         tier_seconds,

@@ -131,6 +131,14 @@ pub struct TrainingReport {
     /// Identical on every rank — asserted by the merger.
     #[serde(default)]
     pub dense_advice: Option<DenseAdvice>,
+    /// Label of the backward embedding-gradient push
+    /// (`"push-per-sample"` or `"push-combined-<codec>"`).
+    #[serde(default)]
+    pub grad_push: String,
+    /// Compressed-domain combines of the backward push, summed across ranks
+    /// and iterations (zero on the per-sample default path).
+    #[serde(default)]
+    pub grad_push_combines: u64,
     /// Label of the cluster topology the run used (`"flat"` or
     /// `"<nodes>x<ranks_per_node>"`).
     #[serde(default)]
@@ -759,6 +767,7 @@ fn merge_segments(
             .fold(0.0, f64::max)
     });
     let homo_combines: u64 = all().map(|o| o.homo_combines).sum();
+    let grad_push_combines: u64 = all().map(|o| o.grad_push_combines).sum();
     // The advice is computed from the post-all-gather gradient every rank
     // holds identically; a divergence means ranks decoded different values
     // from the same reduced shards — fail loudly.
@@ -819,6 +828,8 @@ fn merge_segments(
         homo_combine_seconds,
         homo_saved_seconds,
         dense_advice,
+        grad_push: config.grad_push.label(),
+        grad_push_combines,
         topology: config.topology.label(),
         adaptive: config.adaptive.label(),
         reselections,

@@ -1,0 +1,155 @@
+//! Test matrix of the combined backward embedding-gradient push
+//! (`GradPushSetting::Combined`): the flat owner-fold and the hierarchical
+//! combine-at-leaders schedule are **bit-identical** for the lattice codec
+//! (compressed-domain saturating integer addition is grouping-invariant
+//! absent saturation), the combine counters match the schedule exactly, the
+//! per-sample default records no combines, and contradictory configurations
+//! are rejected up front.
+
+use dlrm_comm::{NetworkConfig, Topology};
+use dlrm_data::presets;
+use dlrm_grad::GradCodecKind;
+use dlrm_trainer::{
+    run_training, AdaptiveSetting, CompressionSetting, GradPushSetting, OverlapSetting,
+    TopologySetting, TrainerConfig, TrainingReport,
+};
+
+fn tiny_config(push: GradPushSetting, iterations: usize) -> TrainerConfig {
+    let mut cfg = TrainerConfig::small_test(CompressionSetting::None);
+    cfg.iterations = iterations;
+    cfg.with_grad_push(push)
+}
+
+fn hier(nodes: usize, rpn: usize) -> TopologySetting {
+    TopologySetting::Hierarchical(Topology::new(
+        nodes,
+        rpn,
+        NetworkConfig::nvlink_intra_node(),
+        NetworkConfig::paper_figure11(),
+    ))
+}
+
+/// Bit-exact view of a report's numeric outcome (everything that must not
+/// depend on the route the bytes took).
+fn metric_bits(report: &TrainingReport) -> Vec<(u64, u64, u64, usize)> {
+    report
+        .accuracy_curve
+        .iter()
+        .map(|m| {
+            (
+                m.loss.to_bits(),
+                m.accuracy.to_bits(),
+                m.auc.to_bits(),
+                m.samples,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn combined_lattice_push_is_bit_identical_flat_vs_hierarchical() {
+    let dataset = presets::tiny();
+    let iters = 6;
+    let push = GradPushSetting::lattice(1e-4);
+    let flat = run_training(&dataset, &tiny_config(push.clone(), iters));
+    let mut hier_cfg = tiny_config(push, iters);
+    hier_cfg.topology = hier(2, 2);
+    let hierarchical = run_training(&dataset, &hier_cfg);
+
+    // The whole accuracy curve — a pure function of the weights each
+    // iteration starts with — must match bitwise: the leader grouping adds
+    // the same lattice codes the flat fold adds.
+    assert_eq!(
+        metric_bits(&flat),
+        metric_bits(&hierarchical),
+        "combine-at-leaders diverged from the flat owner fold"
+    );
+    assert_eq!(
+        flat.final_metrics.loss.to_bits(),
+        hierarchical.final_metrics.loss.to_bits()
+    );
+    assert_eq!(flat.grad_push, "push-combined-lattice-eb0.0001");
+    assert_eq!(flat.grad_push, hierarchical.grad_push);
+
+    // Both schedules perform the same total number of compressed-domain
+    // adds per iteration — world−1 per table when flat; (members−1) per
+    // table at each leader plus (nodes−1) per table at the owner when
+    // hierarchical. For 4 ranks / 4 tables / 2×2 nodes both come to 12.
+    let world = 4u64;
+    let tables = dataset.num_tables() as u64;
+    assert_eq!(
+        flat.grad_push_combines,
+        iters as u64 * tables * (world - 1),
+        "flat fold combine count off"
+    );
+    // (members−1)=1 combine per table at each of 2 leaders, (nodes−1)=1 per
+    // table at the owner.
+    let per_iter_hier = 2 * tables + tables;
+    assert_eq!(
+        hierarchical.grad_push_combines,
+        iters as u64 * per_iter_hier
+    );
+}
+
+#[test]
+fn combined_push_trains_and_reports_are_finite() {
+    let dataset = presets::tiny();
+    let report = run_training(&dataset, &tiny_config(GradPushSetting::lattice(1e-4), 40));
+    assert!(report.final_metrics.loss.is_finite());
+    assert!(report.grad_push_combines > 0);
+    let first = report.accuracy_curve.first().expect("has iterations").loss;
+    let last = report.final_metrics.loss;
+    assert!(
+        last < first,
+        "combined push failed to learn: loss {first} -> {last}"
+    );
+}
+
+#[test]
+fn per_sample_default_records_no_combines() {
+    let dataset = presets::tiny();
+    let cfg = tiny_config(GradPushSetting::PerSample, 4);
+    assert_eq!(cfg, {
+        let mut c = cfg.clone();
+        c.grad_push = GradPushSetting::default();
+        c
+    });
+    let report = run_training(&dataset, &cfg);
+    assert_eq!(report.grad_push, "push-per-sample");
+    assert_eq!(report.grad_push_combines, 0);
+}
+
+#[test]
+fn contradictory_push_configs_are_rejected() {
+    // A non-homomorphic codec cannot add in the compressed domain.
+    let bad_codec = tiny_config(
+        GradPushSetting::Combined {
+            codec: GradCodecKind::Fp16,
+        },
+        2,
+    );
+    assert!(bad_codec.validate().is_err());
+    // A zero lattice bound is degenerate.
+    assert!(tiny_config(GradPushSetting::lattice(0.0), 2)
+        .validate()
+        .is_err());
+    // The combined path replaces the backward all-to-all wholesale — it
+    // does not compose with the double-buffered overlap schedule …
+    let mut overlapped = tiny_config(GradPushSetting::lattice(1e-4), 2);
+    overlapped.overlap = OverlapSetting::DoubleBuffered;
+    assert!(overlapped.validate().is_err());
+    // … nor with the runtime controller's backward wire probe.
+    let mut adaptive = tiny_config(GradPushSetting::lattice(1e-4), 2);
+    adaptive.compression =
+        CompressionSetting::fixed(0.02, dlrm_compress::CompressorKind::OursHybrid);
+    adaptive.adaptive = AdaptiveSetting::Runtime {
+        window: 2,
+        hysteresis: 0.1,
+        eb_control: None,
+    };
+    assert!(adaptive.validate().is_err());
+    // The good configuration passes.
+    assert!(tiny_config(GradPushSetting::lattice(1e-4), 2)
+        .validate()
+        .is_ok());
+}

@@ -146,6 +146,7 @@ fn timing_config(compression: CompressionSetting) -> TrainerConfig {
         compression,
         overlap: OverlapSetting::Off,
         dense_compression: Default::default(),
+        grad_push: Default::default(),
         network: NetworkConfig::alltoall_bound(5e7),
         topology: Default::default(),
         adaptive: Default::default(),
